@@ -1,0 +1,190 @@
+//! The 1-D slab partition: how many y–z planes each node owns.
+//!
+//! The partition is always **contiguous**: node `i` owns planes
+//! `[offset(i), offset(i) + counts[i])` of the global x-axis, and
+//! `Σ counts = nx`. Remapping policies produce new count vectors; the
+//! partition validates conservation and derives the plane transfers.
+
+/// Plane ownership of every node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    counts: Vec<usize>,
+    /// Cells per plane (`ny · nz`), converting planes ↔ lattice points.
+    plane_cells: usize,
+}
+
+impl Partition {
+    /// Builds a partition from per-node plane counts.
+    pub fn new(counts: Vec<usize>, plane_cells: usize) -> Self {
+        assert!(!counts.is_empty());
+        assert!(plane_cells > 0);
+        assert!(counts.iter().all(|&c| c > 0), "every node must own at least one plane");
+        Partition { counts, plane_cells }
+    }
+
+    /// Even initial distribution of `nx` planes over `nodes` nodes.
+    pub fn even(nx: usize, nodes: usize, plane_cells: usize) -> Self {
+        assert!(nodes > 0 && nx >= nodes);
+        let base = nx / nodes;
+        let extra = nx % nodes;
+        let counts = (0..nodes).map(|p| base + usize::from(p < extra)).collect();
+        Partition::new(counts, plane_cells)
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn plane_cells(&self) -> usize {
+        self.plane_cells
+    }
+
+    /// Planes owned by node `i`.
+    pub fn planes(&self, i: usize) -> usize {
+        self.counts[i]
+    }
+
+    /// Lattice points owned by node `i`.
+    pub fn points(&self, i: usize) -> usize {
+        self.counts[i] * self.plane_cells
+    }
+
+    /// All plane counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total planes.
+    pub fn total_planes(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Total lattice points.
+    pub fn total_points(&self) -> usize {
+        self.total_planes() * self.plane_cells
+    }
+
+    /// Global x offset of node `i`'s first plane.
+    pub fn offset(&self, i: usize) -> usize {
+        self.counts[..i].iter().sum()
+    }
+
+    /// Replaces the counts with a policy's target, checking conservation.
+    pub fn apply(&mut self, new_counts: &[usize]) {
+        assert_eq!(new_counts.len(), self.counts.len(), "node count changed");
+        assert_eq!(
+            new_counts.iter().sum::<usize>(),
+            self.total_planes(),
+            "plane count not conserved"
+        );
+        assert!(new_counts.iter().all(|&c| c > 0), "a node would own zero planes");
+        self.counts = new_counts.to_vec();
+    }
+
+    /// Largest-remainder apportionment of the total planes proportional to
+    /// `weights`, guaranteeing every node ≥ 1 plane and exact conservation.
+    /// Used by the Global policy (and for tests of proportional targets).
+    pub fn proportional_counts(&self, weights: &[f64]) -> Vec<usize> {
+        assert_eq!(weights.len(), self.nodes());
+        assert!(weights.iter().all(|&w| w >= 0.0));
+        let total = self.total_planes();
+        let n = self.nodes();
+        assert!(total >= n);
+        let wsum: f64 = weights.iter().sum();
+        if wsum <= 0.0 {
+            // Degenerate: fall back to even.
+            return Partition::even(total, n, self.plane_cells).counts;
+        }
+        // Reserve one plane per node, apportion the rest.
+        let spare = total - n;
+        let quota: Vec<f64> = weights.iter().map(|w| w / wsum * spare as f64).collect();
+        let mut counts: Vec<usize> = quota.iter().map(|q| q.floor() as usize).collect();
+        let mut assigned: usize = counts.iter().sum();
+        // Distribute remainders largest-first (ties broken by index for
+        // determinism).
+        let mut rema: Vec<(usize, f64)> =
+            quota.iter().enumerate().map(|(i, q)| (i, q - q.floor())).collect();
+        rema.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut k = 0;
+        while assigned < spare {
+            counts[rema[k % n].0] += 1;
+            assigned += 1;
+            k += 1;
+        }
+        for c in counts.iter_mut() {
+            *c += 1; // the reserved plane
+        }
+        debug_assert_eq!(counts.iter().sum::<usize>(), total);
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_matches_paper() {
+        let p = Partition::even(400, 20, 4000);
+        assert!(p.counts().iter().all(|&c| c == 20));
+        assert_eq!(p.points(7), 80_000);
+        assert_eq!(p.total_points(), 1_600_000);
+    }
+
+    #[test]
+    fn offsets_are_cumulative() {
+        let p = Partition::new(vec![3, 5, 2], 10);
+        assert_eq!(p.offset(0), 0);
+        assert_eq!(p.offset(1), 3);
+        assert_eq!(p.offset(2), 8);
+        assert_eq!(p.total_planes(), 10);
+    }
+
+    #[test]
+    fn apply_checks_conservation() {
+        let mut p = Partition::new(vec![4, 4, 4], 100);
+        p.apply(&[2, 6, 4]);
+        assert_eq!(p.counts(), &[2, 6, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not conserved")]
+    fn apply_rejects_leaks() {
+        Partition::new(vec![4, 4], 10).apply(&[4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero planes")]
+    fn apply_rejects_empty_node() {
+        Partition::new(vec![4, 4], 10).apply(&[0, 8]);
+    }
+
+    #[test]
+    fn proportional_conserves_and_floors() {
+        let p = Partition::new(vec![10, 10, 10, 10], 50);
+        // One node 10× faster.
+        let counts = p.proportional_counts(&[10.0, 1.0, 1.0, 1.0]);
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert!(counts[0] > counts[1]);
+        // Roughly proportional: fast node ≈ 10/13 of the 36 spare + 1.
+        assert!((counts[0] as f64 - (36.0 * 10.0 / 13.0 + 1.0)).abs() <= 1.0);
+    }
+
+    #[test]
+    fn proportional_zero_weight_node_keeps_one_plane() {
+        let p = Partition::new(vec![5, 5, 5], 10);
+        let counts = p.proportional_counts(&[1.0, 0.0, 1.0]);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts.iter().sum::<usize>(), 15);
+    }
+
+    #[test]
+    fn proportional_equal_weights_is_even() {
+        let p = Partition::new(vec![7, 7, 6], 10);
+        let counts = p.proportional_counts(&[1.0, 1.0, 1.0]);
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Performance prediction (load indices).
+//!
+//! Each node predicts how long the *next* phase's computation will take
+//! from its recent per-phase compute times. The paper's design choice
+//! (§3.4) is the **harmonic average** of the last `w` phases
+//!
+//! ```text
+//! T_pred = w / (1/T₁ + 1/T₂ + … + 1/T_w)
+//! ```
+//!
+//! chosen because it is insensitive to isolated upward spikes: "if there is
+//! a load spike during the last phase, no migration will be made unless
+//! this machine is really slow for the last phases" — the lazy half of
+//! *filtered* remapping. Alternative predictors from the load-prediction
+//! literature the paper cites (most-recent-phase, arithmetic mean,
+//! exponential smoothing) are provided for the ablation benches.
+
+use std::collections::VecDeque;
+
+/// A load-index predictor: maps recent per-phase times (oldest first) to a
+/// predicted next-phase time.
+pub trait Predictor: Send + Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the next phase time, or `None` when history is too short
+    /// to commit to a prediction (no remapping happens then).
+    fn predict(&self, recent: &[f64]) -> Option<f64>;
+
+    /// How many samples this predictor wants retained.
+    fn window(&self) -> usize;
+}
+
+/// The paper's predictor: harmonic mean over a window of `w` phases
+/// (paper: `w = 10`).
+#[derive(Clone, Copy, Debug)]
+pub struct HarmonicMean {
+    pub window: usize,
+}
+
+impl HarmonicMean {
+    /// The paper's configuration (`w = 10`).
+    pub fn paper() -> Self {
+        HarmonicMean { window: 10 }
+    }
+}
+
+impl Predictor for HarmonicMean {
+    fn name(&self) -> &'static str {
+        "harmonic"
+    }
+
+    fn predict(&self, recent: &[f64]) -> Option<f64> {
+        if recent.len() < self.window {
+            return None;
+        }
+        let tail = &recent[recent.len() - self.window..];
+        let inv_sum: f64 = tail.iter().map(|&t| 1.0 / t.max(f64::MIN_POSITIVE)).sum();
+        Some(self.window as f64 / inv_sum)
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+}
+
+/// Most-recent-phase predictor (the literature baseline the paper argues
+/// against: it causes migration oscillation under rapid load changes).
+#[derive(Clone, Copy, Debug)]
+pub struct LastPhase;
+
+impl Predictor for LastPhase {
+    fn name(&self) -> &'static str {
+        "last-phase"
+    }
+
+    fn predict(&self, recent: &[f64]) -> Option<f64> {
+        recent.last().copied()
+    }
+
+    fn window(&self) -> usize {
+        1
+    }
+}
+
+/// Arithmetic mean over a window.
+#[derive(Clone, Copy, Debug)]
+pub struct ArithmeticMean {
+    pub window: usize,
+}
+
+impl Predictor for ArithmeticMean {
+    fn name(&self) -> &'static str {
+        "arithmetic"
+    }
+
+    fn predict(&self, recent: &[f64]) -> Option<f64> {
+        if recent.len() < self.window {
+            return None;
+        }
+        let tail = &recent[recent.len() - self.window..];
+        Some(tail.iter().sum::<f64>() / self.window as f64)
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+}
+
+/// Exponential smoothing `p ← α·t + (1−α)·p` (weights recent data more, as
+/// in Yang/Foster/Schopf's tendency-based predictors).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpSmoothing {
+    pub alpha: f64,
+    /// Samples required before the first prediction.
+    pub warmup: usize,
+}
+
+impl Predictor for ExpSmoothing {
+    fn name(&self) -> &'static str {
+        "exp-smoothing"
+    }
+
+    fn predict(&self, recent: &[f64]) -> Option<f64> {
+        if recent.len() < self.warmup {
+            return None;
+        }
+        let mut p = recent[0];
+        for &t in &recent[1..] {
+            p = self.alpha * t + (1.0 - self.alpha) * p;
+        }
+        Some(p)
+    }
+
+    fn window(&self) -> usize {
+        self.warmup.max(32)
+    }
+}
+
+/// Bounded history of per-phase compute times for one node.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    samples: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl History {
+    /// History retaining up to `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        History { samples: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Records a phase time (non-negative; zeros are clamped to a tiny
+    /// positive value so harmonic means stay finite).
+    pub fn push(&mut self, t: f64) {
+        assert!(t >= 0.0 && t.is_finite(), "phase time must be finite and non-negative");
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(t.max(f64::MIN_POSITIVE));
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples oldest-first, contiguous.
+    pub fn as_slice(&mut self) -> &[f64] {
+        self.samples.make_contiguous();
+        self.samples.as_slices().0
+    }
+
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_equals_value_for_constant_series() {
+        let p = HarmonicMean { window: 5 };
+        let t = vec![2.0; 5];
+        assert!((p.predict(&t).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_needs_full_window() {
+        let p = HarmonicMean { window: 10 };
+        assert!(p.predict(&[1.0; 9]).is_none());
+        assert!(p.predict(&[1.0; 10]).is_some());
+    }
+
+    #[test]
+    fn harmonic_shrugs_off_single_spike() {
+        // One 100× spike among ten 1s samples barely moves the harmonic
+        // mean (the paper's lazy property) but pulls the arithmetic mean
+        // up by an order of magnitude.
+        let mut t = vec![1.0; 10];
+        t[9] = 100.0;
+        let h = HarmonicMean { window: 10 }.predict(&t).unwrap();
+        let a = ArithmeticMean { window: 10 }.predict(&t).unwrap();
+        assert!(h < 1.2, "harmonic {h} should stay near 1");
+        assert!(a > 10.0, "arithmetic {a} should be dragged up");
+    }
+
+    #[test]
+    fn harmonic_tracks_persistent_slowdown() {
+        // Ten consecutive slow phases → prediction reflects the slowdown.
+        let t = vec![3.3; 10];
+        let h = HarmonicMean::paper().predict(&t).unwrap();
+        assert!((h - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_uses_only_the_window_tail() {
+        let mut t = vec![100.0; 10];
+        t.extend(vec![1.0; 10]);
+        let h = HarmonicMean::paper().predict(&t).unwrap();
+        assert!((h - 1.0).abs() < 1e-12, "old samples must be ignored");
+    }
+
+    #[test]
+    fn harmonic_is_at_most_arithmetic() {
+        // AM–HM inequality on arbitrary positive data.
+        let t = vec![0.5, 1.0, 4.0, 2.0, 0.25, 8.0, 1.5, 0.75, 3.0, 1.0];
+        let h = HarmonicMean { window: 10 }.predict(&t).unwrap();
+        let a = ArithmeticMean { window: 10 }.predict(&t).unwrap();
+        assert!(h <= a + 1e-12);
+    }
+
+    #[test]
+    fn last_phase_returns_latest() {
+        assert_eq!(LastPhase.predict(&[1.0, 2.0, 9.0]), Some(9.0));
+        assert_eq!(LastPhase.predict(&[]), None);
+    }
+
+    #[test]
+    fn exp_smoothing_weights_recent() {
+        let p = ExpSmoothing { alpha: 0.5, warmup: 2 };
+        // 1, then 3: 0.5·3 + 0.5·1 = 2.
+        assert!((p.predict(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(p.predict(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn history_is_bounded_fifo() {
+        let mut h = History::new(3);
+        for k in 1..=5 {
+            h.push(k as f64);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.as_slice(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn history_clamps_zero() {
+        let mut h = History::new(2);
+        h.push(0.0);
+        assert!(h.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn history_rejects_nan() {
+        History::new(2).push(f64::NAN);
+    }
+}

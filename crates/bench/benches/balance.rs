@@ -1,0 +1,50 @@
+//! Microbenchmarks of the balancing machinery: predictor evaluation and
+//! remap-decision cost for each policy at the paper's scale (20 nodes)
+//! and at larger scales, plus plan derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microslip_balance::policy::{Conservative, Filtered, Global, RemapPolicy};
+use microslip_balance::predict::{HarmonicMean, Predictor};
+use microslip_balance::{diff, Partition};
+
+fn bench_balance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    let samples: Vec<f64> = (0..64).map(|k| 0.4 + 0.01 * (k % 7) as f64).collect();
+    g.bench_function("harmonic-10", |b| {
+        let p = HarmonicMean::paper();
+        b.iter(|| p.predict(&samples))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("remap-decision");
+    for nodes in [20usize, 100, 500] {
+        let partition = Partition::even(nodes * 20, nodes, 4000);
+        let predicted: Vec<Option<f64>> = (0..nodes)
+            .map(|i| {
+                let speed = if i % 7 == 3 { 0.3 } else { 1.0 };
+                Some(partition.points(i) as f64 / speed)
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("filtered", nodes), &nodes, |b, _| {
+            let pol = Filtered::default();
+            b.iter(|| pol.target_counts(&predicted, &partition))
+        });
+        g.bench_with_input(BenchmarkId::new("conservative", nodes), &nodes, |b, _| {
+            let pol = Conservative::default();
+            b.iter(|| pol.target_counts(&predicted, &partition))
+        });
+        g.bench_with_input(BenchmarkId::new("global", nodes), &nodes, |b, _| {
+            let pol = Global::default();
+            b.iter(|| pol.target_counts(&predicted, &partition))
+        });
+        g.bench_with_input(BenchmarkId::new("plan-diff", nodes), &nodes, |b, _| {
+            let pol = Filtered::default();
+            let target = pol.target_counts(&predicted, &partition);
+            b.iter(|| diff(&partition, &target))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_balance);
+criterion_main!(benches);

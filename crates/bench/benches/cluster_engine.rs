@@ -1,0 +1,26 @@
+//! Throughput of the virtual-time cluster engine: how fast the simulator
+//! replays the paper's experiments (a 600-phase, 20-node run per
+//! iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microslip_cluster::{run_scheme, ClusterConfig, Dedicated, FixedSlowNodes, Scheme};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster-engine");
+    g.sample_size(20);
+    let cfg = ClusterConfig::paper(20, 600);
+    g.bench_function("600-phases-dedicated", |b| {
+        b.iter(|| run_scheme(&cfg, Scheme::NoRemap, &Dedicated))
+    });
+    let slow = FixedSlowNodes::paper(20, 2);
+    g.bench_function("600-phases-filtered-2slow", |b| {
+        b.iter(|| run_scheme(&cfg, Scheme::Filtered, &slow))
+    });
+    g.bench_function("600-phases-global-2slow", |b| {
+        b.iter(|| run_scheme(&cfg, Scheme::Global, &slow))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

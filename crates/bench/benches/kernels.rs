@@ -1,0 +1,73 @@
+//! Microbenchmarks of the LBM hot kernels: per-phase cost of collision,
+//! streaming, Shan-Chen forces and the velocity update on a two-component
+//! slab, plus the full sequential phase. These are the constants behind
+//! the cluster cost model's `site_update_rate`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use microslip_lbm::{ChannelConfig, Dims, Simulation, Slab, SlabSolver};
+
+fn slab_solver() -> SlabSolver {
+    let cfg = ChannelConfig::paper_scaled(Dims::new(20, 40, 10));
+    let mut s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 20 });
+    s.prime_periodic();
+    s
+}
+
+fn slab_solver_with(op: microslip_lbm::CollisionOperator) -> SlabSolver {
+    let mut cfg = ChannelConfig::paper_scaled(Dims::new(20, 40, 10));
+    for (spec, _) in cfg.components.iter_mut() {
+        spec.collision = op;
+    }
+    let mut s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 20 });
+    s.prime_periodic();
+    s
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let cells = (20 * 40 * 10) as u64;
+    let mut g = c.benchmark_group("lbm-kernels");
+    g.throughput(Throughput::Elements(cells));
+    g.sample_size(30);
+
+    let mut s = slab_solver();
+    g.bench_function("collide", |b| b.iter(|| s.collide()));
+    let mut s = slab_solver_with(microslip_lbm::CollisionOperator::trt_magic());
+    g.bench_function("collide-trt", |b| b.iter(|| s.collide()));
+    let mut s = slab_solver_with(microslip_lbm::CollisionOperator::mrt_standard());
+    g.bench_function("collide-mrt", |b| b.iter(|| s.collide()));
+    let mut s = slab_solver();
+    g.bench_function("stream", |b| {
+        b.iter(|| {
+            s.f_ghosts_periodic();
+            s.stream();
+        })
+    });
+    let mut s = slab_solver();
+    g.bench_function("psi+forces", |b| {
+        b.iter(|| {
+            s.compute_psi();
+            s.psi_ghosts_periodic();
+            s.compute_forces();
+        })
+    });
+    let mut s = slab_solver();
+    g.bench_function("velocities", |b| b.iter(|| s.compute_velocities()));
+    let mut s = slab_solver();
+    g.bench_function("full-phase", |b| b.iter(|| s.phase_periodic()));
+    g.finish();
+
+    let mut g = c.benchmark_group("lbm-sequential");
+    g.sample_size(20);
+    g.bench_function("simulation-step-16x32x8", |b| {
+        let mut sim = Simulation::new(ChannelConfig::paper_scaled(Dims::new(16, 32, 8)));
+        b.iter(|| sim.step())
+    });
+    g.bench_function("channel2d-step-64x32", |b| {
+        let mut ch = microslip_lbm::twodim::Channel2d::new(64, 32, 1.0, 1e-6);
+        b.iter(|| ch.step())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

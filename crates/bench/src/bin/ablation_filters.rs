@@ -1,0 +1,85 @@
+//! Ablation study of the filtered scheme's design choices (paper §3.4):
+//!
+//! * predictor (harmonic vs last-phase vs arithmetic vs exp-smoothing);
+//! * over-redistribution vs conservative fractions;
+//! * migration threshold;
+//! * remapping interval.
+//!
+//! Scenario: 20 nodes, 600 phases, 2 fixed slow nodes, plus a transient-
+//! spike column showing which choices tolerate transients.
+//!
+//! Usage: `ablation_filters [phases]` (default 600).
+
+use microslip_balance::policy::{Conservative, FilterParams, Filtered, RemapPolicy};
+use microslip_balance::predict::{ArithmeticMean, ExpSmoothing, HarmonicMean, LastPhase, Predictor};
+use microslip_bench::{arg_or, f, header, row};
+use microslip_cluster::{run, ClusterConfig, FixedSlowNodes, TransientSpikes};
+
+fn timed(
+    cfg: &ClusterConfig,
+    policy: &dyn RemapPolicy,
+    predictor: &dyn Predictor,
+) -> (f64, f64, usize) {
+    let slow = FixedSlowNodes::paper(20, 2);
+    let fixed = run(cfg, policy, predictor, &slow);
+    let spikes = TransientSpikes::new(20, 3.0, 42, 100_000);
+    let spiky = run(cfg, policy, predictor, &spikes);
+    (fixed.total_time, spiky.total_time, fixed.migrated_planes)
+}
+
+fn main() {
+    let phases: u64 = arg_or(1, 600);
+    let cfg = ClusterConfig::paper(20, phases);
+    header(
+        "Ablation — filtered remapping design choices",
+        "20 nodes, 600 phases; 2 fixed slow nodes / 3 s transient spikes",
+    );
+
+    println!();
+    println!("-- predictor (policy: filtered) --");
+    row(16, "predictor", &["fixed (s)".into(), "spikes (s)".into(), "migrated".into()]);
+    let preds: Vec<(&str, Box<dyn Predictor>)> = vec![
+        ("harmonic(10)", Box::new(HarmonicMean { window: 10 })),
+        ("last-phase", Box::new(LastPhase)),
+        ("arithmetic(10)", Box::new(ArithmeticMean { window: 10 })),
+        ("exp(0.3)", Box::new(ExpSmoothing { alpha: 0.3, warmup: 10 })),
+    ];
+    for (name, p) in &preds {
+        let (a, b, m) = timed(&cfg, &Filtered::default(), p.as_ref());
+        row(16, name, &[f(a, 1), f(b, 1), m.to_string()]);
+    }
+
+    println!();
+    println!("-- redistribution (predictor: harmonic) --");
+    row(16, "scheme", &["fixed (s)".into(), "spikes (s)".into(), "migrated".into()]);
+    let hp = HarmonicMean::paper();
+    let schemes: Vec<(&str, Box<dyn RemapPolicy>)> = vec![
+        ("over-redistr.", Box::new(Filtered::default())),
+        ("exact (1.0)", Box::new(Conservative::default())),
+        ("half (0.5)", Box::new(Conservative { fraction: 0.5, ..Default::default() })),
+        ("quarter (0.25)", Box::new(Conservative { fraction: 0.25, ..Default::default() })),
+    ];
+    for (name, pol) in &schemes {
+        let (a, b, m) = timed(&cfg, pol.as_ref(), &hp);
+        row(16, name, &[f(a, 1), f(b, 1), m.to_string()]);
+    }
+
+    println!();
+    println!("-- migration threshold (planes; paper uses 1 = 4000 points) --");
+    row(16, "threshold", &["fixed (s)".into(), "spikes (s)".into(), "migrated".into()]);
+    for thr in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let pol = Filtered { params: FilterParams { threshold_planes: thr, min_planes: 1 } };
+        let (a, b, m) = timed(&cfg, &pol, &hp);
+        row(16, &format!("{thr} planes"), &[f(a, 1), f(b, 1), m.to_string()]);
+    }
+
+    println!();
+    println!("-- remapping interval (phases; paper remaps every few phases) --");
+    row(16, "interval", &["fixed (s)".into(), "spikes (s)".into(), "migrated".into()]);
+    for interval in [2u64, 5, 10, 20, 50] {
+        let mut c = cfg.clone();
+        c.remap_interval = interval;
+        let (a, b, m) = timed(&c, &Filtered::default(), &hp);
+        row(16, &interval.to_string(), &[f(a, 1), f(b, 1), m.to_string()]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 9: execution profile and cost distribution per node, for the
+//! four schemes, with one fixed slow node (node 9).
+//!
+//! 20 nodes, 600 phases. Prints per-node compute / communication /
+//! remapping time for: dedicated (no slow node), no-remapping,
+//! conservative, filtered.
+//!
+//! Usage: `fig9_profile [phases]` (default 600, the paper's value).
+
+use microslip_bench::{arg_or, f, header};
+use microslip_cluster::{run_scheme, ClusterConfig, Dedicated, FixedSlowNodes, Scheme};
+
+fn main() {
+    let phases: u64 = arg_or(1, 600);
+    header(
+        "Fig. 9 — execution profile and cost distribution, one slow node",
+        "20 nodes, 600 phases; node 9 runs a 70% competing job",
+    );
+    let cfg = ClusterConfig::paper(20, phases);
+    let slow = FixedSlowNodes::paper(20, 1);
+    let cases: [(&str, microslip_cluster::RunResult); 4] = [
+        ("dedicated", run_scheme(&cfg, Scheme::NoRemap, &Dedicated)),
+        ("no-remap", run_scheme(&cfg, Scheme::NoRemap, &slow)),
+        ("conservative", run_scheme(&cfg, Scheme::Conservative, &slow)),
+        ("filtered", run_scheme(&cfg, Scheme::Filtered, &slow)),
+    ];
+    for (name, r) in &cases {
+        println!();
+        println!(
+            "--- {name}: total {} s (paper: dedicated 251, no-remap 717, conservative 513, filtered 313)",
+            f(r.total_time, 1)
+        );
+        println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "node", "compute", "comm", "remap", "planes");
+        for (i, a) in r.per_node.iter().enumerate() {
+            println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>8}",
+                i,
+                f(a.compute, 1),
+                f(a.comm, 1),
+                f(a.remap, 1),
+                r.final_counts[i]
+            );
+        }
+    }
+    println!();
+    let ded = cases[0].1.total_time;
+    for (name, r) in &cases[1..] {
+        println!("{name}: increase over dedicated {}%", f((r.total_time / ded - 1.0) * 100.0, 1));
+    }
+}

@@ -1,0 +1,47 @@
+//! The remapping transient: per-phase cost over time for each scheme with
+//! one slow node — how quickly each policy converges to its steady state
+//! after the disturbance appears, and what that steady state costs.
+//!
+//! This is the time-resolved view behind Fig. 9's totals: filtered
+//! remapping pays a short, aggressive drain and settles near the
+//! dedicated cost; conservative settles slower and higher; no-remapping
+//! never recovers.
+//!
+//! Usage: `remap_transient [phases] [block]` (defaults 600, 25).
+
+use microslip_bench::{arg_or, f, header, row};
+use microslip_cluster::{run_scheme, ClusterConfig, Dedicated, FixedSlowNodes, Scheme};
+
+fn main() {
+    let phases: u64 = arg_or(1, 600);
+    let block: usize = arg_or(2, 25);
+    header(
+        "Remapping transient — per-phase cost over time (block means)",
+        "20 nodes, node 9 slow (70% job); mean seconds per phase in each block",
+    );
+    let cfg = ClusterConfig::paper(20, phases);
+    let slow = FixedSlowNodes::paper(20, 1);
+    let runs: Vec<(&str, microslip_cluster::RunResult)> = vec![
+        ("dedicated", run_scheme(&cfg, Scheme::NoRemap, &Dedicated)),
+        ("no-remap", run_scheme(&cfg, Scheme::NoRemap, &slow)),
+        ("conservative", run_scheme(&cfg, Scheme::Conservative, &slow)),
+        ("filtered", run_scheme(&cfg, Scheme::Filtered, &slow)),
+    ];
+    let blocks = phases as usize / block;
+    row(12, "phases", &runs.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>());
+    for b in 0..blocks {
+        let label = format!("{}-{}", b * block, (b + 1) * block);
+        let cells: Vec<String> = runs
+            .iter()
+            .map(|(_, r)| f(r.mean_phase_duration(b * block..(b + 1) * block), 3))
+            .collect();
+        row(12, &label, &cells);
+    }
+    println!();
+    for (name, r) in &runs {
+        match r.settling_phase(0.15) {
+            Some(p) => println!("{name:>12}: settles (±15%) by phase {p}"),
+            None => println!("{name:>12}: too short to judge settling"),
+        }
+    }
+}

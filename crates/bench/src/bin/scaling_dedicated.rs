@@ -1,0 +1,46 @@
+//! §4.2 scaling claim: near-linear speedup on a dedicated cluster
+//! ("the speedup is 18.97 with 20 nodes").
+//!
+//! Sweeps the node count on the virtual cluster, and cross-checks the
+//! small-scale end with the real threaded runtime on a reduced channel.
+//!
+//! Usage: `scaling_dedicated [phases]` (default 600).
+
+use std::sync::Arc;
+
+use microslip_balance::NoRemap;
+use microslip_bench::{arg_or, f, header, row};
+use microslip_cluster::dedicated_speedup;
+use microslip_lbm::{ChannelConfig, Dims};
+use microslip_runtime::{run_parallel, RuntimeConfig};
+
+fn main() {
+    let phases: u64 = arg_or(1, 600);
+    header(
+        "§4.2 — dedicated-cluster speedup",
+        "400x200x20 lattice; paper reports 18.97 at 20 nodes",
+    );
+    row(8, "nodes", &["speedup".into(), "efficiency".into()]);
+    for nodes in [1usize, 2, 4, 8, 10, 16, 20] {
+        let s = dedicated_speedup(phases, nodes);
+        row(8, &nodes.to_string(), &[f(s, 2), f(s / nodes as f64, 3)]);
+    }
+    println!();
+
+    // Cross-check with real threads. The channel is chosen large enough
+    // that per-phase compute dominates the in-process messaging overhead
+    // (strong scaling on real cores; expect sub-linear on small hosts).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("threaded-runtime cross-check (96x48x10 channel, 60 phases, wall-clock):");
+    println!("  host has {cores} core(s): expect speedup up to ~{cores}x;");
+    println!("  on a single-core host this only validates that the runtime");
+    println!("  adds no pathological overhead (speedup ~1).");
+    let channel = ChannelConfig::paper_scaled(Dims::new(96, 48, 10));
+    let t1 = run_parallel(&RuntimeConfig::new(channel.clone(), 1, 60), Arc::new(NoRemap))
+        .wall_seconds;
+    for workers in [1usize, 2, 4, 8] {
+        let t = run_parallel(&RuntimeConfig::new(channel.clone(), workers, 60), Arc::new(NoRemap))
+            .wall_seconds;
+        println!("  {workers} workers: {:.2}s  speedup {:.2}", t, t1 / t);
+    }
+}

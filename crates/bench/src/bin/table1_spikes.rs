@@ -1,0 +1,32 @@
+//! Table 1: slowdown ratio under transient load spikes.
+//!
+//! Every 10 s a random node runs a 70% competing job for 1-4 s; 100 LBM
+//! phases. Slowdown is relative to the dedicated run of the same scheme.
+//! The paper finds no-remapping, filtered and conservative comparable
+//! (lazy remapping tolerates transients) and global much worse.
+//!
+//! Usage: `table1_spikes [phases] [seed]` (defaults 100, 42).
+
+use microslip_bench::{arg_or, f, header, row};
+use microslip_cluster::{transient_point, Scheme};
+
+fn main() {
+    let phases: u64 = arg_or(1, 100);
+    let seed: u64 = arg_or(2, 42);
+    header(
+        "Table 1 — slowdown under transient spikes",
+        "20 nodes, 100 phases; random node spiked (70% job) every 10 s",
+    );
+    let order = [Scheme::NoRemap, Scheme::Global, Scheme::Filtered, Scheme::Conservative];
+    row(12, "spike len", &order.map(|s| s.name().to_string()));
+    for len in [1.0, 2.0, 3.0, 4.0] {
+        let cells: Vec<String> = order
+            .iter()
+            .map(|&s| format!("{}%", f(transient_point(phases, s, len, seed), 1)))
+            .collect();
+        row(12, &format!("{len} s"), &cells);
+    }
+    println!();
+    println!("paper values (%): no-remap 7.4/11.9/23.7/35.6, global 5.8/37.2/40.9/49.5,");
+    println!("filtered 6.7/15.6/23.3/38.1, conservative 10.9/16.0/24.9/39.8");
+}

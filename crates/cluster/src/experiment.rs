@@ -1,0 +1,171 @@
+//! High-level experiment runners for the paper's evaluation scenarios.
+//!
+//! Each function corresponds to a point on one of the paper's figures or
+//! tables; the bench binaries in `microslip-bench` assemble them into the
+//! full sweeps.
+
+use microslip_balance::policy::{Conservative, Filtered, Global, NoRemap, RemapPolicy};
+use microslip_balance::predict::HarmonicMean;
+
+use crate::disturbance::{Dedicated, Disturbance, DutyCycle, FixedSlowNodes, TransientSpikes};
+use crate::engine::{run, ClusterConfig, RunResult};
+
+/// The four remapping schemes of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    NoRemap,
+    Filtered,
+    Conservative,
+    Global,
+}
+
+impl Scheme {
+    /// All schemes in the paper's presentation order.
+    pub const ALL: [Scheme; 4] =
+        [Scheme::NoRemap, Scheme::Filtered, Scheme::Conservative, Scheme::Global];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::NoRemap => "no-remap",
+            Scheme::Filtered => "filtered",
+            Scheme::Conservative => "conservative",
+            Scheme::Global => "global",
+        }
+    }
+
+    /// The policy object (with paper-default parameters).
+    pub fn policy(&self) -> Box<dyn RemapPolicy> {
+        match self {
+            Scheme::NoRemap => Box::new(NoRemap),
+            Scheme::Filtered => Box::new(Filtered::default()),
+            Scheme::Conservative => Box::new(Conservative::default()),
+            Scheme::Global => Box::new(Global::default()),
+        }
+    }
+}
+
+/// Runs `scheme` under `disturbance` with the paper's harmonic predictor.
+pub fn run_scheme(
+    cfg: &ClusterConfig,
+    scheme: Scheme,
+    disturbance: &dyn Disturbance,
+) -> RunResult {
+    let predictor = HarmonicMean { window: cfg.predictor_window };
+    run(cfg, scheme.policy().as_ref(), &predictor, disturbance)
+}
+
+/// Fig. 3: one node disturbed with a duty-cycle competing job at level
+/// `fraction`, 20 nodes, no remapping. Returns (execution time, per-phase
+/// overhead % relative to the dedicated run).
+pub fn fig3_point(phases: u64, fraction: f64) -> (f64, f64) {
+    let cfg = ClusterConfig::paper(20, phases);
+    let disturbed = run_scheme(&cfg, Scheme::NoRemap, &DutyCycle::paper(9, fraction));
+    let dedicated = run_scheme(&cfg, Scheme::NoRemap, &Dedicated);
+    let overhead =
+        (disturbed.total_time - dedicated.total_time) / dedicated.total_time * 100.0;
+    (disturbed.total_time, overhead)
+}
+
+/// Fig. 8 / Fig. 10 style point: `m` fixed slow nodes, given scheme.
+pub fn fixed_slow_point(phases: u64, scheme: Scheme, m: usize) -> RunResult {
+    let cfg = ClusterConfig::paper(20, phases);
+    if m == 0 {
+        run_scheme(&cfg, scheme, &Dedicated)
+    } else {
+        run_scheme(&cfg, scheme, &FixedSlowNodes::paper(20, m))
+    }
+}
+
+/// Table 1 point: transient spikes of `spike_len` seconds, random node
+/// every 10 s. Returns the slowdown ratio (%) versus the dedicated run.
+pub fn transient_point(phases: u64, scheme: Scheme, spike_len: f64, seed: u64) -> f64 {
+    let cfg = ClusterConfig::paper(20, phases);
+    // Generously sized victim horizon: runs are minutes of virtual time.
+    let spikes = TransientSpikes::new(20, spike_len, seed, 100_000);
+    let spiked = run_scheme(&cfg, scheme, &spikes);
+    let dedicated = run_scheme(&cfg, scheme, &Dedicated);
+    (spiked.total_time - dedicated.total_time) / dedicated.total_time * 100.0
+}
+
+/// §4.2 scaling claim: dedicated speedup at `nodes` nodes.
+pub fn dedicated_speedup(phases: u64, nodes: usize) -> f64 {
+    let cfg = ClusterConfig::paper(nodes, phases);
+    run_scheme(&cfg, Scheme::NoRemap, &Dedicated).speedup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Filtered.name(), "filtered");
+        assert_eq!(Scheme::ALL.len(), 4);
+    }
+
+    #[test]
+    fn fig3_overhead_increases_sharply_past_60_percent() {
+        // The paper's hyperbola: near-linear below 60 % disturbance, steep
+        // afterwards. Compare marginal overhead per 20 % step.
+        let (_, o20) = fig3_point(120, 0.2);
+        let (_, o40) = fig3_point(120, 0.4);
+        let (_, o60) = fig3_point(120, 0.6);
+        let (_, o80) = fig3_point(120, 0.8);
+        let (_, o100) = fig3_point(120, 1.0);
+        assert!(o20 < o40 && o40 < o60 && o60 < o80 && o80 < o100, "monotone overhead");
+        let early_slope = (o60 - o20) / 2.0;
+        let late_slope = (o100 - o60) / 2.0;
+        assert!(
+            late_slope > 1.5 * early_slope,
+            "late slope {late_slope} should exceed early slope {early_slope}"
+        );
+        // Full disturbance costs roughly a factor 2–4 (paper: 185 %).
+        assert!(o100 > 100.0 && o100 < 300.0, "o100 = {o100}");
+    }
+
+    #[test]
+    fn fig10_ordering_with_three_slow_nodes() {
+        let phases = 300;
+        let filtered = fixed_slow_point(phases, Scheme::Filtered, 3).total_time;
+        let conservative = fixed_slow_point(phases, Scheme::Conservative, 3).total_time;
+        let noremap = fixed_slow_point(phases, Scheme::NoRemap, 3).total_time;
+        assert!(
+            filtered < conservative && conservative < noremap,
+            "expected filtered < conservative < no-remap, got {filtered} / {conservative} / {noremap}"
+        );
+    }
+
+    #[test]
+    fn efficiency_stays_high_with_filtered() {
+        // Long horizon (the paper's Fig. 8 uses 20,000 phases) so the
+        // converged regime dominates the drain transient.
+        let r = fixed_slow_point(4000, Scheme::Filtered, 2);
+        let eff = r.normalized_efficiency(2);
+        assert!(eff > 0.75, "normalized efficiency {eff}");
+    }
+
+    #[test]
+    fn filtered_speedup_matches_paper_fig8_anchor() {
+        // Paper: speedup ≈ 16 with one slow node, ≈ 13 with five.
+        let s1 = fixed_slow_point(4000, Scheme::Filtered, 1).speedup();
+        let s5 = fixed_slow_point(4000, Scheme::Filtered, 5).speedup();
+        assert!(s1 > 14.0 && s1 < 18.0, "speedup(m=1) = {s1}");
+        assert!(s5 > 11.0 && s5 < 16.0, "speedup(m=5) = {s5}");
+        assert!(s1 > s5);
+    }
+
+    #[test]
+    fn dedicated_speedup_scales() {
+        let s1 = dedicated_speedup(100, 1);
+        let s20 = dedicated_speedup(100, 20);
+        assert!((s1 - 1.0).abs() < 1e-9);
+        assert!(s20 > 17.0 && s20 < 20.0, "speedup(20) = {s20}");
+    }
+
+    #[test]
+    fn transient_slowdown_grows_with_spike_length() {
+        let s1 = transient_point(60, Scheme::NoRemap, 1.0, 11);
+        let s4 = transient_point(60, Scheme::NoRemap, 4.0, 11);
+        assert!(s4 > s1, "longer spikes must hurt more: {s1} vs {s4}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the cluster simulator: the work integrator,
+//! disturbance algebra, and engine monotonicity/determinism.
+
+use microslip_cluster::{
+    run_scheme, work_to_time, BaseSpeeds, ClusterConfig, Compose, Dedicated, Disturbance,
+    DutyCycle, FixedSlowNodes, Scheme, TransientSpikes,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn work_integration_is_additive(
+        fraction in 0.0f64..1.0,
+        start in 0.0f64..50.0,
+        w1 in 0.0f64..30.0,
+        w2 in 0.0f64..30.0,
+    ) {
+        // Doing w1 then w2 lands at the same time as doing w1+w2 at once.
+        let d = DutyCycle::paper(0, fraction);
+        let mid = work_to_time(&d, 0, start, w1);
+        let two_step = work_to_time(&d, 0, mid, w2);
+        let one_step = work_to_time(&d, 0, start, w1 + w2);
+        prop_assert!((two_step - one_step).abs() < 1e-6,
+            "additivity violated: {two_step} vs {one_step}");
+    }
+
+    #[test]
+    fn work_integration_is_monotone_in_work(
+        fraction in 0.0f64..1.0,
+        start in 0.0f64..50.0,
+        w in 0.1f64..30.0,
+        extra in 0.1f64..10.0,
+    ) {
+        let d = DutyCycle::paper(0, fraction);
+        let a = work_to_time(&d, 0, start, w);
+        let b = work_to_time(&d, 0, start, w + extra);
+        prop_assert!(b > a);
+        // Completion takes at least `work` (speed ≤ 1) and at most
+        // work/SLOW_SPEED.
+        prop_assert!(a >= start + w - 1e-9);
+        prop_assert!(a <= start + w / 0.3 + 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn more_disturbance_never_speeds_up_the_run(
+        f1 in 0.0f64..0.5,
+        extra in 0.0f64..0.5,
+    ) {
+        let cfg = ClusterConfig::paper(8, 60);
+        let a = run_scheme(&cfg, Scheme::NoRemap, &DutyCycle::paper(3, f1)).total_time;
+        let b = run_scheme(&cfg, Scheme::NoRemap, &DutyCycle::paper(3, f1 + extra)).total_time;
+        prop_assert!(b >= a - 1e-9, "disturbance {f1}+{extra} sped up the run: {a} -> {b}");
+    }
+
+    #[test]
+    fn engine_deterministic_for_any_seeded_spikes(
+        seed in any::<u64>(),
+        spike_len in 0.5f64..8.0,
+    ) {
+        let cfg = ClusterConfig::paper(10, 80);
+        let d1 = TransientSpikes::new(10, spike_len, seed, 10_000);
+        let d2 = TransientSpikes::new(10, spike_len, seed, 10_000);
+        let a = run_scheme(&cfg, Scheme::Filtered, &d1);
+        let b = run_scheme(&cfg, Scheme::Filtered, &d2);
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.final_counts, b.final_counts);
+    }
+
+    #[test]
+    fn composition_is_commutative_in_speed(
+        seed in any::<u64>(),
+        t in 0.0f64..100.0,
+        node in 0usize..6,
+    ) {
+        let base = BaseSpeeds::random(6, 0.4, 1.0, seed);
+        let jobs = FixedSlowNodes::new(6, &[1, 4], 0.3);
+        let ab = Compose(base.clone(), jobs.clone());
+        let ba = Compose(jobs, base);
+        prop_assert!((ab.speed(node, t) - ba.speed(node, t)).abs() < 1e-15);
+        prop_assert!((ab.load(node, t) - ba.load(node, t)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn plane_conservation_under_any_policy_and_spikes(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..4,
+    ) {
+        let cfg = ClusterConfig::paper(12, 120);
+        let scheme = Scheme::ALL[scheme_idx];
+        let spikes = TransientSpikes::new(12, 3.0, seed, 10_000);
+        let r = run_scheme(&cfg, scheme, &spikes);
+        prop_assert_eq!(r.final_counts.iter().sum::<usize>(), cfg.planes);
+        prop_assert!(r.final_counts.iter().all(|&c| c >= 1));
+        // Accounting is complete for the critical-path node.
+        let max_total = r
+            .per_node
+            .iter()
+            .map(|a| a.compute + a.comm + a.remap)
+            .fold(0.0f64, f64::max);
+        prop_assert!(max_total <= r.total_time + 1e-6);
+        prop_assert!(max_total >= 0.9 * r.total_time);
+    }
+}
+
+#[test]
+fn dedicated_run_is_lower_bound() {
+    // Any disturbance only adds time, for every scheme.
+    let cfg = ClusterConfig::paper(10, 100);
+    for scheme in Scheme::ALL {
+        let ded = run_scheme(&cfg, scheme, &Dedicated).total_time;
+        for m in 1..=3 {
+            let r = run_scheme(&cfg, scheme, &FixedSlowNodes::paper(10, m)).total_time;
+            assert!(r >= ded - 1e-9, "{}: {r} < dedicated {ded}", scheme.name());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! In-process transport over crossbeam channels.
+//!
+//! [`mesh`] builds a fully connected communicator of `n` ranks; each rank's
+//! [`ChannelTransport`] is moved onto its worker thread. Receives match on
+//! (sender, tag); out-of-order arrivals are buffered locally so concurrent
+//! protocols (halo exchange racing with migration) cannot steal each
+//! other's messages.
+
+use std::collections::{HashMap, VecDeque};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::transport::{CommError, NodeId, Tag, Transport};
+
+struct Envelope {
+    from: NodeId,
+    tag: Tag,
+    payload: Vec<f64>,
+}
+
+/// One rank's endpoint of an in-process communicator.
+pub struct ChannelTransport {
+    rank: NodeId,
+    peers: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Arrived-but-unclaimed messages, keyed by (sender, tag).
+    stash: HashMap<(NodeId, Tag), VecDeque<Vec<f64>>>,
+}
+
+/// Builds a communicator of `n` ranks. Element `i` of the result is rank
+/// `i`'s transport.
+pub fn mesh(n: usize) -> Vec<ChannelTransport> {
+    assert!(n > 0);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| ChannelTransport {
+            rank,
+            peers: senders.clone(),
+            inbox,
+            stash: HashMap::new(),
+        })
+        .collect()
+}
+
+impl Transport for ChannelTransport {
+    fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, to: NodeId, tag: Tag, payload: Vec<f64>) -> Result<(), CommError> {
+        let sender = self
+            .peers
+            .get(to)
+            .ok_or(CommError::InvalidRank { rank: to, size: self.peers.len() })?;
+        sender
+            .send(Envelope { from: self.rank, tag, payload })
+            .map_err(|_| CommError::Disconnected { peer: to })
+    }
+
+    fn recv(&mut self, from: NodeId, tag: Tag) -> Result<Vec<f64>, CommError> {
+        if from >= self.peers.len() {
+            return Err(CommError::InvalidRank { rank: from, size: self.peers.len() });
+        }
+        // Check the stash first.
+        if let Some(queue) = self.stash.get_mut(&(from, tag)) {
+            if let Some(payload) = queue.pop_front() {
+                return Ok(payload);
+            }
+        }
+        // Drain the inbox until the wanted message arrives.
+        loop {
+            let env =
+                self.inbox.recv().map_err(|_| CommError::Disconnected { peer: from })?;
+            if env.from == from && env.tag == tag {
+                return Ok(env.payload);
+            }
+            self.stash.entry((env.from, env.tag)).or_default().push_back(env.payload);
+        }
+    }
+}
+
+impl ChannelTransport {
+    /// Number of stashed (arrived but unclaimed) messages — useful to
+    /// assert protocols consume everything they are sent.
+    pub fn stashed(&self) -> usize {
+        self.stash.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong() {
+        let mut m = mesh(2);
+        let mut b = m.pop().unwrap();
+        let mut a = m.pop().unwrap();
+        let h = thread::spawn(move || {
+            let x = b.recv(0, Tag::F_HALO).unwrap();
+            b.send(0, Tag::F_HALO, vec![x[0] * 2.0]).unwrap();
+        });
+        a.send(1, Tag::F_HALO, vec![21.0]).unwrap();
+        let r = a.recv(1, Tag::F_HALO).unwrap();
+        assert_eq!(r, vec![42.0]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fifo_per_tag() {
+        let mut m = mesh(2);
+        let mut b = m.pop().unwrap();
+        let mut a = m.pop().unwrap();
+        for k in 0..10 {
+            a.send(1, Tag::LOAD, vec![k as f64]).unwrap();
+        }
+        for k in 0..10 {
+            assert_eq!(b.recv(0, Tag::LOAD).unwrap(), vec![k as f64]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let mut m = mesh(2);
+        let mut b = m.pop().unwrap();
+        let mut a = m.pop().unwrap();
+        a.send(1, Tag::F_HALO, vec![1.0]).unwrap();
+        a.send(1, Tag::PSI_HALO, vec![2.0]).unwrap();
+        a.send(1, Tag::MIGRATE_COUNT, vec![3.0]).unwrap();
+        // Receive in reverse order.
+        assert_eq!(b.recv(0, Tag::MIGRATE_COUNT).unwrap(), vec![3.0]);
+        assert_eq!(b.recv(0, Tag::PSI_HALO).unwrap(), vec![2.0]);
+        assert_eq!(b.recv(0, Tag::F_HALO).unwrap(), vec![1.0]);
+        assert_eq!(b.stashed(), 0);
+    }
+
+    #[test]
+    fn messages_from_different_senders_do_not_mix() {
+        let mut m = mesh(3);
+        let mut c = m.pop().unwrap();
+        let mut b = m.pop().unwrap();
+        let mut a = m.pop().unwrap();
+        a.send(2, Tag::LOAD, vec![10.0]).unwrap();
+        b.send(2, Tag::LOAD, vec![20.0]).unwrap();
+        // Ask for rank 1's message first even if rank 0's arrived first.
+        assert_eq!(c.recv(1, Tag::LOAD).unwrap(), vec![20.0]);
+        assert_eq!(c.recv(0, Tag::LOAD).unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        let mut m = mesh(2);
+        let mut a = m.remove(0);
+        assert!(matches!(
+            a.send(5, Tag::LOAD, vec![]),
+            Err(CommError::InvalidRank { rank: 5, size: 2 })
+        ));
+        assert!(matches!(a.recv(7, Tag::LOAD), Err(CommError::InvalidRank { .. })));
+    }
+
+    #[test]
+    fn self_send_works() {
+        // Ranks may send to themselves (used by degenerate 1-node runs).
+        let mut m = mesh(1);
+        let mut a = m.pop().unwrap();
+        a.send(0, Tag::GATHER, vec![7.0]).unwrap();
+        assert_eq!(a.recv(0, Tag::GATHER).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn many_ranks_ring_exchange() {
+        let n = 8;
+        let m = mesh(n);
+        let handles: Vec<_> = m
+            .into_iter()
+            .map(|mut t| {
+                thread::spawn(move || {
+                    let rank = t.rank();
+                    let right = (rank + 1) % n;
+                    let left = (rank + n - 1) % n;
+                    t.send(right, Tag::F_HALO, vec![rank as f64]).unwrap();
+                    t.send(left, Tag::F_HALO, vec![-(rank as f64)]).unwrap();
+                    let from_left = t.recv(left, Tag::F_HALO).unwrap();
+                    let from_right = t.recv(right, Tag::F_HALO).unwrap();
+                    assert_eq!(from_left, vec![left as f64]);
+                    assert_eq!(from_right, vec![-(right as f64)]);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

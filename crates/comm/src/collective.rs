@@ -1,0 +1,129 @@
+//! Small collectives over the point-to-point transport.
+//!
+//! The filtered scheme needs none of these in steady state (its information
+//! exchange is neighbor-local — that is its point); they exist for the
+//! **Global** remapping baseline (all-node load exchange, paper §3.3) and
+//! for end-of-run result gathering. All collectives are implemented as
+//! direct exchanges, which is accurate for the small node counts of the
+//! paper's cluster (≤ 32).
+
+use crate::transport::{CommError, Tag, Transport};
+
+/// Gathers one value from every rank; returns the vector indexed by rank.
+///
+/// Every rank must call this with its own contribution (it is a
+/// synchronization point, like `MPI_Allgather`).
+pub fn allgather<T: Transport>(t: &mut T, value: f64) -> Result<Vec<f64>, CommError> {
+    let me = t.rank();
+    let n = t.size();
+    for peer in 0..n {
+        if peer != me {
+            t.send(peer, Tag::COLLECTIVE, vec![value])?;
+        }
+    }
+    let mut out = vec![0.0; n];
+    out[me] = value;
+    for peer in 0..n {
+        if peer != me {
+            out[peer] = t.recv(peer, Tag::COLLECTIVE)?[0];
+        }
+    }
+    Ok(out)
+}
+
+/// Gathers a vector from every rank; returns them indexed by rank.
+pub fn allgather_vec<T: Transport>(t: &mut T, value: &[f64]) -> Result<Vec<Vec<f64>>, CommError> {
+    let me = t.rank();
+    let n = t.size();
+    for peer in 0..n {
+        if peer != me {
+            t.send(peer, Tag::COLLECTIVE, value.to_vec())?;
+        }
+    }
+    let mut out = vec![Vec::new(); n];
+    out[me] = value.to_vec();
+    for peer in 0..n {
+        if peer != me {
+            out[peer] = t.recv(peer, Tag::COLLECTIVE)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Sum-reduction visible to all ranks.
+pub fn allreduce_sum<T: Transport>(t: &mut T, value: f64) -> Result<f64, CommError> {
+    Ok(allgather(t, value)?.iter().sum())
+}
+
+/// Barrier: returns once every rank has entered.
+pub fn barrier<T: Transport>(t: &mut T) -> Result<(), CommError> {
+    allgather(t, 0.0).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::mesh;
+    use std::thread;
+
+    fn run_on_mesh<F>(n: usize, f: F)
+    where
+        F: Fn(&mut crate::channel::ChannelTransport) + Send + Sync + Clone + 'static,
+    {
+        let handles: Vec<_> = mesh(n)
+            .into_iter()
+            .map(|mut t| {
+                let f = f.clone();
+                thread::spawn(move || f(&mut t))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn allgather_collects_rank_values() {
+        run_on_mesh(5, |t| {
+            let got = allgather(t, t.rank() as f64 * 10.0).unwrap();
+            assert_eq!(got, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        });
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        run_on_mesh(4, |t| {
+            let got = allreduce_sum(t, (t.rank() + 1) as f64).unwrap();
+            assert_eq!(got, 10.0);
+        });
+    }
+
+    #[test]
+    fn allgather_vec_variable_lengths() {
+        run_on_mesh(3, |t| {
+            let mine: Vec<f64> = (0..=t.rank()).map(|k| k as f64).collect();
+            let got = allgather_vec(t, &mine).unwrap();
+            for (rank, v) in got.iter().enumerate() {
+                assert_eq!(v.len(), rank + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_completes() {
+        run_on_mesh(6, |t| {
+            for _ in 0..3 {
+                barrier(t).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let mut m = mesh(1);
+        let t = &mut m[0];
+        assert_eq!(allgather(t, 5.0).unwrap(), vec![5.0]);
+        assert_eq!(allreduce_sum(t, 5.0).unwrap(), 5.0);
+        barrier(t).unwrap();
+    }
+}

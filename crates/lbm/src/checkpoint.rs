@@ -1,0 +1,281 @@
+//! Checkpoint / restore of simulation state.
+//!
+//! The paper's production runs take "days or weeks" even in parallel
+//! (§1); a restartable state dump is table stakes for such runs. The
+//! format is a simple self-describing little-endian binary layout — no
+//! external serialization dependency — and restoring is **bitwise exact**:
+//! a restored simulation continues on the identical trajectory.
+//!
+//! Layout: an 8-byte magic, seven `u64` header words (grid, slab, phase,
+//! component count), then for every component the raw `f`, ψ, force and
+//! `ueq` arrays (ghost planes included, so no re-exchange is needed before
+//! the first restored phase).
+
+use crate::component::ComponentState;
+use crate::config::ChannelConfig;
+use crate::geometry::Slab;
+use crate::simulation::Simulation;
+use crate::solver::SlabSolver;
+
+/// File-format magic ("MSLIPCK1").
+pub const MAGIC: [u8; 8] = *b"MSLIPCK1";
+
+/// Why a restore was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Magic bytes absent or wrong version.
+    BadMagic,
+    /// The byte stream ended early or has trailing garbage.
+    BadLength { expected: usize, got: usize },
+    /// The checkpoint does not belong to the given configuration.
+    ConfigMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a microslip checkpoint"),
+            CheckpointError::BadLength { expected, got } => {
+                write!(f, "checkpoint length {got}, expected {expected}")
+            }
+            CheckpointError::ConfigMismatch(why) => write!(f, "config mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    out.reserve(vs.len() * 8);
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let end = self.pos + 8;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(CheckpointError::BadLength { expected: end, got: self.bytes.len() })?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(chunk.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self, n: usize, out: &mut [f64]) -> Result<(), CheckpointError> {
+        assert_eq!(out.len(), n);
+        let end = self.pos + 8 * n;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(CheckpointError::BadLength { expected: end, got: self.bytes.len() })?;
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = f64::from_le_bytes(chunk[8 * k..8 * k + 8].try_into().unwrap());
+        }
+        self.pos = end;
+        Ok(())
+    }
+}
+
+/// Serializes a slab solver's mutable state plus a phase counter.
+pub fn save_solver(solver: &SlabSolver, phase: u64) -> Vec<u8> {
+    let grid = solver.grid();
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    push_u64(&mut out, solver.global_nx as u64);
+    push_u64(&mut out, grid.ny as u64);
+    push_u64(&mut out, grid.nz as u64);
+    push_u64(&mut out, solver.x0 as u64);
+    push_u64(&mut out, solver.nx_local() as u64);
+    push_u64(&mut out, solver.comps.len() as u64);
+    push_u64(&mut out, phase);
+    for c in &solver.comps {
+        push_f64s(&mut out, c.f.data());
+        push_f64s(&mut out, c.psi.data());
+        push_f64s(&mut out, c.force.data());
+        push_f64s(&mut out, c.ueq.data());
+    }
+    out
+}
+
+/// Restores a slab solver from `bytes`, validating against `config`.
+/// Returns the solver and the saved phase counter.
+pub fn load_solver(
+    config: &ChannelConfig,
+    bytes: &[u8],
+) -> Result<(SlabSolver, u64), CheckpointError> {
+    if bytes.len() < 8 || bytes[..8] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut r = Reader { bytes, pos: 8 };
+    let global_nx = r.u64()? as usize;
+    let ny = r.u64()? as usize;
+    let nz = r.u64()? as usize;
+    let x0 = r.u64()? as usize;
+    let nx_local = r.u64()? as usize;
+    let ncomp = r.u64()? as usize;
+    let phase = r.u64()?;
+
+    if global_nx != config.dims.nx || ny != config.dims.ny || nz != config.dims.nz {
+        return Err(CheckpointError::ConfigMismatch(format!(
+            "grid {global_nx}x{ny}x{nz} vs config {}x{}x{}",
+            config.dims.nx, config.dims.ny, config.dims.nz
+        )));
+    }
+    if ncomp != config.ncomp() {
+        return Err(CheckpointError::ConfigMismatch(format!(
+            "{ncomp} components vs config {}",
+            config.ncomp()
+        )));
+    }
+    if nx_local == 0 || x0 + nx_local > global_nx {
+        return Err(CheckpointError::ConfigMismatch(format!(
+            "slab [{x0}, {}) outside domain",
+            x0 + nx_local
+        )));
+    }
+
+    let mut solver = SlabSolver::new(config, Slab { x0, nx_local });
+    for c in solver.comps.iter_mut() {
+        read_component(&mut r, c)?;
+    }
+    if r.pos != bytes.len() {
+        return Err(CheckpointError::BadLength { expected: r.pos, got: bytes.len() });
+    }
+    Ok((solver, phase))
+}
+
+fn read_component(r: &mut Reader<'_>, c: &mut ComponentState) -> Result<(), CheckpointError> {
+    let n = c.f.data().len();
+    r.f64s(n, c.f.data_mut())?;
+    let n = c.psi.data().len();
+    r.f64s(n, c.psi.data_mut())?;
+    let n = c.force.data().len();
+    r.f64s(n, c.force.data_mut())?;
+    let n = c.ueq.data().len();
+    r.f64s(n, c.ueq.data_mut())?;
+    Ok(())
+}
+
+impl Simulation {
+    /// Serializes the full simulation state (fields + phase counter).
+    pub fn save(&self) -> Vec<u8> {
+        save_solver(&self.solver, self.phase)
+    }
+
+    /// Restores a simulation saved by [`save`](Self::save) under the same
+    /// configuration. The restored run continues bitwise identically.
+    pub fn restore(config: ChannelConfig, bytes: &[u8]) -> Result<Simulation, CheckpointError> {
+        let (solver, phase) = load_solver(&config, bytes)?;
+        if solver.nx_local() != config.dims.nx {
+            return Err(CheckpointError::ConfigMismatch(
+                "checkpoint is a partial slab, not a whole-channel simulation".into(),
+            ));
+        }
+        Ok(Simulation { solver, config, phase })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dims;
+
+    fn config() -> ChannelConfig {
+        let mut c = ChannelConfig::paper_scaled(Dims::new(10, 6, 4));
+        c.body = [1e-4, 0.0, 0.0];
+        c
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise() {
+        let mut sim = Simulation::new(config());
+        sim.run(7);
+        let bytes = sim.save();
+        let restored = Simulation::restore(config(), &bytes).unwrap();
+        assert_eq!(restored.phase(), 7);
+        assert_eq!(restored.snapshot(), sim.snapshot());
+    }
+
+    #[test]
+    fn restored_run_continues_identically() {
+        let mut a = Simulation::new(config());
+        a.run(5);
+        let bytes = a.save();
+        a.run(6);
+
+        let mut b = Simulation::restore(config(), &bytes).unwrap();
+        b.run(6);
+        assert_eq!(a.snapshot(), b.snapshot(), "restored trajectory diverged");
+        assert_eq!(a.phase(), b.phase());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Simulation::new(config()).save();
+        bytes[0] ^= 0xff;
+        let err = Simulation::restore(config(), &bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = Simulation::new(config()).save();
+        let err = Simulation::restore(config(), &bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadLength { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Simulation::new(config()).save();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let err = Simulation::restore(config(), &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadLength { .. }));
+    }
+
+    #[test]
+    fn wrong_grid_rejected() {
+        let bytes = Simulation::new(config()).save();
+        let other = ChannelConfig::paper_scaled(Dims::new(12, 6, 4));
+        let err = Simulation::restore(other, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::ConfigMismatch(_)));
+    }
+
+    #[test]
+    fn wrong_component_count_rejected() {
+        let bytes = Simulation::new(config()).save();
+        let other = ChannelConfig::single_component(Dims::new(10, 6, 4), 1.0, 1e-4);
+        let err = Simulation::restore(other, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::ConfigMismatch(_)));
+    }
+
+    #[test]
+    fn solver_slab_checkpoint_roundtrip() {
+        let cfg = config();
+        let mut s = SlabSolver::new(&cfg, Slab { x0: 3, nx_local: 4 });
+        s.prime_local_psi();
+        let bytes = save_solver(&s, 0);
+        let (restored, phase) = load_solver(&cfg, &bytes).unwrap();
+        assert_eq!(phase, 0);
+        assert_eq!(restored.slab(), s.slab());
+        assert_eq!(restored.snapshot(), s.snapshot());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(CheckpointError::BadMagic.to_string().contains("checkpoint"));
+        let e = CheckpointError::BadLength { expected: 10, got: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(CheckpointError::ConfigMismatch("x".into()).to_string().contains("x"));
+    }
+}

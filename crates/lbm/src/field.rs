@@ -1,0 +1,296 @@
+//! Flat structure-of-arrays field storage for slab subdomains.
+//!
+//! Every node (or the sequential driver, which is the one-node special case)
+//! stores its slab of the channel plus one *ghost* plane on each side in x.
+//! Ghost planes hold copies of the neighbor's boundary data and are refreshed
+//! by halo exchange each phase; they are never owned.
+//!
+//! Layout is channel-major (`data[ch * cells + cell]`) with x-major cell
+//! indexing, so one y–z plane of one channel is a contiguous run — plane
+//! extraction for halo exchange and lattice-point migration is a straight
+//! `copy_from_slice`.
+
+use crate::geometry::Dims;
+
+/// Local grid of a slab: `lx` planes **including** the two ghost planes
+/// (`lx = nx_local + 2`), times the full lateral extent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalGrid {
+    /// Plane count including ghosts; interior planes are `1 ..= lx - 2`.
+    pub lx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl LocalGrid {
+    /// Grid for a slab of `nx_local` owned planes within a channel of
+    /// lateral extent `ny × nz`.
+    pub fn new(nx_local: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx_local > 0 && ny > 0 && nz > 0);
+        LocalGrid { lx: nx_local + 2, ny, nz }
+    }
+
+    /// Grid covering a whole channel (sequential driver).
+    pub fn whole(dims: Dims) -> Self {
+        LocalGrid::new(dims.nx, dims.ny, dims.nz)
+    }
+
+    /// Number of owned (non-ghost) planes.
+    pub fn nx_local(&self) -> usize {
+        self.lx - 2
+    }
+
+    /// Cells per y–z plane.
+    pub fn plane_cells(&self) -> usize {
+        self.ny * self.nz
+    }
+
+    /// Total cells including ghost planes.
+    pub fn cells(&self) -> usize {
+        self.lx * self.plane_cells()
+    }
+
+    /// Flat cell index; `xl` is the local plane index (0 = left ghost).
+    #[inline(always)]
+    pub fn idx(&self, xl: usize, y: usize, z: usize) -> usize {
+        debug_assert!(xl < self.lx && y < self.ny && z < self.nz);
+        (xl * self.ny + y) * self.nz + z
+    }
+
+    /// Local plane index of the left ghost plane.
+    pub const GHOST_LEFT: usize = 0;
+
+    /// Local plane index of the right ghost plane.
+    pub fn ghost_right(&self) -> usize {
+        self.lx - 1
+    }
+
+    /// First interior plane.
+    pub const FIRST: usize = 1;
+
+    /// Last interior plane.
+    pub fn last(&self) -> usize {
+        self.lx - 2
+    }
+}
+
+/// A multi-channel field over a [`LocalGrid`].
+///
+/// "Channel" means one scalar slot per cell: the 19 populations of one fluid
+/// component, the 3 components of a velocity, or a single scalar density.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlabArray {
+    grid: LocalGrid,
+    channels: usize,
+    data: Vec<f64>,
+}
+
+impl SlabArray {
+    /// Zero-initialized field with `channels` scalar slots per cell.
+    pub fn new(grid: LocalGrid, channels: usize) -> Self {
+        assert!(channels > 0);
+        SlabArray { grid, channels, data: vec![0.0; channels * grid.cells()] }
+    }
+
+    pub fn grid(&self) -> LocalGrid {
+        self.grid
+    }
+
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Raw storage (channel-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Flat index of `(ch, cell)`.
+    #[inline(always)]
+    pub fn at(&self, ch: usize, cell: usize) -> f64 {
+        debug_assert!(ch < self.channels);
+        self.data[ch * self.grid.cells() + cell]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, ch: usize, cell: usize, v: f64) {
+        debug_assert!(ch < self.channels);
+        let n = self.grid.cells();
+        self.data[ch * n + cell] = v;
+    }
+
+    /// All cells of one channel.
+    #[inline]
+    pub fn channel(&self, ch: usize) -> &[f64] {
+        let n = self.grid.cells();
+        &self.data[ch * n..(ch + 1) * n]
+    }
+
+    #[inline]
+    pub fn channel_mut(&mut self, ch: usize) -> &mut [f64] {
+        let n = self.grid.cells();
+        &mut self.data[ch * n..(ch + 1) * n]
+    }
+
+    /// Number of `f64` values in one extracted plane (all channels).
+    pub fn plane_len(&self) -> usize {
+        self.channels * self.grid.plane_cells()
+    }
+
+    /// Copies local plane `xl` (all channels, channel-major) into `buf`.
+    pub fn copy_plane_out(&self, xl: usize, buf: &mut [f64]) {
+        let p = self.grid.plane_cells();
+        assert_eq!(buf.len(), self.plane_len());
+        let cells = self.grid.cells();
+        for ch in 0..self.channels {
+            let src = ch * cells + xl * p;
+            buf[ch * p..(ch + 1) * p].copy_from_slice(&self.data[src..src + p]);
+        }
+    }
+
+    /// Overwrites local plane `xl` from a buffer produced by
+    /// [`copy_plane_out`](Self::copy_plane_out).
+    pub fn copy_plane_in(&mut self, xl: usize, buf: &[f64]) {
+        let p = self.grid.plane_cells();
+        assert_eq!(buf.len(), self.plane_len());
+        let cells = self.grid.cells();
+        for ch in 0..self.channels {
+            let dst = ch * cells + xl * p;
+            self.data[dst..dst + p].copy_from_slice(&buf[ch * p..(ch + 1) * p]);
+        }
+    }
+
+    /// Copies a contiguous run of `count` planes starting at `xl` into `buf`
+    /// (channel-major within each plane, planes concatenated in x order).
+    pub fn copy_planes_out(&self, xl: usize, count: usize, buf: &mut [f64]) {
+        assert_eq!(buf.len(), count * self.plane_len());
+        for (k, chunk) in buf.chunks_exact_mut(self.plane_len()).enumerate() {
+            self.copy_plane_out(xl + k, chunk);
+        }
+    }
+
+    /// Inverse of [`copy_planes_out`](Self::copy_planes_out).
+    pub fn copy_planes_in(&mut self, xl: usize, buf: &[f64]) {
+        assert_eq!(buf.len() % self.plane_len(), 0);
+        for (k, chunk) in buf.chunks_exact(self.plane_len()).enumerate() {
+            self.copy_plane_in(xl + k, chunk);
+        }
+    }
+
+    /// Reshapes the slab to a new owned-plane count, shifting existing
+    /// interior planes by `shift` (old interior plane `xl` moves to
+    /// `xl + shift`). Planes shifted out of range are dropped; uncovered
+    /// planes are zero. Used when lattice-point migration changes the slab.
+    pub fn resize_shift(&mut self, new_nx_local: usize, shift: isize) -> SlabArray {
+        let new_grid = LocalGrid::new(new_nx_local, self.grid.ny, self.grid.nz);
+        let mut out = SlabArray::new(new_grid, self.channels);
+        let p = self.grid.plane_cells();
+        let old_cells = self.grid.cells();
+        let new_cells = new_grid.cells();
+        for old_xl in 1..=self.grid.last() {
+            let new_xl = old_xl as isize + shift;
+            if new_xl < 1 || new_xl > new_grid.last() as isize {
+                continue;
+            }
+            let new_xl = new_xl as usize;
+            for ch in 0..self.channels {
+                let src = ch * old_cells + old_xl * p;
+                let dst = ch * new_cells + new_xl * p;
+                out.data[dst..dst + p].copy_from_slice(&self.data[src..src + p]);
+            }
+        }
+        std::mem::replace(self, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(grid: LocalGrid, channels: usize) -> SlabArray {
+        let mut a = SlabArray::new(grid, channels);
+        for ch in 0..channels {
+            for cell in 0..grid.cells() {
+                a.set(ch, cell, (ch * 10_000 + cell) as f64);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn plane_roundtrip() {
+        let grid = LocalGrid::new(4, 3, 2);
+        let a = filled(grid, 5);
+        let mut b = SlabArray::new(grid, 5);
+        let mut buf = vec![0.0; a.plane_len()];
+        for xl in 0..grid.lx {
+            a.copy_plane_out(xl, &mut buf);
+            b.copy_plane_in(xl, &buf);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_plane_roundtrip() {
+        let grid = LocalGrid::new(6, 2, 2);
+        let a = filled(grid, 19);
+        let mut buf = vec![0.0; 3 * a.plane_len()];
+        a.copy_planes_out(2, 3, &mut buf);
+        let mut b = filled(grid, 19);
+        // Wipe and restore.
+        for xl in 2..5 {
+            let zeros = vec![0.0; a.plane_len()];
+            b.copy_plane_in(xl, &zeros);
+        }
+        b.copy_planes_in(2, &buf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resize_shift_preserves_moved_planes() {
+        let grid = LocalGrid::new(4, 2, 2);
+        let a = filled(grid, 2);
+        let mut b = a.clone();
+        // Grow by one plane on the left: old interior planes shift right.
+        b.resize_shift(5, 1);
+        assert_eq!(b.grid().nx_local(), 5);
+        let (mut old_buf, mut new_buf) = (vec![0.0; a.plane_len()], vec![0.0; a.plane_len()]);
+        for old_xl in 1..=4 {
+            a.copy_plane_out(old_xl, &mut old_buf);
+            b.copy_plane_out(old_xl + 1, &mut new_buf);
+            assert_eq!(old_buf, new_buf, "plane {old_xl} must survive the shift");
+        }
+        // The newly exposed first interior plane is zero.
+        b.copy_plane_out(1, &mut new_buf);
+        assert!(new_buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn resize_shift_drops_planes_moved_out() {
+        let grid = LocalGrid::new(4, 2, 2);
+        let mut a = filled(grid, 1);
+        // Shrink by two planes from the left.
+        a.resize_shift(2, -2);
+        assert_eq!(a.grid().nx_local(), 2);
+        // Remaining interior planes correspond to old planes 3 and 4.
+        let p = a.grid().plane_cells();
+        let mut buf = vec![0.0; a.plane_len()];
+        a.copy_plane_out(1, &mut buf);
+        assert_eq!(buf[0], (3 * p) as f64);
+    }
+
+    #[test]
+    fn ghost_indices() {
+        let grid = LocalGrid::new(7, 3, 3);
+        assert_eq!(LocalGrid::GHOST_LEFT, 0);
+        assert_eq!(grid.ghost_right(), 8);
+        assert_eq!(LocalGrid::FIRST, 1);
+        assert_eq!(grid.last(), 7);
+        assert_eq!(grid.nx_local(), 7);
+        assert_eq!(grid.cells(), 9 * 9);
+    }
+}

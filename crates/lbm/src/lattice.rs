@@ -1,0 +1,261 @@
+//! Discrete velocity sets (lattice descriptors) for the lattice Boltzmann
+//! method.
+//!
+//! The paper uses the D3Q19 lattice (Fig. 1): 19 discrete velocities in three
+//! dimensions — one rest vector, six axis-aligned vectors and twelve face
+//! diagonals. A D2Q9 descriptor is also provided for the two-dimensional
+//! mini-solver used in tests and the quickstart example.
+//!
+//! Descriptors are plain `const` tables so kernels can be fully unrolled by
+//! the compiler; the invariants every valid descriptor must satisfy (weights
+//! sum to one, zero first moment, isotropic second moment, `opposite` is an
+//! involution) are checked in the unit tests below.
+
+/// Lattice sound speed squared, `c_s^2 = 1/3`, shared by D2Q9 and D3Q19.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Inverse of [`CS2`], used in equilibrium expansion.
+pub const INV_CS2: f64 = 3.0;
+
+/// A discrete velocity set in up to three dimensions.
+///
+/// Implementations expose their tables as associated constants so generic
+/// kernels monomorphize to straight-line code. Velocities are padded to
+/// three components; two-dimensional lattices set the `z` component to zero.
+pub trait Lattice: Copy + Send + Sync + 'static {
+    /// Spatial dimension (2 or 3).
+    const D: usize;
+    /// Number of discrete velocities.
+    const Q: usize;
+    /// Discrete velocity vectors `e_i`, padded to 3 components.
+    const E: &'static [[i32; 3]];
+    /// Quadrature weights `w_i`.
+    const W: &'static [f64];
+    /// Index of the opposite velocity: `E[OPP[i]] == -E[i]`.
+    const OPP: &'static [usize];
+    /// Human-readable name, e.g. `"D3Q19"`.
+    const NAME: &'static str;
+}
+
+/// The three-dimensional, nineteen-velocity lattice used by the paper.
+///
+/// Ordering: rest vector first, then the six axis vectors, then the twelve
+/// face diagonals. The paper's ±x split (directions sent to the right/left
+/// neighbor under slab decomposition) is recovered by filtering on
+/// `E[i][0] > 0` / `E[i][0] < 0`; see [`D3Q19::POS_X`] and [`D3Q19::NEG_X`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct D3Q19;
+
+impl Lattice for D3Q19 {
+    const D: usize = 3;
+    const Q: usize = 19;
+    const E: &'static [[i32; 3]] = &[
+        [0, 0, 0],
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+        [1, 1, 0],
+        [-1, -1, 0],
+        [1, -1, 0],
+        [-1, 1, 0],
+        [1, 0, 1],
+        [-1, 0, -1],
+        [1, 0, -1],
+        [-1, 0, 1],
+        [0, 1, 1],
+        [0, -1, -1],
+        [0, 1, -1],
+        [0, -1, 1],
+    ];
+    const W: &'static [f64] = &[
+        1.0 / 3.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 18.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+    ];
+    const OPP: &'static [usize] = &[
+        0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+    ];
+    const NAME: &'static str = "D3Q19";
+}
+
+impl D3Q19 {
+    /// Directions with a positive x-component — the five populations a slab
+    /// must send to its *right* neighbor each phase (paper §2.2).
+    pub const POS_X: [usize; 5] = [1, 7, 9, 11, 13];
+    /// Directions with a negative x-component — sent to the *left* neighbor.
+    pub const NEG_X: [usize; 5] = [2, 8, 10, 12, 14];
+}
+
+/// The two-dimensional, nine-velocity lattice (rest + 4 axis + 4 diagonal).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct D2Q9;
+
+impl Lattice for D2Q9 {
+    const D: usize = 2;
+    const Q: usize = 9;
+    const E: &'static [[i32; 3]] = &[
+        [0, 0, 0],
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [1, 1, 0],
+        [-1, -1, 0],
+        [1, -1, 0],
+        [-1, 1, 0],
+    ];
+    const W: &'static [f64] = &[
+        4.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 9.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+        1.0 / 36.0,
+    ];
+    const OPP: &'static [usize] = &[0, 2, 1, 4, 3, 6, 5, 8, 7];
+    const NAME: &'static str = "D2Q9";
+}
+
+/// Checks the moment identities a valid descriptor must satisfy.
+///
+/// Returns an error string naming the first violated identity; used by the
+/// test-suite and by `debug_assert!`s in solver constructors.
+pub fn validate<L: Lattice>() -> Result<(), String> {
+    if L::E.len() != L::Q || L::W.len() != L::Q || L::OPP.len() != L::Q {
+        return Err(format!("{}: table lengths do not match Q={}", L::NAME, L::Q));
+    }
+    let mut wsum = 0.0;
+    let mut m1 = [0.0f64; 3];
+    let mut m2 = [[0.0f64; 3]; 3];
+    for i in 0..L::Q {
+        wsum += L::W[i];
+        for a in 0..3 {
+            m1[a] += L::W[i] * L::E[i][a] as f64;
+            for b in 0..3 {
+                m2[a][b] += L::W[i] * (L::E[i][a] * L::E[i][b]) as f64;
+            }
+        }
+        let o = L::OPP[i];
+        if o >= L::Q {
+            return Err(format!("{}: OPP[{}] out of range", L::NAME, i));
+        }
+        for a in 0..3 {
+            if L::E[o][a] != -L::E[i][a] {
+                return Err(format!("{}: OPP[{}] is not the reverse velocity", L::NAME, i));
+            }
+        }
+        if L::OPP[o] != i {
+            return Err(format!("{}: OPP is not an involution at {}", L::NAME, i));
+        }
+        if (L::W[i] - L::W[o]).abs() > 1e-15 {
+            return Err(format!("{}: weights not symmetric under reversal at {}", L::NAME, i));
+        }
+    }
+    if (wsum - 1.0).abs() > 1e-14 {
+        return Err(format!("{}: weights sum to {wsum}, not 1", L::NAME));
+    }
+    for a in 0..3 {
+        if m1[a].abs() > 1e-14 {
+            return Err(format!("{}: first moment nonzero along axis {a}", L::NAME));
+        }
+        for b in 0..3 {
+            let want = if a == b && a < L::D { CS2 } else { 0.0 };
+            if (m2[a][b] - want).abs() > 1e-14 {
+                return Err(format!("{}: second moment [{a}][{b}] = {} != {want}", L::NAME, m2[a][b]));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3q19_is_valid() {
+        validate::<D3Q19>().unwrap();
+    }
+
+    #[test]
+    fn d2q9_is_valid() {
+        validate::<D2Q9>().unwrap();
+    }
+
+    #[test]
+    fn d3q19_has_nineteen_unique_velocities() {
+        let mut seen = std::collections::HashSet::new();
+        for e in D3Q19::E {
+            assert!(seen.insert(*e), "duplicate velocity {e:?}");
+            assert!(e.iter().all(|c| c.abs() <= 1));
+        }
+        assert_eq!(seen.len(), 19);
+    }
+
+    #[test]
+    fn d3q19_no_corner_velocities() {
+        // D3Q19 omits the eight cube corners (|e| = sqrt(3)).
+        for e in D3Q19::E {
+            let norm2: i32 = e.iter().map(|c| c * c).sum();
+            assert!(norm2 <= 2, "velocity {e:?} is a corner vector");
+        }
+    }
+
+    #[test]
+    fn pos_neg_x_partition_matches_paper() {
+        // Five populations cross each slab boundary in each direction
+        // (paper §2.2 "directions 1,7,9,11,13" / "2,8,10,12,14").
+        for &i in &D3Q19::POS_X {
+            assert_eq!(D3Q19::E[i][0], 1);
+        }
+        for &i in &D3Q19::NEG_X {
+            assert_eq!(D3Q19::E[i][0], -1);
+        }
+        let all_px: Vec<usize> =
+            (0..19).filter(|&i| D3Q19::E[i][0] > 0).collect();
+        assert_eq!(all_px, D3Q19::POS_X.to_vec());
+        let all_nx: Vec<usize> =
+            (0..19).filter(|&i| D3Q19::E[i][0] < 0).collect();
+        assert_eq!(all_nx, D3Q19::NEG_X.to_vec());
+    }
+
+    #[test]
+    fn third_moment_vanishes() {
+        // sum_i w_i e_ia e_ib e_ic = 0 for all index triples (odd moment).
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let m: f64 = (0..D3Q19::Q)
+                        .map(|i| {
+                            D3Q19::W[i]
+                                * (D3Q19::E[i][a] * D3Q19::E[i][b] * D3Q19::E[i][c]) as f64
+                        })
+                        .sum();
+                    assert!(m.abs() < 1e-15, "third moment [{a}{b}{c}] = {m}");
+                }
+            }
+        }
+    }
+}

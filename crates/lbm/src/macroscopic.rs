@@ -1,0 +1,256 @@
+//! Macroscopic quantities: number density, mass density, momentum and the
+//! physical velocity field.
+//!
+//! Per the paper, the macroscopic fields follow from the distribution
+//! functions as
+//!
+//! ```text
+//! ρ(x)      = Σ_σ ρ_σ(x) = Σ_σ m_σ Σ_i f_i^σ(x)
+//! (ρ u)(x)  = Σ_σ m_σ Σ_i f_i^σ e_i  +  1/2 Σ_σ F_σ(x)
+//! ```
+//!
+//! (the half-force term makes the measured velocity second-order accurate
+//! in the presence of forcing).
+
+use crate::component::ComponentState;
+use crate::field::LocalGrid;
+use crate::lattice::{Lattice, D3Q19};
+
+/// Recomputes ψ (number density) at every interior cell from the current
+/// populations. Ghost planes are left untouched (they are refreshed by the
+/// halo exchange that follows in the phase).
+pub fn compute_psi(comp: &mut ComponentState) {
+    let grid = comp.grid();
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let lo = LocalGrid::FIRST * p;
+    let hi = (grid.last() + 1) * p;
+    let f = comp.f.data();
+    let psi = comp.psi.channel_mut(0);
+    psi[lo..hi].fill(0.0);
+    for i in 0..D3Q19::Q {
+        let ch = &f[i * cells..(i + 1) * cells];
+        for (dst, src) in psi[lo..hi].iter_mut().zip(&ch[lo..hi]) {
+            *dst += *src;
+        }
+    }
+}
+
+/// Number-momentum of one component at `cell`: `Σ_i f_i e_i` (multiply by
+/// `m_σ` for mass momentum).
+#[inline]
+pub fn raw_momentum(comp: &ComponentState, cell: usize) -> [f64; 3] {
+    let cells = comp.grid().cells();
+    let f = comp.f.data();
+    let mut m = [0.0f64; 3];
+    for i in 1..D3Q19::Q {
+        let v = f[i * cells + cell];
+        let e = D3Q19::E[i];
+        m[0] += v * e[0] as f64;
+        m[1] += v * e[1] as f64;
+        m[2] += v * e[2] as f64;
+    }
+    m
+}
+
+/// A gathered macroscopic snapshot of a slab's interior, used for
+/// observables and for stitching distributed results back together.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Global x index of the first plane in this snapshot.
+    pub x0: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Mass density per component, x-major over `nx·ny·nz` cells.
+    pub rho: Vec<Vec<f64>>,
+    /// Physical velocity (half-force corrected, mass-weighted over
+    /// components), x-major, 3 values per cell.
+    pub velocity: Vec<f64>,
+}
+
+impl Snapshot {
+    /// Cells in this snapshot.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Flat index of `(x_local, y, z)`.
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Total mass density at a cell.
+    pub fn rho_total(&self, cell: usize) -> f64 {
+        self.rho.iter().map(|r| r[cell]).sum()
+    }
+
+    /// Velocity vector at a cell.
+    pub fn u(&self, cell: usize) -> [f64; 3] {
+        [self.velocity[3 * cell], self.velocity[3 * cell + 1], self.velocity[3 * cell + 2]]
+    }
+
+    /// Captures the interior of a slab. `x0` is the slab's global offset.
+    pub fn capture(comps: &[ComponentState], x0: usize) -> Snapshot {
+        let grid = comps[0].grid();
+        let (nx, ny, nz) = (grid.nx_local(), grid.ny, grid.nz);
+        let n = nx * ny * nz;
+        let mut rho = vec![vec![0.0; n]; comps.len()];
+        let mut velocity = vec![0.0; 3 * n];
+        for xl in LocalGrid::FIRST..=grid.last() {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let lcell = grid.idx(xl, y, z);
+                    let ocell = ((xl - 1) * ny + y) * nz + z;
+                    let mut rho_tot = 0.0;
+                    let mut mom = [0.0f64; 3];
+                    for (s, c) in comps.iter().enumerate() {
+                        let m = c.spec.mass;
+                        let r = m * c.psi.at(0, lcell);
+                        rho[s][ocell] = r;
+                        rho_tot += r;
+                        let raw = raw_momentum(c, lcell);
+                        for a in 0..3 {
+                            mom[a] += m * raw[a] + 0.5 * c.force.at(a, lcell);
+                        }
+                    }
+                    for a in 0..3 {
+                        velocity[3 * ocell + a] =
+                            if rho_tot > 0.0 { mom[a] / rho_tot } else { 0.0 };
+                    }
+                }
+            }
+        }
+        Snapshot { x0, nx, ny, nz, rho, velocity }
+    }
+
+    /// Stitches per-slab snapshots (any order) into one global snapshot.
+    ///
+    /// Panics if the slabs do not tile `0..Σnx` contiguously or disagree on
+    /// lateral extent / component count.
+    pub fn stitch(mut parts: Vec<Snapshot>) -> Snapshot {
+        assert!(!parts.is_empty());
+        parts.sort_by_key(|s| s.x0);
+        let ny = parts[0].ny;
+        let nz = parts[0].nz;
+        let ncomp = parts[0].rho.len();
+        let nx: usize = parts.iter().map(|s| s.nx).sum();
+        let n = nx * ny * nz;
+        let mut out = Snapshot {
+            x0: parts[0].x0,
+            nx,
+            ny,
+            nz,
+            rho: vec![vec![0.0; n]; ncomp],
+            velocity: vec![0.0; 3 * n],
+        };
+        let mut expect_x0 = parts[0].x0;
+        for s in &parts {
+            assert_eq!(s.x0, expect_x0, "slabs must tile contiguously");
+            assert_eq!(s.ny, ny);
+            assert_eq!(s.nz, nz);
+            assert_eq!(s.rho.len(), ncomp);
+            let base = (s.x0 - out.x0) * ny * nz;
+            for c in 0..ncomp {
+                out.rho[c][base..base + s.cells()].copy_from_slice(&s.rho[c]);
+            }
+            out.velocity[3 * base..3 * (base + s.cells())].copy_from_slice(&s.velocity);
+            expect_x0 += s.nx;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentSpec;
+
+    #[test]
+    fn psi_matches_population_sum() {
+        let grid = LocalGrid::new(3, 2, 2);
+        let mut c = ComponentState::new(ComponentSpec::water(), grid);
+        for cell in 0..grid.cells() {
+            for i in 0..D3Q19::Q {
+                c.f.set(i, cell, (i + 1) as f64 * 0.01);
+            }
+        }
+        compute_psi(&mut c);
+        let want: f64 = (1..=19).map(|i| i as f64 * 0.01).sum();
+        let cell = grid.idx(1, 1, 1);
+        assert!((c.psi.at(0, cell) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_momentum_of_equilibrium() {
+        let grid = LocalGrid::new(3, 2, 2);
+        let mut c = ComponentState::new(ComponentSpec::water(), grid);
+        c.init_uniform(1.5, [0.02, -0.01, 0.005]);
+        let cell = grid.idx(2, 1, 1);
+        let m = raw_momentum(&c, cell);
+        assert!((m[0] - 1.5 * 0.02).abs() < 1e-13);
+        assert!((m[1] + 1.5 * 0.01).abs() < 1e-13);
+        assert!((m[2] - 1.5 * 0.005).abs() < 1e-13);
+    }
+
+    #[test]
+    fn capture_and_stitch_roundtrip() {
+        // Two slabs covering x ∈ [0,2) and [2,5) must stitch into the same
+        // snapshot as a direct capture of the union.
+        let specs = [ComponentSpec::water(), ComponentSpec::air()];
+        let make = |nx: usize, seed: usize| -> Vec<ComponentState> {
+            specs
+                .iter()
+                .map(|s| {
+                    let grid = LocalGrid::new(nx, 2, 2);
+                    let mut c = ComponentState::new(s.clone(), grid);
+                    c.init_uniform(1.0 + seed as f64 * 0.1, [0.0; 3]);
+                    compute_psi(&mut c);
+                    c
+                })
+                .collect()
+        };
+        let a = Snapshot::capture(&make(2, 1), 0);
+        let b = Snapshot::capture(&make(3, 2), 2);
+        let joined = Snapshot::stitch(vec![b.clone(), a.clone()]);
+        assert_eq!(joined.nx, 5);
+        assert_eq!(joined.rho[0][0], a.rho[0][0]);
+        let base = 2 * 2 * 2;
+        assert_eq!(joined.rho[0][base], b.rho[0][0]);
+        assert_eq!(joined.u(0), a.u(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile contiguously")]
+    fn stitch_rejects_gaps() {
+        let specs = [ComponentSpec::water()];
+        let make = |nx: usize| -> Vec<ComponentState> {
+            specs
+                .iter()
+                .map(|s| {
+                    let grid = LocalGrid::new(nx, 2, 2);
+                    let mut c = ComponentState::new(s.clone(), grid);
+                    c.init_uniform(1.0, [0.0; 3]);
+                    c
+                })
+                .collect()
+        };
+        let a = Snapshot::capture(&make(2), 0);
+        let b = Snapshot::capture(&make(2), 3); // gap at x=2
+        Snapshot::stitch(vec![a, b]);
+    }
+
+    #[test]
+    fn velocity_includes_half_force() {
+        let grid = LocalGrid::new(3, 2, 2);
+        let mut c = ComponentState::new(ComponentSpec::water(), grid);
+        c.init_uniform(2.0, [0.0; 3]);
+        compute_psi(&mut c);
+        let cell = grid.idx(1, 0, 0);
+        c.force.set(0, cell, 0.4);
+        let snap = Snapshot::capture(std::slice::from_ref(&c), 0);
+        // u = (0 + 0.5·0.4) / 2.0 = 0.1 at the forced cell.
+        assert!((snap.u(0)[0] - 0.1).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,390 @@
+//! Multiple-relaxation-time (MRT) collision for D3Q19.
+//!
+//! The d'Humières-style operator: populations are transformed to a moment
+//! basis, each moment relaxes toward its equilibrium at its own rate, and
+//! the result transforms back:
+//!
+//! ```text
+//! f' = f − Mᵀ D⁻¹ S M (f − f_eq)
+//! ```
+//!
+//! The 19 basis vectors are built by Gram–Schmidt orthogonalization (plain
+//! dot product over the velocity set) of the standard monomials — density,
+//! energy, energy², momentum, heat flux, stresses and the third-order
+//! "ghost" modes — which reproduces the classical orthogonal basis up to
+//! normalization (normalization cancels against `D⁻¹ = diag(‖row‖²)⁻¹`).
+//!
+//! Equilibrium moments are computed as `M · f_eq(n, u_eq)`, so MRT with
+//! every rate equal to `1/τ` reduces to the BGK operator exactly (up to
+//! floating-point roundoff) — the regression test pins this down. The
+//! hydrodynamic (shear) rates are tied to the component's `τ`; the
+//! non-hydrodynamic rates are free stability knobs.
+
+use std::sync::OnceLock;
+
+use crate::component::ComponentState;
+use crate::field::LocalGrid;
+use crate::lattice::{Lattice, D3Q19};
+
+/// Relaxation rates for the non-hydrodynamic (ghost) moment families.
+/// The shear-stress and momentum rates always come from the component's τ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MrtRates {
+    /// Energy mode `e`.
+    pub s_e: f64,
+    /// Energy-square mode `ε`.
+    pub s_eps: f64,
+    /// Heat-flux modes `q`.
+    pub s_q: f64,
+    /// Fourth-order stress companions `π`.
+    pub s_pi: f64,
+    /// Third-order antisymmetric modes `m`.
+    pub s_m: f64,
+}
+
+impl MrtRates {
+    /// The rates of d'Humières et al. (2002) for D3Q19.
+    pub fn standard() -> Self {
+        MrtRates { s_e: 1.19, s_eps: 1.4, s_q: 1.2, s_pi: 1.4, s_m: 1.98 }
+    }
+
+    /// All ghost rates equal to `omega` (with momentum/shear also at
+    /// `omega`, this makes MRT collapse to BGK).
+    pub fn uniform(omega: f64) -> Self {
+        MrtRates { s_e: omega, s_eps: omega, s_q: omega, s_pi: omega, s_m: omega }
+    }
+}
+
+/// Moment-family index of each basis row, in construction order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Family {
+    Density,
+    Energy,
+    EnergySq,
+    Momentum,
+    HeatFlux,
+    Shear,
+    Pi,
+    Ghost3,
+}
+
+const FAMILIES: [Family; 19] = [
+    Family::Density,  // 1
+    Family::Energy,   // |e|²
+    Family::EnergySq, // |e|⁴
+    Family::Momentum, // e_x
+    Family::HeatFlux, // e_x |e|²
+    Family::Momentum, // e_y
+    Family::HeatFlux, // e_y |e|²
+    Family::Momentum, // e_z
+    Family::HeatFlux, // e_z |e|²
+    Family::Shear,    // 3e_x² − |e|²
+    Family::Pi,       // (3e_x² − |e|²)|e|²
+    Family::Shear,    // e_y² − e_z²
+    Family::Pi,       // (e_y² − e_z²)|e|²
+    Family::Shear,    // e_x e_y
+    Family::Shear,    // e_y e_z
+    Family::Shear,    // e_x e_z
+    Family::Ghost3,   // (e_y² − e_z²) e_x
+    Family::Ghost3,   // (e_z² − e_x²) e_y
+    Family::Ghost3,   // (e_x² − e_y²) e_z
+];
+
+/// The orthogonal moment basis: `rows[k][i]` is moment `k`'s weight on
+/// velocity `i`, plus the squared norms for the inverse transform.
+pub struct MomentBasis {
+    pub rows: [[f64; 19]; 19],
+    pub norm2: [f64; 19],
+}
+
+fn monomials(i: usize) -> [f64; 19] {
+    let e = D3Q19::E[i];
+    let (x, y, z) = (e[0] as f64, e[1] as f64, e[2] as f64);
+    let e2 = x * x + y * y + z * z;
+    [
+        1.0,
+        e2,
+        e2 * e2,
+        x,
+        x * e2,
+        y,
+        y * e2,
+        z,
+        z * e2,
+        3.0 * x * x - e2,
+        (3.0 * x * x - e2) * e2,
+        y * y - z * z,
+        (y * y - z * z) * e2,
+        x * y,
+        y * z,
+        x * z,
+        (y * y - z * z) * x,
+        (z * z - x * x) * y,
+        (x * x - y * y) * z,
+    ]
+}
+
+fn build_basis() -> MomentBasis {
+    // Start from the monomial rows, then Gram–Schmidt in order.
+    let mut rows = [[0.0f64; 19]; 19];
+    for i in 0..19 {
+        let m = monomials(i);
+        for (k, &v) in m.iter().enumerate() {
+            rows[k][i] = v;
+        }
+    }
+    let dot = |a: &[f64; 19], b: &[f64; 19]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    };
+    let mut norm2 = [0.0f64; 19];
+    for k in 0..19 {
+        for j in 0..k {
+            let c = dot(&rows[k].clone(), &rows[j]) / norm2[j];
+            for i in 0..19 {
+                rows[k][i] -= c * rows[j][i];
+            }
+        }
+        norm2[k] = dot(&rows[k].clone(), &rows[k]);
+        assert!(
+            norm2[k] > 1e-9,
+            "moment basis degenerated at row {k} — monomial set not independent"
+        );
+    }
+    MomentBasis { rows, norm2 }
+}
+
+/// The shared, lazily constructed basis.
+pub fn basis() -> &'static MomentBasis {
+    static BASIS: OnceLock<MomentBasis> = OnceLock::new();
+    BASIS.get_or_init(build_basis)
+}
+
+/// Per-moment relaxation rates for a component with relaxation time `tau`.
+pub fn rate_vector(tau: f64, rates: MrtRates) -> [f64; 19] {
+    let omega_nu = 1.0 / tau;
+    let mut s = [0.0f64; 19];
+    for (k, fam) in FAMILIES.iter().enumerate() {
+        s[k] = match fam {
+            // Conserved modes still relax toward their equilibria at the
+            // BGK rate so the Shan–Chen velocity-shift forcing injects
+            // exactly F per step (see ComponentSpec::momentum_tau).
+            Family::Density | Family::Momentum => omega_nu,
+            Family::Shear => omega_nu,
+            Family::Energy => rates.s_e,
+            Family::EnergySq => rates.s_eps,
+            Family::HeatFlux => rates.s_q,
+            Family::Pi => rates.s_pi,
+            Family::Ghost3 => rates.s_m,
+        };
+    }
+    s
+}
+
+/// Applies one MRT collision to every interior cell of `comp`.
+pub fn collide_mrt(comp: &mut ComponentState, rates: MrtRates) {
+    let grid = comp.grid();
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let interior = LocalGrid::FIRST * p..(grid.last() + 1) * p;
+    let b = basis();
+    let s = rate_vector(comp.spec.tau, rates);
+
+    let ueq = &comp.ueq;
+    let f = comp.f.data_mut();
+    let mut feq = [0.0f64; 19];
+    for cell in interior {
+        let mut fi = [0.0f64; 19];
+        let mut n = 0.0;
+        for i in 0..D3Q19::Q {
+            let v = f[i * cells + cell];
+            fi[i] = v;
+            n += v;
+        }
+        let u = [ueq.at(0, cell), ueq.at(1, cell), ueq.at(2, cell)];
+        let uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+        for i in 0..D3Q19::Q {
+            let e = D3Q19::E[i];
+            let eu = e[0] as f64 * u[0] + e[1] as f64 * u[1] + e[2] as f64 * u[2];
+            feq[i] = D3Q19::W[i] * n * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu);
+        }
+        // Relax in moment space: accumulate the post-collision correction
+        // Δf = Mᵀ D⁻¹ S M (f − f_eq) and subtract.
+        let mut delta = [0.0f64; 19];
+        for k in 0..19 {
+            let row = &b.rows[k];
+            let mut mk = 0.0;
+            for i in 0..19 {
+                mk += row[i] * (fi[i] - feq[i]);
+            }
+            let scaled = s[k] * mk / b.norm2[k];
+            if scaled != 0.0 {
+                for i in 0..19 {
+                    delta[i] += row[i] * scaled;
+                }
+            }
+        }
+        for i in 0..19 {
+            f[i * cells + cell] = fi[i] - delta[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CollisionOperator, ComponentSpec};
+
+    #[test]
+    fn basis_is_orthogonal_and_complete() {
+        let b = basis();
+        for k in 0..19 {
+            for j in 0..k {
+                let d: f64 = (0..19).map(|i| b.rows[k][i] * b.rows[j][i]).sum();
+                assert!(d.abs() < 1e-9, "rows {k} and {j} not orthogonal: {d}");
+            }
+            assert!(b.norm2[k] > 0.0);
+        }
+        // Row 0 is the density moment (all ones).
+        assert!(b.rows[0].iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        // Momentum rows are the raw velocity components.
+        for i in 0..19 {
+            assert!((b.rows[3][i] - D3Q19::E[i][0] as f64).abs() < 1e-12);
+            assert!((b.rows[5][i] - D3Q19::E[i][1] as f64).abs() < 1e-12);
+            assert!((b.rows[7][i] - D3Q19::E[i][2] as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_identity() {
+        // Mᵀ D⁻¹ M = I: transforming any vector to moments and back
+        // reproduces it.
+        let b = basis();
+        let probe: [f64; 19] =
+            core::array::from_fn(|i| 0.1 + (i as f64) * 0.037 - (i as f64).sin() * 0.01);
+        let mut back = [0.0f64; 19];
+        for k in 0..19 {
+            let mk: f64 = (0..19).map(|i| b.rows[k][i] * probe[i]).sum();
+            for i in 0..19 {
+                back[i] += b.rows[k][i] * mk / b.norm2[k];
+            }
+        }
+        for i in 0..19 {
+            assert!((back[i] - probe[i]).abs() < 1e-12, "index {i}");
+        }
+    }
+
+    fn make(collision: CollisionOperator) -> ComponentState {
+        let grid = LocalGrid::new(3, 4, 3);
+        let spec = ComponentSpec { tau: 0.8, collision, ..ComponentSpec::water() };
+        let mut c = ComponentState::new(spec, grid);
+        c.init_uniform(1.0, [0.0; 3]);
+        // Perturb.
+        for cell in 0..grid.cells() {
+            for i in 0..19 {
+                let v = c.f.at(i, cell);
+                c.f.set(i, cell, v + 0.01 * ((cell * 5 + i * 3) % 7) as f64 / 7.0);
+            }
+        }
+        // ueq: a mild uniform velocity.
+        for cell in 0..grid.cells() {
+            c.ueq.set(0, cell, 0.01);
+            c.ueq.set(1, cell, -0.004);
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_rates_reduce_to_bgk() {
+        let omega = 1.0 / 0.8;
+        let mut bgk = make(CollisionOperator::Bgk);
+        let mut mrt = make(CollisionOperator::Bgk);
+        crate::collision::collide(&mut bgk);
+        collide_mrt(&mut mrt, MrtRates::uniform(omega));
+        let cells = bgk.grid().cells();
+        for i in 0..19 {
+            for cell in 0..cells {
+                let a = bgk.f.at(i, cell);
+                let b = mrt.f.at(i, cell);
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "MRT(uniform) vs BGK at dir {i} cell {cell}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn standard_rates_conserve_mass_and_momentum() {
+        let mut c = make(CollisionOperator::Bgk);
+        // Make ueq the true cell velocity so conservation is exact.
+        let grid = c.grid();
+        for cell in 0..grid.cells() {
+            let mut n = 0.0;
+            let mut mom = [0.0f64; 3];
+            for i in 0..19 {
+                let v = c.f.at(i, cell);
+                n += v;
+                for a in 0..3 {
+                    mom[a] += v * D3Q19::E[i][a] as f64;
+                }
+            }
+            for a in 0..3 {
+                c.ueq.set(a, cell, mom[a] / n);
+            }
+        }
+        let before: Vec<(f64, [f64; 3])> = (0..grid.cells())
+            .map(|cell| {
+                let mut n = 0.0;
+                let mut mom = [0.0f64; 3];
+                for i in 0..19 {
+                    let v = c.f.at(i, cell);
+                    n += v;
+                    for a in 0..3 {
+                        mom[a] += v * D3Q19::E[i][a] as f64;
+                    }
+                }
+                (n, mom)
+            })
+            .collect();
+        collide_mrt(&mut c, MrtRates::standard());
+        for cell in 0..grid.cells() {
+            let mut n = 0.0;
+            let mut mom = [0.0f64; 3];
+            for i in 0..19 {
+                let v = c.f.at(i, cell);
+                n += v;
+                for a in 0..3 {
+                    mom[a] += v * D3Q19::E[i][a] as f64;
+                }
+            }
+            let (n0, m0) = before[cell];
+            assert!((n - n0).abs() < 1e-12, "mass at {cell}");
+            for a in 0..3 {
+                assert!((mom[a] - m0[a]).abs() < 1e-12, "momentum at {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_rates_change_only_ghost_modes() {
+        // Two MRT collisions differing only in ghost rates must produce
+        // the same hydrodynamic moments (density, momentum, stress).
+        let mut a = make(CollisionOperator::Bgk);
+        let mut b = a.clone();
+        collide_mrt(&mut a, MrtRates::standard());
+        collide_mrt(&mut b, MrtRates { s_e: 1.0, s_eps: 1.0, s_q: 1.0, s_pi: 1.0, s_m: 1.0 });
+        let bas = basis();
+        let cells = a.grid().cells();
+        let hydro_rows = [0usize, 3, 5, 7, 9, 11, 13, 14, 15];
+        for cell in 0..cells {
+            for &k in &hydro_rows {
+                let ma: f64 = (0..19).map(|i| bas.rows[k][i] * a.f.at(i, cell)).sum();
+                let mb: f64 = (0..19).map(|i| bas.rows[k][i] * b.f.at(i, cell)).sum();
+                assert!(
+                    (ma - mb).abs() < 1e-12,
+                    "hydrodynamic moment {k} differs at cell {cell}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Shan–Chen multicomponent coupling: the common velocity and the
+//! per-component equilibrium velocities.
+//!
+//! After forces are known, each phase ends by computing (paper §2.1,
+//! pseudo-code line 17) the common velocity
+//!
+//! ```text
+//! ū(x) = [ Σ_σ (m_σ / τ_σ) Σ_i f_i^σ e_i ] / [ Σ_σ ρ_σ / τ_σ ]
+//! ```
+//!
+//! and each component's equilibrium velocity for the *next* collision,
+//!
+//! ```text
+//! u_σ^eq(x) = ū(x) + τ_σ F_σ(x) / ρ_σ(x)
+//! ```
+//!
+//! where `F_σ` is the total force density (interaction + wall + body) from
+//! [`crate::force::compute_forces`]. The force shift is how forcing enters
+//! the Shan–Chen LBGK scheme.
+
+use crate::component::ComponentState;
+use crate::field::LocalGrid;
+use crate::macroscopic::raw_momentum;
+
+/// Density floor below which the force shift is suppressed to avoid
+/// dividing by a vanishing component density.
+pub const RHO_FLOOR: f64 = 1e-12;
+
+/// Computes `u_σ^eq` at every interior cell for all components.
+///
+/// Must run after [`crate::macroscopic::compute_psi`] and
+/// [`crate::force::compute_forces`] in the phase.
+pub fn update_equilibrium_velocities(comps: &mut [ComponentState]) {
+    let grid = comps[0].grid();
+    let s = comps.len();
+
+    for xl in LocalGrid::FIRST..=grid.last() {
+        for y in 0..grid.ny {
+            for z in 0..grid.nz {
+                let cell = grid.idx(xl, y, z);
+                // Common velocity ū.
+                let mut num = [0.0f64; 3];
+                let mut den = 0.0f64;
+                for c in comps.iter() {
+                    let m = c.spec.mass;
+                    let inv_tau = 1.0 / c.spec.momentum_tau();
+                    let raw = raw_momentum(c, cell);
+                    for a in 0..3 {
+                        num[a] += m * raw[a] * inv_tau;
+                    }
+                    den += m * c.psi.at(0, cell) * inv_tau;
+                }
+                let ubar = if den > RHO_FLOOR {
+                    [num[0] / den, num[1] / den, num[2] / den]
+                } else {
+                    [0.0; 3]
+                };
+                for k in 0..s {
+                    let c = &mut comps[k];
+                    let rho = c.spec.mass * c.psi.at(0, cell);
+                    let shift =
+                        if rho > RHO_FLOOR { c.spec.momentum_tau() / rho } else { 0.0 };
+                    for a in 0..3 {
+                        c.ueq.set(a, cell, ubar[a] + shift * c.force.at(a, cell));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentSpec;
+    use crate::field::LocalGrid;
+    use crate::macroscopic::compute_psi;
+
+    fn setup(taus: [f64; 2], masses: [f64; 2], ns: [f64; 2], us: [[f64; 3]; 2]) -> Vec<ComponentState> {
+        let grid = LocalGrid::new(3, 2, 2);
+        (0..2)
+            .map(|k| {
+                let spec = ComponentSpec {
+                    name: format!("c{k}"),
+                    mass: masses[k],
+                    tau: taus[k],
+                    feels_wall_force: false,
+                    psi_fn: crate::potential::PsiFn::Linear,
+                    collision: crate::component::CollisionOperator::Bgk,
+                    wall_adhesion: 0.0,
+                };
+                let mut c = ComponentState::new(spec, grid);
+                c.init_uniform(ns[k], us[k]);
+                compute_psi(&mut c);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn common_velocity_is_tau_weighted_average() {
+        let mut comps = setup(
+            [1.0, 0.6],
+            [1.0, 0.5],
+            [1.0, 0.8],
+            [[0.02, 0.0, 0.0], [-0.01, 0.01, 0.0]],
+        );
+        update_equilibrium_velocities(&mut comps);
+        let grid = comps[0].grid();
+        let cell = grid.idx(1, 0, 0);
+        // Hand-computed ū.
+        let num_x = 1.0 * (1.0 * 0.02) / 1.0 + 0.5 * (0.8 * -0.01) / 0.6;
+        let den = 1.0 * 1.0 / 1.0 + 0.5 * 0.8 / 0.6;
+        let want = num_x / den;
+        // No forces set → ueq = ū for both components.
+        assert!((comps[0].ueq.at(0, cell) - want).abs() < 1e-12);
+        assert!((comps[1].ueq.at(0, cell) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_components_at_rest_stay_at_rest() {
+        let mut comps = setup([1.0, 1.0], [1.0, 1.0], [0.5, 0.5], [[0.0; 3]; 2]);
+        update_equilibrium_velocities(&mut comps);
+        let grid = comps[0].grid();
+        for cell in [grid.idx(1, 0, 0), grid.idx(2, 1, 1)] {
+            for c in &comps {
+                for a in 0..3 {
+                    assert_eq!(c.ueq.at(a, cell), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_shift_is_tau_f_over_rho() {
+        let mut comps = setup([0.8, 1.2], [1.0, 2.0], [1.0, 0.5], [[0.0; 3]; 2]);
+        let grid = comps[0].grid();
+        let cell = grid.idx(1, 1, 1);
+        comps[0].force.set(0, cell, 0.01);
+        comps[1].force.set(1, cell, -0.02);
+        update_equilibrium_velocities(&mut comps);
+        // ū = 0 (both at rest), so ueq is purely the force shift.
+        let rho0 = 1.0 * 1.0;
+        let rho1 = 2.0 * 0.5;
+        assert!((comps[0].ueq.at(0, cell) - 0.8 * 0.01 / rho0).abs() < 1e-14);
+        assert!((comps[1].ueq.at(1, cell) - 1.2 * -0.02 / rho1).abs() < 1e-14);
+        // Unforced axes remain zero.
+        assert_eq!(comps[0].ueq.at(2, cell), 0.0);
+    }
+
+    #[test]
+    fn vanishing_density_does_not_blow_up() {
+        let mut comps = setup([1.0, 1.0], [1.0, 1.0], [1.0, 0.0], [[0.0; 3]; 2]);
+        let grid = comps[0].grid();
+        let cell = grid.idx(1, 0, 0);
+        comps[1].force.set(0, cell, 1.0); // force on an empty component
+        update_equilibrium_velocities(&mut comps);
+        assert!(comps[1].ueq.at(0, cell).is_finite());
+        assert_eq!(comps[1].ueq.at(0, cell), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Observables: the profiles and slip metrics of the paper's Figures 6–7.
+//!
+//! Figure 6 plots component densities against distance from the side wall
+//! at the channel cross-section `x = 1 µm`, `z = 0.05 µm`; Figure 7 plots
+//! the normalized streamwise velocity profile `u/u0` along `y` and reports
+//! an apparent slip of ≈ 10 % of the free-stream velocity.
+
+use crate::macroscopic::Snapshot;
+
+/// A profile along the y (width) direction: one value per fluid row, with
+/// wall distance in lattice units (`y + 0.5`, halfway-wall convention).
+#[derive(Clone, Debug, PartialEq)]
+pub struct YProfile {
+    /// Distance of each sample from the low-y side wall, lattice units.
+    pub distance: Vec<f64>,
+    pub value: Vec<f64>,
+}
+
+impl YProfile {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Maximum value (the "free stream" reference of Fig. 7).
+    pub fn max(&self) -> f64 {
+        self.value.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Profile scaled so its maximum is 1 (the paper's `u/u0`).
+    pub fn normalized(&self) -> YProfile {
+        let m = self.max();
+        YProfile {
+            distance: self.distance.clone(),
+            value: self.value.iter().map(|v| v / m).collect(),
+        }
+    }
+
+    /// Extrapolation of the profile to the wall (`distance = 0`) through
+    /// the three samples nearest the low-y wall (quadratic Lagrange —
+    /// exact for the parabolic profiles of channel flow). Falls back to
+    /// linear extrapolation when only two samples exist.
+    pub fn wall_extrapolation(&self) -> f64 {
+        assert!(self.len() >= 2, "need two samples to extrapolate");
+        if self.len() == 2 {
+            let (d0, d1) = (self.distance[0], self.distance[1]);
+            let (v0, v1) = (self.value[0], self.value[1]);
+            return v0 - d0 * (v1 - v0) / (d1 - d0);
+        }
+        let d = &self.distance[..3];
+        let v = &self.value[..3];
+        v[0] * (d[1] * d[2]) / ((d[0] - d[1]) * (d[0] - d[2]))
+            + v[1] * (d[0] * d[2]) / ((d[1] - d[0]) * (d[1] - d[2]))
+            + v[2] * (d[0] * d[1]) / ((d[2] - d[0]) * (d[2] - d[1]))
+    }
+}
+
+/// Density profile of component `comp` along y at cross-section `(x, z)`
+/// (Fig. 6; pass the mid-channel indices for the paper's cut).
+pub fn density_y_profile(snap: &Snapshot, comp: usize, x: usize, z: usize) -> YProfile {
+    let mut p = YProfile { distance: Vec::with_capacity(snap.ny), value: Vec::with_capacity(snap.ny) };
+    for y in 0..snap.ny {
+        p.distance.push(y as f64 + 0.5);
+        p.value.push(snap.rho[comp][snap.idx(x, y, z)]);
+    }
+    p
+}
+
+/// Streamwise velocity profile along y at cross-section `(x, z)` (Fig. 7).
+pub fn velocity_y_profile(snap: &Snapshot, x: usize, z: usize) -> YProfile {
+    let mut p = YProfile { distance: Vec::with_capacity(snap.ny), value: Vec::with_capacity(snap.ny) };
+    for y in 0..snap.ny {
+        p.distance.push(y as f64 + 0.5);
+        p.value.push(snap.u(snap.idx(x, y, z))[0]);
+    }
+    p
+}
+
+/// Streamwise velocity profile along y averaged over all x and z (less
+/// noisy variant used by the examples; the flow is x-invariant in steady
+/// state so this matches the single-cut profile up to transients).
+pub fn mean_velocity_y_profile(snap: &Snapshot) -> YProfile {
+    let mut p = YProfile { distance: Vec::with_capacity(snap.ny), value: vec![0.0; snap.ny] };
+    for y in 0..snap.ny {
+        p.distance.push(y as f64 + 0.5);
+        let mut sum = 0.0;
+        for x in 0..snap.nx {
+            for z in 0..snap.nz {
+                sum += snap.u(snap.idx(x, y, z))[0];
+            }
+        }
+        p.value[y] = sum / (snap.nx * snap.nz) as f64;
+    }
+    p
+}
+
+/// Mean density profile of component `comp` along y, averaged over x and z.
+pub fn mean_density_y_profile(snap: &Snapshot, comp: usize) -> YProfile {
+    let mut p = YProfile { distance: Vec::with_capacity(snap.ny), value: vec![0.0; snap.ny] };
+    for y in 0..snap.ny {
+        p.distance.push(y as f64 + 0.5);
+        let mut sum = 0.0;
+        for x in 0..snap.nx {
+            for z in 0..snap.nz {
+                sum += snap.rho[comp][snap.idx(x, y, z)];
+            }
+        }
+        p.value[y] = sum / (snap.nx * snap.nz) as f64;
+    }
+    p
+}
+
+/// The paper's headline slip metric: wall velocity (extrapolated to the
+/// wall plane) as a fraction of the free-stream (maximum) velocity.
+/// Tretheway & Meinhart measured ≈ 0.1; Fig. 7 reproduces it numerically.
+pub fn apparent_slip_fraction(velocity_profile: &YProfile) -> f64 {
+    let u0 = velocity_profile.max();
+    if u0 == 0.0 {
+        return 0.0;
+    }
+    velocity_profile.wall_extrapolation() / u0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_1d(ny: usize, f: impl Fn(usize) -> f64) -> Snapshot {
+        let n = ny;
+        let mut velocity = vec![0.0; 3 * n];
+        let mut rho = vec![0.0; n];
+        for y in 0..ny {
+            velocity[3 * y] = f(y);
+            rho[y] = f(y) + 1.0;
+        }
+        Snapshot { x0: 0, nx: 1, ny, nz: 1, rho: vec![rho], velocity }
+    }
+
+    #[test]
+    fn parabola_has_no_slip() {
+        // u(d) ∝ d(H − d): extrapolation to d = 0 gives ~0.
+        let ny = 50;
+        let h = ny as f64;
+        let snap = snap_1d(ny, |y| {
+            let d = y as f64 + 0.5;
+            d * (h - d)
+        });
+        let p = velocity_y_profile(&snap, 0, 0);
+        let slip = apparent_slip_fraction(&p);
+        assert!(slip.abs() < 1e-10, "parabola slip = {slip}");
+    }
+
+    #[test]
+    fn shifted_parabola_shows_slip() {
+        // u(d) = u_s + d(H−d)·c has wall velocity u_s.
+        let ny = 40;
+        let h = ny as f64;
+        let us = 30.0;
+        let snap = snap_1d(ny, |y| {
+            let d = y as f64 + 0.5;
+            us + d * (h - d) * 4.0 / (h * h)
+        });
+        let p = velocity_y_profile(&snap, 0, 0);
+        let u0 = p.max();
+        let slip = apparent_slip_fraction(&p);
+        assert!((slip - us / u0).abs() < 1e-6, "slip {slip} vs {}", us / u0);
+    }
+
+    #[test]
+    fn normalization() {
+        let snap = snap_1d(10, |y| (y + 1) as f64);
+        let p = velocity_y_profile(&snap, 0, 0).normalized();
+        assert!((p.max() - 1.0).abs() < 1e-15);
+        assert!((p.value[0] - 1.0 / 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wall_extrapolation_linear_exact() {
+        let snap = snap_1d(5, |y| 2.0 * (y as f64 + 0.5) + 3.0);
+        let p = velocity_y_profile(&snap, 0, 0);
+        assert!((p.wall_extrapolation() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_extrapolation_quadratic_exact() {
+        // Exact on a parabola through the wall value 7.
+        let snap = snap_1d(6, |y| {
+            let d = y as f64 + 0.5;
+            7.0 + 2.0 * d - 0.3 * d * d
+        });
+        let p = velocity_y_profile(&snap, 0, 0);
+        assert!((p.wall_extrapolation() - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_sample_fallback_is_linear() {
+        let p = YProfile { distance: vec![0.5, 1.5], value: vec![2.0, 4.0] };
+        assert!((p.wall_extrapolation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_profile_equals_cut_for_x_invariant_field() {
+        let ny = 6;
+        let (nx, nz) = (4, 3);
+        let n = nx * ny * nz;
+        let mut velocity = vec![0.0; 3 * n];
+        let rho = vec![1.0; n];
+        let snap_idx = |x: usize, y: usize, z: usize| (x * ny + y) * nz + z;
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    velocity[3 * snap_idx(x, y, z)] = (y * y) as f64;
+                }
+            }
+        }
+        let snap = Snapshot { x0: 0, nx, ny, nz, rho: vec![rho], velocity };
+        let mean = mean_velocity_y_profile(&snap);
+        let cut = velocity_y_profile(&snap, 2, 1);
+        for y in 0..ny {
+            assert!((mean.value[y] - cut.value[y]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn density_profile_reads_component() {
+        let snap = snap_1d(4, |y| y as f64);
+        let p = density_y_profile(&snap, 0, 0, 0);
+        assert_eq!(p.value, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.distance, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+}

@@ -1,0 +1,684 @@
+//! The slab solver: one node's share of the channel, with halo extraction,
+//! phase sub-steps and lattice-point migration.
+//!
+//! [`SlabSolver`] owns a contiguous range of y–z planes (a [`Slab`]) plus
+//! ghost planes, and exposes the phase as separate sub-steps so a parallel
+//! driver can interleave communication exactly as the paper's pseudo-code
+//! (Fig. 2) does:
+//!
+//! ```text
+//! collide                         (line 4)
+//! ⇄ exchange populations          (line 8)
+//! stream + bounce back            (lines 5, 10–11)
+//! compute ψ
+//! ⇄ exchange number density       (line 14)
+//! compute forces                  (line 16)
+//! compute velocities              (line 17)
+//! ```
+//!
+//! The sequential driver ([`crate::simulation::Simulation`]) is the
+//! single-slab special case where both exchanges reduce to periodic ghost
+//! copies. Because all kernels operate per cell in the same order in both
+//! drivers, a decomposed run is **bitwise identical** to a sequential run —
+//! the invariant the integration tests pin down.
+
+use crate::component::{ComponentState, CouplingMatrix};
+use crate::config::ChannelConfig;
+use crate::field::{LocalGrid, SlabArray};
+use crate::force::WallForce;
+use crate::geometry::{Slab, SolidRegion};
+use crate::lattice::{Lattice, D3Q19};
+use crate::macroscopic::Snapshot;
+
+/// A slab edge, in global x orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The low-x edge.
+    Left,
+    /// The high-x edge.
+    Right,
+}
+
+impl Side {
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// One node's solver state.
+#[derive(Clone, Debug)]
+pub struct SlabSolver {
+    pub(crate) x0: usize,
+    pub(crate) global_nx: usize,
+    pub(crate) comps: Vec<ComponentState>,
+    coupling: CouplingMatrix,
+    wall: WallForce,
+    body: [f64; 3],
+    obstacles: Vec<SolidRegion>,
+    /// Solid mask over the local grid (ghost planes included); rebuilt
+    /// from `obstacles` whenever the slab changes.
+    solid: Vec<bool>,
+}
+
+impl SlabSolver {
+    /// Builds the solver for `slab` of the configured channel and
+    /// initializes every component to its uniform initial state.
+    pub fn new(config: &ChannelConfig, slab: Slab) -> Self {
+        config.validate().expect("invalid channel configuration");
+        assert!(slab.x_end() <= config.dims.nx, "slab exceeds the domain");
+        assert!(slab.nx_local > 0);
+        let grid = LocalGrid::new(slab.nx_local, config.dims.ny, config.dims.nz);
+        let init = config.init;
+        let nx_global = config.dims.nx;
+        let comps = config
+            .components
+            .iter()
+            .map(|(spec, n0)| {
+                let mut c = ComponentState::new(spec.clone(), grid);
+                c.init_profile(slab.x0, |x| n0 * init.factor(x, nx_global));
+                c
+            })
+            .collect();
+        let mut solver = SlabSolver {
+            x0: slab.x0,
+            global_nx: config.dims.nx,
+            comps,
+            coupling: config.coupling.clone(),
+            wall: config.wall,
+            body: config.body,
+            obstacles: config.obstacles.clone(),
+            solid: Vec::new(),
+        };
+        solver.rebuild_mask();
+        solver.clear_solid_cells();
+        solver
+    }
+
+    /// Rebuilds the solid mask for the current slab (ghost planes use the
+    /// periodic global x of their source plane, so decomposed masks agree
+    /// with the sequential one).
+    fn rebuild_mask(&mut self) {
+        let grid = self.grid();
+        let mut solid = vec![false; grid.cells()];
+        if !self.obstacles.is_empty() {
+            for xl in 0..grid.lx {
+                let gx = (self.x0 + self.global_nx + xl - 1) % self.global_nx;
+                for y in 0..grid.ny {
+                    for z in 0..grid.nz {
+                        if self.obstacles.iter().any(|o| o.contains(gx, y, z)) {
+                            solid[grid.idx(xl, y, z)] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.solid = solid;
+    }
+
+    /// Zeros all per-cell state at solid cells (used after initialization
+    /// and after receiving migrated planes, whose solid cells are zero
+    /// already on the wire but whose ψ/ueq defaults must not linger).
+    fn clear_solid_cells(&mut self) {
+        if self.obstacles.is_empty() {
+            return;
+        }
+        let grid = self.grid();
+        for cell in 0..grid.cells() {
+            if !self.solid[cell] {
+                continue;
+            }
+            for c in self.comps.iter_mut() {
+                for i in 0..D3Q19::Q {
+                    c.f.set(i, cell, 0.0);
+                }
+                c.psi.set(0, cell, 0.0);
+                for a in 0..3 {
+                    c.force.set(a, cell, 0.0);
+                    c.ueq.set(a, cell, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Whether the local cell `(xl, y, z)` is solid.
+    pub fn is_solid(&self, xl: usize, y: usize, z: usize) -> bool {
+        self.solid[self.grid().idx(xl, y, z)]
+    }
+
+    /// Fraction of this slab's interior cells that are solid.
+    pub fn solid_fraction(&self) -> f64 {
+        let grid = self.grid();
+        let p = grid.plane_cells();
+        let interior = &self.solid[LocalGrid::FIRST * p..(grid.last() + 1) * p];
+        interior.iter().filter(|&&s| s).count() as f64 / interior.len() as f64
+    }
+
+    /// Global x index of the first owned plane.
+    pub fn x0(&self) -> usize {
+        self.x0
+    }
+
+    /// Owned plane count.
+    pub fn nx_local(&self) -> usize {
+        self.comps[0].grid().nx_local()
+    }
+
+    /// The slab in global coordinates.
+    pub fn slab(&self) -> Slab {
+        Slab { x0: self.x0, nx_local: self.nx_local() }
+    }
+
+    /// Owned lattice points (the balancer's unit of work).
+    pub fn points(&self) -> usize {
+        self.nx_local() * self.comps[0].grid().plane_cells()
+    }
+
+    /// Streamwise extent of the full channel.
+    pub fn global_nx(&self) -> usize {
+        self.global_nx
+    }
+
+    pub fn components(&self) -> &[ComponentState] {
+        &self.comps
+    }
+
+    pub fn grid(&self) -> LocalGrid {
+        self.comps[0].grid()
+    }
+
+    // ---- phase sub-steps -------------------------------------------------
+
+    /// Phase step 1: LBGK collision of every component.
+    pub fn collide(&mut self) {
+        for c in self.comps.iter_mut() {
+            crate::collision::collide(c);
+        }
+    }
+
+    /// Phase step 2 (after population exchange): streaming + bounce-back
+    /// (channel walls and obstacles).
+    pub fn stream(&mut self) {
+        for c in self.comps.iter_mut() {
+            crate::streaming::stream(c, &self.solid);
+        }
+    }
+
+    /// Phase step 3: recompute ψ from the streamed populations.
+    pub fn compute_psi(&mut self) {
+        for c in self.comps.iter_mut() {
+            crate::macroscopic::compute_psi(c);
+        }
+    }
+
+    /// Phase step 4 (after ψ exchange): total force densities.
+    pub fn compute_forces(&mut self) {
+        crate::force::compute_forces(
+            &mut self.comps,
+            &self.coupling,
+            &self.wall,
+            self.body,
+            &self.solid,
+        );
+    }
+
+    /// Phase step 5: common velocity and equilibrium velocities.
+    pub fn compute_velocities(&mut self) {
+        crate::multicomponent::update_equilibrium_velocities(&mut self.comps);
+    }
+
+    // ---- halo protocol ---------------------------------------------------
+
+    /// Number of `f64` values in a population halo message: the five
+    /// boundary-crossing directions of each component over one plane
+    /// (paper §2.2: directions 1,7,9,11,13 right; 2,8,10,12,14 left).
+    pub fn f_halo_len(&self) -> usize {
+        5 * self.comps.len() * self.grid().plane_cells()
+    }
+
+    /// Number of `f64` values in a ψ halo message (one plane per component).
+    pub fn psi_halo_len(&self) -> usize {
+        self.comps.len() * self.grid().plane_cells()
+    }
+
+    fn crossing_dirs(side: Side) -> &'static [usize; 5] {
+        match side {
+            Side::Right => &D3Q19::POS_X,
+            Side::Left => &D3Q19::NEG_X,
+        }
+    }
+
+    /// Extracts the post-collision populations the `side` neighbor needs:
+    /// the edge plane's boundary-crossing directions, per component.
+    pub fn f_halo_out(&self, side: Side, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.f_halo_len());
+        let grid = self.grid();
+        let p = grid.plane_cells();
+        let xl = match side {
+            Side::Left => LocalGrid::FIRST,
+            Side::Right => grid.last(),
+        };
+        let dirs = Self::crossing_dirs(side);
+        let mut off = 0;
+        for c in &self.comps {
+            let cells = grid.cells();
+            for &i in dirs {
+                let src = i * cells + xl * p;
+                buf[off..off + p].copy_from_slice(&c.f.data()[src..src + p]);
+                off += p;
+            }
+        }
+    }
+
+    /// Installs a neighbor's halo message into the `side` ghost plane.
+    /// The message must have been produced by the neighbor's
+    /// `f_halo_out(side.opposite())`.
+    pub fn f_halo_in(&mut self, side: Side, buf: &[f64]) {
+        assert_eq!(buf.len(), self.f_halo_len());
+        let grid = self.grid();
+        let p = grid.plane_cells();
+        let xl = match side {
+            Side::Left => LocalGrid::GHOST_LEFT,
+            Side::Right => grid.ghost_right(),
+        };
+        // A left ghost supplies +x-moving populations (sent by the left
+        // neighbor's right edge); a right ghost supplies −x movers.
+        let dirs = Self::crossing_dirs(side.opposite());
+        let mut off = 0;
+        for c in self.comps.iter_mut() {
+            let cells = grid.cells();
+            for &i in dirs {
+                let dst = i * cells + xl * p;
+                c.f.data_mut()[dst..dst + p].copy_from_slice(&buf[off..off + p]);
+                off += p;
+            }
+        }
+    }
+
+    /// Extracts the edge ψ plane for the `side` neighbor.
+    pub fn psi_halo_out(&self, side: Side, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.psi_halo_len());
+        let grid = self.grid();
+        let xl = match side {
+            Side::Left => LocalGrid::FIRST,
+            Side::Right => grid.last(),
+        };
+        let p = grid.plane_cells();
+        for (k, c) in self.comps.iter().enumerate() {
+            c.psi.copy_plane_out(xl, &mut buf[k * p..(k + 1) * p]);
+        }
+    }
+
+    /// Installs a neighbor's ψ plane into the `side` ghost.
+    pub fn psi_halo_in(&mut self, side: Side, buf: &[f64]) {
+        assert_eq!(buf.len(), self.psi_halo_len());
+        let grid = self.grid();
+        let xl = match side {
+            Side::Left => LocalGrid::GHOST_LEFT,
+            Side::Right => grid.ghost_right(),
+        };
+        let p = grid.plane_cells();
+        for (k, c) in self.comps.iter_mut().enumerate() {
+            c.psi.copy_plane_in(xl, &buf[k * p..(k + 1) * p]);
+        }
+    }
+
+    /// Periodic self-exchange of the population halo (sequential driver, or
+    /// a single node owning the whole channel).
+    pub fn f_ghosts_periodic(&mut self) {
+        let mut buf = vec![0.0; self.f_halo_len()];
+        self.f_halo_out(Side::Right, &mut buf);
+        self.f_halo_in(Side::Left, &buf);
+        self.f_halo_out(Side::Left, &mut buf);
+        self.f_halo_in(Side::Right, &buf);
+    }
+
+    /// Periodic self-exchange of the ψ halo.
+    pub fn psi_ghosts_periodic(&mut self) {
+        let mut buf = vec![0.0; self.psi_halo_len()];
+        self.psi_halo_out(Side::Right, &mut buf);
+        self.psi_halo_in(Side::Left, &buf);
+        self.psi_halo_out(Side::Left, &mut buf);
+        self.psi_halo_in(Side::Right, &buf);
+    }
+
+    // ---- migration protocol ----------------------------------------------
+
+    /// `f64` values per migrated plane: populations, number density, force
+    /// and equilibrium velocity for every component — the complete
+    /// phase-boundary state of a plane, so migration is exactly
+    /// state-preserving (observables included).
+    pub fn migration_plane_len(&self) -> usize {
+        (D3Q19::Q + 1 + 3 + 3) * self.comps.len() * self.grid().plane_cells()
+    }
+
+    /// Removes `count` planes from the `side` edge of this slab and returns
+    /// their state, planes ordered by ascending global x. Adjusts `x0`.
+    ///
+    /// Panics if the slab would be left without at least one plane.
+    pub fn take_planes(&mut self, side: Side, count: usize) -> Vec<f64> {
+        assert!(count > 0 && count < self.nx_local(), "cannot give away the whole slab");
+        let grid = self.grid();
+        let first = match side {
+            Side::Left => LocalGrid::FIRST,
+            Side::Right => grid.last() + 1 - count,
+        };
+        let mut out = Vec::with_capacity(count * self.migration_plane_len());
+        for c in &self.comps {
+            for arr in [&c.f, &c.psi, &c.force, &c.ueq] {
+                let mut buf = vec![0.0; count * arr.plane_len()];
+                arr.copy_planes_out(first, count, &mut buf);
+                out.extend_from_slice(&buf);
+            }
+        }
+        let new_nx = self.nx_local() - count;
+        let shift: isize = match side {
+            Side::Left => -(count as isize),
+            Side::Right => 0,
+        };
+        for c in self.comps.iter_mut() {
+            resize_all(c, new_nx, shift);
+        }
+        if side == Side::Left {
+            self.x0 += count;
+        }
+        self.rebuild_mask();
+        out
+    }
+
+    /// Attaches `count` planes (produced by the neighbor's `take_planes`)
+    /// to the `side` edge of this slab. Adjusts `x0`.
+    pub fn give_planes(&mut self, side: Side, count: usize, data: &[f64]) {
+        assert_eq!(data.len(), count * self.migration_plane_len());
+        let new_nx = self.nx_local() + count;
+        let shift: isize = match side {
+            Side::Left => count as isize,
+            Side::Right => 0,
+        };
+        for c in self.comps.iter_mut() {
+            resize_all(c, new_nx, shift);
+        }
+        let grid = self.grid();
+        let first = match side {
+            Side::Left => LocalGrid::FIRST,
+            Side::Right => grid.last() + 1 - count,
+        };
+        let mut off = 0;
+        for c in self.comps.iter_mut() {
+            for arr in [&mut c.f, &mut c.psi, &mut c.force, &mut c.ueq] {
+                let len = count * arr.plane_len();
+                arr.copy_planes_in(first, &data[off..off + len]);
+                off += len;
+            }
+        }
+        if side == Side::Left {
+            self.x0 -= count;
+        }
+        self.rebuild_mask();
+    }
+
+    // ---- drivers & observables --------------------------------------------
+
+    /// One full phase with periodic ghost self-exchange; only meaningful
+    /// when this slab covers the entire channel.
+    pub fn phase_periodic(&mut self) {
+        assert_eq!(self.nx_local(), self.global_nx, "phase_periodic needs the whole channel");
+        self.collide();
+        self.f_ghosts_periodic();
+        self.stream();
+        self.compute_psi();
+        self.psi_ghosts_periodic();
+        self.compute_forces();
+        self.compute_velocities();
+    }
+
+    /// Brings a freshly initialized solver to a consistent phase-start
+    /// state (ψ, forces, ueq), using periodic ghosts. Parallel drivers do
+    /// the same steps with real exchanges instead.
+    pub fn prime_periodic(&mut self) {
+        self.compute_psi();
+        self.psi_ghosts_periodic();
+        self.compute_forces();
+        self.compute_velocities();
+    }
+
+    /// As [`prime_periodic`](Self::prime_periodic) but without the ghost
+    /// fill — the parallel driver exchanges ψ between the two steps.
+    pub fn prime_local_psi(&mut self) {
+        self.compute_psi();
+    }
+
+    /// Completes priming after the ψ exchange.
+    pub fn prime_finish(&mut self) {
+        self.compute_forces();
+        self.compute_velocities();
+    }
+
+    /// Captures the macroscopic state of this slab's interior.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(&self.comps, self.x0)
+    }
+
+    /// Total mass over this slab (all components).
+    pub fn total_mass(&self) -> f64 {
+        self.comps.iter().map(|c| c.total_mass()).sum()
+    }
+}
+
+/// Resizes every field of a component consistently.
+fn resize_all(c: &mut ComponentState, new_nx: usize, shift: isize) {
+    let resize = |a: &mut SlabArray| {
+        a.resize_shift(new_nx, shift);
+    };
+    resize(&mut c.f);
+    resize(&mut c.f_tmp);
+    resize(&mut c.psi);
+    resize(&mut c.force);
+    resize(&mut c.ueq);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{even_slabs, Dims};
+
+    fn small_config() -> ChannelConfig {
+        let mut cfg = ChannelConfig::paper_scaled(Dims::new(12, 6, 4));
+        // Stronger driving so fields evolve visibly in few steps.
+        cfg.body = [1.0e-4, 0.0, 0.0];
+        cfg
+    }
+
+    #[test]
+    fn mass_conserved_over_phases() {
+        let cfg = small_config();
+        let mut s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 12 });
+        s.prime_periodic();
+        let m0 = s.total_mass();
+        for _ in 0..20 {
+            s.phase_periodic();
+        }
+        let m1 = s.total_mass();
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "mass drifted: {m0} -> {m1}"
+        );
+    }
+
+    #[test]
+    fn body_force_accelerates_flow() {
+        let cfg = ChannelConfig::single_component(Dims::new(8, 8, 8), 1.0, 1e-5);
+        let mut s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 8 });
+        s.prime_periodic();
+        for _ in 0..50 {
+            s.phase_periodic();
+        }
+        let snap = s.snapshot();
+        let mid = snap.idx(4, 4, 4);
+        assert!(snap.u(mid)[0] > 0.0, "flow must accelerate along +x");
+    }
+
+    /// Runs `solvers` (a full decomposition) for one phase by hand-carrying
+    /// halos — the reference for what `runtime` does with channels.
+    fn phase_decomposed(solvers: &mut [SlabSolver]) {
+        let n = solvers.len();
+        let f_len = solvers[0].f_halo_len();
+        for s in solvers.iter_mut() {
+            s.collide();
+        }
+        // Exchange populations (periodic ring).
+        let mut right_msgs = vec![vec![0.0; f_len]; n];
+        let mut left_msgs = vec![vec![0.0; f_len]; n];
+        for (i, s) in solvers.iter().enumerate() {
+            s.f_halo_out(Side::Right, &mut right_msgs[i]);
+            s.f_halo_out(Side::Left, &mut left_msgs[i]);
+        }
+        for i in 0..n {
+            let from_left = (i + n - 1) % n;
+            let from_right = (i + 1) % n;
+            solvers[i].f_halo_in(Side::Left, &right_msgs[from_left]);
+            solvers[i].f_halo_in(Side::Right, &left_msgs[from_right]);
+        }
+        for s in solvers.iter_mut() {
+            s.stream();
+            s.compute_psi();
+        }
+        // Exchange ψ.
+        let p_len = solvers[0].psi_halo_len();
+        let mut right_psi = vec![vec![0.0; p_len]; n];
+        let mut left_psi = vec![vec![0.0; p_len]; n];
+        for (i, s) in solvers.iter().enumerate() {
+            s.psi_halo_out(Side::Right, &mut right_psi[i]);
+            s.psi_halo_out(Side::Left, &mut left_psi[i]);
+        }
+        for i in 0..n {
+            let from_left = (i + n - 1) % n;
+            let from_right = (i + 1) % n;
+            solvers[i].psi_halo_in(Side::Left, &right_psi[from_left]);
+            solvers[i].psi_halo_in(Side::Right, &left_psi[from_right]);
+        }
+        for s in solvers.iter_mut() {
+            s.compute_forces();
+            s.compute_velocities();
+        }
+    }
+
+    fn prime_decomposed(solvers: &mut [SlabSolver]) {
+        let n = solvers.len();
+        for s in solvers.iter_mut() {
+            s.prime_local_psi();
+        }
+        let p_len = solvers[0].psi_halo_len();
+        let mut right_psi = vec![vec![0.0; p_len]; n];
+        let mut left_psi = vec![vec![0.0; p_len]; n];
+        for (i, s) in solvers.iter().enumerate() {
+            s.psi_halo_out(Side::Right, &mut right_psi[i]);
+            s.psi_halo_out(Side::Left, &mut left_psi[i]);
+        }
+        for i in 0..n {
+            let from_left = (i + n - 1) % n;
+            let from_right = (i + 1) % n;
+            solvers[i].psi_halo_in(Side::Left, &right_psi[from_left]);
+            solvers[i].psi_halo_in(Side::Right, &left_psi[from_right]);
+        }
+        for s in solvers.iter_mut() {
+            s.prime_finish();
+        }
+    }
+
+    #[test]
+    fn decomposed_run_is_bitwise_identical_to_sequential() {
+        let cfg = small_config();
+        let mut seq = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: cfg.dims.nx });
+        seq.prime_periodic();
+        for _ in 0..8 {
+            seq.phase_periodic();
+        }
+        let want = seq.snapshot();
+
+        for parts in [2, 3, 4] {
+            let mut solvers: Vec<SlabSolver> = even_slabs(cfg.dims.nx, parts)
+                .into_iter()
+                .map(|slab| SlabSolver::new(&cfg, slab))
+                .collect();
+            prime_decomposed(&mut solvers);
+            for _ in 0..8 {
+                phase_decomposed(&mut solvers);
+            }
+            let got = Snapshot::stitch(solvers.iter().map(|s| s.snapshot()).collect());
+            assert_eq!(got, want, "decomposition into {parts} slabs changed the physics");
+        }
+    }
+
+    #[test]
+    fn migration_preserves_physics_bitwise() {
+        let cfg = small_config();
+        let mut seq = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: cfg.dims.nx });
+        seq.prime_periodic();
+        let phases = 9;
+        for _ in 0..phases {
+            seq.phase_periodic();
+        }
+        let want = seq.snapshot();
+
+        let mut solvers: Vec<SlabSolver> = even_slabs(cfg.dims.nx, 3)
+            .into_iter()
+            .map(|slab| SlabSolver::new(&cfg, slab))
+            .collect();
+        prime_decomposed(&mut solvers);
+        for phase in 0..phases {
+            phase_decomposed(&mut solvers);
+            // Shuffle planes around between phases: 0 → 1 → 2 → back.
+            match phase {
+                2 => {
+                    let count = 2;
+                    let data = solvers[0].take_planes(Side::Right, count);
+                    solvers[1].give_planes(Side::Left, count, &data);
+                }
+                4 => {
+                    let count = 3;
+                    let data = solvers[1].take_planes(Side::Right, count);
+                    solvers[2].give_planes(Side::Left, count, &data);
+                }
+                6 => {
+                    let count = 1;
+                    let data = solvers[2].take_planes(Side::Left, count);
+                    solvers[1].give_planes(Side::Right, count, &data);
+                }
+                _ => {}
+            }
+        }
+        let got = Snapshot::stitch(solvers.iter().map(|s| s.snapshot()).collect());
+        assert_eq!(got, want, "plane migration must not change the physics");
+    }
+
+    #[test]
+    fn take_give_roundtrip_restores_slabs() {
+        let cfg = small_config();
+        let mut a = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 6 });
+        let mut b = SlabSolver::new(&cfg, Slab { x0: 6, nx_local: 6 });
+        let before_a = a.snapshot();
+        let before_b = b.snapshot();
+        let data = a.take_planes(Side::Right, 2);
+        assert_eq!(a.nx_local(), 4);
+        b.give_planes(Side::Left, 2, &data);
+        assert_eq!(b.nx_local(), 8);
+        assert_eq!(b.x0(), 4);
+        let back = b.take_planes(Side::Left, 2);
+        a.give_planes(Side::Right, 2, &back);
+        assert_eq!(a.snapshot(), before_a);
+        assert_eq!(b.snapshot(), before_b);
+        assert_eq!(a.slab(), Slab { x0: 0, nx_local: 6 });
+        assert_eq!(b.slab(), Slab { x0: 6, nx_local: 6 });
+    }
+
+    #[test]
+    #[should_panic(expected = "whole slab")]
+    fn cannot_take_entire_slab() {
+        let cfg = small_config();
+        let mut a = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 3 });
+        a.take_planes(Side::Left, 3);
+    }
+}

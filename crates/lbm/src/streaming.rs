@@ -1,0 +1,285 @@
+//! Streaming (propagation) with halfway bounce-back walls.
+//!
+//! Post-collision populations move one lattice link per phase. We use the
+//! *pull* formulation: the new population at a cell is read from the
+//! upstream cell,
+//!
+//! ```text
+//! f_i(x, t+1) = f*_i(x − e_i, t)
+//! ```
+//!
+//! Along x the upstream cell may be a ghost plane, refreshed by halo
+//! exchange before streaming. Along y and z the upstream cell may lie
+//! beyond a channel wall; there the halfway bounce-back rule applies (the
+//! paper's "compute bounce back" step): the population is replaced by the
+//! reversed post-collision population of the *same* cell,
+//!
+//! ```text
+//! f_i(x, t+1) = f*_opp(i)(x, t)     if x − e_i is behind a wall.
+//! ```
+//!
+//! This places the no-slip wall half a grid spacing outside the first fluid
+//! cell, second-order accurately.
+
+use crate::component::ComponentState;
+use crate::field::LocalGrid;
+use crate::lattice::{Lattice, D3Q19};
+
+/// Streams one component over the interior of its slab, consuming the
+/// ghost planes of `f` and writing into `f_tmp`, then swaps the buffers.
+///
+/// `solid` flags solid cells over the full local grid (ghost planes
+/// included); populations bounce back at solid upstream cells exactly as
+/// they do at the channel walls, and solid cells themselves carry no
+/// populations. Pass an all-`false` mask for an obstacle-free channel.
+///
+/// After this call, `f` holds the post-streaming populations and ghost
+/// planes of `f` are stale.
+pub fn stream(comp: &mut ComponentState, solid: &[bool]) {
+    let grid = comp.grid();
+    let cells = grid.cells();
+    assert_eq!(solid.len(), cells);
+    let ny = grid.ny as isize;
+    let nz = grid.nz as isize;
+
+    {
+        let src = comp.f.data();
+        let dst = comp.f_tmp.data_mut();
+        for i in 0..D3Q19::Q {
+            let e = D3Q19::E[i];
+            let opp = D3Q19::OPP[i];
+            let src_i = &src[i * cells..(i + 1) * cells];
+            let src_opp = &src[opp * cells..(opp + 1) * cells];
+            let dst_i = &mut dst[i * cells..(i + 1) * cells];
+            for xl in LocalGrid::FIRST..=grid.last() {
+                // Upstream plane along x always exists (ghosts at 0, lx−1).
+                let xs = (xl as isize - e[0] as isize) as usize;
+                for y in 0..ny {
+                    let ys = y - e[1] as isize;
+                    for z in 0..nz {
+                        let zs = z - e[2] as isize;
+                        let cell = (xl * grid.ny + y as usize) * grid.nz + z as usize;
+                        if solid[cell] {
+                            // Solid cells carry no populations.
+                            dst_i[cell] = 0.0;
+                            continue;
+                        }
+                        let v = if ys < 0 || ys >= ny || zs < 0 || zs >= nz {
+                            // Upstream cell is behind a wall: bounce back.
+                            src_opp[cell]
+                        } else {
+                            let source =
+                                (xs * grid.ny + ys as usize) * grid.nz + zs as usize;
+                            if solid[source] {
+                                // Upstream cell is an obstacle: bounce back.
+                                src_opp[cell]
+                            } else {
+                                src_i[source]
+                            }
+                        };
+                        dst_i[cell] = v;
+                    }
+                }
+            }
+        }
+    }
+    std::mem::swap(&mut comp.f, &mut comp.f_tmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentSpec;
+
+    fn make(nx: usize, ny: usize, nz: usize) -> ComponentState {
+        let grid = LocalGrid::new(nx, ny, nz);
+        ComponentState::new(ComponentSpec::water(), grid)
+    }
+
+    /// Fills ghosts periodically (the sequential single-slab convention).
+    fn fill_ghosts_periodic(c: &mut ComponentState) {
+        let grid = c.grid();
+        let mut buf = vec![0.0; c.f.plane_len()];
+        c.f.copy_plane_out(grid.last(), &mut buf);
+        c.f.copy_plane_in(LocalGrid::GHOST_LEFT, &buf);
+        c.f.copy_plane_out(LocalGrid::FIRST, &mut buf);
+        c.f.copy_plane_in(grid.ghost_right(), &buf);
+    }
+
+    fn interior_mass(c: &ComponentState) -> f64 {
+        c.total_number()
+    }
+
+    fn no_solid(c: &ComponentState) -> Vec<bool> {
+        vec![false; c.grid().cells()]
+    }
+
+    /// Streams with an empty obstacle mask.
+    fn stream_clear(c: &mut ComponentState) {
+        let solid = no_solid(c);
+        stream(c, &solid);
+    }
+
+    #[test]
+    fn mass_conserved_with_walls_and_periodic_x() {
+        let mut c = make(4, 3, 3);
+        let grid = c.grid();
+        // Non-uniform initialization.
+        for xl in 1..=grid.last() {
+            for y in 0..grid.ny {
+                for z in 0..grid.nz {
+                    let cell = grid.idx(xl, y, z);
+                    for i in 0..D3Q19::Q {
+                        c.f.set(i, cell, 0.1 + ((xl * 31 + y * 7 + z * 3 + i) % 13) as f64 * 0.01);
+                    }
+                }
+            }
+        }
+        let m0 = interior_mass(&c);
+        for _ in 0..5 {
+            fill_ghosts_periodic(&mut c);
+            stream_clear(&mut c);
+        }
+        assert!((interior_mass(&c) - m0).abs() < 1e-10, "streaming+bounce-back must conserve mass");
+    }
+
+    #[test]
+    fn pure_x_advection_moves_one_plane() {
+        let mut c = make(5, 2, 2);
+        let grid = c.grid();
+        // Put a marker in direction +x (index 1) at plane 2 only.
+        let cell = grid.idx(2, 0, 0);
+        c.f.set(1, cell, 1.0);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        // Marker should now be at plane 3, same y,z.
+        assert_eq!(c.f.at(1, grid.idx(3, 0, 0)), 1.0);
+        assert_eq!(c.f.at(1, grid.idx(2, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn periodic_wraparound_via_ghosts() {
+        let mut c = make(3, 2, 2);
+        let grid = c.grid();
+        // Marker at the last interior plane moving +x wraps to the first.
+        c.f.set(1, grid.idx(grid.last(), 1, 1), 2.5);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        assert_eq!(c.f.at(1, grid.idx(LocalGrid::FIRST, 1, 1)), 2.5);
+    }
+
+    #[test]
+    fn bounce_back_reverses_at_wall() {
+        let mut c = make(3, 4, 4);
+        let grid = c.grid();
+        // Direction 3 = +y. A population moving +y at the top fluid row
+        // (y = ny−1) must come back as direction 4 = −y at the same cell.
+        let cell = grid.idx(1, grid.ny - 1, 1);
+        c.f.set(3, cell, 0.7);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        assert_eq!(c.f.at(4, cell), 0.7, "halfway bounce-back at y-high wall");
+        // And nothing leaked into any +y population anywhere.
+        let total3: f64 = c.f.channel(3).iter().sum();
+        assert_eq!(total3, 0.0);
+    }
+
+    #[test]
+    fn diagonal_bounce_back_at_corner() {
+        let mut c = make(3, 3, 3);
+        let grid = c.grid();
+        // Direction 15 = (0,1,1); at the (y,z) = (ny−1, nz−1) corner the
+        // upstream of the reverse direction is outside both walls.
+        let cell = grid.idx(1, grid.ny - 1, grid.nz - 1);
+        c.f.set(15, cell, 0.3);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        assert_eq!(c.f.at(D3Q19::OPP[15], cell), 0.3);
+    }
+
+    #[test]
+    fn obstacle_bounces_and_stays_empty() {
+        let mut c = make(3, 5, 3);
+        let grid = c.grid();
+        let mut solid = no_solid(&c);
+        // A solid cell at (xl=1, y=2, z=1).
+        let solid_cell = grid.idx(1, 2, 1);
+        solid[solid_cell] = true;
+        // A +y population just below it must reflect to −y in place.
+        let below = grid.idx(1, 1, 1);
+        c.f.set(3, below, 0.4);
+        // Junk inside the solid cell must be cleared by streaming.
+        c.f.set(0, solid_cell, 9.9);
+        fill_ghosts_periodic(&mut c);
+        stream(&mut c, &solid);
+        assert_eq!(c.f.at(4, below), 0.4, "bounce-back at the obstacle face");
+        for i in 0..D3Q19::Q {
+            assert_eq!(c.f.at(i, solid_cell), 0.0, "solid cell must stay empty (dir {i})");
+        }
+    }
+
+    #[test]
+    fn mass_conserved_around_obstacle() {
+        let mut c = make(4, 5, 4);
+        let grid = c.grid();
+        let mut solid = no_solid(&c);
+        // 2×2×2 block in the middle of every plane (same (y,z) footprint
+        // in all x so the periodic ghosts stay consistent).
+        for xl in 0..grid.lx {
+            for y in 2..4 {
+                for z in 1..3 {
+                    solid[grid.idx(xl, y, z)] = true;
+                }
+            }
+        }
+        for xl in 1..=grid.last() {
+            for y in 0..grid.ny {
+                for z in 0..grid.nz {
+                    let cell = grid.idx(xl, y, z);
+                    if solid[cell] {
+                        continue;
+                    }
+                    for i in 0..D3Q19::Q {
+                        c.f.set(i, cell, 0.05 + (i as f64) * 0.01);
+                    }
+                }
+            }
+        }
+        let m0 = interior_mass(&c);
+        for _ in 0..6 {
+            fill_ghosts_periodic(&mut c);
+            stream(&mut c, &solid);
+        }
+        assert!(
+            (interior_mass(&c) - m0).abs() < 1e-10,
+            "obstacle bounce-back must conserve mass"
+        );
+    }
+
+    #[test]
+    fn rest_population_never_moves() {
+        let mut c = make(4, 2, 2);
+        let grid = c.grid();
+        let cell = grid.idx(2, 1, 1);
+        c.f.set(0, cell, 0.9);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        assert_eq!(c.f.at(0, cell), 0.9);
+    }
+
+    #[test]
+    fn double_bounce_returns_population() {
+        // A +y population at the wall bounces to −y; one more step takes it
+        // back into the interior one row down.
+        let mut c = make(3, 5, 3);
+        let grid = c.grid();
+        let wall_cell = grid.idx(1, grid.ny - 1, 1);
+        c.f.set(3, wall_cell, 1.0);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        fill_ghosts_periodic(&mut c);
+        stream_clear(&mut c);
+        let below = grid.idx(1, grid.ny - 2, 1);
+        assert_eq!(c.f.at(4, below), 1.0);
+    }
+}

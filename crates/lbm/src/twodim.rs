@@ -1,0 +1,368 @@
+//! A compact two-dimensional (D2Q9) single-component solver.
+//!
+//! Used for fast validation against plane Poiseuille flow and as the
+//! friendly entry point of the quickstart example. Shares the lattice
+//! descriptors and equilibrium with the 3-D solver; geometry is a channel
+//! periodic in x with halfway bounce-back walls at y = −1/2 and
+//! y = ny − 1/2.
+
+use crate::equilibrium::feq_all;
+use crate::lattice::{D2Q9, Lattice};
+
+/// A 2-D channel flow simulation (single BGK component, body-force driven,
+/// optionally with moving walls for Couette flow).
+#[derive(Clone, Debug)]
+pub struct Channel2d {
+    nx: usize,
+    ny: usize,
+    tau: f64,
+    /// Driving acceleration along x.
+    pub gravity: f64,
+    /// Streamwise velocity of the wall at y = −1/2.
+    pub wall_velocity_bottom: f64,
+    /// Streamwise velocity of the wall at y = ny − 1/2.
+    pub wall_velocity_top: f64,
+    /// Close the x direction with stationary walls instead of periodic
+    /// wrap-around (turns the channel into a box — with a moving top wall,
+    /// the classic lid-driven cavity).
+    pub closed_x: bool,
+    f: Vec<f64>,
+    f_tmp: Vec<f64>,
+}
+
+impl Channel2d {
+    /// Builds a channel initialized to rest at unit density.
+    pub fn new(nx: usize, ny: usize, tau: f64, gravity: f64) -> Self {
+        assert!(nx > 0 && ny > 1);
+        assert!(tau > 0.5, "tau must exceed 1/2");
+        let cells = nx * ny;
+        let mut f = vec![0.0; D2Q9::Q * cells];
+        let mut feq = vec![0.0; D2Q9::Q];
+        feq_all::<D2Q9>(1.0, [0.0; 3], &mut feq);
+        for cell in 0..cells {
+            for (i, &v) in feq.iter().enumerate() {
+                f[i * cells + cell] = v;
+            }
+        }
+        let f_tmp = f.clone();
+        Channel2d {
+            nx,
+            ny,
+            tau,
+            gravity,
+            wall_velocity_bottom: 0.0,
+            wall_velocity_top: 0.0,
+            closed_x: false,
+            f,
+            f_tmp,
+        }
+    }
+
+    /// A lid-driven cavity: a closed box whose top wall slides at `u_lid`.
+    pub fn lid_driven_cavity(n: usize, tau: f64, u_lid: f64) -> Self {
+        let mut ch = Channel2d::couette(n, n, tau, 0.0, u_lid);
+        ch.closed_x = true;
+        ch
+    }
+
+    /// A Couette cell: walls moving at `u_bottom` / `u_top`, no body force.
+    pub fn couette(nx: usize, ny: usize, tau: f64, u_bottom: f64, u_top: f64) -> Self {
+        let mut ch = Channel2d::new(nx, ny, tau, 0.0);
+        ch.wall_velocity_bottom = u_bottom;
+        ch.wall_velocity_top = u_top;
+        ch
+    }
+
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Kinematic viscosity ν = c_s²(τ − 1/2).
+    pub fn viscosity(&self) -> f64 {
+        crate::units::viscosity_of_tau(self.tau)
+    }
+
+    #[inline(always)]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        x * self.ny + y
+    }
+
+    /// Density and velocity at `(x, y)` (velocity includes the half-force
+    /// correction).
+    pub fn macroscopic(&self, x: usize, y: usize) -> (f64, [f64; 2]) {
+        let cells = self.nx * self.ny;
+        let cell = self.idx(x, y);
+        let mut rho = 0.0;
+        let mut mom = [0.0f64; 2];
+        for i in 0..D2Q9::Q {
+            let v = self.f[i * cells + cell];
+            rho += v;
+            mom[0] += v * D2Q9::E[i][0] as f64;
+            mom[1] += v * D2Q9::E[i][1] as f64;
+        }
+        mom[0] += 0.5 * rho * self.gravity;
+        ([rho, 0.0][0], [mom[0] / rho, mom[1] / rho])
+    }
+
+    /// One LBM step: collide (with Shan–Chen velocity-shift forcing) and
+    /// stream with periodic x and bounce-back y walls.
+    pub fn step(&mut self) {
+        let cells = self.nx * self.ny;
+        let tau = self.tau;
+        let omega = 1.0 / tau;
+        // Collide.
+        for cell in 0..cells {
+            let mut fi = [0.0f64; 9];
+            let mut rho = 0.0;
+            let mut mom = [0.0f64; 2];
+            for i in 0..D2Q9::Q {
+                let v = self.f[i * cells + cell];
+                fi[i] = v;
+                rho += v;
+                mom[0] += v * D2Q9::E[i][0] as f64;
+                mom[1] += v * D2Q9::E[i][1] as f64;
+            }
+            // Equilibrium velocity with the force shift τ·F/ρ, F = ρ·g.
+            let u = [mom[0] / rho + tau * self.gravity, mom[1] / rho, 0.0];
+            let uu = u[0] * u[0] + u[1] * u[1];
+            for i in 0..D2Q9::Q {
+                let e = D2Q9::E[i];
+                let eu = e[0] as f64 * u[0] + e[1] as f64 * u[1];
+                let feq = D2Q9::W[i] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu);
+                self.f[i * cells + cell] = fi[i] - omega * (fi[i] - feq);
+            }
+        }
+        // Stream (pull) with halfway bounce-back; a moving wall adds the
+        // standard momentum correction  +6 w_i ρ_w (e_i · u_w)  to the
+        // reflected population (Ladd's moving-boundary rule).
+        let ny = self.ny as isize;
+        let nx = self.nx as isize;
+        for i in 0..D2Q9::Q {
+            let e = D2Q9::E[i];
+            let opp = D2Q9::OPP[i];
+            for x in 0..self.nx {
+                let xs_raw = x as isize - e[0] as isize;
+                let xs = xs_raw.rem_euclid(nx) as usize;
+                for y in 0..self.ny {
+                    let ys = y as isize - e[1] as isize;
+                    let dst = i * cells + self.idx(x, y);
+                    self.f_tmp[dst] = if ys < 0 || ys >= ny {
+                        let uw = if ys < 0 {
+                            self.wall_velocity_bottom
+                        } else {
+                            self.wall_velocity_top
+                        };
+                        let refl = self.f[opp * cells + self.idx(x, y)];
+                        // ρ_w ≈ 1 (weakly compressible); e_i·u_w uses the
+                        // incoming (post-reflection) direction i.
+                        refl + 6.0 * D2Q9::W[i] * (e[0] as f64 * uw)
+                    } else if self.closed_x && (xs_raw < 0 || xs_raw >= nx) {
+                        // Stationary side walls of the closed box.
+                        self.f[opp * cells + self.idx(x, y)]
+                    } else {
+                        self.f[i * cells + self.idx(xs, ys as usize)]
+                    };
+                }
+            }
+        }
+        std::mem::swap(&mut self.f, &mut self.f_tmp);
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Streamwise velocity profile along y at `x = nx/2`.
+    pub fn velocity_profile(&self) -> Vec<f64> {
+        let x = self.nx / 2;
+        (0..self.ny).map(|y| self.macroscopic(x, y).1[0]).collect()
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.f.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{compare, plane_poiseuille};
+
+    #[test]
+    fn mass_conserved() {
+        let mut ch = Channel2d::new(16, 12, 0.8, 1e-5);
+        let m0 = ch.total_mass();
+        ch.run(100);
+        assert!(((ch.total_mass() - m0) / m0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_plane_poiseuille() {
+        let ny = 24;
+        let g = 1e-6;
+        let mut ch = Channel2d::new(4, ny, 1.0, g);
+        ch.run(6000);
+        let numeric = ch.velocity_profile();
+        let h = ny as f64;
+        let reference: Vec<f64> = (0..ny)
+            .map(|y| plane_poiseuille(y as f64 + 0.5, h, g, ch.viscosity()))
+            .collect();
+        let err = compare(&numeric, &reference);
+        assert!(err.l2 < 0.01, "L2 error vs Poiseuille: {}", err.l2);
+        assert!(err.linf < 0.02, "Linf error vs Poiseuille: {}", err.linf);
+    }
+
+    #[test]
+    fn profile_is_symmetric() {
+        let ny = 20;
+        let mut ch = Channel2d::new(4, ny, 0.9, 1e-6);
+        ch.run(2000);
+        let p = ch.velocity_profile();
+        for y in 0..ny / 2 {
+            assert!(
+                (p[y] - p[ny - 1 - y]).abs() < 1e-12,
+                "asymmetry at row {y}: {} vs {}",
+                p[y],
+                p[ny - 1 - y]
+            );
+        }
+    }
+
+    #[test]
+    fn no_flow_without_driving() {
+        let mut ch = Channel2d::new(6, 8, 1.1, 0.0);
+        ch.run(50);
+        for u in ch.velocity_profile() {
+            assert!(u.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn couette_profile_is_linear() {
+        let ny = 20;
+        let uw = 0.02;
+        let mut ch = Channel2d::couette(4, ny, 0.9, 0.0, uw);
+        ch.run(4000);
+        let p = ch.velocity_profile();
+        // Analytic: u(d) = uw · d / H with d the distance from the
+        // stationary wall, H the plate separation.
+        let h = ny as f64;
+        for (y, &u) in p.iter().enumerate() {
+            let want = uw * (y as f64 + 0.5) / h;
+            assert!(
+                (u - want).abs() < 0.02 * uw,
+                "row {y}: {u} vs analytic {want}"
+            );
+        }
+        // Shear is constant.
+        let slopes: Vec<f64> = p.windows(2).map(|w| w[1] - w[0]).collect();
+        let (min, max) = (
+            slopes.iter().cloned().fold(f64::INFINITY, f64::min),
+            slopes.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        assert!((max - min).abs() < 0.05 * max.abs(), "shear not constant");
+    }
+
+    #[test]
+    fn symmetric_couette_has_zero_net_flow() {
+        let mut ch = Channel2d::couette(4, 16, 1.0, -0.01, 0.01);
+        ch.run(3000);
+        let p = ch.velocity_profile();
+        let net: f64 = p.iter().sum();
+        assert!(net.abs() < 1e-4, "antisymmetric Couette must carry no net flux: {net}");
+        // Antisymmetric about the centerline.
+        for y in 0..8 {
+            assert!((p[y] + p[16 - 1 - y]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn couette_poiseuille_superposition() {
+        // Stokes flow is linear: gravity + one moving wall ≈ the sum of
+        // the two separate solutions.
+        let ny = 16;
+        let (g, uw) = (1e-6, 0.01);
+        let mut both = Channel2d::new(4, ny, 1.0, g);
+        both.wall_velocity_top = uw;
+        both.run(4000);
+        let mut pois = Channel2d::new(4, ny, 1.0, g);
+        pois.run(4000);
+        let mut cou = Channel2d::couette(4, ny, 1.0, 0.0, uw);
+        cou.run(4000);
+        let pb = both.velocity_profile();
+        let pp = pois.velocity_profile();
+        let pc = cou.velocity_profile();
+        for y in 0..ny {
+            let want = pp[y] + pc[y];
+            assert!(
+                (pb[y] - want).abs() < 0.02 * want.abs().max(1e-6),
+                "row {y}: {} vs {}",
+                pb[y],
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn lid_driven_cavity_circulates() {
+        let n = 24;
+        let u_lid = 0.05;
+        let mut cav = Channel2d::lid_driven_cavity(n, 0.8, u_lid);
+        let m0 = cav.total_mass();
+        cav.run(8000);
+        // Mass exactly conserved in the closed box.
+        assert!(((cav.total_mass() - m0) / m0).abs() < 1e-12);
+        // Primary vortex: flow follows the lid near the top and returns
+        // along the bottom.
+        let u_top = cav.macroscopic(n / 2, n - 2).1[0];
+        let u_bottom = cav.macroscopic(n / 2, n / 4).1[0];
+        assert!(u_top > 0.0, "near-lid flow must follow the lid: {u_top}");
+        assert!(u_bottom < 0.0, "return flow must oppose the lid: {u_bottom}");
+        // Downward flow on the right wall, upward on the left.
+        let v_right = cav.macroscopic(n - 2, n / 2).1[1];
+        let v_left = cav.macroscopic(1, n / 2).1[1];
+        assert!(v_right < 0.0, "right wall flow should descend: {v_right}");
+        assert!(v_left > 0.0, "left wall flow should ascend: {v_left}");
+        // Everything stays low-Mach.
+        for x in 0..n {
+            for y in 0..n {
+                let (_, u) = cav.macroscopic(x, y);
+                assert!(u[0].abs() <= u_lid * 1.2 && u[1].abs() <= u_lid * 1.2);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_box_without_lid_stays_quiescent() {
+        let mut cav = Channel2d::lid_driven_cavity(12, 1.0, 0.0);
+        cav.run(200);
+        for x in 0..12 {
+            for y in 0..12 {
+                let (_, u) = cav.macroscopic(x, y);
+                assert!(u[0].abs() < 1e-14 && u[1].abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn flux_scales_linearly_with_gravity() {
+        // Stokes regime: doubling g doubles the velocity everywhere.
+        let mut a = Channel2d::new(4, 16, 1.0, 1e-6);
+        let mut b = Channel2d::new(4, 16, 1.0, 2e-6);
+        a.run(3000);
+        b.run(3000);
+        let pa = a.velocity_profile();
+        let pb = b.velocity_profile();
+        for (ua, ub) in pa.iter().zip(&pb) {
+            assert!((ub / ua - 2.0).abs() < 1e-3, "nonlinear response: {ua} vs {ub}");
+        }
+    }
+}

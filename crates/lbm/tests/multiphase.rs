@@ -1,0 +1,70 @@
+//! Phase separation of the single-component Shan–Chen non-ideal gas — the
+//! "multiphase flows" half of the model family the paper builds on
+//! (Shan & Chen 1993/94, paper §2.1).
+
+use microslip_lbm::observables::YProfile;
+use microslip_lbm::{ChannelConfig, Dims, InitProfile, Simulation};
+
+/// Mean density along x (averaged over the cross-section).
+fn x_profile(snap: &microslip_lbm::Snapshot) -> YProfile {
+    let mut distance = Vec::with_capacity(snap.nx);
+    let mut value = vec![0.0; snap.nx];
+    for (x, v) in value.iter_mut().enumerate() {
+        distance.push(x as f64);
+        let mut sum = 0.0;
+        for y in 0..snap.ny {
+            for z in 0..snap.nz {
+                sum += snap.rho[0][snap.idx(x, y, z)];
+            }
+        }
+        *v = sum / (snap.ny * snap.nz) as f64;
+    }
+    YProfile { distance, value }
+}
+
+#[test]
+fn attractive_self_coupling_separates_phases() {
+    // A long thin periodic box seeded with a smooth density modulation
+    // along x condenses into a liquid slab and a vapor region.
+    let dims = Dims::new(48, 4, 4);
+    let g = -6.0;
+    let n0 = 1.0;
+    let n_init = 0.7; // near n0·ln2, the spinodal center
+    let mut cfg = ChannelConfig::liquid_vapor(dims, g, n0, n_init);
+    // Seed a long-wavelength modulation along the periodic direction.
+    cfg.init = InitProfile::CosineX { amplitude: 0.05 };
+    let mut sim = Simulation::new(cfg);
+    sim.run(3000);
+    let snap = sim.snapshot();
+    let p = x_profile(&snap);
+    let max = p.value.iter().cloned().fold(0.0f64, f64::max);
+    let min = p.value.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min > 1.5,
+        "expected phase separation along x: max {max} / min {min}"
+    );
+    // Mass is still conserved exactly.
+    let total: f64 = snap.rho[0].iter().sum();
+    let expect = n_init * dims.cells() as f64;
+    assert!(((total - expect) / expect).abs() < 1e-9, "mass drift: {total} vs {expect}");
+    // Densities stay physical.
+    assert!(min > 0.0, "negative/zero density appeared");
+}
+
+#[test]
+fn subcritical_coupling_stays_uniform() {
+    // Above the critical coupling the same setup must NOT separate.
+    let dims = Dims::new(48, 4, 4);
+    let mut cfg = ChannelConfig::liquid_vapor(dims, -3.0, 1.0, 0.7); // |g| < 4/n0
+    cfg.init = InitProfile::CosineX { amplitude: 0.05 };
+    let mut sim = Simulation::new(cfg);
+    sim.run(1500);
+    let snap = sim.snapshot();
+    let p = x_profile(&snap);
+    let max = p.value.iter().cloned().fold(0.0f64, f64::max);
+    let min = p.value.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min < 1.05,
+        "subcritical fluid must stay uniform along x: {max}/{min}"
+    );
+}

@@ -1,0 +1,72 @@
+//! TRT vs BGK accuracy: at relaxation times away from 1, BGK's effective
+//! wall position drifts with viscosity while TRT with the magic parameter
+//! Λ = 3/16 keeps the bounce-back wall exactly halfway — the steady
+//! channel profile should track the analytic solution more closely.
+
+use microslip_lbm::analytic::{compare, duct_velocity};
+use microslip_lbm::component::CollisionOperator;
+use microslip_lbm::simulation::velocity_converged;
+use microslip_lbm::{ChannelConfig, Dims, Simulation};
+
+fn duct_error(collision: CollisionOperator, tau: f64) -> f64 {
+    let dims = Dims::new(4, 14, 10);
+    let g = 1e-6;
+    let mut cfg = ChannelConfig::single_component(dims, tau, g);
+    cfg.components[0].0.collision = collision;
+    let mut sim = Simulation::new(cfg);
+    sim.run_until(40_000, 500, velocity_converged(1e-11));
+    let snap = sim.snapshot();
+    let a = dims.ny as f64 / 2.0;
+    let b = dims.nz as f64 / 2.0;
+    let nu = microslip_lbm::units::viscosity_of_tau(tau);
+    let mut numeric = Vec::new();
+    let mut reference = Vec::new();
+    for y in 0..dims.ny {
+        for z in 0..dims.nz {
+            numeric.push(snap.u(snap.idx(2, y, z))[0]);
+            reference.push(duct_velocity(
+                y as f64 + 0.5 - a,
+                z as f64 + 0.5 - b,
+                a,
+                b,
+                g,
+                nu,
+                200,
+            ));
+        }
+    }
+    compare(&numeric, &reference).l2
+}
+
+#[test]
+fn trt_beats_bgk_at_high_tau() {
+    let tau = 1.8;
+    let bgk = duct_error(CollisionOperator::Bgk, tau);
+    let trt = duct_error(CollisionOperator::trt_magic(), tau);
+    assert!(
+        trt < 0.6 * bgk,
+        "TRT (L2 {trt}) should clearly beat BGK (L2 {bgk}) at tau = {tau}"
+    );
+    assert!(trt < 0.02, "TRT error too large: {trt}");
+}
+
+#[test]
+fn trt_matches_bgk_near_tau_one() {
+    // At τ ≈ 1 both operators are accurate; TRT must not be worse.
+    let tau = 1.0;
+    let bgk = duct_error(CollisionOperator::Bgk, tau);
+    let trt = duct_error(CollisionOperator::trt_magic(), tau);
+    assert!(trt < bgk * 1.5 + 1e-3, "TRT {trt} vs BGK {bgk}");
+}
+
+#[test]
+fn trt_two_component_mass_conserved() {
+    let mut cfg = ChannelConfig::paper_scaled(Dims::new(8, 8, 4));
+    for (spec, _) in cfg.components.iter_mut() {
+        spec.collision = CollisionOperator::trt_magic();
+    }
+    let mut sim = Simulation::new(cfg);
+    let m0 = sim.total_mass();
+    sim.run(60);
+    assert!(((sim.total_mass() - m0) / m0).abs() < 1e-11);
+}

@@ -1,0 +1,309 @@
+//! The parallel driver: spawns workers, wires the communicator, joins the
+//! reports and stitches the global result.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use microslip_balance::policy::NeighborPolicy;
+use microslip_balance::predict::HarmonicMean;
+use microslip_comm::channel::mesh;
+use microslip_comm::Transport;
+use microslip_lbm::geometry::even_slabs;
+use microslip_lbm::macroscopic::Snapshot;
+use microslip_lbm::ChannelConfig;
+
+use crate::throttle::ThrottlePlan;
+use crate::worker::{worker_main, worker_main_with_solver, WorkerConfig, WorkerReport};
+
+/// Configuration of a threaded parallel run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    pub channel: ChannelConfig,
+    pub workers: usize,
+    pub phases: u64,
+    /// Phases between remap rounds; 0 disables remapping.
+    pub remap_interval: u64,
+    /// Predictor window for the harmonic load index (paper: 10).
+    pub predictor_window: usize,
+    /// Per-worker slowdown factors (≥ 1). Empty = all full speed.
+    pub throttle: Vec<f64>,
+    /// Transient spikes `(rank, from_phase, to_phase, factor)` on top of
+    /// the base throttle (the real-thread analogue of the paper's random
+    /// spikes).
+    pub spikes: Vec<(usize, u64, u64, f64)>,
+    /// Ask every worker to serialize its final state into its report
+    /// (resume with [`run_parallel_from`]).
+    pub checkpoint_at_end: bool,
+}
+
+impl RuntimeConfig {
+    /// A run with no remapping and no throttling.
+    pub fn new(channel: ChannelConfig, workers: usize, phases: u64) -> Self {
+        RuntimeConfig {
+            channel,
+            workers,
+            phases,
+            remap_interval: 0,
+            predictor_window: 10,
+            throttle: Vec::new(),
+            spikes: Vec::new(),
+            checkpoint_at_end: false,
+        }
+    }
+
+    fn throttle_for(&self, rank: usize) -> ThrottlePlan {
+        let base = self.throttle.get(rank).copied().unwrap_or(1.0);
+        let mut plan = ThrottlePlan::constant(base.max(1.0));
+        for &(r, from, to, factor) in &self.spikes {
+            if r == rank {
+                plan = plan.with_spike(from, to, factor);
+            }
+        }
+        plan
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The stitched global macroscopic state.
+    pub snapshot: Snapshot,
+    /// Per-worker reports, ordered by rank.
+    pub reports: Vec<WorkerReport>,
+    /// Wall-clock duration of the parallel section.
+    pub wall_seconds: f64,
+}
+
+impl RunOutcome {
+    /// Final plane counts by rank.
+    pub fn final_counts(&self) -> Vec<usize> {
+        self.reports.iter().map(|r| r.final_slab.nx_local).collect()
+    }
+
+    /// Total planes migrated (sum of sends).
+    pub fn planes_migrated(&self) -> usize {
+        self.reports.iter().map(|r| r.planes_sent).sum()
+    }
+}
+
+/// Runs the configured simulation on `cfg.workers` threads under the given
+/// neighbor-local remapping policy.
+pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> RunOutcome {
+    assert!(cfg.workers >= 1);
+    assert!(
+        cfg.channel.dims.nx >= cfg.workers,
+        "need at least one plane per worker"
+    );
+    cfg.channel.validate().expect("invalid channel configuration");
+
+    let slabs = even_slabs(cfg.channel.dims.nx, cfg.workers);
+    let transports = mesh(cfg.workers);
+    let worker_cfg = Arc::new(WorkerConfig {
+        channel: cfg.channel.clone(),
+        phases: cfg.phases,
+        remap_interval: cfg.remap_interval,
+        predictor_window: cfg.predictor_window,
+        checkpoint_at_end: cfg.checkpoint_at_end,
+    });
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.workers);
+    for (transport, slab) in transports.into_iter().zip(slabs) {
+        let rank = transport.rank();
+        let wcfg = Arc::clone(&worker_cfg);
+        let policy = Arc::clone(&policy);
+        let throttle = cfg.throttle_for(rank);
+        let predictor_window = cfg.predictor_window;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("microslip-worker-{rank}"))
+                .spawn(move || {
+                    let predictor = HarmonicMean { window: predictor_window };
+                    worker_main(&wcfg, policy.as_ref(), &predictor, transport, slab, throttle)
+                })
+                .expect("spawn worker"),
+        );
+    }
+    let mut reports: Vec<WorkerReport> =
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    reports.sort_by_key(|r| r.rank);
+    let snapshot = Snapshot::stitch(reports.iter().map(|r| r.snapshot.clone()).collect());
+    RunOutcome { snapshot, reports, wall_seconds }
+}
+
+/// Resumes a parallel run from per-worker checkpoints (one per rank, in
+/// rank order — e.g. the `checkpoint` fields of a prior run's reports).
+/// The slab layout is taken from the checkpoints, so a partition reshaped
+/// by earlier remapping resumes exactly where it stood.
+pub fn run_parallel_from(
+    cfg: &RuntimeConfig,
+    policy: Arc<dyn NeighborPolicy>,
+    checkpoints: &[Vec<u8>],
+) -> RunOutcome {
+    assert_eq!(checkpoints.len(), cfg.workers, "need one checkpoint per worker");
+    cfg.channel.validate().expect("invalid channel configuration");
+    let solvers: Vec<microslip_lbm::SlabSolver> = checkpoints
+        .iter()
+        .map(|bytes| {
+            microslip_lbm::checkpoint::load_solver(&cfg.channel, bytes)
+                .expect("invalid checkpoint")
+                .0
+        })
+        .collect();
+    // The slabs must tile the domain contiguously.
+    let mut x = 0;
+    for s in &solvers {
+        assert_eq!(s.x0(), x, "checkpoints do not tile the domain");
+        x += s.nx_local();
+    }
+    assert_eq!(x, cfg.channel.dims.nx);
+
+    let transports = mesh(cfg.workers);
+    let worker_cfg = Arc::new(WorkerConfig {
+        channel: cfg.channel.clone(),
+        phases: cfg.phases,
+        remap_interval: cfg.remap_interval,
+        predictor_window: cfg.predictor_window,
+        checkpoint_at_end: cfg.checkpoint_at_end,
+    });
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.workers);
+    for (transport, solver) in transports.into_iter().zip(solvers) {
+        let rank = transport.rank();
+        let wcfg = Arc::clone(&worker_cfg);
+        let policy = Arc::clone(&policy);
+        let throttle = cfg.throttle_for(rank);
+        let predictor_window = cfg.predictor_window;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("microslip-worker-{rank}"))
+                .spawn(move || {
+                    let predictor = HarmonicMean { window: predictor_window };
+                    worker_main_with_solver(
+                        &wcfg,
+                        policy.as_ref(),
+                        &predictor,
+                        transport,
+                        solver,
+                        throttle,
+                    )
+                })
+                .expect("spawn worker"),
+        );
+    }
+    let mut reports: Vec<WorkerReport> =
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    reports.sort_by_key(|r| r.rank);
+    let snapshot = Snapshot::stitch(reports.iter().map(|r| r.snapshot.clone()).collect());
+    RunOutcome { snapshot, reports, wall_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microslip_balance::policy::{Filtered, NoRemap};
+    use microslip_lbm::{Dims, Simulation};
+
+    fn small_channel() -> ChannelConfig {
+        let mut c = ChannelConfig::paper_scaled(Dims::new(16, 6, 4));
+        c.body = [1.0e-4, 0.0, 0.0];
+        c
+    }
+
+    fn sequential_snapshot(channel: &ChannelConfig, phases: u64) -> Snapshot {
+        let mut sim = Simulation::new(channel.clone());
+        sim.run(phases);
+        sim.snapshot()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let channel = small_channel();
+        let want = sequential_snapshot(&channel, 6);
+        for workers in [1, 2, 4] {
+            let cfg = RuntimeConfig::new(channel.clone(), workers, 6);
+            let out = run_parallel(&cfg, Arc::new(NoRemap));
+            assert_eq!(out.snapshot, want, "{workers} workers diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn parallel_with_remapping_matches_sequential_bitwise() {
+        let channel = small_channel();
+        let want = sequential_snapshot(&channel, 12);
+        let mut cfg = RuntimeConfig::new(channel, 4, 12);
+        cfg.remap_interval = 3;
+        cfg.predictor_window = 2;
+        // Throttle one worker so migrations actually happen.
+        cfg.throttle = vec![1.0, 6.0, 1.0, 1.0];
+        let out = run_parallel(&cfg, Arc::new(Filtered::default()));
+        assert_eq!(out.snapshot, want, "remapping changed the physics");
+        // Work is conserved across migrations.
+        assert_eq!(out.final_counts().iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn filtered_drains_throttled_worker() {
+        let channel = {
+            let mut c = ChannelConfig::paper_scaled(Dims::new(32, 8, 4));
+            c.body = [1.0e-4, 0.0, 0.0];
+            c
+        };
+        let mut cfg = RuntimeConfig::new(channel, 4, 40);
+        cfg.remap_interval = 5;
+        cfg.predictor_window = 3;
+        cfg.throttle = vec![1.0, 8.0, 1.0, 1.0];
+        let out = run_parallel(&cfg, Arc::new(Filtered::default()));
+        let counts = out.final_counts();
+        assert!(
+            counts[1] < 8,
+            "throttled worker should shed planes: {counts:?}"
+        );
+        assert!(out.planes_migrated() > 0);
+        // Slabs remain contiguous and ordered.
+        let mut x = 0;
+        for r in &out.reports {
+            assert_eq!(r.final_slab.x0, x);
+            x = r.final_slab.x_end();
+        }
+        assert_eq!(x, 32);
+    }
+
+    #[test]
+    fn parallel_checkpoint_resume_is_bitwise() {
+        // 4 workers, migrations mid-run, checkpoint after 10 phases,
+        // resume for 10 more — must equal the uninterrupted 20-phase run.
+        let channel = {
+            let mut c = ChannelConfig::paper_scaled(Dims::new(20, 6, 4));
+            c.body = [1e-4, 0.0, 0.0];
+            c
+        };
+        let mut cfg = RuntimeConfig::new(channel.clone(), 4, 10);
+        cfg.remap_interval = 3;
+        cfg.predictor_window = 2;
+        cfg.throttle = vec![1.0, 6.0, 1.0, 1.0];
+        cfg.checkpoint_at_end = true;
+        let first = run_parallel(&cfg, Arc::new(Filtered::default()));
+        let checkpoints: Vec<Vec<u8>> =
+            first.reports.iter().map(|r| r.checkpoint.clone().unwrap()).collect();
+        // The slow worker shed planes before the checkpoint.
+        assert!(first.final_counts()[1] < 5, "{:?}", first.final_counts());
+
+        let resumed = run_parallel_from(&cfg, Arc::new(Filtered::default()), &checkpoints);
+
+        let want = sequential_snapshot(&channel, 20);
+        assert_eq!(resumed.snapshot, want, "resumed parallel run diverged");
+    }
+
+    #[test]
+    fn profiles_are_populated() {
+        let cfg = RuntimeConfig::new(small_channel(), 2, 4);
+        let out = run_parallel(&cfg, Arc::new(NoRemap));
+        for r in &out.reports {
+            assert!(r.profile.compute > 0.0);
+            assert!(r.profile.total() <= out.wall_seconds + 0.05);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-worker wall-clock accounting, mirroring the paper's Fig. 9 bars.
+
+use std::time::Instant;
+
+/// Seconds spent by one worker in each activity class.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Profile {
+    /// Lattice updates (collision, streaming, forces, …) including any
+    /// injected throttle padding.
+    pub compute: f64,
+    /// Halo exchanges: packing, sending, blocking receives.
+    pub comm: f64,
+    /// Remap rounds: load exchange, plan evaluation, plane migration.
+    pub remap: f64,
+}
+
+impl Profile {
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.remap
+    }
+}
+
+/// A scope timer accumulating into one `Profile` field.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Seconds since start; restarts the watch.
+    pub fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.start).as_secs_f64();
+        self.start = now;
+        dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let p = Profile { compute: 1.0, comm: 0.5, remap: 0.25 };
+        assert!((p.total() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopwatch_laps_are_positive_and_reset() {
+        let mut w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let a = w.lap();
+        let b = w.lap();
+        assert!(a >= 0.002);
+        assert!(b < a, "lap must reset the origin");
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic slowdown injection for the threaded runtime.
+//!
+//! The paper slows cluster nodes by running a CPU-bound competing job on
+//! them. For reproducible laptop-scale experiments we instead *pad* a
+//! worker's compute sections: after a section that took `d` of wall time,
+//! a throttled worker busy-spins for `d · (factor − 1)`, making its
+//! effective compute speed `1 / factor` — the same observable effect the
+//! remapping policies react to, without depending on the host scheduler.
+
+use std::time::{Duration, Instant};
+
+/// Multiplies the duration of compute sections of one worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throttle {
+    /// Slowdown factor ≥ 1. `1.0` = full speed; the paper's 70 %
+    /// competing load corresponds to `1 / 0.3 ≈ 3.33`.
+    pub factor: f64,
+}
+
+impl Throttle {
+    pub fn none() -> Self {
+        Throttle { factor: 1.0 }
+    }
+
+    /// The paper's slow node: 30 % of the CPU left.
+    pub fn paper_slow() -> Self {
+        Throttle { factor: 1.0 / 0.3 }
+    }
+
+    pub fn new(factor: f64) -> Self {
+        assert!(factor >= 1.0 && factor.is_finite(), "throttle factor must be ≥ 1");
+        Throttle { factor }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.factor > 1.0
+    }
+
+    /// Busy-spins long enough to stretch a compute section that took
+    /// `busy` to `busy · factor` total.
+    pub fn pad(&self, busy: Duration) {
+        if !self.is_active() {
+            return;
+        }
+        let extra = busy.mul_f64(self.factor - 1.0);
+        let until = Instant::now() + extra;
+        while Instant::now() < until {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// A phase-dependent throttle: a base slowdown plus transient spikes —
+/// the real-thread analogue of the cluster simulator's disturbance
+/// models (paper §4.2.4's random 1–4 s spikes).
+#[derive(Clone, Debug, Default)]
+pub struct ThrottlePlan {
+    /// Base slowdown factor (≥ 1) applied to every phase; 0 entries in
+    /// builders normalize to 1.
+    pub base: f64,
+    /// Spikes as `(from_phase, to_phase, factor)`, `to` exclusive,
+    /// 1-based phases as counted by the worker loop.
+    pub spikes: Vec<(u64, u64, f64)>,
+}
+
+impl ThrottlePlan {
+    /// No throttling at all.
+    pub fn none() -> Self {
+        ThrottlePlan { base: 1.0, spikes: Vec::new() }
+    }
+
+    /// Constant slowdown.
+    pub fn constant(factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        ThrottlePlan { base: factor, spikes: Vec::new() }
+    }
+
+    /// Adds a transient spike.
+    pub fn with_spike(mut self, from: u64, to: u64, factor: f64) -> Self {
+        assert!(from < to && factor >= 1.0);
+        self.spikes.push((from, to, factor));
+        self
+    }
+
+    /// The throttle in effect at `phase` (spikes multiply the base).
+    pub fn at(&self, phase: u64) -> Throttle {
+        let base = self.base.max(1.0);
+        let mut factor = base;
+        for &(from, to, f) in &self.spikes {
+            if phase >= from && phase < to {
+                factor *= f;
+            }
+        }
+        Throttle::new(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_throttle_is_free() {
+        let t = Throttle::none();
+        assert!(!t.is_active());
+        let start = Instant::now();
+        t.pad(Duration::from_millis(50));
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn pad_stretches_by_factor() {
+        let t = Throttle::new(3.0);
+        let busy = Duration::from_millis(10);
+        let start = Instant::now();
+        t.pad(busy);
+        let padded = start.elapsed();
+        // Expected ≈ 20 ms of padding for 10 ms busy at factor 3.
+        assert!(padded >= Duration::from_millis(18), "padded only {padded:?}");
+        assert!(padded < Duration::from_millis(200), "padded too long {padded:?}");
+    }
+
+    #[test]
+    fn paper_slow_factor() {
+        let t = Throttle::paper_slow();
+        assert!((t.factor - 10.0 / 3.0).abs() < 1e-12);
+        assert!(t.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn speedup_rejected() {
+        Throttle::new(0.5);
+    }
+
+    #[test]
+    fn plan_selects_factor_by_phase() {
+        let plan = ThrottlePlan::constant(2.0).with_spike(5, 8, 3.0);
+        assert_eq!(plan.at(1).factor, 2.0);
+        assert_eq!(plan.at(5).factor, 6.0);
+        assert_eq!(plan.at(7).factor, 6.0);
+        assert_eq!(plan.at(8).factor, 2.0);
+        assert!(!ThrottlePlan::none().at(3).is_active());
+        // Default base 0 normalizes to 1.
+        assert_eq!(ThrottlePlan::default().at(1).factor, 1.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The per-node worker: one thread owning a slab, running the full LBM
+//! phase loop with halo exchanges and distributed filtered remapping.
+//!
+//! The phase structure is the paper's pseudo-code (Fig. 2); remapping uses
+//! a **two-hop** neighbor exchange of load indices, which is exactly
+//! enough for each worker to compute the plane flow across its own edges
+//! consistently with its neighbors (see
+//! [`microslip_balance::policy::NeighborPolicy`]).
+
+use microslip_balance::policy::NeighborPolicy;
+use microslip_balance::predict::{History, Predictor};
+use microslip_balance::Partition;
+use microslip_comm::{LinearTopology, Tag, Transport};
+use microslip_lbm::macroscopic::Snapshot;
+use microslip_lbm::{ChannelConfig, Side, Slab, SlabSolver};
+
+use crate::profile::{Profile, Stopwatch};
+use crate::throttle::ThrottlePlan;
+
+/// Static configuration shared by every worker.
+pub struct WorkerConfig {
+    pub channel: ChannelConfig,
+    pub phases: u64,
+    /// Phases between remap rounds; 0 disables remapping entirely.
+    pub remap_interval: u64,
+    /// Harmonic-predictor window (paper: 10).
+    pub predictor_window: usize,
+    /// Serialize each worker's final state into its report.
+    pub checkpoint_at_end: bool,
+}
+
+/// What a worker hands back when the run completes.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    pub rank: usize,
+    pub final_slab: Slab,
+    pub profile: Profile,
+    pub snapshot: Snapshot,
+    /// Planes this worker sent away / received during remapping.
+    pub planes_sent: usize,
+    pub planes_received: usize,
+    /// Serialized end-of-run state (only when the run requested
+    /// checkpointing) — feed back through
+    /// [`crate::driver::run_parallel_from`] to resume.
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+/// Runs one worker to completion. `transport` is this rank's endpoint of
+/// the communicator; `slab` its initial share of the channel.
+pub fn worker_main<T: Transport>(
+    cfg: &WorkerConfig,
+    policy: &dyn NeighborPolicy,
+    predictor: &dyn Predictor,
+    transport: T,
+    slab: Slab,
+    throttle: ThrottlePlan,
+) -> WorkerReport {
+    let solver = SlabSolver::new(&cfg.channel, slab);
+    worker_main_with_solver(cfg, policy, predictor, transport, solver, throttle)
+}
+
+/// As [`worker_main`] but starting from an existing solver state (e.g. a
+/// restored checkpoint). Priming recomputes ψ/forces/velocities from the
+/// populations, which is idempotent, so restored runs continue bitwise.
+pub fn worker_main_with_solver<T: Transport>(
+    cfg: &WorkerConfig,
+    policy: &dyn NeighborPolicy,
+    predictor: &dyn Predictor,
+    mut transport: T,
+    mut solver: SlabSolver,
+    throttle: ThrottlePlan,
+) -> WorkerReport {
+    let rank = transport.rank();
+    let n = transport.size();
+    let topo = LinearTopology::new(rank, n);
+    let mut profile = Profile::default();
+    let mut history = History::new(cfg.predictor_window.max(1));
+    let mut planes_sent = 0usize;
+    let mut planes_received = 0usize;
+
+    // Priming: ψ from the initial state, one ψ exchange, then forces and
+    // velocities — the same steps the sequential driver does.
+    solver.prime_local_psi();
+    exchange_psi(&mut solver, &mut transport, &topo, &mut profile);
+    solver.prime_finish();
+
+    for phase in 1..=cfg.phases {
+        let throttle = throttle.at(phase);
+        let mut compute_secs = 0.0;
+        let mut watch = Stopwatch::start();
+
+        // Collision.
+        solver.collide();
+        let d = watch.lap();
+        throttle.pad(std::time::Duration::from_secs_f64(d));
+        compute_secs += watch.lap() + d;
+        profile.compute += compute_secs;
+
+        // Exchange distribution functions.
+        exchange_f(&mut solver, &mut transport, &topo, &mut profile);
+
+        // Streaming, bounce-back, ψ.
+        let mut watch = Stopwatch::start();
+        solver.stream();
+        solver.compute_psi();
+        let d = watch.lap();
+        throttle.pad(std::time::Duration::from_secs_f64(d));
+        let sect = watch.lap() + d;
+        compute_secs += sect;
+        profile.compute += sect;
+
+        // Exchange number densities.
+        exchange_psi(&mut solver, &mut transport, &topo, &mut profile);
+
+        // Forces + velocities.
+        let mut watch = Stopwatch::start();
+        solver.compute_forces();
+        solver.compute_velocities();
+        let d = watch.lap();
+        throttle.pad(std::time::Duration::from_secs_f64(d));
+        let sect = watch.lap() + d;
+        compute_secs += sect;
+        profile.compute += sect;
+
+        // Load index: per-point compute time, independent of slab size.
+        history.push(compute_secs / solver.points() as f64);
+
+        // Remapping.
+        if cfg.remap_interval > 0 && phase % cfg.remap_interval == 0 && n > 1 {
+            remap_round(
+                cfg,
+                policy,
+                predictor,
+                &mut solver,
+                &mut transport,
+                &topo,
+                &mut history,
+                &mut profile,
+                &mut planes_sent,
+                &mut planes_received,
+            );
+        }
+    }
+
+    let checkpoint = cfg
+        .checkpoint_at_end
+        .then(|| microslip_lbm::checkpoint::save_solver(&solver, cfg.phases));
+    WorkerReport {
+        rank,
+        final_slab: solver.slab(),
+        profile,
+        snapshot: solver.snapshot(),
+        planes_sent,
+        planes_received,
+        checkpoint,
+    }
+}
+
+/// Population halo exchange over the periodic ring. Convention: the
+/// right-bound message is always sent first, so the two messages of a
+/// two-node ring arrive in a deterministic order.
+fn exchange_f<T: Transport>(
+    solver: &mut SlabSolver,
+    transport: &mut T,
+    topo: &LinearTopology,
+    profile: &mut Profile,
+) {
+    let mut watch = Stopwatch::start();
+    if topo.size == 1 {
+        solver.f_ghosts_periodic();
+        profile.comm += watch.lap();
+        return;
+    }
+    let len = solver.f_halo_len();
+    let mut buf = vec![0.0; len];
+    solver.f_halo_out(Side::Right, &mut buf);
+    transport.send(topo.ring_right(), Tag::F_HALO, buf.clone()).expect("send f halo");
+    solver.f_halo_out(Side::Left, &mut buf);
+    transport.send(topo.ring_left(), Tag::F_HALO, buf).expect("send f halo");
+    let from_left = transport.recv(topo.ring_left(), Tag::F_HALO).expect("recv f halo");
+    solver.f_halo_in(Side::Left, &from_left);
+    let from_right = transport.recv(topo.ring_right(), Tag::F_HALO).expect("recv f halo");
+    solver.f_halo_in(Side::Right, &from_right);
+    profile.comm += watch.lap();
+}
+
+/// ψ halo exchange over the periodic ring.
+fn exchange_psi<T: Transport>(
+    solver: &mut SlabSolver,
+    transport: &mut T,
+    topo: &LinearTopology,
+    profile: &mut Profile,
+) {
+    let mut watch = Stopwatch::start();
+    if topo.size == 1 {
+        solver.psi_ghosts_periodic();
+        profile.comm += watch.lap();
+        return;
+    }
+    let len = solver.psi_halo_len();
+    let mut buf = vec![0.0; len];
+    solver.psi_halo_out(Side::Right, &mut buf);
+    transport.send(topo.ring_right(), Tag::PSI_HALO, buf.clone()).expect("send psi halo");
+    solver.psi_halo_out(Side::Left, &mut buf);
+    transport.send(topo.ring_left(), Tag::PSI_HALO, buf).expect("send psi halo");
+    let from_left = transport.recv(topo.ring_left(), Tag::PSI_HALO).expect("recv psi halo");
+    solver.psi_halo_in(Side::Left, &from_left);
+    let from_right =
+        transport.recv(topo.ring_right(), Tag::PSI_HALO).expect("recv psi halo");
+    solver.psi_halo_in(Side::Right, &from_right);
+    profile.comm += watch.lap();
+}
+
+/// One node's view of the cluster: `(per-point prediction, planes)` for
+/// ranks within two hops; `None` elsewhere.
+type LoadView = Vec<Option<(Option<f64>, usize)>>;
+
+/// The distributed remap round: two-hop load-index exchange, edge-flow
+/// evaluation, and plane migration with the adjacent neighbors.
+#[allow(clippy::too_many_arguments)]
+fn remap_round<T: Transport>(
+    cfg: &WorkerConfig,
+    policy: &dyn NeighborPolicy,
+    predictor: &dyn Predictor,
+    solver: &mut SlabSolver,
+    transport: &mut T,
+    topo: &LinearTopology,
+    history: &mut History,
+    profile: &mut Profile,
+    planes_sent: &mut usize,
+    planes_received: &mut usize,
+) {
+    let mut watch = Stopwatch::start();
+    let rank = topo.rank;
+    let n = topo.size;
+    let my_pred = predictor.predict(history.as_slice());
+    let my_planes = solver.nx_local();
+
+    // Message encoding: [pred (−1 = None), planes].
+    let encode = |pred: Option<f64>, planes: usize| vec![pred.unwrap_or(-1.0), planes as f64];
+    let decode = |msg: &[f64]| -> (Option<f64>, usize) {
+        let pred = if msg[0] < 0.0 { None } else { Some(msg[0]) };
+        (pred, msg[1] as usize)
+    };
+
+    let mut view: LoadView = vec![None; n];
+    view[rank] = Some((my_pred, my_planes));
+
+    // Hop 1: exchange own data with line neighbors.
+    for peer in [topo.line_left(), topo.line_right()].into_iter().flatten() {
+        transport.send(peer, Tag::LOAD, encode(my_pred, my_planes)).expect("send load");
+    }
+    for peer in [topo.line_left(), topo.line_right()].into_iter().flatten() {
+        let msg = transport.recv(peer, Tag::LOAD).expect("recv load");
+        view[peer] = Some(decode(&msg));
+    }
+
+    // Hop 2: forward each neighbor's data to the opposite neighbor, so
+    // every node knows ranks within distance two.
+    if let (Some(l), Some(r)) = (topo.line_left(), topo.line_right()) {
+        let (lp, lc) = view[l].unwrap();
+        transport.send(r, Tag::LOAD, encode(lp, lc)).expect("fwd load");
+        let (rp, rc) = view[r].unwrap();
+        transport.send(l, Tag::LOAD, encode(rp, rc)).expect("fwd load");
+    }
+    if let Some(l) = topo.line_left() {
+        if l > 0 {
+            // Left neighbor has its own left neighbor: expect its data.
+            let msg = transport.recv(l, Tag::LOAD).expect("recv fwd load");
+            view[l - 1] = Some(decode(&msg));
+        }
+    }
+    if let Some(r) = topo.line_right() {
+        if r + 1 < n {
+            let msg = transport.recv(r, Tag::LOAD).expect("recv fwd load");
+            view[r + 1] = Some(decode(&msg));
+        }
+    }
+
+    // Build padded full-length inputs. Entries outside the two-hop window
+    // cannot influence this node's edges (NeighborPolicy locality), so
+    // they are filled with this node's own values.
+    let fill = (my_pred, my_planes);
+    let entries: Vec<(Option<f64>, usize)> =
+        view.into_iter().map(|v| v.unwrap_or(fill)).collect();
+    let counts: Vec<usize> = entries.iter().map(|&(_, c)| c.max(1)).collect();
+    let plane_cells = cfg.channel.dims.plane_cells();
+    let partition = Partition::new(counts, plane_cells);
+    let predicted: Vec<Option<f64>> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(pp, _))| pp.map(|p| p * partition.points(i) as f64))
+        .collect();
+    let flows = policy.edge_flows(&predicted, &partition);
+
+    // Execute this node's edges in increasing edge order: (rank−1, rank)
+    // then (rank, rank+1). Dependencies point strictly left-to-right, so
+    // the line cannot deadlock.
+    if let Some(l) = topo.line_left() {
+        let f = flows[rank - 1]; // planes l → me if positive
+        if f > 0 {
+            let data = transport.recv(l, Tag::MIGRATE_DATA).expect("recv planes");
+            let count = f as usize;
+            assert_eq!(data.len(), count * solver.migration_plane_len());
+            solver.give_planes(Side::Left, count, &data);
+            *planes_received += count;
+        } else if f < 0 {
+            let count = (-f) as usize;
+            let data = solver.take_planes(Side::Left, count);
+            transport.send(l, Tag::MIGRATE_DATA, data).expect("send planes");
+            *planes_sent += count;
+        }
+    }
+    if let Some(r) = topo.line_right() {
+        let f = flows[rank]; // planes me → r if positive
+        if f > 0 {
+            let count = f as usize;
+            let data = solver.take_planes(Side::Right, count);
+            transport.send(r, Tag::MIGRATE_DATA, data).expect("send planes");
+            *planes_sent += count;
+        } else if f < 0 {
+            let data = transport.recv(r, Tag::MIGRATE_DATA).expect("recv planes");
+            let count = (-f) as usize;
+            assert_eq!(data.len(), count * solver.migration_plane_len());
+            solver.give_planes(Side::Right, count, &data);
+            *planes_received += count;
+        }
+    }
+    profile.remap += watch.lap();
+}

@@ -1,0 +1,76 @@
+//! The paper's systems experiment: parallel LBM on a non-dedicated
+//! 20-node cluster, comparing the four remapping schemes.
+//!
+//! Uses the calibrated virtual-time cluster simulator to rerun the
+//! scenarios of the paper's §4.2 in milliseconds:
+//!
+//! * a dedicated baseline (speedup ≈ 19 on 20 nodes);
+//! * fixed slow nodes (a 70 % competing job) from 0 to 5;
+//! * the per-node compute/communication/remap profile with node 9 slow
+//!   (Fig. 9);
+//! * transient spikes (Table 1).
+//!
+//! Run with: `cargo run --release --example nondedicated_cluster`
+
+use microslip::cluster::{
+    fixed_slow_point, run_scheme, transient_point, ClusterConfig, Dedicated, FixedSlowNodes,
+    Scheme,
+};
+
+fn main() {
+    let phases = 600;
+    println!("cluster: 20 nodes, 400x200x20 lattice, {phases} phases, remap every 10");
+    println!();
+
+    // ---- Headline: execution time by scheme and slow-node count ---------
+    println!("== execution time (s) by #slow nodes (paper Fig. 10) ==");
+    print!("{:>12}", "slow nodes");
+    for s in Scheme::ALL {
+        print!("{:>14}", s.name());
+    }
+    println!();
+    for m in 0..=5 {
+        print!("{:>12}", m);
+        for s in Scheme::ALL {
+            let r = fixed_slow_point(phases, s, m);
+            print!("{:>14.1}", r.total_time);
+        }
+        println!();
+    }
+    println!();
+
+    // ---- Fig. 9-style per-node profile ----------------------------------
+    println!("== per-node profile, 1 slow node (node 9), filtered scheme ==");
+    let cfg = ClusterConfig::paper(20, phases);
+    let r = run_scheme(&cfg, Scheme::Filtered, &FixedSlowNodes::paper(20, 1));
+    println!("{:>6} {:>10} {:>10} {:>10} {:>8}", "node", "compute", "comm", "remap", "planes");
+    for (i, a) in r.per_node.iter().enumerate() {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+            i, a.compute, a.comm, a.remap, r.final_counts[i]
+        );
+    }
+    println!(
+        "total {:.1}s  (dedicated {:.1}s)  migrated {} planes over {} effective rounds",
+        r.total_time,
+        run_scheme(&cfg, Scheme::NoRemap, &Dedicated).total_time,
+        r.migrated_planes,
+        r.effective_remaps
+    );
+    println!();
+
+    // ---- Table 1: transient spikes ---------------------------------------
+    println!("== slowdown (%) under transient spikes (paper Table 1, 100 phases) ==");
+    print!("{:>12}", "spike len");
+    for s in [Scheme::NoRemap, Scheme::Global, Scheme::Filtered, Scheme::Conservative] {
+        print!("{:>14}", s.name());
+    }
+    println!();
+    for len in [1.0, 2.0, 3.0, 4.0] {
+        print!("{:>11}s", len);
+        for s in [Scheme::NoRemap, Scheme::Global, Scheme::Filtered, Scheme::Conservative] {
+            print!("{:>13.1}%", transient_point(100, s, len, 42));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Flow past a cylindrical post in the microchannel — the "complex
+//! three-dimensional geometries" capability (Martys & Chen, cited by the
+//! paper §2) built on the same bounce-back machinery as the channel walls.
+//!
+//! Prints an ASCII map of the streamwise velocity at the channel
+//! mid-depth, plus flow diagnostics with and without the obstacle.
+//!
+//! Run with: `cargo run --release --example obstacle_flow`
+
+use microslip::lbm::diagnostics::FlowDiagnostics;
+use microslip::lbm::geometry::SolidRegion;
+use microslip::lbm::{ChannelConfig, Dims, Simulation};
+
+fn main() {
+    let dims = Dims::new(48, 21, 6);
+    let phases = 1200;
+
+    let open_cfg = ChannelConfig::single_component(dims, 1.0, 1e-5);
+    let mut blocked_cfg = open_cfg.clone();
+    blocked_cfg.obstacles = vec![SolidRegion::CylinderZ {
+        center: [dims.nx as f64 / 3.0, dims.ny as f64 / 2.0],
+        radius: 4.2,
+    }];
+
+    println!(
+        "channel {}x{}x{}, cylinder post r=4.2 at x={}, {} phases",
+        dims.nx, dims.ny, dims.nz, dims.nx / 3, phases
+    );
+
+    let mut open = Simulation::new(open_cfg);
+    open.run(phases);
+    let mut blocked = Simulation::new(blocked_cfg);
+    blocked.run(phases);
+
+    let d_open = FlowDiagnostics::compute(&open.snapshot());
+    let d_blocked = FlowDiagnostics::compute(&blocked.snapshot());
+    println!();
+    println!("flow rate: open {:.4e}  with post {:.4e}  (throttled {:.0}%)",
+        d_open.flow_rate,
+        d_blocked.flow_rate,
+        (1.0 - d_blocked.flow_rate / d_open.flow_rate) * 100.0
+    );
+    println!("max Mach: {:.4} (low-Mach regime holds)", d_blocked.max_mach);
+
+    // ASCII velocity map at mid-depth: '#' solid, '.' slow … '@' fast.
+    println!();
+    println!("streamwise velocity at z = {} ('#' = solid):", dims.nz / 2);
+    let snap = blocked.snapshot();
+    let umax = (0..snap.cells()).map(|c| snap.u(c)[0]).fold(0.0f64, f64::max);
+    let ramp: &[u8] = b" .:-=+*%@";
+    for y in (0..dims.ny).rev() {
+        let mut line = String::with_capacity(dims.nx);
+        for x in 0..dims.nx {
+            let cell = snap.idx(x, y, dims.nz / 2);
+            if snap.rho_total(cell) == 0.0 {
+                line.push('#');
+            } else {
+                let u = snap.u(cell)[0].max(0.0) / umax;
+                let k = ((u * (ramp.len() - 1) as f64).round() as usize).min(ramp.len() - 1);
+                line.push(ramp[k] as char);
+            }
+        }
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Live demonstration of the distributed runtime: real worker threads,
+//! real message passing, real plane migration — with one worker throttled
+//! the way the paper's background jobs slow a cluster node.
+//!
+//! Runs the same workload twice (no remapping vs. filtered remapping) and
+//! shows the wall-clock difference plus the final plane distribution. The
+//! physics is verified to be identical between both runs.
+//!
+//! Run with: `cargo run --release --example threaded_lbm`
+
+use std::sync::Arc;
+
+use microslip::balance::{Filtered, NoRemap};
+use microslip::lbm::{ChannelConfig, Dims};
+use microslip::runtime::{run_parallel, RuntimeConfig};
+
+fn main() {
+    let workers = 4;
+    let phases = 120;
+    let channel = ChannelConfig::paper_scaled(Dims::new(48, 24, 8));
+    println!(
+        "threaded runtime: {workers} workers, {}x{}x{} channel, {phases} phases",
+        channel.dims.nx, channel.dims.ny, channel.dims.nz
+    );
+    println!("worker 1 is throttled to 25% speed (a 75% competing job)");
+    println!();
+
+    let mut cfg = RuntimeConfig::new(channel, workers, phases);
+    cfg.throttle = vec![1.0, 4.0, 1.0, 1.0];
+
+    // Static decomposition.
+    let static_run = run_parallel(&cfg, Arc::new(NoRemap));
+    println!("-- no remapping --");
+    report(&static_run);
+
+    // Filtered dynamic remapping.
+    cfg.remap_interval = 10;
+    let filtered_run = run_parallel(&cfg, Arc::new(Filtered::default()));
+    println!("-- filtered dynamic remapping (every 10 phases) --");
+    report(&filtered_run);
+
+    assert_eq!(
+        static_run.snapshot, filtered_run.snapshot,
+        "remapping must not change the physics"
+    );
+    println!("physics check: both runs produced bitwise-identical fields ✓");
+    println!(
+        "speedup from remapping: {:.2}x",
+        static_run.wall_seconds / filtered_run.wall_seconds
+    );
+}
+
+fn report(out: &microslip::runtime::RunOutcome) {
+    println!(
+        "  wall time {:.2}s   planes by worker: {:?}   migrated: {}",
+        out.wall_seconds,
+        out.final_counts(),
+        out.planes_migrated()
+    );
+    for r in &out.reports {
+        println!(
+            "  worker {}: compute {:6.2}s  comm {:6.2}s  remap {:6.2}s",
+            r.rank, r.profile.compute, r.profile.comm, r.profile.remap
+        );
+    }
+    println!();
+}

@@ -1,0 +1,244 @@
+//! `microslip` — command-line front end.
+//!
+//! ```console
+//! $ microslip slip --ny 40 --phases 1500        # fluid-slip physics run
+//! $ microslip cluster --scheme filtered --slow 2 # virtual-cluster run
+//! $ microslip parallel --workers 4 --throttle 1:4 # threaded runtime demo
+//! $ microslip info                               # model & calibration info
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use microslip::balance::{Conservative, Filtered, NoRemap};
+use microslip::cluster::{run_scheme, ClusterConfig, Dedicated, FixedSlowNodes, Scheme};
+use microslip::lbm::diagnostics::FlowDiagnostics;
+use microslip::lbm::observables::{apparent_slip_fraction, mean_velocity_y_profile};
+use microslip::lbm::{ChannelConfig, Dims, Simulation, WallForce};
+use microslip::runtime::{run_parallel, RuntimeConfig};
+
+/// Parsed `--key value` flags (and bare `--key` booleans).
+struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument '{arg}' (flags are --key value)"))?;
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            values.insert(key.to_string(), value);
+        }
+        Ok(Flags { values })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("help", &args[..]),
+    };
+    let result = match cmd {
+        "slip" => cmd_slip(rest),
+        "cluster" => cmd_cluster(rest),
+        "parallel" => cmd_parallel(rest),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'microslip help')")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!("microslip — parallel LBM simulation of fluid slip in a microchannel");
+    println!("  (reproduction of Zhou, Zhu, Petzold & Yang, IPDPS 2004)");
+    println!();
+    println!("commands:");
+    println!("  slip      run the two-phase slip physics   [--nx --ny --nz --phases --no-wall-force]");
+    println!("  cluster   virtual non-dedicated cluster    [--nodes --phases --scheme --slow]");
+    println!("  parallel  threaded runtime with remapping  [--workers --phases --throttle R:F --scheme]");
+    println!("  info      model parameters and calibration anchors");
+}
+
+fn cmd_slip(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let nx = f.get("nx", 12usize)?;
+    let ny = f.get("ny", 40usize)?;
+    let nz = f.get("nz", 8usize)?;
+    let phases = f.get("phases", 1200u64)?;
+    let mut cfg = ChannelConfig::paper_scaled(Dims::new(nx, ny, nz));
+    if f.has("no-wall-force") {
+        cfg.wall = WallForce::off();
+    }
+    println!("slip run: {nx}x{ny}x{nz}, {phases} phases, wall force {}", !cfg.wall.is_off());
+    let mut sim = Simulation::new(cfg);
+    sim.run(phases);
+    let snap = sim.snapshot();
+    let u = mean_velocity_y_profile(&snap);
+    let d = FlowDiagnostics::compute(&snap);
+    println!("apparent slip u_wall/u0 = {:.3}", apparent_slip_fraction(&u));
+    println!("flow rate {:.3e}  max Mach {:.4}  mass {:.3}", d.flow_rate, d.max_mach, d.total_mass);
+    Ok(())
+}
+
+fn scheme_by_name(name: &str) -> Result<Scheme, String> {
+    Scheme::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown scheme '{name}' (no-remap, filtered, conservative, global)"))
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let nodes = f.get("nodes", 20usize)?;
+    let phases = f.get("phases", 600u64)?;
+    let slow = f.get("slow", 1usize)?;
+    let scheme = scheme_by_name(&f.get("scheme", "filtered".to_string())?)?;
+    let cfg = ClusterConfig::paper(nodes, phases);
+    let r = if slow == 0 {
+        run_scheme(&cfg, scheme, &Dedicated)
+    } else {
+        run_scheme(&cfg, scheme, &FixedSlowNodes::paper(nodes, slow))
+    };
+    println!(
+        "{} on {nodes} nodes, {phases} phases, {slow} slow node(s):",
+        scheme.name()
+    );
+    println!(
+        "  time {:.1}s  speedup {:.2}  efficiency {:.2}  migrated {} planes",
+        r.total_time,
+        r.speedup(),
+        r.normalized_efficiency(slow),
+        r.migrated_planes
+    );
+    println!("  final planes: {:?}", r.final_counts);
+    Ok(())
+}
+
+fn cmd_parallel(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let workers = f.get("workers", 4usize)?;
+    let phases = f.get("phases", 100u64)?;
+    let scheme = f.get("scheme", "filtered".to_string())?;
+    let mut cfg = RuntimeConfig::new(
+        ChannelConfig::paper_scaled(Dims::new(48, 24, 8)),
+        workers,
+        phases,
+    );
+    cfg.remap_interval = 10;
+    // --throttle RANK:FACTOR, repeatable as comma list.
+    if let Some(spec) = f.values.get("throttle") {
+        cfg.throttle = vec![1.0; workers];
+        for part in spec.split(',') {
+            let (rank, factor) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--throttle wants RANK:FACTOR, got '{part}'"))?;
+            let rank: usize = rank.parse().map_err(|_| format!("bad rank '{rank}'"))?;
+            let factor: f64 = factor.parse().map_err(|_| format!("bad factor '{factor}'"))?;
+            if rank >= workers {
+                return Err(format!("rank {rank} out of range for {workers} workers"));
+            }
+            cfg.throttle[rank] = factor;
+        }
+    }
+    let outcome = match scheme.as_str() {
+        "no-remap" => run_parallel(&cfg, Arc::new(NoRemap)),
+        "filtered" => run_parallel(&cfg, Arc::new(Filtered::default())),
+        "conservative" => run_parallel(&cfg, Arc::new(Conservative::default())),
+        other => return Err(format!("scheme '{other}' not executable on the threaded runtime")),
+    };
+    println!(
+        "{scheme} on {workers} workers, {phases} phases: wall {:.2}s, planes {:?}, migrated {}",
+        outcome.wall_seconds,
+        outcome.final_counts(),
+        outcome.planes_migrated()
+    );
+    for r in &outcome.reports {
+        println!(
+            "  worker {}: compute {:.2}s  comm {:.2}s  remap {:.2}s",
+            r.rank, r.profile.compute, r.profile.comm, r.profile.remap
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    let cfg = ChannelConfig::paper();
+    let cluster = ClusterConfig::paper(20, 20_000);
+    println!("paper:   Zhou, Zhu, Petzold, Yang — Parallel Simulation of Fluid Slip");
+    println!("         in a Microchannel (IPDPS 2004)");
+    println!("channel: 2um x 1um x 0.1um at 5nm spacing = {}x{}x{} lattice",
+        cfg.dims.nx, cfg.dims.ny, cfg.dims.nz);
+    println!("model:   D3Q19 Shan-Chen, {} components, cross coupling g = {}",
+        cfg.ncomp(), cfg.coupling.get(0, 1));
+    println!("wall:    amplitude {} decay {} l.u. ({} nm)",
+        cfg.wall.amplitude, cfg.wall.decay, cfg.wall.decay * 5.0);
+    println!("cluster: {} nodes, remap every {} phases, threshold 1 plane = {} points",
+        cluster.nodes, cluster.remap_interval, cluster.plane_cells);
+    println!("anchors: sequential 20k phases = {:.2} h; dedicated speedup target 18.97",
+        cluster.sequential_time() / 3600.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(s: &[&str]) -> Flags {
+        Flags::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_key_values_and_booleans() {
+        let f = flags(&["--ny", "32", "--no-wall-force", "--phases", "10"]);
+        assert_eq!(f.get("ny", 0usize).unwrap(), 32);
+        assert_eq!(f.get("phases", 0u64).unwrap(), 10);
+        assert!(f.has("no-wall-force"));
+        assert!(!f.has("nx"));
+        assert_eq!(f.get("nx", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let args: Vec<String> = vec!["oops".into()];
+        assert!(Flags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let f = flags(&["--phases", "many"]);
+        assert!(f.get("phases", 0u64).is_err());
+    }
+
+    #[test]
+    fn scheme_lookup() {
+        assert_eq!(scheme_by_name("filtered").unwrap(), Scheme::Filtered);
+        assert_eq!(scheme_by_name("global").unwrap(), Scheme::Global);
+        assert!(scheme_by_name("magic").is_err());
+    }
+}

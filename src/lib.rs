@@ -1,0 +1,40 @@
+//! # microslip
+//!
+//! A Rust reproduction of Zhou, Zhu, Petzold & Yang, *Parallel Simulation
+//! of Fluid Slip in a Microchannel* (IPDPS 2004): the multicomponent
+//! Shan–Chen lattice Boltzmann method simulating apparent fluid slip at
+//! hydrophobic microchannel walls, parallelized by 1-D slab decomposition
+//! with **filtered dynamic remapping** of lattice points for load balance
+//! on non-dedicated clusters.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`lbm`] — the D3Q19 multicomponent LBM physics core;
+//! * [`comm`] — the in-process message-passing substrate (MPI substitute);
+//! * [`balance`] — load-index predictors and the four remapping policies
+//!   (no-remap / filtered / conservative / global);
+//! * [`cluster`] — the calibrated virtual-time non-dedicated-cluster
+//!   simulator used to regenerate the paper's performance figures;
+//! * [`runtime`] — the threaded parallel runtime with live remapping.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use microslip::lbm::{ChannelConfig, Dims, Simulation};
+//! use microslip::lbm::observables::{apparent_slip_fraction, mean_velocity_y_profile};
+//!
+//! // A scaled-down hydrophobic microchannel (the paper's physics at
+//! // laptop resolution).
+//! let cfg = ChannelConfig::paper_scaled(Dims::new(8, 24, 6));
+//! let mut sim = Simulation::new(cfg);
+//! sim.run(50);
+//! let profile = mean_velocity_y_profile(&sim.snapshot());
+//! let slip = apparent_slip_fraction(&profile);
+//! assert!(slip.is_finite());
+//! ```
+
+pub use microslip_balance as balance;
+pub use microslip_cluster as cluster;
+pub use microslip_comm as comm;
+pub use microslip_lbm as lbm;
+pub use microslip_runtime as runtime;

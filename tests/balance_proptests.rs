@@ -1,0 +1,221 @@
+//! Property-based tests of the balancing machinery: whatever the node
+//! speeds and the current distribution, remapping plans conserve planes,
+//! never empty a node, respect the filters, and the edge-flow locality
+//! property the distributed runtime relies on holds.
+
+use microslip::balance::policy::{
+    Conservative, Filtered, Global, NeighborPolicy, NoRemap, RemapPolicy,
+};
+use microslip::balance::predict::{ArithmeticMean, HarmonicMean, Predictor};
+use microslip::balance::{diff, is_neighbor_only, total_moved, Partition};
+use proptest::prelude::*;
+
+/// Arbitrary cluster state: plane counts (each ≥ 1) and node speeds.
+fn cluster_state() -> impl Strategy<Value = (Vec<usize>, Vec<f64>)> {
+    (2usize..12).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1usize..60, n),
+            proptest::collection::vec(0.05f64..1.0, n),
+        )
+    })
+}
+
+fn predicted(counts: &[usize], speeds: &[f64], plane_cells: usize) -> Vec<Option<f64>> {
+    counts
+        .iter()
+        .zip(speeds)
+        .map(|(&c, &s)| Some((c * plane_cells) as f64 / s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn policies_conserve_planes_and_never_empty_nodes(
+        (counts, speeds) in cluster_state(),
+        plane_cells in 10usize..5000,
+    ) {
+        let p = Partition::new(counts.clone(), plane_cells);
+        let t = predicted(&counts, &speeds, plane_cells);
+        let total: usize = counts.iter().sum();
+        let policies: [&dyn RemapPolicy; 4] = [
+            &NoRemap,
+            &Filtered::default(),
+            &Conservative::default(),
+            &Global::default(),
+        ];
+        for policy in policies {
+            let target = policy.target_counts(&t, &p);
+            prop_assert_eq!(target.len(), counts.len());
+            prop_assert_eq!(
+                target.iter().sum::<usize>(), total,
+                "{} leaked planes", policy.name()
+            );
+            prop_assert!(
+                target.iter().all(|&c| c >= 1),
+                "{} emptied a node: {:?}", policy.name(), target
+            );
+        }
+    }
+
+    #[test]
+    fn local_plans_are_neighbor_only(
+        (counts, speeds) in cluster_state(),
+    ) {
+        let p = Partition::new(counts.clone(), 100);
+        let t = predicted(&counts, &speeds, 100);
+        for policy in [&Filtered::default() as &dyn RemapPolicy, &Conservative::default()] {
+            let target = policy.target_counts(&t, &p);
+            let moves = diff(&p, &target);
+            prop_assert!(
+                is_neighbor_only(&moves),
+                "{} produced non-neighbor moves: {:?}", policy.name(), moves
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_never_tops_up_the_slowest_node(
+        (counts, mut speeds) in cluster_state(),
+        slow_idx in 0usize..12,
+    ) {
+        let n = counts.len();
+        let slow = slow_idx % n;
+        speeds[slow] = 0.01; // far slower than everyone
+        let p = Partition::new(counts.clone(), 100);
+        let t = predicted(&counts, &speeds, 100);
+        let target = Filtered::default().target_counts(&t, &p);
+        prop_assert!(
+            target[slow] <= counts[slow],
+            "slow node gained planes: {:?} -> {:?}", counts, target
+        );
+    }
+
+    #[test]
+    fn edge_flows_agree_with_target_counts(
+        (counts, speeds) in cluster_state(),
+    ) {
+        let p = Partition::new(counts.clone(), 100);
+        let t = predicted(&counts, &speeds, 100);
+        for policy in [&Filtered::default() as &dyn NeighborPolicy, &Conservative::default()] {
+            let flows = policy.edge_flows(&t, &p);
+            let mut derived: Vec<isize> = counts.iter().map(|&c| c as isize).collect();
+            for (i, f) in flows.iter().enumerate() {
+                derived[i] -= f;
+                derived[i + 1] += f;
+            }
+            let derived: Vec<usize> = derived.into_iter().map(|c| c as usize).collect();
+            prop_assert_eq!(derived, policy.target_counts(&t, &p));
+        }
+    }
+
+    #[test]
+    fn edge_flow_locality(
+        (counts, speeds) in cluster_state(),
+        perturb_idx in 0usize..12,
+        extra in 1usize..20,
+        slowdown in 0.05f64..1.0,
+    ) {
+        // Perturbing one node's state never changes flows across edges
+        // more than two hops away — the distributed-consistency property.
+        let n = counts.len();
+        let k = perturb_idx % n;
+        let p0 = Partition::new(counts.clone(), 100);
+        let t0 = predicted(&counts, &speeds, 100);
+        let f0 = Filtered::default().edge_flows(&t0, &p0);
+
+        let mut counts2 = counts.clone();
+        counts2[k] += extra;
+        let mut speeds2 = speeds.clone();
+        speeds2[k] *= slowdown;
+        let p1 = Partition::new(counts2.clone(), 100);
+        let t1 = predicted(&counts2, &speeds2, 100);
+        let f1 = Filtered::default().edge_flows(&t1, &p1);
+
+        for e in 0..n - 1 {
+            // Edge (e, e+1) may depend on nodes e−2 ..= e+3 in the worst
+            // case (capacity windows of both endpoints).
+            if k + 2 < e || k > e + 3 {
+                prop_assert_eq!(
+                    f0[e], f1[e],
+                    "edge {} changed after perturbing node {}", e, k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_diff_is_consistent(
+        (counts, speeds) in cluster_state(),
+    ) {
+        let p = Partition::new(counts.clone(), 100);
+        let t = predicted(&counts, &speeds, 100);
+        let target = Global::default().target_counts(&t, &p);
+        let moves = diff(&p, &target);
+        // Re-applying the moves plane by plane reproduces the target.
+        let mut owners: Vec<usize> = Vec::new();
+        for (node, &c) in p.counts().iter().enumerate() {
+            owners.extend(std::iter::repeat_n(node, c));
+        }
+        for m in &moves {
+            for owner in owners.iter_mut().skip(m.first_plane).take(m.planes) {
+                assert_eq!(*owner, m.from);
+                *owner = m.to;
+            }
+        }
+        for (node, &want) in target.iter().enumerate() {
+            let got = owners.iter().filter(|&&o| o == node).count();
+            prop_assert_eq!(got, want, "node {} plane count after replay", node);
+        }
+        prop_assert!(total_moved(&moves) <= p.total_planes());
+    }
+
+    #[test]
+    fn harmonic_mean_bounds(
+        samples in proptest::collection::vec(0.001f64..100.0, 10..40),
+    ) {
+        let h = HarmonicMean { window: 10 }.predict(&samples).unwrap();
+        let a = ArithmeticMean { window: 10 }.predict(&samples).unwrap();
+        let tail = &samples[samples.len() - 10..];
+        let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = tail.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(h >= min - 1e-12 && h <= max + 1e-12, "harmonic out of range");
+        prop_assert!(h <= a + 1e-12, "AM-HM inequality violated");
+    }
+
+    #[test]
+    fn proportional_counts_conserve(
+        counts in proptest::collection::vec(1usize..40, 2..10),
+        weights in proptest::collection::vec(0.0f64..10.0, 10),
+    ) {
+        let p = Partition::new(counts.clone(), 100);
+        let w = &weights[..counts.len()];
+        let out = p.proportional_counts(w);
+        prop_assert_eq!(out.iter().sum::<usize>(), p.total_planes());
+        prop_assert!(out.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn repeated_filtered_rounds_reach_stable_state(
+        (counts, speeds) in cluster_state(),
+    ) {
+        // Iterating the policy with consistent speeds converges: after
+        // enough rounds the target equals the current state (no livelock).
+        let mut p = Partition::new(counts, 4000);
+        let policy = Filtered::default();
+        let mut stable = false;
+        for _ in 0..200 {
+            let t: Vec<Option<f64>> = (0..p.nodes())
+                .map(|i| Some(p.points(i) as f64 / speeds[i]))
+                .collect();
+            let target = policy.target_counts(&t, &p);
+            if target == p.counts() {
+                stable = true;
+                break;
+            }
+            p.apply(&target);
+        }
+        prop_assert!(stable, "filtered remapping livelocked: {:?}", p.counts());
+    }
+}

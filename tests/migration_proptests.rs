@@ -1,0 +1,185 @@
+//! Property-based tests of lattice-plane migration and the parallel
+//! equivalence invariant: arbitrary migration schedules applied to an
+//! arbitrary decomposition never change the physics.
+
+use microslip::lbm::macroscopic::Snapshot;
+use microslip::lbm::{ChannelConfig, Dims, Side, Simulation, Slab, SlabSolver};
+use proptest::prelude::*;
+
+/// Carries halos between a vector of solvers forming a periodic ring —
+/// the hand-rolled equivalent of what the threaded runtime does.
+fn exchange_f(solvers: &mut [SlabSolver]) {
+    let n = solvers.len();
+    let len = solvers[0].f_halo_len();
+    let mut right = vec![vec![0.0; len]; n];
+    let mut left = vec![vec![0.0; len]; n];
+    for (i, s) in solvers.iter().enumerate() {
+        s.f_halo_out(Side::Right, &mut right[i]);
+        s.f_halo_out(Side::Left, &mut left[i]);
+    }
+    for i in 0..n {
+        solvers[i].f_halo_in(Side::Left, &right[(i + n - 1) % n]);
+        solvers[i].f_halo_in(Side::Right, &left[(i + 1) % n]);
+    }
+}
+
+fn exchange_psi(solvers: &mut [SlabSolver]) {
+    let n = solvers.len();
+    let len = solvers[0].psi_halo_len();
+    let mut right = vec![vec![0.0; len]; n];
+    let mut left = vec![vec![0.0; len]; n];
+    for (i, s) in solvers.iter().enumerate() {
+        s.psi_halo_out(Side::Right, &mut right[i]);
+        s.psi_halo_out(Side::Left, &mut left[i]);
+    }
+    for i in 0..n {
+        solvers[i].psi_halo_in(Side::Left, &right[(i + n - 1) % n]);
+        solvers[i].psi_halo_in(Side::Right, &left[(i + 1) % n]);
+    }
+}
+
+fn phase(solvers: &mut [SlabSolver]) {
+    for s in solvers.iter_mut() {
+        s.collide();
+    }
+    exchange_f(solvers);
+    for s in solvers.iter_mut() {
+        s.stream();
+        s.compute_psi();
+    }
+    exchange_psi(solvers);
+    for s in solvers.iter_mut() {
+        s.compute_forces();
+        s.compute_velocities();
+    }
+}
+
+fn prime(solvers: &mut [SlabSolver]) {
+    for s in solvers.iter_mut() {
+        s.prime_local_psi();
+    }
+    exchange_psi(solvers);
+    for s in solvers.iter_mut() {
+        s.prime_finish();
+    }
+}
+
+/// A migration step: move `count` planes across `edge` in `dir`.
+#[derive(Clone, Debug)]
+struct Migration {
+    edge: usize,
+    count: usize,
+    rightward: bool,
+}
+
+fn migrations(workers: usize) -> impl Strategy<Value = Vec<(u8, Migration)>> {
+    proptest::collection::vec(
+        (
+            0u8..6, // phase index to apply after
+            (0usize..workers - 1, 1usize..3, any::<bool>()).prop_map(
+                |(edge, count, rightward)| Migration { edge, count, rightward },
+            ),
+        ),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_migration_schedules_preserve_physics(
+        workers in 2usize..4,
+        schedule in migrations(3),
+        phases in 3u8..7,
+    ) {
+        let dims = Dims::new(12, 4, 3);
+        let mut cfg = ChannelConfig::paper_scaled(dims);
+        cfg.body = [1e-4, 0.0, 0.0];
+
+        // Reference: sequential run.
+        let mut sim = Simulation::new(cfg.clone());
+        sim.run(phases as u64);
+        let want = sim.snapshot();
+
+        // Decomposed run with the migration schedule sprinkled in.
+        let mut solvers: Vec<SlabSolver> =
+            microslip::lbm::geometry::even_slabs(dims.nx, workers)
+                .into_iter()
+                .map(|slab| SlabSolver::new(&cfg, slab))
+                .collect();
+        prime(&mut solvers);
+        for p in 0..phases {
+            phase(&mut solvers);
+            for (when, m) in &schedule {
+                if *when != p || m.edge + 1 >= workers {
+                    continue;
+                }
+                let (src, dst, take_side, give_side) = if m.rightward {
+                    (m.edge, m.edge + 1, Side::Right, Side::Left)
+                } else {
+                    (m.edge + 1, m.edge, Side::Left, Side::Right)
+                };
+                // Skip if the donor cannot spare the planes.
+                if solvers[src].nx_local() <= m.count {
+                    continue;
+                }
+                let data = solvers[src].take_planes(take_side, m.count);
+                solvers[dst].give_planes(give_side, m.count, &data);
+            }
+        }
+        let got = Snapshot::stitch(solvers.iter().map(|s| s.snapshot()).collect());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn take_give_roundtrip_is_identity(
+        nx_a in 3usize..8,
+        nx_b in 3usize..8,
+        count in 1usize..3,
+        phases in 0u8..3,
+    ) {
+        let dims = Dims::new(nx_a + nx_b, 4, 3);
+        let cfg = ChannelConfig::paper_scaled(dims);
+        let mut solvers = vec![
+            SlabSolver::new(&cfg, Slab { x0: 0, nx_local: nx_a }),
+            SlabSolver::new(&cfg, Slab { x0: nx_a, nx_local: nx_b }),
+        ];
+        prime(&mut solvers);
+        for _ in 0..phases {
+            phase(&mut solvers);
+        }
+        let before: Vec<Snapshot> = solvers.iter().map(|s| s.snapshot()).collect();
+        prop_assume!(count < nx_a);
+        let data = solvers[0].take_planes(Side::Right, count);
+        solvers[1].give_planes(Side::Left, count, &data);
+        let back = solvers[1].take_planes(Side::Left, count);
+        solvers[0].give_planes(Side::Right, count, &back);
+        let after: Vec<Snapshot> = solvers.iter().map(|s| s.snapshot()).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn any_decomposition_is_bitwise_equal(
+        workers in 1usize..6,
+        phases in 1u8..5,
+    ) {
+        let dims = Dims::new(13, 5, 3);
+        let mut cfg = ChannelConfig::paper_scaled(dims);
+        cfg.body = [5e-5, 0.0, 0.0];
+        let mut sim = Simulation::new(cfg.clone());
+        sim.run(phases as u64);
+        let want = sim.snapshot();
+        let mut solvers: Vec<SlabSolver> =
+            microslip::lbm::geometry::even_slabs(dims.nx, workers)
+                .into_iter()
+                .map(|slab| SlabSolver::new(&cfg, slab))
+                .collect();
+        prime(&mut solvers);
+        for _ in 0..phases {
+            phase(&mut solvers);
+        }
+        let got = Snapshot::stitch(solvers.iter().map(|s| s.snapshot()).collect());
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,104 @@
+//! The flagship cross-crate invariant: the distributed runtime is
+//! **bitwise identical** to the sequential reference, for any worker
+//! count, any remapping policy, and any throttling — dynamic remapping
+//! changes *who* computes, never *what*.
+
+use std::sync::Arc;
+
+use microslip::balance::policy::NeighborPolicy;
+use microslip::balance::{Conservative, FilterParams, Filtered, NoRemap};
+use microslip::lbm::{ChannelConfig, Dims, Simulation, Snapshot};
+use microslip::runtime::{run_parallel, RuntimeConfig};
+
+fn channel(nx: usize) -> ChannelConfig {
+    let mut c = ChannelConfig::paper_scaled(Dims::new(nx, 6, 4));
+    c.body = [1.0e-4, 0.0, 0.0];
+    c
+}
+
+fn sequential(channel: &ChannelConfig, phases: u64) -> Snapshot {
+    let mut sim = Simulation::new(channel.clone());
+    sim.run(phases);
+    sim.snapshot()
+}
+
+#[test]
+fn all_worker_counts_match_sequential() {
+    let ch = channel(24);
+    let phases = 5;
+    let want = sequential(&ch, phases);
+    for workers in 1..=6 {
+        let cfg = RuntimeConfig::new(ch.clone(), workers, phases);
+        let got = run_parallel(&cfg, Arc::new(NoRemap));
+        assert_eq!(got.snapshot, want, "{workers} workers diverged");
+    }
+}
+
+#[test]
+fn remapping_policies_do_not_change_physics() {
+    let ch = channel(20);
+    let phases = 15;
+    let want = sequential(&ch, phases);
+    let policies: Vec<(&str, Arc<dyn NeighborPolicy>)> = vec![
+        ("no-remap", Arc::new(NoRemap)),
+        ("filtered", Arc::new(Filtered::default())),
+        ("conservative", Arc::new(Conservative::default())),
+        (
+            "filtered-eager",
+            Arc::new(Filtered {
+                params: FilterParams { threshold_planes: 0.25, min_planes: 1 },
+            }),
+        ),
+    ];
+    for (name, policy) in policies {
+        let mut cfg = RuntimeConfig::new(ch.clone(), 4, phases);
+        cfg.remap_interval = 3;
+        cfg.predictor_window = 2;
+        cfg.throttle = vec![1.0, 5.0, 1.0, 1.0];
+        let got = run_parallel(&cfg, policy);
+        assert_eq!(got.snapshot, want, "policy {name} changed the physics");
+        assert_eq!(got.final_counts().iter().sum::<usize>(), 20, "{name} leaked planes");
+        assert!(got.final_counts().iter().all(|&c| c >= 1), "{name} emptied a worker");
+    }
+}
+
+#[test]
+fn multiple_throttled_workers_still_bitwise() {
+    let ch = channel(30);
+    let phases = 12;
+    let want = sequential(&ch, phases);
+    let mut cfg = RuntimeConfig::new(ch, 5, phases);
+    cfg.remap_interval = 4;
+    cfg.predictor_window = 3;
+    cfg.throttle = vec![1.0, 6.0, 1.0, 6.0, 1.0];
+    let got = run_parallel(&cfg, Arc::new(Filtered::default()));
+    assert_eq!(got.snapshot, want);
+}
+
+#[test]
+fn two_component_slip_physics_survives_decomposition() {
+    // The actual paper physics (wall forces + coupling) under an
+    // aggressive remap cadence.
+    let ch = ChannelConfig::paper_scaled(Dims::new(18, 10, 6));
+    let phases = 20;
+    let want = sequential(&ch, phases);
+    let mut cfg = RuntimeConfig::new(ch, 3, phases);
+    cfg.remap_interval = 2;
+    cfg.predictor_window = 2;
+    cfg.throttle = vec![4.0, 1.0, 1.0];
+    let got = run_parallel(&cfg, Arc::new(Filtered::default()));
+    assert_eq!(got.snapshot, want);
+}
+
+#[test]
+fn uneven_initial_slabs_match_sequential() {
+    // nx not divisible by workers exercises the remainder slabs.
+    let ch = channel(23);
+    let phases = 5;
+    let want = sequential(&ch, phases);
+    for workers in [3usize, 5, 7] {
+        let cfg = RuntimeConfig::new(ch.clone(), workers, phases);
+        let got = run_parallel(&cfg, Arc::new(NoRemap));
+        assert_eq!(got.snapshot, want, "{workers} uneven workers diverged");
+    }
+}

@@ -1,0 +1,144 @@
+//! Physics validation of the 3-D solver against analytic references and
+//! the paper's qualitative results (Figures 6–7).
+
+use microslip::lbm::analytic::{compare, duct_velocity};
+use microslip::lbm::observables::{
+    apparent_slip_fraction, mean_density_y_profile, mean_velocity_y_profile,
+    velocity_y_profile,
+};
+use microslip::lbm::simulation::velocity_converged;
+use microslip::lbm::{ChannelConfig, Dims, Simulation, WallForce};
+
+#[test]
+fn single_component_converges_to_duct_flow() {
+    // Body-force-driven single-component flow in a rectangular duct must
+    // match the analytic double-cosh series.
+    let dims = Dims::new(4, 20, 12);
+    let g = 1e-6;
+    let cfg = ChannelConfig::single_component(dims, 1.0, g);
+    let nu = 1.0 / 6.0;
+    let mut sim = Simulation::new(cfg);
+    sim.run_until(20_000, 500, velocity_converged(1e-10));
+    let snap = sim.snapshot();
+
+    let a = dims.ny as f64 / 2.0;
+    let b = dims.nz as f64 / 2.0;
+    let mut numeric = Vec::new();
+    let mut reference = Vec::new();
+    for y in 0..dims.ny {
+        for z in 0..dims.nz {
+            numeric.push(snap.u(snap.idx(2, y, z))[0]);
+            // Cell centers relative to the duct center.
+            let yy = y as f64 + 0.5 - a;
+            let zz = z as f64 + 0.5 - b;
+            reference.push(duct_velocity(yy, zz, a, b, g, nu, 200));
+        }
+    }
+    let err = compare(&numeric, &reference);
+    assert!(err.l2 < 0.02, "duct-flow L2 error {}", err.l2);
+    assert!(err.linf < 0.03, "duct-flow Linf error {}", err.linf);
+}
+
+#[test]
+fn wall_forces_create_slip_and_depletion() {
+    // The paper's mechanism end to end: with hydrophobic wall forces the
+    // near-wall water density drops, air enriches, and the velocity
+    // profile shows apparent slip; without them, neither happens.
+    let dims = Dims::new(8, 32, 8);
+    let phases = 1500;
+
+    let mut with = Simulation::new(ChannelConfig::paper_scaled(dims));
+    with.run(phases);
+    let snap_on = with.snapshot();
+
+    let mut cfg_off = ChannelConfig::paper_scaled(dims);
+    cfg_off.wall = WallForce::off();
+    let mut without = Simulation::new(cfg_off);
+    without.run(phases);
+    let snap_off = without.snapshot();
+
+    // Density structure (Fig. 6).
+    let water_on = mean_density_y_profile(&snap_on, 0);
+    let air_on = mean_density_y_profile(&snap_on, 1);
+    let mid = dims.ny / 2;
+    assert!(
+        water_on.value[0] < 0.8 * water_on.value[mid],
+        "water must be depleted at the wall: {} vs {}",
+        water_on.value[0],
+        water_on.value[mid]
+    );
+    assert!(
+        air_on.value[0] > 1.3 * air_on.value[mid],
+        "air must be enriched at the wall: {} vs {}",
+        air_on.value[0],
+        air_on.value[mid]
+    );
+    let water_off = mean_density_y_profile(&snap_off, 0);
+    assert!(
+        (water_off.value[0] / water_off.value[mid] - 1.0).abs() < 0.05,
+        "without wall forces the water stays nearly uniform"
+    );
+
+    // Slip (Fig. 7): order of the paper's 10%, and clearly above the
+    // control.
+    let slip_on = apparent_slip_fraction(&mean_velocity_y_profile(&snap_on));
+    let slip_off = apparent_slip_fraction(&mean_velocity_y_profile(&snap_off));
+    assert!(
+        slip_on > 0.04 && slip_on < 0.25,
+        "slip with wall forces should be ~0.1, got {slip_on}"
+    );
+    assert!(slip_on > 2.0 * slip_off.abs().max(0.005), "slip must exceed the control ({slip_off})");
+}
+
+#[test]
+fn profiles_symmetric_about_midplane() {
+    let dims = Dims::new(6, 24, 6);
+    let mut sim = Simulation::new(ChannelConfig::paper_scaled(dims));
+    sim.run(400);
+    let snap = sim.snapshot();
+    let u = velocity_y_profile(&snap, 3, 3);
+    for y in 0..dims.ny / 2 {
+        let a = u.value[y];
+        let b = u.value[dims.ny - 1 - y];
+        assert!(
+            (a - b).abs() <= 1e-12 * a.abs().max(1e-30) + 1e-15,
+            "asymmetry at row {y}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn long_run_conserves_mass_per_component() {
+    let mut sim = Simulation::new(ChannelConfig::paper_scaled(Dims::new(10, 16, 6)));
+    let m0: Vec<f64> = sim.solver().components().iter().map(|c| c.total_mass()).collect();
+    sim.run(500);
+    for (k, c) in sim.solver().components().iter().enumerate() {
+        let drift = ((c.total_mass() - m0[k]) / m0[k]).abs();
+        assert!(drift < 1e-10, "component {k} mass drift {drift}");
+    }
+}
+
+#[test]
+fn flow_is_streamwise_in_steady_state() {
+    // Pointwise transverse velocities carry the hydrostatic force-balance
+    // artifact of the Shan–Chen forcing near the walls, but by symmetry
+    // they must cancel in the channel average, leaving a purely
+    // streamwise mean flow.
+    let dims = Dims::new(8, 24, 6);
+    let mut sim = Simulation::new(ChannelConfig::paper_scaled(dims));
+    sim.run(1500);
+    let snap = sim.snapshot();
+    let mut mean = [0.0f64; 3];
+    for cell in 0..snap.cells() {
+        let u = snap.u(cell);
+        for a in 0..3 {
+            mean[a] += u[a];
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= snap.cells() as f64;
+    }
+    assert!(mean[0] > 0.0, "mean streamwise flow must be positive: {mean:?}");
+    assert!(mean[1].abs() < 0.02 * mean[0], "mean transverse flow: {mean:?}");
+    assert!(mean[2].abs() < 0.02 * mean[0], "mean vertical flow: {mean:?}");
+}
