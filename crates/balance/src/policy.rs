@@ -414,6 +414,49 @@ mod tests {
     }
 
     #[test]
+    fn global_lazy_filter_skips_sub_threshold_churn() {
+        // A mild imbalance whose proportional target moves at most one
+        // plane: with a two-plane threshold the lazy filter must return
+        // the current counts untouched (the early-return path), and the
+        // same input must remap once the threshold drops to one plane —
+        // the comparison is strict `<`, so a change equal to the
+        // threshold goes through.
+        let p = Partition::even(40, 4, 100);
+        let t = times_for_speeds(&[1.0, 0.8, 1.0, 1.0], &p);
+        let proportional = p.proportional_counts(&[1.0, 0.8, 1.0, 1.0]);
+        let max_change: usize = proportional
+            .iter()
+            .zip(p.counts())
+            .map(|(&a, &b)| a.abs_diff(b))
+            .max()
+            .unwrap();
+        assert_eq!(max_change, 1, "fixture must produce a one-plane change");
+
+        let lazy = Global { params: FilterParams { threshold_planes: 2.0, min_planes: 1 } };
+        assert_eq!(lazy.target_counts(&t, &p), p.counts(), "one-plane churn must be filtered");
+
+        let eager = Global { params: FilterParams { threshold_planes: 1.0, min_planes: 1 } };
+        assert_eq!(
+            eager.target_counts(&t, &p),
+            proportional,
+            "a change equal to the threshold must pass the strict `<` filter"
+        );
+    }
+
+    #[test]
+    fn global_blocks_on_single_missing_prediction_despite_imbalance() {
+        // One node with a short history (None prediction) must freeze
+        // global remapping even when the others report a huge imbalance.
+        let p = Partition::even(40, 4, 100);
+        let mut t = times_for_speeds(&[1.0, 0.1, 1.0, 1.0], &p);
+        t[1] = None;
+        assert_eq!(Global::default().target_counts(&t, &p), p.counts());
+        // Once the history fills in, the same imbalance does remap.
+        let t = times_for_speeds(&[1.0, 0.1, 1.0, 1.0], &p);
+        assert_ne!(Global::default().target_counts(&t, &p), p.counts());
+    }
+
+    #[test]
     fn filtered_drains_slow_node_aggressively() {
         let p = Partition::even(60, 3, 100);
         let t = times_for_speeds(&[1.0, 0.3, 1.0], &p);

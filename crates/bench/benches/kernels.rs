@@ -4,7 +4,7 @@
 //! the cluster cost model's `site_update_rate`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use microslip_lbm::{ChannelConfig, Dims, Simulation, Slab, SlabSolver};
+use microslip_lbm::{ChannelConfig, Dims, Parallelism, Simulation, Slab, SlabSolver};
 
 fn slab_solver() -> SlabSolver {
     let cfg = ChannelConfig::paper_scaled(Dims::new(20, 40, 10));
@@ -54,6 +54,15 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("velocities", |b| b.iter(|| s.compute_velocities()));
     let mut s = slab_solver();
     g.bench_function("full-phase", |b| b.iter(|| s.phase_periodic()));
+    let mut s = slab_solver();
+    g.bench_function("full-phase-fused", |b| b.iter(|| s.phase_periodic_fused()));
+    for threads in [2usize, 4] {
+        let mut s = slab_solver();
+        s.set_parallelism(Parallelism::new(threads));
+        g.bench_function(format!("full-phase-fused-{threads}t"), |b| {
+            b.iter(|| s.phase_periodic_fused())
+        });
+    }
     g.finish();
 
     let mut g = c.benchmark_group("lbm-sequential");

@@ -1,0 +1,118 @@
+//! Intra-slab kernel scaling: classic vs fused collide→stream schedules,
+//! and the fused schedule across rayon thread counts.
+//!
+//! Times whole periodic phases on a single slab covering the full channel
+//! (the paper's 400×200×20 lattice by default) and writes the results to
+//! a JSON file for the experiment log. The min over `reps` timed phases is
+//! reported to suppress scheduler noise.
+//!
+//! Usage:
+//!   kernel_scaling [--planes 400] [--ny 200] [--nz 20] [--reps 3]
+//!                  [--out BENCH_kernels.json]
+//!
+//! Thread counts beyond the host's core count cannot speed anything up;
+//! the sweep still runs them so the flat tail is visible in the data.
+
+use std::time::Instant;
+
+use microslip_lbm::{ChannelConfig, Dims, Parallelism, Slab, SlabSolver};
+
+/// `--name value` flag with a default; panics on an unparsable value.
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad value for {name}")),
+        None => default,
+    }
+}
+
+fn solver(dims: Dims, par: Parallelism) -> SlabSolver {
+    let mut cfg = ChannelConfig::paper_scaled(dims);
+    cfg.parallelism = par;
+    let mut s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: dims.nx });
+    s.prime_periodic();
+    s
+}
+
+/// Min seconds per phase over `reps` runs (after one warmup phase).
+fn time_phase(s: &mut SlabSolver, reps: usize, fused: bool) -> f64 {
+    let step = |s: &mut SlabSolver| {
+        if fused {
+            s.phase_periodic_fused();
+        } else {
+            s.phase_periodic();
+        }
+    };
+    step(s); // warmup: touches every page, fills caches
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        step(s);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    variant: &'static str,
+    threads: usize,
+    secs: f64,
+}
+
+fn main() {
+    let nx: usize = flag("--planes", 400);
+    let ny: usize = flag("--ny", 200);
+    let nz: usize = flag("--nz", 20);
+    let reps: usize = flag::<usize>("--reps", 3).max(1); // 0 reps would emit bogus inf timings
+    let out: String = flag("--out", "BENCH_kernels.json".to_string());
+
+    let dims = Dims::new(nx, ny, nz);
+    let cells = (nx * ny * nz) as f64;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("kernel scaling on {nx}x{ny}x{nz} ({cells:.0} cells), {cores} host core(s), min of {reps} phases");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let secs = time_phase(&mut solver(dims, Parallelism::serial()), reps, false);
+    rows.push(Row { variant: "serial", threads: 1, secs });
+    let secs = time_phase(&mut solver(dims, Parallelism::serial()), reps, true);
+    rows.push(Row { variant: "fused", threads: 1, secs });
+    for threads in [1usize, 2, 4, 8] {
+        let secs = time_phase(&mut solver(dims, Parallelism::new(threads)), reps, true);
+        rows.push(Row { variant: "fused+rayon", threads, secs });
+    }
+
+    let serial = rows[0].secs;
+    for r in &rows {
+        println!(
+            "  {:>12} {}t: {:.4}s/phase  {:6.2} MLUP/s  speedup {:.2}",
+            r.variant,
+            r.threads,
+            r.secs,
+            cells / r.secs / 1e6,
+            serial / r.secs
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"dims\": [{nx}, {ny}, {nz}],\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"secs_per_phase\": {:.6}, \"mlups\": {:.3}, \"speedup_vs_serial\": {:.3}}}{comma}\n",
+            r.variant,
+            r.threads,
+            r.secs,
+            cells / r.secs / 1e6,
+            serial / r.secs
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -15,43 +15,75 @@
 use crate::component::{CollisionOperator, ComponentState};
 use crate::field::LocalGrid;
 use crate::lattice::{Lattice, D3Q19};
+use std::ops::Range;
 
 /// Applies one collision (BGK or TRT per the component's spec) to every
 /// interior cell of `comp`.
 pub fn collide(comp: &mut ComponentState) {
-    match comp.spec.collision {
-        CollisionOperator::Bgk => collide_bgk(comp),
-        CollisionOperator::Trt { magic } => collide_trt(comp, magic),
-        CollisionOperator::Mrt(rates) => crate::mrt::collide_mrt(comp, rates),
+    let grid = comp.grid();
+    let p = grid.plane_cells();
+    collide_cells(comp, LocalGrid::FIRST * p..(grid.last() + 1) * p);
+}
+
+/// Applies one collision to the contiguous cell range `range` of `comp`
+/// (a sub-range of the interior). This is the unit of work of the
+/// plane-parallel and fused drivers; [`collide`] is the full-interior case.
+pub(crate) fn collide_cells(comp: &mut ComponentState, range: Range<usize>) {
+    let cells = comp.grid().cells();
+    let op = comp.spec.collision;
+    let tau = comp.spec.tau;
+    let ueq = comp.ueq.data().as_ptr();
+    let f = comp.f.data_mut().as_mut_ptr();
+    // Safety: `f`/`ueq` are the component's full channel-major arrays,
+    // `range` lies within them, and we hold exclusive access to `comp`.
+    unsafe { collide_cells_raw(op, tau, f, ueq, cells, range) }
+}
+
+/// Collides the cells of `range`, dispatching on the operator.
+///
+/// # Safety
+///
+/// `f` must point to a Q-channel and `ueq` to a 3-channel channel-major
+/// array of `cells` cells each; every cell index in `range` must be below
+/// `cells`, and no other thread may concurrently read or write any cell of
+/// `range` through `f` (distinct ranges may be collided concurrently —
+/// collision is purely cell-local).
+pub(crate) unsafe fn collide_cells_raw(
+    op: CollisionOperator,
+    tau: f64,
+    f: *mut f64,
+    ueq: *const f64,
+    cells: usize,
+    range: Range<usize>,
+) {
+    match op {
+        CollisionOperator::Bgk => collide_bgk_raw(tau, f, ueq, cells, range),
+        CollisionOperator::Trt { magic } => collide_trt_raw(tau, magic, f, ueq, cells, range),
+        CollisionOperator::Mrt(rates) => {
+            crate::mrt::collide_mrt_cells_raw(tau, rates, f, ueq, cells, range)
+        }
     }
 }
 
-/// Single-relaxation-time LBGK.
-fn collide_bgk(comp: &mut ComponentState) {
-    let grid = comp.grid();
-    let cells = grid.cells();
-    let p = grid.plane_cells();
-    let omega = 1.0 / comp.spec.tau;
-    let interior = LocalGrid::FIRST * p..(grid.last() + 1) * p;
-
-    let ueq = &comp.ueq;
-    let f = comp.f.data_mut();
-    for cell in interior {
+/// Single-relaxation-time LBGK. Safety: see [`collide_cells_raw`].
+unsafe fn collide_bgk_raw(tau: f64, f: *mut f64, ueq: *const f64, cells: usize, range: Range<usize>) {
+    let omega = 1.0 / tau;
+    for cell in range {
         // Gather populations (strided by `cells` across channels).
         let mut fi = [0.0f64; 19];
         let mut n = 0.0;
         for i in 0..D3Q19::Q {
-            let v = f[i * cells + cell];
+            let v = *f.add(i * cells + cell);
             fi[i] = v;
             n += v;
         }
-        let u = [ueq.at(0, cell), ueq.at(1, cell), ueq.at(2, cell)];
+        let u = [*ueq.add(cell), *ueq.add(cells + cell), *ueq.add(2 * cells + cell)];
         let uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
         for i in 0..D3Q19::Q {
             let e = D3Q19::E[i];
             let eu = e[0] as f64 * u[0] + e[1] as f64 * u[1] + e[2] as f64 * u[2];
             let feq = D3Q19::W[i] * n * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu);
-            f[i * cells + cell] = fi[i] - omega * (fi[i] - feq);
+            *f.add(i * cells + cell) = fi[i] - omega * (fi[i] - feq);
         }
     }
 }
@@ -59,28 +91,29 @@ fn collide_bgk(comp: &mut ComponentState) {
 /// Two-relaxation-time collision. The symmetric (even) part of each
 /// population pair relaxes with ω⁺ = 1/τ; the antisymmetric (odd) part
 /// with ω⁻ from the magic parameter: τ⁻ = ½ + Λ/(τ⁺ − ½).
-fn collide_trt(comp: &mut ComponentState, magic: f64) {
+/// Safety: see [`collide_cells_raw`].
+unsafe fn collide_trt_raw(
+    tau_plus: f64,
+    magic: f64,
+    f: *mut f64,
+    ueq: *const f64,
+    cells: usize,
+    range: Range<usize>,
+) {
     assert!(magic > 0.0, "TRT magic parameter must be positive");
-    let grid = comp.grid();
-    let cells = grid.cells();
-    let p = grid.plane_cells();
-    let tau_plus = comp.spec.tau;
     let tau_minus = 0.5 + magic / (tau_plus - 0.5);
     let omega_plus = 1.0 / tau_plus;
     let omega_minus = 1.0 / tau_minus;
-    let interior = LocalGrid::FIRST * p..(grid.last() + 1) * p;
 
-    let ueq = &comp.ueq;
-    let f = comp.f.data_mut();
-    for cell in interior {
+    for cell in range {
         let mut fi = [0.0f64; 19];
         let mut n = 0.0;
         for i in 0..D3Q19::Q {
-            let v = f[i * cells + cell];
+            let v = *f.add(i * cells + cell);
             fi[i] = v;
             n += v;
         }
-        let u = [ueq.at(0, cell), ueq.at(1, cell), ueq.at(2, cell)];
+        let u = [*ueq.add(cell), *ueq.add(cells + cell), *ueq.add(2 * cells + cell)];
         let uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
         let mut feq = [0.0f64; 19];
         for i in 0..D3Q19::Q {
@@ -89,7 +122,7 @@ fn collide_trt(comp: &mut ComponentState, magic: f64) {
             feq[i] = D3Q19::W[i] * n * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * uu);
         }
         // Rest population is purely symmetric.
-        f[cell] = fi[0] - omega_plus * (fi[0] - feq[0]);
+        *f.add(cell) = fi[0] - omega_plus * (fi[0] - feq[0]);
         for i in 1..D3Q19::Q {
             let o = D3Q19::OPP[i];
             if o < i {
@@ -101,8 +134,8 @@ fn collide_trt(comp: &mut ComponentState, magic: f64) {
             let feq_minus = 0.5 * (feq[i] - feq[o]);
             let d_plus = omega_plus * (f_plus - feq_plus);
             let d_minus = omega_minus * (f_minus - feq_minus);
-            f[i * cells + cell] = fi[i] - d_plus - d_minus;
-            f[o * cells + cell] = fi[o] - d_plus + d_minus;
+            *f.add(i * cells + cell) = fi[i] - d_plus - d_minus;
+            *f.add(o * cells + cell) = fi[o] - d_plus + d_minus;
         }
     }
 }

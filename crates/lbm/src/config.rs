@@ -3,6 +3,7 @@
 use crate::component::{ComponentSpec, CouplingMatrix};
 use crate::force::WallForce;
 use crate::geometry::{Dims, SolidRegion};
+use crate::par::Parallelism;
 
 /// Shape of the initial density field (scaled by each component's
 /// initial density).
@@ -51,6 +52,9 @@ pub struct ChannelConfig {
     /// Solid obstacles inside the channel (fluid bounces back at their
     /// surfaces, exactly like at the channel walls).
     pub obstacles: Vec<SolidRegion>,
+    /// Intra-slab thread budget for the per-phase kernels. Serial by
+    /// default; any value produces bitwise-identical physics.
+    pub parallelism: Parallelism,
 }
 
 impl ChannelConfig {
@@ -73,6 +77,7 @@ impl ChannelConfig {
             body: [1.0e-5, 0.0, 0.0],
             init: InitProfile::Uniform,
             obstacles: Vec::new(),
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -96,6 +101,7 @@ impl ChannelConfig {
             body: [body_x, 0.0, 0.0],
             init: InitProfile::Uniform,
             obstacles: Vec::new(),
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -124,6 +130,7 @@ impl ChannelConfig {
             body: [0.0; 3],
             init: InitProfile::Uniform,
             obstacles: Vec::new(),
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -156,6 +163,9 @@ impl ChannelConfig {
         }
         if self.wall.decay <= 0.0 {
             return Err("wall force decay length must be positive".into());
+        }
+        if self.parallelism.threads() == 0 {
+            return Err("parallelism must allow at least one thread".into());
         }
         // Obstacles must leave at least one fluid cell in every y-z plane
         // (a fully blocked plane would wall off the channel); checked
@@ -250,6 +260,15 @@ mod tests {
         cfg.validate().unwrap();
         assert_eq!(cfg.ncomp(), 1);
         assert_eq!(cfg.coupling.get(0, 0), -6.0);
+    }
+
+    #[test]
+    fn zero_thread_parallelism_rejected() {
+        let mut cfg = ChannelConfig::paper_scaled(Dims::new(8, 4, 4));
+        cfg.parallelism = Parallelism { threads: 0 };
+        assert!(cfg.validate().is_err());
+        cfg.parallelism = Parallelism::new(4);
+        cfg.validate().unwrap();
     }
 
     #[test]

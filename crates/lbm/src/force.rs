@@ -24,6 +24,7 @@
 use crate::component::{ComponentState, CouplingMatrix};
 use crate::field::LocalGrid;
 use crate::lattice::{Lattice, D3Q19};
+use crate::par::{Parallelism, SendPtr};
 
 /// How the hydrophobic wall magnitude combines with the local fluid state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,45 +91,67 @@ pub fn compute_forces(
     body: [f64; 3],
     solid: &[bool],
 ) {
+    compute_forces_with(comps, coupling, wall, body, solid, Parallelism::serial());
+}
+
+/// [`compute_forces`] with a thread budget. All three passes (adhesion
+/// kernel, interaction-kernel vectors, force assembly) iterate x-planes and
+/// write only cells of their own plane, reading at most a ±1-plane ψ
+/// stencil that nobody mutates — so chunking the planes is bitwise
+/// transparent.
+pub(crate) fn compute_forces_with(
+    comps: &mut [ComponentState],
+    coupling: &CouplingMatrix,
+    wall: &WallForce,
+    body: [f64; 3],
+    solid: &[bool],
+    par: Parallelism,
+) {
     assert_eq!(comps.len(), coupling.components());
     let grid = comps[0].grid();
     let ncells = grid.cells();
     assert_eq!(solid.len(), ncells);
     let s = comps.len();
+    let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
+    let ny = grid.ny as isize;
+    let nz = grid.nz as isize;
     // Adhesion kernel A(x) = Σ_i w_i s(x+e_i) e_i, shared by all
     // components (s = 1 behind channel walls and at obstacle cells).
     let any_adhesion = comps.iter().any(|c| c.spec.wall_adhesion != 0.0);
     let adhesion_vec: Vec<f64> = if any_adhesion {
-        let ny = grid.ny as isize;
-        let nz = grid.nz as isize;
         let mut out = vec![0.0; 3 * ncells];
-        for xl in LocalGrid::FIRST..=grid.last() {
-            for y in 0..grid.ny {
-                for z in 0..grid.nz {
-                    let cell = (xl * grid.ny + y) * grid.nz + z;
-                    let mut acc = [0.0f64; 3];
-                    for i in 1..D3Q19::Q {
-                        let e = D3Q19::E[i];
-                        let yn = y as isize + e[1] as isize;
-                        let zn = z as isize + e[2] as isize;
-                        let is_solid = if yn < 0 || yn >= ny || zn < 0 || zn >= nz {
-                            true // channel wall
-                        } else {
-                            let xn = (xl as isize + e[0] as isize) as usize;
-                            solid[(xn * grid.ny + yn as usize) * grid.nz + zn as usize]
-                        };
-                        if is_solid {
-                            acc[0] += D3Q19::W[i] * e[0] as f64;
-                            acc[1] += D3Q19::W[i] * e[1] as f64;
-                            acc[2] += D3Q19::W[i] * e[2] as f64;
+        let out_ptr = SendPtr::new(out.as_mut_ptr());
+        par.run_chunks(&chunks, |lo, hi| {
+            for xl in lo..hi {
+                for y in 0..grid.ny {
+                    for z in 0..grid.nz {
+                        let cell = (xl * grid.ny + y) * grid.nz + z;
+                        let mut acc = [0.0f64; 3];
+                        for i in 1..D3Q19::Q {
+                            let e = D3Q19::E[i];
+                            let yn = y as isize + e[1] as isize;
+                            let zn = z as isize + e[2] as isize;
+                            let is_solid = if yn < 0 || yn >= ny || zn < 0 || zn >= nz {
+                                true // channel wall
+                            } else {
+                                let xn = (xl as isize + e[0] as isize) as usize;
+                                solid[(xn * grid.ny + yn as usize) * grid.nz + zn as usize]
+                            };
+                            if is_solid {
+                                acc[0] += D3Q19::W[i] * e[0] as f64;
+                                acc[1] += D3Q19::W[i] * e[1] as f64;
+                                acc[2] += D3Q19::W[i] * e[2] as f64;
+                            }
                         }
-                    }
-                    for a in 0..3 {
-                        out[a * ncells + cell] = acc[a];
+                        for a in 0..3 {
+                            // Safety: `cell` lies in this chunk's planes;
+                            // chunks are disjoint.
+                            unsafe { *out_ptr.get().add(a * ncells + cell) = acc[a] };
+                        }
                     }
                 }
             }
-        }
+        });
         out
     } else {
         Vec::new()
@@ -138,38 +161,39 @@ pub fn compute_forces(
     // for every component (≈ c_s² ∇ψ_b to second order), where ψ_b is the
     // component's interaction potential evaluated on its number density.
     let mut gvec: Vec<Vec<f64>> = vec![vec![0.0; 3 * ncells]; s];
-    let ny = grid.ny as isize;
-    let nz = grid.nz as isize;
     for (b, comp) in comps.iter().enumerate() {
         let psi_fn = comp.spec.psi_fn;
         let psi = comp.psi.channel(0);
-        let out = &mut gvec[b];
-        for xl in LocalGrid::FIRST..=grid.last() {
-            for y in 0..grid.ny {
-                for z in 0..grid.nz {
-                    let cell = (xl * grid.ny + y) * grid.nz + z;
-                    let mut acc = [0.0f64; 3];
-                    for i in 1..D3Q19::Q {
-                        let e = D3Q19::E[i];
-                        let yn = y as isize + e[1] as isize;
-                        let zn = z as isize + e[2] as isize;
-                        if yn < 0 || yn >= ny || zn < 0 || zn >= nz {
-                            continue; // ψ = 0 behind walls
+        let out_ptr = SendPtr::new(gvec[b].as_mut_ptr());
+        par.run_chunks(&chunks, |lo, hi| {
+            for xl in lo..hi {
+                for y in 0..grid.ny {
+                    for z in 0..grid.nz {
+                        let cell = (xl * grid.ny + y) * grid.nz + z;
+                        let mut acc = [0.0f64; 3];
+                        for i in 1..D3Q19::Q {
+                            let e = D3Q19::E[i];
+                            let yn = y as isize + e[1] as isize;
+                            let zn = z as isize + e[2] as isize;
+                            if yn < 0 || yn >= ny || zn < 0 || zn >= nz {
+                                continue; // ψ = 0 behind walls
+                            }
+                            let xn = (xl as isize + e[0] as isize) as usize;
+                            let p = psi_fn
+                                .eval(psi[(xn * grid.ny + yn as usize) * grid.nz + zn as usize]);
+                            let wp = D3Q19::W[i] * p;
+                            acc[0] += wp * e[0] as f64;
+                            acc[1] += wp * e[1] as f64;
+                            acc[2] += wp * e[2] as f64;
                         }
-                        let xn = (xl as isize + e[0] as isize) as usize;
-                        let p =
-                            psi_fn.eval(psi[(xn * grid.ny + yn as usize) * grid.nz + zn as usize]);
-                        let wp = D3Q19::W[i] * p;
-                        acc[0] += wp * e[0] as f64;
-                        acc[1] += wp * e[1] as f64;
-                        acc[2] += wp * e[2] as f64;
-                    }
-                    for a in 0..3 {
-                        out[a * ncells + cell] = acc[a];
+                        for a in 0..3 {
+                            // Safety: disjoint chunk planes, see above.
+                            unsafe { *out_ptr.get().add(a * ncells + cell) = acc[a] };
+                        }
                     }
                 }
             }
-        }
+        });
     }
 
     // Pass 2: total force density per component.
@@ -179,69 +203,75 @@ pub fn compute_forces(
         let g_wall = comps[a].spec.wall_adhesion;
         let feels_wall = comps[a].spec.feels_wall_force;
         let interaction: Vec<f64> = (0..s).map(|b| coupling.get(a, b)).collect();
-        // Split borrows: psi read, force written, same component.
-        let (psi_data, force) = {
-            let c = &mut comps[a];
-            // Copy ψ channel to avoid aliasing; small relative to f.
-            (c.psi.channel(0).to_vec(), &mut c.force)
-        };
-        for xl in LocalGrid::FIRST..=grid.last() {
-            for y in 0..grid.ny {
-                let wall_mag = if feels_wall && !wall.is_off() {
-                    None // computed per z below
-                } else {
-                    Some((0.0, 0.0))
-                };
-                for z in 0..grid.nz {
-                    let cell = (xl * grid.ny + y) * grid.nz + z;
-                    let n_here = psi_data[cell];
-                    let psi_here = psi_fn.eval(n_here);
-                    let rho_here = mass * n_here;
-                    // Shan–Chen term.
-                    let mut fx = 0.0;
-                    let mut fy = 0.0;
-                    let mut fz = 0.0;
-                    for (b, &g) in interaction.iter().enumerate() {
-                        if g == 0.0 {
-                            continue;
-                        }
-                        let gv = &gvec[b];
-                        fx -= psi_here * g * gv[cell];
-                        fy -= psi_here * g * gv[ncells + cell];
-                        fz -= psi_here * g * gv[2 * ncells + cell];
-                    }
-                    // Solid-fluid adhesion (alternative hydrophobicity):
-                    // F = −g_w ψ(n) Σ_i w_i s(x+e_i) e_i.
-                    if g_wall != 0.0 {
-                        fx -= g_wall * psi_here * adhesion_vec[cell];
-                        fy -= g_wall * psi_here * adhesion_vec[ncells + cell];
-                        fz -= g_wall * psi_here * adhesion_vec[2 * ncells + cell];
-                    }
-                    // Hydrophobic wall force.
-                    let (wy, wz) = match wall_mag {
-                        Some(m) => m,
-                        None => {
-                            let d = crate::geometry::Dims::new(1, grid.ny, grid.nz)
-                                .wall_distances(y, z);
-                            wall.magnitudes(d)
-                        }
+        // Split borrows of the same component: ψ read, force written —
+        // distinct arrays, so no aliasing.
+        let c = &mut comps[a];
+        let psi_data: &[f64] = c.psi.channel(0);
+        let force_ptr = SendPtr::new(c.force.data_mut().as_mut_ptr());
+        let (interaction, adhesion_vec, gvec) = (&interaction, &adhesion_vec, &gvec);
+        par.run_chunks(&chunks, |lo, hi| {
+            for xl in lo..hi {
+                for y in 0..grid.ny {
+                    let wall_mag = if feels_wall && !wall.is_off() {
+                        None // computed per z below
+                    } else {
+                        Some((0.0, 0.0))
                     };
-                    let wall_scale = match wall.mode {
-                        WallForceMode::PerMass => rho_here,
-                        WallForceMode::ForceDensity => 1.0,
-                    };
-                    fy += wy * wall_scale;
-                    fz += wz * wall_scale;
-                    // Body force (acceleration on every component).
-                    fx += rho_here * body[0];
-                    fy += rho_here * body[1];
-                    fz += rho_here * body[2];
-                    force.set(0, cell, fx);
-                    force.set(1, cell, fy);
-                    force.set(2, cell, fz);
+                    for z in 0..grid.nz {
+                        let cell = (xl * grid.ny + y) * grid.nz + z;
+                        let n_here = psi_data[cell];
+                        let psi_here = psi_fn.eval(n_here);
+                        let rho_here = mass * n_here;
+                        // Shan–Chen term.
+                        let mut fx = 0.0;
+                        let mut fy = 0.0;
+                        let mut fz = 0.0;
+                        for (b, &g) in interaction.iter().enumerate() {
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let gv = &gvec[b];
+                            fx -= psi_here * g * gv[cell];
+                            fy -= psi_here * g * gv[ncells + cell];
+                            fz -= psi_here * g * gv[2 * ncells + cell];
+                        }
+                        // Solid-fluid adhesion (alternative hydrophobicity):
+                        // F = −g_w ψ(n) Σ_i w_i s(x+e_i) e_i.
+                        if g_wall != 0.0 {
+                            fx -= g_wall * psi_here * adhesion_vec[cell];
+                            fy -= g_wall * psi_here * adhesion_vec[ncells + cell];
+                            fz -= g_wall * psi_here * adhesion_vec[2 * ncells + cell];
+                        }
+                        // Hydrophobic wall force.
+                        let (wy, wz) = match wall_mag {
+                            Some(m) => m,
+                            None => {
+                                let d = crate::geometry::Dims::new(1, grid.ny, grid.nz)
+                                    .wall_distances(y, z);
+                                wall.magnitudes(d)
+                            }
+                        };
+                        let wall_scale = match wall.mode {
+                            WallForceMode::PerMass => rho_here,
+                            WallForceMode::ForceDensity => 1.0,
+                        };
+                        fy += wy * wall_scale;
+                        fz += wz * wall_scale;
+                        // Body force (acceleration on every component).
+                        fx += rho_here * body[0];
+                        fy += rho_here * body[1];
+                        fz += rho_here * body[2];
+                        // Safety: disjoint chunk planes of this component's
+                        // force array.
+                        unsafe {
+                            *force_ptr.get().add(cell) = fx;
+                            *force_ptr.get().add(ncells + cell) = fy;
+                            *force_ptr.get().add(2 * ncells + cell) = fz;
+                        }
+                    }
                 }
             }
-        }
+        });
     }
 }
 

@@ -42,6 +42,7 @@ pub mod macroscopic;
 pub mod mrt;
 pub mod multicomponent;
 pub mod observables;
+pub mod par;
 pub mod potential;
 pub mod simulation;
 pub mod solver;
@@ -54,6 +55,7 @@ pub use config::{ChannelConfig, InitProfile};
 pub use force::{WallForce, WallForceMode};
 pub use geometry::{Dims, Microchannel, Slab};
 pub use macroscopic::Snapshot;
+pub use par::Parallelism;
 pub use potential::PsiFn;
 pub use checkpoint::CheckpointError;
 pub use diagnostics::FlowDiagnostics;

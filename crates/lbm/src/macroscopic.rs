@@ -20,18 +20,46 @@ use crate::lattice::{Lattice, D3Q19};
 /// populations. Ghost planes are left untouched (they are refreshed by the
 /// halo exchange that follows in the phase).
 pub fn compute_psi(comp: &mut ComponentState) {
+    compute_psi_with(comp, crate::par::Parallelism::serial());
+}
+
+/// [`compute_psi`] with a thread budget: the interior cell range is split
+/// into plane chunks summed concurrently. Per-cell channel sums keep their
+/// serial accumulation order (directions ascending), so the result is
+/// bitwise identical at any thread count.
+pub(crate) fn compute_psi_with(comp: &mut ComponentState, par: crate::par::Parallelism) {
     let grid = comp.grid();
     let cells = grid.cells();
     let p = grid.plane_cells();
-    let lo = LocalGrid::FIRST * p;
-    let hi = (grid.last() + 1) * p;
-    let f = comp.f.data();
-    let psi = comp.psi.channel_mut(0);
-    psi[lo..hi].fill(0.0);
+    let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
+    let f = crate::par::ConstPtr::new(comp.f.data().as_ptr());
+    let psi = crate::par::SendPtr::new(comp.psi.channel_mut(0).as_mut_ptr());
+    par.run_cell_chunks(&chunks, p, |range| {
+        // Safety: chunks are disjoint cell ranges of ψ; `f` is read-only.
+        unsafe { compute_psi_cells_raw(f.get(), psi.get(), cells, range) }
+    });
+}
+
+/// Sums the Q population channels into ψ over the cells of `range`.
+///
+/// # Safety
+///
+/// `f` must point to a Q-channel channel-major array of `cells` cells and
+/// `psi` to a single channel of at least `range.end` cells; no other
+/// thread may write the ψ cells of `range` during the call.
+unsafe fn compute_psi_cells_raw(
+    f: *const f64,
+    psi: *mut f64,
+    cells: usize,
+    range: core::ops::Range<usize>,
+) {
+    for cell in range.clone() {
+        *psi.add(cell) = 0.0;
+    }
     for i in 0..D3Q19::Q {
-        let ch = &f[i * cells..(i + 1) * cells];
-        for (dst, src) in psi[lo..hi].iter_mut().zip(&ch[lo..hi]) {
-            *dst += *src;
+        let ch = f.add(i * cells);
+        for cell in range.clone() {
+            *psi.add(cell) += *ch.add(cell);
         }
     }
 }
@@ -40,11 +68,21 @@ pub fn compute_psi(comp: &mut ComponentState) {
 /// `m_σ` for mass momentum).
 #[inline]
 pub fn raw_momentum(comp: &ComponentState, cell: usize) -> [f64; 3] {
-    let cells = comp.grid().cells();
-    let f = comp.f.data();
+    // Safety: `cell` is in bounds for the component's own arrays.
+    unsafe { raw_momentum_raw(comp.f.data().as_ptr(), comp.grid().cells(), cell) }
+}
+
+/// [`raw_momentum`] on a raw channel-major `f` array.
+///
+/// # Safety
+///
+/// `f` must point to a Q-channel channel-major array of `cells` cells and
+/// `cell` must be below `cells`.
+#[inline]
+pub(crate) unsafe fn raw_momentum_raw(f: *const f64, cells: usize, cell: usize) -> [f64; 3] {
     let mut m = [0.0f64; 3];
     for i in 1..D3Q19::Q {
-        let v = f[i * cells + cell];
+        let v = *f.add(i * cells + cell);
         let e = D3Q19::E[i];
         m[0] += v * e[0] as f64;
         m[1] += v * e[1] as f64;

@@ -186,21 +186,36 @@ pub fn collide_mrt(comp: &mut ComponentState, rates: MrtRates) {
     let cells = grid.cells();
     let p = grid.plane_cells();
     let interior = LocalGrid::FIRST * p..(grid.last() + 1) * p;
-    let b = basis();
-    let s = rate_vector(comp.spec.tau, rates);
+    let tau = comp.spec.tau;
+    let ueq = comp.ueq.data().as_ptr();
+    let f = comp.f.data_mut().as_mut_ptr();
+    // Safety: full channel-major arrays, interior range, exclusive access.
+    unsafe { collide_mrt_cells_raw(tau, rates, f, ueq, cells, interior) }
+}
 
-    let ueq = &comp.ueq;
-    let f = comp.f.data_mut();
+/// MRT collision over the cells of `range`.
+/// Safety: see [`crate::collision::collide_cells_raw`].
+pub(crate) unsafe fn collide_mrt_cells_raw(
+    tau: f64,
+    rates: MrtRates,
+    f: *mut f64,
+    ueq: *const f64,
+    cells: usize,
+    range: core::ops::Range<usize>,
+) {
+    let b = basis();
+    let s = rate_vector(tau, rates);
+
     let mut feq = [0.0f64; 19];
-    for cell in interior {
+    for cell in range {
         let mut fi = [0.0f64; 19];
         let mut n = 0.0;
         for i in 0..D3Q19::Q {
-            let v = f[i * cells + cell];
+            let v = *f.add(i * cells + cell);
             fi[i] = v;
             n += v;
         }
-        let u = [ueq.at(0, cell), ueq.at(1, cell), ueq.at(2, cell)];
+        let u = [*ueq.add(cell), *ueq.add(cells + cell), *ueq.add(2 * cells + cell)];
         let uu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
         for i in 0..D3Q19::Q {
             let e = D3Q19::E[i];
@@ -224,7 +239,7 @@ pub fn collide_mrt(comp: &mut ComponentState, rates: MrtRates) {
             }
         }
         for i in 0..19 {
-            f[i * cells + cell] = fi[i] - delta[i];
+            *f.add(i * cells + cell) = fi[i] - delta[i];
         }
     }
 }

@@ -20,7 +20,8 @@
 
 use crate::component::ComponentState;
 use crate::field::LocalGrid;
-use crate::macroscopic::raw_momentum;
+use crate::macroscopic::raw_momentum_raw;
+use crate::par::{ConstPtr, Parallelism, SendPtr};
 
 /// Density floor below which the force shift is suppressed to avoid
 /// dividing by a vanishing component density.
@@ -31,42 +32,74 @@ pub const RHO_FLOOR: f64 = 1e-12;
 /// Must run after [`crate::macroscopic::compute_psi`] and
 /// [`crate::force::compute_forces`] in the phase.
 pub fn update_equilibrium_velocities(comps: &mut [ComponentState]) {
-    let grid = comps[0].grid();
-    let s = comps.len();
+    update_equilibrium_velocities_with(comps, Parallelism::serial());
+}
 
-    for xl in LocalGrid::FIRST..=grid.last() {
-        for y in 0..grid.ny {
-            for z in 0..grid.nz {
-                let cell = grid.idx(xl, y, z);
+/// Raw per-component view for the cross-component cell loop: every array
+/// is read-only except `ueq`, written once per cell.
+struct CompView {
+    f: ConstPtr<f64>,
+    psi: ConstPtr<f64>,
+    force: ConstPtr<f64>,
+    ueq: SendPtr<f64>,
+    mass: f64,
+    momentum_tau: f64,
+}
+
+/// [`update_equilibrium_velocities`] with a thread budget. The update is
+/// purely cell-local (it couples components, not cells), so plane chunks
+/// are independent and the result is bitwise identical at any thread
+/// count.
+pub(crate) fn update_equilibrium_velocities_with(comps: &mut [ComponentState], par: Parallelism) {
+    let grid = comps[0].grid();
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let views: Vec<CompView> = comps
+        .iter_mut()
+        .map(|c| CompView {
+            f: ConstPtr::new(c.f.data().as_ptr()),
+            psi: ConstPtr::new(c.psi.data().as_ptr()),
+            force: ConstPtr::new(c.force.data().as_ptr()),
+            ueq: SendPtr::new(c.ueq.data_mut().as_mut_ptr()),
+            mass: c.spec.mass,
+            momentum_tau: c.spec.momentum_tau(),
+        })
+        .collect();
+
+    let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
+    par.run_cell_chunks(&chunks, p, |range| {
+        for cell in range {
+            // Safety: all reads go to arrays nobody writes during the
+            // launch; each `ueq` cell is written by exactly one chunk.
+            unsafe {
                 // Common velocity ū.
                 let mut num = [0.0f64; 3];
                 let mut den = 0.0f64;
-                for c in comps.iter() {
-                    let m = c.spec.mass;
-                    let inv_tau = 1.0 / c.spec.momentum_tau();
-                    let raw = raw_momentum(c, cell);
+                for v in &views {
+                    let m = v.mass;
+                    let inv_tau = 1.0 / v.momentum_tau;
+                    let raw = raw_momentum_raw(v.f.get(), cells, cell);
                     for a in 0..3 {
                         num[a] += m * raw[a] * inv_tau;
                     }
-                    den += m * c.psi.at(0, cell) * inv_tau;
+                    den += m * *v.psi.get().add(cell) * inv_tau;
                 }
                 let ubar = if den > RHO_FLOOR {
                     [num[0] / den, num[1] / den, num[2] / den]
                 } else {
                     [0.0; 3]
                 };
-                for k in 0..s {
-                    let c = &mut comps[k];
-                    let rho = c.spec.mass * c.psi.at(0, cell);
-                    let shift =
-                        if rho > RHO_FLOOR { c.spec.momentum_tau() / rho } else { 0.0 };
+                for v in &views {
+                    let rho = v.mass * *v.psi.get().add(cell);
+                    let shift = if rho > RHO_FLOOR { v.momentum_tau / rho } else { 0.0 };
                     for a in 0..3 {
-                        c.ueq.set(a, cell, ubar[a] + shift * c.force.at(a, cell));
+                        *v.ueq.get().add(a * cells + cell) =
+                            ubar[a] + shift * *v.force.get().add(a * cells + cell);
                     }
                 }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use crate::force::WallForce;
 use crate::geometry::{Slab, SolidRegion};
 use crate::lattice::{Lattice, D3Q19};
 use crate::macroscopic::Snapshot;
+use crate::par::Parallelism;
 
 /// A slab edge, in global x orientation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +62,9 @@ pub struct SlabSolver {
     /// Solid mask over the local grid (ghost planes included); rebuilt
     /// from `obstacles` whenever the slab changes.
     solid: Vec<bool>,
+    /// Intra-slab thread budget for the phase kernels (bitwise transparent
+    /// — see [`crate::par`]).
+    par: Parallelism,
 }
 
 impl SlabSolver {
@@ -91,6 +95,7 @@ impl SlabSolver {
             body: config.body,
             obstacles: config.obstacles.clone(),
             solid: Vec::new(),
+            par: config.parallelism,
         };
         solver.rebuild_mask();
         solver.clear_solid_cells();
@@ -189,44 +194,111 @@ impl SlabSolver {
         self.comps[0].grid()
     }
 
+    /// The intra-slab thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Sets the intra-slab thread budget for all subsequent phase kernels.
+    /// Bitwise transparent: any value produces fields identical to
+    /// [`Parallelism::serial`].
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
     // ---- phase sub-steps -------------------------------------------------
 
     /// Phase step 1: LBGK collision of every component.
     pub fn collide(&mut self) {
+        let par = self.par;
+        let grid = self.grid();
+        let p = grid.plane_cells();
+        let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
         for c in self.comps.iter_mut() {
-            crate::collision::collide(c);
+            if chunks.len() <= 1 {
+                crate::collision::collide(c);
+                continue;
+            }
+            let cells = grid.cells();
+            let op = c.spec.collision;
+            let tau = c.spec.tau;
+            let ueq = crate::par::ConstPtr::new(c.ueq.data().as_ptr());
+            let f = crate::par::SendPtr::new(c.f.data_mut().as_mut_ptr());
+            par.run_chunks(&chunks, |a, b| {
+                // Safety: collision is cell-local and chunks are disjoint
+                // cell ranges of this component's `f`.
+                unsafe {
+                    crate::collision::collide_cells_raw(op, tau, f.get(), ueq.get(), cells, a * p..b * p)
+                }
+            });
         }
     }
 
     /// Phase step 2 (after population exchange): streaming + bounce-back
     /// (channel walls and obstacles).
     pub fn stream(&mut self) {
+        let par = self.par;
+        let has_solid = !self.obstacles.is_empty();
         for c in self.comps.iter_mut() {
-            crate::streaming::stream(c, &self.solid);
+            crate::streaming::stream_with(c, &self.solid, has_solid, par);
         }
     }
 
     /// Phase step 3: recompute ψ from the streamed populations.
     pub fn compute_psi(&mut self) {
+        let par = self.par;
         for c in self.comps.iter_mut() {
-            crate::macroscopic::compute_psi(c);
+            crate::macroscopic::compute_psi_with(c, par);
         }
     }
 
     /// Phase step 4 (after ψ exchange): total force densities.
     pub fn compute_forces(&mut self) {
-        crate::force::compute_forces(
+        crate::force::compute_forces_with(
             &mut self.comps,
             &self.coupling,
             &self.wall,
             self.body,
             &self.solid,
+            self.par,
         );
     }
 
     /// Phase step 5: common velocity and equilibrium velocities.
     pub fn compute_velocities(&mut self) {
-        crate::multicomponent::update_equilibrium_velocities(&mut self.comps);
+        crate::multicomponent::update_equilibrium_velocities_with(&mut self.comps, self.par);
+    }
+
+    // ---- fused collide→stream schedule -----------------------------------
+
+    /// Collides only the two slab-edge planes — everything the population
+    /// halo exchange reads ([`f_halo_out`](Self::f_halo_out) ships edge
+    /// planes only). The fused driver runs this *before* the exchange and
+    /// leaves the remaining planes to
+    /// [`stream_collide_fused`](Self::stream_collide_fused), which collides
+    /// them just ahead of streaming.
+    pub fn collide_edges(&mut self) {
+        let grid = self.grid();
+        let p = grid.plane_cells();
+        for c in self.comps.iter_mut() {
+            crate::collision::collide_cells(c, LocalGrid::FIRST * p..(LocalGrid::FIRST + 1) * p);
+            if grid.last() != LocalGrid::FIRST {
+                crate::collision::collide_cells(c, grid.last() * p..(grid.last() + 1) * p);
+            }
+        }
+    }
+
+    /// Phase steps 1+2 fused (after [`collide_edges`](Self::collide_edges)
+    /// and the population exchange): collides the interior planes and
+    /// streams every plane in a single sweep over `f`, bitwise identical
+    /// to `collide()` + `stream()` at any thread budget (see
+    /// [`crate::streaming::stream_collide_fused`]).
+    pub fn stream_collide_fused(&mut self) {
+        let par = self.par;
+        let has_solid = !self.obstacles.is_empty();
+        for c in self.comps.iter_mut() {
+            crate::streaming::stream_collide_fused(c, &self.solid, has_solid, par);
+        }
     }
 
     // ---- halo protocol ---------------------------------------------------
@@ -428,6 +500,21 @@ impl SlabSolver {
         self.collide();
         self.f_ghosts_periodic();
         self.stream();
+        self.compute_psi();
+        self.psi_ghosts_periodic();
+        self.compute_forces();
+        self.compute_velocities();
+    }
+
+    /// [`phase_periodic`](Self::phase_periodic) on the fused
+    /// collide→stream schedule (the hot path the runtime workers use):
+    /// edge planes collide before the ghost fill, the rest collide inside
+    /// the streaming sweep. Bitwise identical to `phase_periodic`.
+    pub fn phase_periodic_fused(&mut self) {
+        assert_eq!(self.nx_local(), self.global_nx, "phase_periodic needs the whole channel");
+        self.collide_edges();
+        self.f_ghosts_periodic();
+        self.stream_collide_fused();
         self.compute_psi();
         self.psi_ghosts_periodic();
         self.compute_forces();
@@ -680,5 +767,81 @@ mod tests {
         let cfg = small_config();
         let mut a = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: 3 });
         a.take_planes(Side::Left, 3);
+    }
+
+    fn run_phases(s: &mut SlabSolver, phases: usize, fused: bool) -> Snapshot {
+        s.prime_periodic();
+        for _ in 0..phases {
+            if fused {
+                s.phase_periodic_fused();
+            } else {
+                s.phase_periodic();
+            }
+        }
+        s.snapshot()
+    }
+
+    #[test]
+    fn fused_phase_is_bitwise_identical_to_classic() {
+        let cfg = small_config();
+        let slab = Slab { x0: 0, nx_local: cfg.dims.nx };
+        let want = run_phases(&mut SlabSolver::new(&cfg, slab), 8, false);
+        for threads in [1, 2, 4, 16] {
+            let mut s = SlabSolver::new(&cfg, slab);
+            s.set_parallelism(Parallelism::new(threads));
+            let got = run_phases(&mut s, 8, true);
+            assert_eq!(got, want, "fused schedule at {threads} threads changed the physics");
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_are_bitwise_identical_to_serial() {
+        let cfg = small_config();
+        let slab = Slab { x0: 0, nx_local: cfg.dims.nx };
+        let want = run_phases(&mut SlabSolver::new(&cfg, slab), 8, false);
+        for threads in [2, 3, 4] {
+            let mut s = SlabSolver::new(&cfg, slab);
+            s.set_parallelism(Parallelism::new(threads));
+            let got = run_phases(&mut s, 8, false);
+            assert_eq!(got, want, "plane-parallel kernels at {threads} threads changed the physics");
+        }
+    }
+
+    #[test]
+    fn fused_phase_matches_classic_with_obstacles() {
+        // Obstacles force the generic (per-cell bounce-back) streaming
+        // path; the fused sweep must stay bitwise identical there too.
+        let mut cfg = small_config();
+        cfg.obstacles
+            .push(crate::geometry::SolidRegion::Block { min: [4, 2, 1], max: [6, 4, 3] });
+        let slab = Slab { x0: 0, nx_local: cfg.dims.nx };
+        let want = run_phases(&mut SlabSolver::new(&cfg, slab), 6, false);
+        for threads in [1, 4] {
+            let mut s = SlabSolver::new(&cfg, slab);
+            s.set_parallelism(Parallelism::new(threads));
+            let got = run_phases(&mut s, 6, true);
+            assert_eq!(got, want, "fused+obstacles at {threads} threads changed the physics");
+        }
+    }
+
+    #[test]
+    fn fused_phase_handles_trt_and_mrt_operators() {
+        let mut cfg = small_config();
+        cfg.components[0].0.collision = crate::component::CollisionOperator::trt_magic();
+        cfg.components[1].0.collision = crate::component::CollisionOperator::mrt_standard();
+        let slab = Slab { x0: 0, nx_local: cfg.dims.nx };
+        let want = run_phases(&mut SlabSolver::new(&cfg, slab), 5, false);
+        let mut s = SlabSolver::new(&cfg, slab);
+        s.set_parallelism(Parallelism::new(3));
+        let got = run_phases(&mut s, 5, true);
+        assert_eq!(got, want, "fused TRT/MRT diverged from classic");
+    }
+
+    #[test]
+    fn parallelism_from_config_reaches_solver() {
+        let mut cfg = small_config();
+        cfg.parallelism = Parallelism::new(4);
+        let s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: cfg.dims.nx });
+        assert_eq!(s.parallelism(), Parallelism::new(4));
     }
 }

@@ -24,6 +24,8 @@
 use crate::component::ComponentState;
 use crate::field::LocalGrid;
 use crate::lattice::{Lattice, D3Q19};
+use crate::par::{ConstPtr, Parallelism, SendPtr};
+use std::ops::Range;
 
 /// Streams one component over the interior of its slab, consuming the
 /// ghost planes of `f` and writing into `f_tmp`, then swaps the buffers.
@@ -36,52 +38,239 @@ use crate::lattice::{Lattice, D3Q19};
 /// After this call, `f` holds the post-streaming populations and ghost
 /// planes of `f` are stale.
 pub fn stream(comp: &mut ComponentState, solid: &[bool]) {
+    let has_solid = solid.iter().any(|&s| s);
+    stream_with(comp, solid, has_solid, Parallelism::serial());
+}
+
+/// [`stream`] with a caller-supplied obstacle flag (the solver knows it
+/// without scanning the mask) and a thread budget: the interior planes are
+/// chunked and streamed concurrently. Bitwise identical to serial at any
+/// thread count — each plane writes only itself and reads `f`, which
+/// nobody mutates during the sweep.
+pub(crate) fn stream_with(
+    comp: &mut ComponentState,
+    solid: &[bool],
+    has_solid: bool,
+    par: Parallelism,
+) {
     let grid = comp.grid();
+    assert_eq!(solid.len(), grid.cells());
+    {
+        let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
+        let src = ConstPtr::new(comp.f.data().as_ptr());
+        let dst = SendPtr::new(comp.f_tmp.data_mut().as_mut_ptr());
+        par.run_chunks(&chunks, |a, b| {
+            // Safety: chunks are disjoint plane ranges; each task writes
+            // only its own planes of `f_tmp` and reads `f` read-only.
+            unsafe { stream_planes_raw(src.get(), dst.get(), grid, solid, has_solid, a..b) }
+        });
+    }
+    std::mem::swap(&mut comp.f, &mut comp.f_tmp);
+}
+
+/// Pull-streams the planes of `planes` from `src` (post-collision `f`,
+/// ghosts current) into `dst` (`f_tmp`). Does **not** swap buffers.
+///
+/// # Safety
+///
+/// `src` and `dst` must point to distinct Q-channel channel-major arrays
+/// over `grid`; `planes` must lie within the interior; no other thread may
+/// write the `planes` planes of `dst`, nor any plane of `src` in
+/// `planes ± 1` (the pull stencil), during the call.
+pub(crate) unsafe fn stream_planes_raw(
+    src: *const f64,
+    dst: *mut f64,
+    grid: LocalGrid,
+    solid: &[bool],
+    has_solid: bool,
+    planes: Range<usize>,
+) {
+    if has_solid {
+        stream_planes_generic(src, dst, grid, solid, planes);
+    } else {
+        stream_planes_fast(src, dst, grid, planes);
+    }
+}
+
+/// Reference per-cell streaming with obstacle bounce-back.
+/// Safety: see [`stream_planes_raw`].
+unsafe fn stream_planes_generic(
+    src: *const f64,
+    dst: *mut f64,
+    grid: LocalGrid,
+    solid: &[bool],
+    planes: Range<usize>,
+) {
     let cells = grid.cells();
-    assert_eq!(solid.len(), cells);
     let ny = grid.ny as isize;
     let nz = grid.nz as isize;
-
-    {
-        let src = comp.f.data();
-        let dst = comp.f_tmp.data_mut();
-        for i in 0..D3Q19::Q {
-            let e = D3Q19::E[i];
-            let opp = D3Q19::OPP[i];
-            let src_i = &src[i * cells..(i + 1) * cells];
-            let src_opp = &src[opp * cells..(opp + 1) * cells];
-            let dst_i = &mut dst[i * cells..(i + 1) * cells];
-            for xl in LocalGrid::FIRST..=grid.last() {
-                // Upstream plane along x always exists (ghosts at 0, lx−1).
-                let xs = (xl as isize - e[0] as isize) as usize;
-                for y in 0..ny {
-                    let ys = y - e[1] as isize;
-                    for z in 0..nz {
-                        let zs = z - e[2] as isize;
-                        let cell = (xl * grid.ny + y as usize) * grid.nz + z as usize;
-                        if solid[cell] {
-                            // Solid cells carry no populations.
-                            dst_i[cell] = 0.0;
-                            continue;
-                        }
-                        let v = if ys < 0 || ys >= ny || zs < 0 || zs >= nz {
-                            // Upstream cell is behind a wall: bounce back.
-                            src_opp[cell]
+    for i in 0..D3Q19::Q {
+        let e = D3Q19::E[i];
+        let opp = D3Q19::OPP[i];
+        let src_i = src.add(i * cells);
+        let src_opp = src.add(opp * cells);
+        let dst_i = dst.add(i * cells);
+        for xl in planes.clone() {
+            // Upstream plane along x always exists (ghosts at 0, lx−1).
+            let xs = (xl as isize - e[0] as isize) as usize;
+            for y in 0..ny {
+                let ys = y - e[1] as isize;
+                for z in 0..nz {
+                    let zs = z - e[2] as isize;
+                    let cell = (xl * grid.ny + y as usize) * grid.nz + z as usize;
+                    if solid[cell] {
+                        // Solid cells carry no populations.
+                        *dst_i.add(cell) = 0.0;
+                        continue;
+                    }
+                    let v = if ys < 0 || ys >= ny || zs < 0 || zs >= nz {
+                        // Upstream cell is behind a wall: bounce back.
+                        *src_opp.add(cell)
+                    } else {
+                        let source = (xs * grid.ny + ys as usize) * grid.nz + zs as usize;
+                        if solid[source] {
+                            // Upstream cell is an obstacle: bounce back.
+                            *src_opp.add(cell)
                         } else {
-                            let source =
-                                (xs * grid.ny + ys as usize) * grid.nz + zs as usize;
-                            if solid[source] {
-                                // Upstream cell is an obstacle: bounce back.
-                                src_opp[cell]
-                            } else {
-                                src_i[source]
-                            }
-                        };
-                        dst_i[cell] = v;
+                            *src_i.add(source)
+                        }
+                    };
+                    *dst_i.add(cell) = v;
+                }
+            }
+        }
+    }
+}
+
+/// Obstacle-free streaming: with no solids, a whole z-row either bounces
+/// in place (upstream row behind a y-wall) or is a contiguous copy of the
+/// upstream row, with at most one bounce-back cell at a z-wall. Replacing
+/// the per-cell bounds arithmetic with row copies is the serial fast path
+/// of the fused sweep. Produces bit-identical values to the reference
+/// loop — every cell receives the same `src` element either way.
+/// Safety: see [`stream_planes_raw`].
+unsafe fn stream_planes_fast(src: *const f64, dst: *mut f64, grid: LocalGrid, planes: Range<usize>) {
+    let cells = grid.cells();
+    let (ny, nz) = (grid.ny, grid.nz);
+    for i in 0..D3Q19::Q {
+        let e = D3Q19::E[i];
+        let opp = D3Q19::OPP[i];
+        let src_i = src.add(i * cells);
+        let src_opp = src.add(opp * cells);
+        let dst_i = dst.add(i * cells);
+        for xl in planes.clone() {
+            let xs = (xl as isize - e[0] as isize) as usize;
+            for y in 0..ny {
+                let row = (xl * ny + y) * nz;
+                let ys = y as isize - e[1] as isize;
+                if ys < 0 || ys >= ny as isize {
+                    // Upstream row is behind a y-wall: the whole row
+                    // bounces back in place.
+                    std::ptr::copy_nonoverlapping(src_opp.add(row), dst_i.add(row), nz);
+                    continue;
+                }
+                let srow = (xs * ny + ys as usize) * nz;
+                match e[2] {
+                    0 => std::ptr::copy_nonoverlapping(src_i.add(srow), dst_i.add(row), nz),
+                    1 => {
+                        // z = 0 pulls from behind the z-low wall: bounce.
+                        *dst_i.add(row) = *src_opp.add(row);
+                        std::ptr::copy_nonoverlapping(src_i.add(srow), dst_i.add(row + 1), nz - 1);
+                    }
+                    _ => {
+                        // e_z = −1: z = nz−1 bounces at the z-high wall.
+                        std::ptr::copy_nonoverlapping(src_i.add(srow + 1), dst_i.add(row), nz - 1);
+                        *dst_i.add(row + nz - 1) = *src_opp.add(row + nz - 1);
                     }
                 }
             }
         }
+    }
+}
+
+/// Fused collide→stream sweep over the slab interior.
+///
+/// Requires planes `FIRST` and `last` to be **already collided**
+/// ([`crate::solver::SlabSolver::collide_edges`] — their post-collision
+/// populations are what the halo exchange ships) and the ghost planes of
+/// `f` to be current. Collides each remaining interior plane and streams
+/// every plane in a single pass: streaming plane `xl` pulls from planes
+/// `xl − 1 ..= xl + 1`, so the sweep collides plane `xl + 1` just before
+/// streaming `xl`. The two passes of the classic schedule touch the full
+/// `f` array twice; here the collided planes are still cache-hot when
+/// streaming reads them.
+///
+/// With a multi-thread budget the chunks proceed concurrently; the two
+/// planes around each chunk cut are pre-collided serially so no task ever
+/// reads a neighbor's in-flight collision write. Collision stays cell-local
+/// and streaming still reads the same post-collision values, so the result
+/// is bitwise identical to `collide()` followed by `stream()` at any
+/// thread count.
+pub(crate) fn stream_collide_fused(
+    comp: &mut ComponentState,
+    solid: &[bool],
+    has_solid: bool,
+    par: Parallelism,
+) {
+    let grid = comp.grid();
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    assert_eq!(solid.len(), cells);
+    let first = LocalGrid::FIRST;
+    let last = grid.last();
+    let op = comp.spec.collision;
+    let tau = comp.spec.tau;
+    let chunks = par.plane_chunks(first, last);
+
+    // `done[xl]`: plane xl already collided. Edges were collided before
+    // the halo exchange; chunk-cut planes are pre-collided below.
+    let mut done = vec![false; grid.lx];
+    done[first] = true;
+    done[last] = true;
+    {
+        let ueq = comp.ueq.data().as_ptr();
+        let f = comp.f.data_mut().as_mut_ptr();
+        for &(a, _) in &chunks[1..] {
+            for xl in [a - 1, a] {
+                if !done[xl] {
+                    // Safety: serial, in-bounds interior plane.
+                    unsafe {
+                        crate::collision::collide_cells_raw(op, tau, f, ueq, cells, xl * p..(xl + 1) * p)
+                    };
+                    done[xl] = true;
+                }
+            }
+        }
+    }
+    {
+        let ueq = ConstPtr::new(comp.ueq.data().as_ptr());
+        let f = SendPtr::new(comp.f.data_mut().as_mut_ptr());
+        let dst = SendPtr::new(comp.f_tmp.data_mut().as_mut_ptr());
+        let done = &done;
+        par.run_chunks(&chunks, |a, b| {
+            for xl in a..b {
+                let nxt = xl + 1;
+                if nxt < b && !done[nxt] {
+                    // Safety: plane `nxt` is strictly inside this chunk
+                    // (chunk cuts and edges are pre-collided), so no other
+                    // task touches it; collision is cell-local.
+                    unsafe {
+                        crate::collision::collide_cells_raw(
+                            op,
+                            tau,
+                            f.get(),
+                            ueq.get(),
+                            cells,
+                            nxt * p..(nxt + 1) * p,
+                        )
+                    };
+                }
+                // Safety: plane `xl` and its ±1 neighbors are collided by
+                // now; concurrent `f` writes are confined to the open
+                // interior of other chunks, ≥ 2 planes away from `xl`.
+                unsafe { stream_planes_raw(f.get() as *const f64, dst.get(), grid, solid, has_solid, xl..xl + 1) };
+            }
+        });
     }
     std::mem::swap(&mut comp.f, &mut comp.f_tmp);
 }

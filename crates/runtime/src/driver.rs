@@ -10,7 +10,7 @@ use microslip_comm::channel::mesh;
 use microslip_comm::Transport;
 use microslip_lbm::geometry::even_slabs;
 use microslip_lbm::macroscopic::Snapshot;
-use microslip_lbm::ChannelConfig;
+use microslip_lbm::{ChannelConfig, Parallelism};
 
 use crate::throttle::ThrottlePlan;
 use crate::worker::{worker_main, worker_main_with_solver, WorkerConfig, WorkerReport};
@@ -34,6 +34,10 @@ pub struct RuntimeConfig {
     /// Ask every worker to serialize its final state into its report
     /// (resume with [`run_parallel_from`]).
     pub checkpoint_at_end: bool,
+    /// Rayon threads each worker may use inside its own slab (the second
+    /// level of parallelism). 1 = serial kernels; results are bitwise
+    /// identical at any value.
+    pub threads_per_worker: usize,
 }
 
 impl RuntimeConfig {
@@ -48,6 +52,7 @@ impl RuntimeConfig {
             throttle: Vec::new(),
             spikes: Vec::new(),
             checkpoint_at_end: false,
+            threads_per_worker: 1,
         }
     }
 
@@ -104,6 +109,7 @@ pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> Run
         remap_interval: cfg.remap_interval,
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
+        parallelism: Parallelism::new(cfg.threads_per_worker.max(1)),
     });
 
     let start = Instant::now();
@@ -166,6 +172,7 @@ pub fn run_parallel_from(
         remap_interval: cfg.remap_interval,
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
+        parallelism: Parallelism::new(cfg.threads_per_worker.max(1)),
     });
     let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.workers);

@@ -38,6 +38,18 @@ impl Throttle {
 
     /// Busy-spins long enough to stretch a compute section that took
     /// `busy` to `busy · factor` total.
+    ///
+    /// # Accounting contract
+    ///
+    /// Padded time **is** simulated compute. The worker loop times each
+    /// kernel section as `d = watch.lap()`, pads, then books
+    /// `watch.lap() + d` — the second lap measures only the spin, so the
+    /// sum is the padded wall time `≈ d · factor`. This is intentional,
+    /// not double-counting: a throttled worker must *report* the slow
+    /// compute its throttle emulates, so the per-point load index fed to
+    /// the harmonic predictor (`microslip_balance::predict`) sees the
+    /// same slowdown the remapping policies are supposed to react to.
+    /// `Profile::compute` therefore includes padding by design.
     pub fn pad(&self, busy: Duration) {
         if !self.is_active() {
             return;
@@ -53,6 +65,9 @@ impl Throttle {
 /// A phase-dependent throttle: a base slowdown plus transient spikes —
 /// the real-thread analogue of the cluster simulator's disturbance
 /// models (paper §4.2.4's random 1–4 s spikes).
+///
+/// See [`Throttle::pad`] for the accounting contract: compute sections
+/// padded by a plan are booked at their padded (wall) duration.
 #[derive(Clone, Debug, Default)]
 pub struct ThrottlePlan {
     /// Base slowdown factor (≥ 1) applied to every phase; 0 entries in
@@ -131,6 +146,34 @@ mod tests {
     #[should_panic(expected = "must be ≥ 1")]
     fn speedup_rejected() {
         Throttle::new(0.5);
+    }
+
+    #[test]
+    fn worker_accounting_books_padded_wall_time() {
+        // Pins the worker-loop accounting pattern (worker.rs):
+        //   d = lap(); pad(d); section = lap() + d;
+        // `section` must be the *padded* duration ≈ d · factor — padded
+        // time is simulated compute, counted exactly once.
+        let factor = 4.0;
+        let t = Throttle::new(factor);
+        let mut watch = crate::profile::Stopwatch::start();
+        let spin_until = Instant::now() + Duration::from_millis(10);
+        while Instant::now() < spin_until {
+            std::hint::spin_loop();
+        }
+        let d = watch.lap();
+        t.pad(Duration::from_secs_f64(d));
+        let section = watch.lap() + d;
+        assert!(
+            section >= 0.95 * factor * d,
+            "section {section}s must report the padded time (~{}s)",
+            factor * d
+        );
+        assert!(
+            section < 2.0 * factor * d,
+            "section {section}s counted more than the padded time (~{}s)",
+            factor * d
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use microslip_balance::predict::{History, Predictor};
 use microslip_balance::Partition;
 use microslip_comm::{LinearTopology, Tag, Transport};
 use microslip_lbm::macroscopic::Snapshot;
-use microslip_lbm::{ChannelConfig, Side, Slab, SlabSolver};
+use microslip_lbm::{ChannelConfig, Parallelism, Side, Slab, SlabSolver};
 
 use crate::profile::{Profile, Stopwatch};
 use crate::throttle::ThrottlePlan;
@@ -27,6 +27,10 @@ pub struct WorkerConfig {
     pub predictor_window: usize,
     /// Serialize each worker's final state into its report.
     pub checkpoint_at_end: bool,
+    /// Intra-slab thread budget for the phase kernels (the second level of
+    /// parallelism under the slab decomposition). Bitwise-neutral: any
+    /// value yields the same physics.
+    pub parallelism: Parallelism,
 }
 
 /// What a worker hands back when the run completes.
@@ -73,6 +77,7 @@ pub fn worker_main_with_solver<T: Transport>(
     let rank = transport.rank();
     let n = transport.size();
     let topo = LinearTopology::new(rank, n);
+    solver.set_parallelism(cfg.parallelism);
     let mut profile = Profile::default();
     let mut history = History::new(cfg.predictor_window.max(1));
     let mut planes_sent = 0usize;
@@ -89,8 +94,10 @@ pub fn worker_main_with_solver<T: Transport>(
         let mut compute_secs = 0.0;
         let mut watch = Stopwatch::start();
 
-        // Collision.
-        solver.collide();
+        // Collision of the slab-edge planes only — everything the halo
+        // exchange needs. Interior planes are collided inside the fused
+        // streaming sweep below, while the wires would otherwise be idle.
+        solver.collide_edges();
         let d = watch.lap();
         throttle.pad(std::time::Duration::from_secs_f64(d));
         compute_secs += watch.lap() + d;
@@ -99,9 +106,9 @@ pub fn worker_main_with_solver<T: Transport>(
         // Exchange distribution functions.
         exchange_f(&mut solver, &mut transport, &topo, &mut profile);
 
-        // Streaming, bounce-back, ψ.
+        // Fused collide→stream over the interior, bounce-back, ψ.
         let mut watch = Stopwatch::start();
-        solver.stream();
+        solver.stream_collide_fused();
         solver.compute_psi();
         let d = watch.lap();
         throttle.pad(std::time::Duration::from_secs_f64(d));

@@ -9,7 +9,7 @@ use microslip_balance::policy::{Filtered, NoRemap};
 use microslip_balance::predict::HarmonicMean;
 use microslip_comm::{mesh, InstrumentedTransport, Tag, Transport};
 use microslip_lbm::geometry::even_slabs;
-use microslip_lbm::{ChannelConfig, Dims};
+use microslip_lbm::{ChannelConfig, Dims, Parallelism};
 use microslip_runtime::worker::{worker_main, WorkerConfig, WorkerReport};
 use microslip_runtime::ThrottlePlan;
 
@@ -28,6 +28,7 @@ fn run_instrumented(
         remap_interval,
         predictor_window: 2,
         checkpoint_at_end: false,
+        parallelism: Parallelism::serial(),
     });
     let slabs = even_slabs(16, workers);
     let handles: Vec<_> = mesh(workers)

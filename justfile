@@ -1,0 +1,25 @@
+# Task runner for the microslip workspace. Install `just`, or copy the
+# recipe bodies into a shell — each is a plain cargo invocation.
+
+# Tier-1 gate: everything a PR must keep green. Mirrors what CI and the
+# verify loop run; uses --offline so it never depends on registry access
+# (all external deps are vendored shims, see vendor/README.md).
+tier1:
+    cargo build --release --offline
+    cargo test -q --offline
+    cargo clippy --workspace --offline -- -D warnings
+
+# Full workspace test run (release mode; slower, covers the examples).
+test-all:
+    cargo test --release --workspace --offline
+
+# Criterion micro-benches of the LBM hot kernels.
+bench-kernels:
+    cargo bench --offline -p microslip-bench --bench kernels
+
+# Intra-slab kernel-scaling baseline: serial vs fused vs fused+rayon at
+# 1/2/4/8 threads on the paper-shaped 400x200x20 slab; writes
+# BENCH_kernels.json at the repo root.
+bench-scaling:
+    cargo build --release --offline -p microslip-bench
+    ./target/release/kernel_scaling --reps 3 --out BENCH_kernels.json

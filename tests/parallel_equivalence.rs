@@ -91,6 +91,33 @@ fn two_component_slip_physics_survives_decomposition() {
 }
 
 #[test]
+fn intra_slab_threads_do_not_change_physics() {
+    // Second-level parallelism: each worker splits its own slab across
+    // rayon threads. Any thread count must reproduce the sequential run
+    // bit for bit, with and without remapping churn.
+    let ch = channel(18);
+    let phases = 9;
+    let want = sequential(&ch, phases);
+    for threads in [1usize, 4] {
+        let mut cfg = RuntimeConfig::new(ch.clone(), 3, phases);
+        cfg.threads_per_worker = threads;
+        let got = run_parallel(&cfg, Arc::new(NoRemap));
+        assert_eq!(got.snapshot, want, "3 workers x {threads} threads diverged");
+
+        let mut cfg = RuntimeConfig::new(ch.clone(), 3, phases);
+        cfg.threads_per_worker = threads;
+        cfg.remap_interval = 3;
+        cfg.predictor_window = 2;
+        cfg.throttle = vec![1.0, 5.0, 1.0];
+        let got = run_parallel(&cfg, Arc::new(Filtered::default()));
+        assert_eq!(
+            got.snapshot, want,
+            "3 workers x {threads} threads with remapping diverged"
+        );
+    }
+}
+
+#[test]
 fn uneven_initial_slabs_match_sequential() {
     // nx not divisible by workers exercises the remainder slabs.
     let ch = channel(23);

@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of `criterion` 0.5 that microslip's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups
+//! with throughput annotations, `bench_function`, `bench_with_input` and
+//! `Bencher::iter`.
+//!
+//! Measurement model (much simpler than criterion's): each benchmark is
+//! warmed up for a fixed fraction of the budget, then timed over
+//! `sample_size` samples whose per-sample iteration count is chosen so a
+//! sample lasts ~`SAMPLE_TARGET`. Reported numbers are the minimum, mean
+//! and max of the per-iteration sample means. No statistics files are
+//! written; output goes to stdout in a stable, greppable format:
+//!
+//! ```text
+//! bench: <group>/<name> ... mean 1.234 ms/iter (min 1.1, max 1.5, 30 samples) [8.1 Melem/s]
+//! ```
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(120);
+const SAMPLE_TARGET: Duration = Duration::from_millis(12);
+
+/// Opaque benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_id.into()) }
+    }
+}
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver; holds global config (none yet).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut body);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, body: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        body(&mut b);
+        let per_iter = b.samples;
+        assert!(!per_iter.is_empty(), "benchmark body never called Bencher::iter");
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(" [{}/s]", si(n as f64 / mean, "elem")),
+            Some(Throughput::Bytes(n)) => format!(" [{}/s]", si(n as f64 / mean, "B")),
+            None => String::new(),
+        };
+        println!(
+            "bench: {}/{} ... mean {} (min {}, max {}, {} samples){}",
+            self.name,
+            id,
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+            per_iter.len(),
+            rate
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// Passed to the benchmark body; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    /// Mean seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm up and estimate a single-iteration time.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(body());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / est.max(1e-9)).ceil() as u64).max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(body());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Re-export for benches that call `black_box` directly.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); accept and
+            // ignore them like criterion does.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).contains("s/iter"));
+        assert!(fmt_time(2e-3).contains("ms/iter"));
+        assert!(fmt_time(2e-6).contains("us/iter"));
+        assert!(fmt_time(2e-9).contains("ns/iter"));
+        assert!(si(5e9, "B").starts_with("5.00 G"));
+        assert!(si(5e6, "B").starts_with("5.00 M"));
+        assert!(si(5e3, "B").starts_with("5.00 k"));
+        assert!(si(5.0, "B").starts_with("5.00 B"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the subset of `crossbeam` that microslip uses:
+//! unbounded MPSC channels with blocking receive and disconnect detection.
+//!
+//! Backed by `std::sync::mpsc`, which since Rust 1.72 *is* the crossbeam
+//! channel implementation upstreamed into std, so semantics (unbounded
+//! FIFO per sender, `Err` on receive once every sender is dropped) match
+//! the real crate for the operations exposed here.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The sending half of an unbounded channel. Cloneable; each transport
+    /// in a mesh holds one sender per peer.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; the
+    /// unsent payload is handed back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; never blocks (the channel is unbounded).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns immediately with a message if one is queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError, TryRecvError};
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for k in 0..10 {
+            tx.send(k).unwrap();
+        }
+        for k in 0..10 {
+            assert_eq!(rx.recv().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn clone_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7u8).unwrap()).join().unwrap();
+        tx.send(9).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 9]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+}

@@ -1,0 +1,569 @@
+//! Offline stand-in for the subset of `proptest` 1.x that microslip uses.
+//!
+//! Implements the `proptest!` macro, range/tuple/`any`/`collection::vec`
+//! strategies with `prop_map`/`prop_flat_map`, `prop_assert*`/`prop_assume`
+//! and a deterministic runner with regression-file persistence. Two
+//! deliberate simplifications relative to upstream:
+//!
+//! - **Deterministic cases.** Upstream seeds each run from OS entropy;
+//!   here case seeds are derived from the test name, so a given build
+//!   always exercises the same inputs and CI failures reproduce locally.
+//! - **No shrinking.** A failing case is reported (and persisted) as
+//!   generated. Seeds are recorded in the sibling
+//!   `*.proptest-regressions` file using upstream's `cc <hex> # …` line
+//!   format; the first 16 hex digits are the case seed, so checked-in
+//!   regressions replay ahead of the random cases on every run.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates values of `Self::Value` from a seeded RNG. The shim's
+    /// strategies are generators only — no shrink tree.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> R,
+        {
+            Map { base: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Strategy returning a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, R> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> R,
+    {
+        type Value = R;
+        fn new_value(&self, rng: &mut TestRng) -> R {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.new_value(rng)).new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.rng.gen_range(self.start as u64..self.end as u64) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    if lo as u64 == 0 && hi == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    rng.rng.gen_range(lo as u64..hi as u64 + 1) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for the "whole domain" of a type; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn generate(rng: &mut TestRng) -> Self;
+    }
+
+    /// The full-domain strategy for `A`, mirroring `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::generate(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn generate(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn generate(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length bounds for [`vec`]: a fixed size or a (half-open or
+    /// inclusive) range of sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose elements come from
+    /// `element` and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt::Debug;
+    use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    /// Runner configuration. Only `cases` is consulted by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The RNG handed to strategies. Wraps the vendored `SmallRng`.
+    pub struct TestRng {
+        pub rng: SmallRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { rng: SmallRng::seed_from_u64(seed) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Locates the test's source file: `file!()` paths are relative to the
+    /// workspace root, while the test binary runs in the package root, so
+    /// walk up from the current directory until the path exists.
+    fn locate_source(source_file: &str) -> Option<PathBuf> {
+        let direct = Path::new(source_file);
+        if direct.exists() {
+            return Some(direct.to_path_buf());
+        }
+        let cwd = std::env::current_dir().ok()?;
+        cwd.ancestors().map(|a| a.join(source_file)).find(|c| c.exists())
+    }
+
+    fn regression_path(source_file: &str) -> Option<PathBuf> {
+        Some(locate_source(source_file)?.with_extension("proptest-regressions"))
+    }
+
+    /// Parses `cc <hex> …` lines; the leading 16 hex digits are the seed.
+    fn load_regression_seeds(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(hex) = line.strip_prefix("cc ") {
+                if hex.len() >= 16 {
+                    if let Ok(seed) = u64::from_str_radix(&hex[..16], 16) {
+                        seeds.push(seed);
+                    }
+                }
+            }
+        }
+        seeds.dedup();
+        seeds
+    }
+
+    fn persist_failure(path: &Path, test_name: &str, seed: u64, value: &dyn Debug) {
+        let pad = fnv1a(test_name.as_bytes());
+        let line = format!(
+            "cc {seed:016x}{pad:016x}{pad:016x}{pad:016x} # shrinks to input = {value:?} [{test_name}, shim seed {seed:#018x}]\n"
+        );
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// Drives one property test: replays every seed recorded in the
+    /// file's `*.proptest-regressions` sibling, then runs `config.cases`
+    /// fresh cases with seeds derived deterministically from the test
+    /// name. Panics (failing the surrounding `#[test]`) on the first
+    /// failing case, after appending its seed to the regression file.
+    pub fn run<S>(
+        config: &ProptestConfig,
+        source_file: &str,
+        test_name: &str,
+        strategy: S,
+        test: impl Fn(S::Value),
+    ) where
+        S: Strategy,
+        S::Value: Debug + Clone,
+    {
+        let regressions = regression_path(source_file);
+        let mut seeds: Vec<u64> =
+            regressions.as_deref().map(load_regression_seeds).unwrap_or_default();
+        let replayed = seeds.len();
+        let base = fnv1a(test_name.as_bytes());
+        seeds.extend((0..config.cases as u64).map(|case| {
+            // SplitMix-style mix so consecutive cases decorrelate.
+            let mut z = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        }));
+        for (k, seed) in seeds.into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.new_value(&mut rng);
+            let kept = value.clone();
+            if let Err(cause) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+                let msg = cause
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| cause.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                if let Some(path) = &regressions {
+                    persist_failure(path, test_name, seed, &kept);
+                }
+                let origin = if k < replayed { "recorded regression" } else { "fresh case" };
+                panic!(
+                    "[proptest shim] {test_name} failed ({origin}, seed {seed:#018x})\n\
+                     input: {kept:#?}\ncause: {msg}"
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The shim's `proptest!` macro: same grammar as upstream for the forms
+/// used in this workspace (an optional `#![proptest_config(..)]` inner
+/// attribute followed by `#[test] fn name(pat in strategy, ..) { .. }`
+/// items).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])+
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                let strategy = ( $($strat,)+ );
+                $crate::test_runner::run(
+                    &config,
+                    file!(),
+                    stringify!($name),
+                    strategy,
+                    |( $($pat,)+ )| $body,
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: like `assert!` inside a property body. The shim's
+/// runner catches the panic and reports the generated input and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!`: like `assert_ne!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+}
+
+/// `prop_assume!`: discards the current case when the assumption does not
+/// hold. The shim counts discarded cases as passing (no max-reject
+/// bookkeeping).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3usize..10,
+            y in 0.5f64..2.0,
+            b in any::<bool>(),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert_eq!(b as u8 & !1, 0);
+        }
+
+        #[test]
+        fn destructuring_and_mut_patterns((a, mut v) in (0u8..4, crate::collection::vec(0usize..9, 2..5))) {
+            v.push(a as usize);
+            prop_assert!(v.len() >= 3 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&e| e < 9));
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let s = (0usize..1000, 0.0f64..1.0);
+        let mut rng1 = TestRng::from_seed(99);
+        let mut rng2 = TestRng::from_seed(99);
+        assert_eq!(s.new_value(&mut rng1).0, s.new_value(&mut rng2).0);
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let s = (2usize..6).prop_flat_map(|n| crate::collection::vec(0usize..10, n));
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn map_transforms() {
+        let s = (1usize..5).prop_map(|n| n * 10);
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..20 {
+            let v = s.new_value(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the subset of `rand` 0.8 that microslip uses.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the handful of external APIs it needs as small, dependency-free crates
+//! (see `vendor/` in the repo root). This crate provides:
+//!
+//! - [`rngs::SmallRng`]: a small, fast, non-cryptographic PRNG
+//!   (xoshiro256++, the same family upstream `SmallRng` uses on 64-bit
+//!   targets), seedable via [`SeedableRng::seed_from_u64`].
+//! - [`Rng::gen_range`] over integer `Range` and float `RangeInclusive`
+//!   bounds.
+//!
+//! Determinism matters more than distribution subtleties here: seeds are
+//! used to build reproducible disturbance scenarios, and the generated
+//! streams are stable across runs and platforms. The stream is NOT
+//! guaranteed to match upstream `rand` for the same seed.
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a PRNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded via SplitMix64,
+    /// the standard seeding procedure for the xoshiro family).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open integer ranges, inclusive
+    /// float ranges).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw one uniform sample from itself.
+pub trait SampleRange {
+    type Output;
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift (Lemire) without the rejection step; the bias is
+    // ~span/2^64 and irrelevant for simulation seeding.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange for core::ops::Range<usize> {
+    type Output = usize;
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + sample_u64_below(rng, span) as usize
+    }
+}
+
+impl SampleRange for core::ops::Range<u64> {
+    type Output = u64;
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + sample_u64_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + sample_u64_below(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind upstream `SmallRng` on 64-bit
+    /// platforms. Not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<usize> = (0..16).map(|_| a.gen_range(0usize..1_000_000)).collect();
+        let vb: Vec<usize> = (0..16).map(|_| b.gen_range(0usize..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+            let g = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.0f64..=1.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of `rayon` that microslip uses.
+//!
+//! Rayon proper keeps a lazily-started global pool of persistent worker
+//! threads with work stealing. This shim implements the same *fork-join
+//! semantics* on `std::thread::scope`: every parallel region spawns OS
+//! threads for its duration and joins them before returning. That is
+//! slower to launch (microseconds per region, irrelevant next to the
+//! millisecond-scale LBM kernels here) but has identical ordering
+//! guarantees: `collect` preserves input order and `scope` joins all
+//! spawned work before returning.
+//!
+//! Exposed surface:
+//! - `prelude::*` with [`IntoParallelIterator`] / [`IntoParallelRefIterator`]
+//!   (`par_iter` on slices, `into_par_iter` on ranges and `Vec`) and
+//!   `map` / `for_each` / `collect` on the resulting iterator.
+//! - [`scope`] with `Scope::spawn` — structured fork-join tasks.
+//! - [`current_num_threads`] — the machine's available parallelism.
+
+use std::num::NonZeroUsize;
+
+/// Number of threads parallel regions fan out to by default (rayon: the
+/// global pool size). Here: `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Splits `items` into at most [`current_num_threads`] contiguous chunks,
+/// maps each chunk on its own scoped thread, and returns the results in
+/// input order.
+fn fork_join_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel task panicked")).collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for v in out.iter_mut() {
+        flat.append(v);
+    }
+    flat
+}
+
+/// A to-be-consumed parallel iterator over an eagerly gathered item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The result of [`ParIter::map`]; consumed by `collect` or `for_each`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        fork_join_map(self.items, &f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        fork_join_map(self.items, self.f).into_iter().collect()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        fork_join_map(self.items, move |t| g(f(t)));
+    }
+}
+
+/// By-value conversion into a parallel iterator (`Vec`, ranges).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::RangeInclusive<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// By-reference conversion (`par_iter` on slices, arrays and `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Structured fork-join scope, mirroring `rayon::scope`: tasks spawned on
+/// the scope may borrow from the enclosing stack frame, and `scope`
+/// returns only after every spawned task has finished.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Runs `body` on another thread within this scope. The task receives
+    /// a scope handle so it can spawn nested tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope; see [`Scope`].
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|k| k * k).collect();
+        assert_eq!(squares.len(), 1000);
+        for (k, &v) in squares.iter().enumerate() {
+            assert_eq!(v, k * k);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = [1.5f64, 2.5, 3.0];
+        let doubled: Vec<f64> = data.par_iter().map(|&x| 2.0 * x).collect();
+        assert_eq!(doubled, vec![3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 257);
+    }
+}
