@@ -11,6 +11,7 @@
 //!   no-remapping, filtered (lazy + over-redistribution), conservative and
 //!   global.
 //! * [`plan`] — plane transfers implied by a partition change.
+//! * [`trace`] — remap-decision audit events for the observability layer.
 //!
 //! The crate is substrate-agnostic: the same policies drive the
 //! virtual-time cluster simulator (`microslip-cluster`) and the threaded
@@ -43,11 +44,13 @@ pub mod partition;
 pub mod plan;
 pub mod policy;
 pub mod predict;
+pub mod trace;
 
 pub use partition::Partition;
 pub use plan::{diff, is_neighbor_only, total_moved, Move};
 pub use policy::{
-    Conservative, FilterParams, Filtered, Global, InfoExchange, NeighborPolicy, NoRemap,
-    RemapPolicy,
+    node_speeds, Conservative, FilterParams, Filtered, Global, InfoExchange, NeighborPolicy,
+    NoRemap, RemapPolicy,
 };
+pub use trace::decision_event;
 pub use predict::{ArithmeticMean, ExpSmoothing, HarmonicMean, History, LastPhase, Predictor};

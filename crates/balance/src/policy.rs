@@ -199,6 +199,20 @@ fn speeds(predicted: &[Option<f64>], partition: &Partition) -> Option<Vec<f64>> 
         .collect()
 }
 
+/// Per-node speeds `S_i = N_i / T_i` with per-entry availability — the β
+/// over-redistribution inputs, exposed so decision audit events can record
+/// exactly what the policy saw. Unlike the internal all-or-nothing helper,
+/// each entry is derived independently (`None` only where the prediction
+/// is missing).
+pub fn node_speeds(predicted: &[Option<f64>], partition: &Partition) -> Vec<Option<f64>> {
+    assert_eq!(predicted.len(), partition.nodes());
+    predicted
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.map(|t| partition.points(i) as f64 / t.max(f64::MIN_POSITIVE)))
+        .collect()
+}
+
 /// The shared local (3-node window) remapping engine: net plane flow
 /// across every edge. `flows[i]` is the number of planes node `i` sends to
 /// node `i+1` (negative = the reverse direction).

@@ -1,0 +1,143 @@
+//! Recording-overhead benchmark for the observability layer, plus the
+//! machine-readable trace summary of a reference run.
+//!
+//! Two measurements:
+//!
+//! * **Threaded runtime** (the number that matters for production runs):
+//!   the same real-kernel parallel run with the sink disabled
+//!   (`TraceSink::null()`) vs recording into the ring buffer. Events are
+//!   O(few per worker per phase), so recording must stay ≤ 2 % of wall
+//!   time — the acceptance bar.
+//! * **Virtual-time cluster engine**: the engine itself costs microseconds
+//!   per phase, so relative overhead is meaningless there; we report the
+//!   absolute per-event recording cost instead.
+//!
+//! Writes both, plus the derived utilization/imbalance/churn summary of
+//! the traced cluster run, to `BENCH_trace.json`.
+//!
+//! Usage:
+//!   trace_overhead [--workers 4] [--rt-phases 40] [--nodes 20]
+//!                  [--phases 2000] [--slow 2] [--reps 3]
+//!                  [--out BENCH_trace.json]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use microslip_balance::policy::Filtered;
+use microslip_cluster::{run_scheme_traced, ClusterConfig, FixedSlowNodes, Scheme};
+use microslip_lbm::{ChannelConfig, Dims};
+use microslip_obs::{TraceSink, TraceSummary, DEFAULT_CAPACITY};
+use microslip_runtime::{run_parallel, RuntimeConfig};
+
+/// `--name value` flag with a default; panics on an unparsable value.
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad value for {name}")),
+        None => default,
+    }
+}
+
+fn runtime_cfg(workers: usize, phases: u64, trace: TraceSink) -> RuntimeConfig {
+    let mut channel = ChannelConfig::paper_scaled(Dims::new(48, 24, 8));
+    channel.body = [1.0e-4, 0.0, 0.0];
+    let mut cfg = RuntimeConfig::new(channel, workers, phases);
+    cfg.remap_interval = 5;
+    cfg.predictor_window = 3;
+    cfg.trace = trace;
+    cfg
+}
+
+fn main() {
+    let workers: usize = flag("--workers", 4);
+    let rt_phases: u64 = flag("--rt-phases", 40);
+    let nodes: usize = flag("--nodes", 20);
+    let phases: u64 = flag("--phases", 2000);
+    let slow: usize = flag("--slow", 2);
+    let reps: usize = flag::<usize>("--reps", 3).max(1);
+    let out: String = flag("--out", "BENCH_trace.json".to_string());
+
+    // ---- Threaded runtime: relative overhead (the ≤ 2 % bar) -----------
+    println!(
+        "runtime overhead: {workers} workers, {rt_phases} phases, min of {reps} reps"
+    );
+    // Warmup: pages, caches, thread pools.
+    run_parallel(&runtime_cfg(workers, rt_phases, TraceSink::null()), Arc::new(Filtered::default()));
+    let mut rt_off = f64::INFINITY;
+    let mut rt_on = f64::INFINITY;
+    let mut rt_events = 0usize;
+    for _ in 0..reps {
+        let cfg = runtime_cfg(workers, rt_phases, TraceSink::null());
+        let t = Instant::now();
+        run_parallel(&cfg, Arc::new(Filtered::default()));
+        rt_off = rt_off.min(t.elapsed().as_secs_f64());
+
+        let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+        let cfg = runtime_cfg(workers, rt_phases, sink);
+        let t = Instant::now();
+        run_parallel(&cfg, Arc::new(Filtered::default()));
+        rt_on = rt_on.min(t.elapsed().as_secs_f64());
+        rt_events = rec.events().len();
+        assert_eq!(rec.dropped(), 0, "ring must hold the whole run");
+    }
+    let rt_overhead = (rt_on - rt_off) / rt_off * 100.0;
+    println!(
+        "  sink off: {rt_off:.4}s   sink on: {rt_on:.4}s   overhead {rt_overhead:+.2}% \
+         ({rt_events} events)"
+    );
+
+    // ---- Virtual-time engine: absolute per-event cost -------------------
+    let cfg = ClusterConfig::paper(nodes, phases);
+    let disturbance = FixedSlowNodes::paper(nodes, slow);
+    println!(
+        "engine recording cost: {nodes} nodes, {phases} phases, {slow} slow node(s)"
+    );
+    run_scheme_traced(&cfg, Scheme::Filtered, &disturbance, &TraceSink::null());
+    let mut cl_off = f64::INFINITY;
+    let mut cl_on = f64::INFINITY;
+    let mut cl_events = 0usize;
+    for _ in 0..reps {
+        let t = Instant::now();
+        run_scheme_traced(&cfg, Scheme::Filtered, &disturbance, &TraceSink::null());
+        cl_off = cl_off.min(t.elapsed().as_secs_f64());
+
+        let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+        let t = Instant::now();
+        run_scheme_traced(&cfg, Scheme::Filtered, &disturbance, &sink);
+        cl_on = cl_on.min(t.elapsed().as_secs_f64());
+        cl_events = rec.events().len();
+        assert_eq!(rec.dropped(), 0);
+    }
+    let ns_per_event = (cl_on - cl_off).max(0.0) / cl_events as f64 * 1e9;
+    println!(
+        "  engine alone: {cl_off:.4}s   recording {cl_events} events: {cl_on:.4}s \
+         ({ns_per_event:.0} ns/event)"
+    );
+
+    // ---- Summary of one traced cluster run (the artifact payload) ------
+    let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+    run_scheme_traced(&cfg, Scheme::Filtered, &disturbance, &sink);
+    let summary = TraceSummary::from_events(&rec.events());
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"runtime\": {{\"workers\": {workers}, \"phases\": {rt_phases}, \
+         \"off_secs\": {rt_off:.6}, \"on_secs\": {rt_on:.6}, \
+         \"overhead_percent\": {rt_overhead:.3}, \"events\": {rt_events}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"engine\": {{\"nodes\": {nodes}, \"phases\": {phases}, \
+         \"slow_nodes\": {slow}, \"off_secs\": {cl_off:.6}, \"on_secs\": {cl_on:.6}, \
+         \"ns_per_event\": {ns_per_event:.1}, \"events\": {cl_events}}},\n"
+    ));
+    // TraceSummary::to_json() is a complete object; indent it one level.
+    let summary_json = summary.to_json();
+    json.push_str("  \"summary\": ");
+    json.push_str(&summary_json.replace('\n', "\n  "));
+    json.push_str("\n}\n");
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

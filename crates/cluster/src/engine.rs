@@ -23,6 +23,7 @@
 use microslip_balance::policy::{InfoExchange, RemapPolicy};
 use microslip_balance::predict::{History, Predictor};
 use microslip_balance::{diff, total_moved, Partition};
+use microslip_obs::{Event, Span, SpanKind, TraceSink};
 
 use crate::costmodel::{CostModel, MessageSizes};
 use crate::disturbance::{work_to_time, Disturbance};
@@ -167,6 +168,7 @@ enum Ledger {
 struct Engine<'a> {
     cfg: &'a ClusterConfig,
     dist: &'a dyn Disturbance,
+    trace: &'a TraceSink,
     t: Vec<f64>,
     acct: Vec<NodeAccount>,
     first_wait_phase: Vec<Option<u64>>,
@@ -174,10 +176,11 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a ClusterConfig, dist: &'a dyn Disturbance) -> Self {
+    fn new(cfg: &'a ClusterConfig, dist: &'a dyn Disturbance, trace: &'a TraceSink) -> Self {
         Engine {
             cfg,
             dist,
+            trace,
             t: vec![0.0; cfg.nodes],
             acct: vec![NodeAccount::default(); cfg.nodes],
             first_wait_phase: vec![None; cfg.nodes],
@@ -186,12 +189,40 @@ impl<'a> Engine<'a> {
     }
 
     /// Advances node `i` by `work` unit-speed seconds of computation.
+    /// Emits a compute span over the virtual interval — disturbance
+    /// stretching is folded into it (virtual slowness is continuous, not a
+    /// distinct activity like the runtime's throttle padding).
     fn compute(&mut self, i: usize, work: f64) -> f64 {
         let end = work_to_time(self.dist, i, self.t[i], work);
-        let dur = end - self.t[i];
+        let start = self.t[i];
+        let dur = end - start;
         self.acct[i].compute += dur;
         self.t[i] = end;
+        let phase = self.phase;
+        self.trace.record_with(|| {
+            Event::Span(Span { node: i, kind: SpanKind::Compute, phase, start, end })
+        });
         dur
+    }
+
+    /// Emits one span per node covering the timeline segment advanced
+    /// since `before` — used to bracket a whole exchange episode or remap
+    /// round into a single span per participant.
+    fn span_since(&self, before: &[f64], kind: SpanKind) {
+        if !self.trace.enabled() {
+            return;
+        }
+        for i in 0..self.cfg.nodes {
+            if self.t[i] > before[i] {
+                self.trace.record(Event::Span(Span {
+                    node: i,
+                    kind,
+                    phase: self.phase,
+                    start: before[i],
+                    end: self.t[i],
+                }));
+            }
+        }
     }
 
     /// Advances node `i` by `work` unit-speed seconds of message handling,
@@ -241,6 +272,7 @@ impl<'a> Engine<'a> {
         let n = self.cfg.nodes;
         let work = self.cfg.cost.message_work(bytes);
         let peer_lists: Vec<Vec<usize>> = (0..n).map(&peers).collect();
+        let before = self.trace.enabled().then(|| self.t.clone());
         // Sends; each participating node first pays the scheduling latency
         // of its communication episode.
         for i in 0..n {
@@ -266,8 +298,83 @@ impl<'a> Engine<'a> {
                 self.handle(i, copies * work, ledger);
             }
         }
+        if let Some(before) = &before {
+            let kind = match ledger {
+                Ledger::Comm => SpanKind::Halo,
+                Ledger::Remap => SpanKind::Remap,
+            };
+            self.span_since(before, kind);
+        }
+    }
+}
+
+/// Per-node modeled traffic volumes for one tag class.
+#[derive(Clone, Copy, Debug, Default)]
+struct TrafficDir {
+    messages: u64,
+    bytes: u64,
+}
+
+impl TrafficDir {
+    fn add(&mut self, messages: u64, bytes: u64) {
+        self.messages += messages;
+        self.bytes += bytes;
+    }
+}
+
+/// Traffic tag classes in emission order, matching the runtime's
+/// [`Tag`](microslip_comm::Tag) schema names and ordering.
+const TRAFFIC_TAGS: [&str; 4] = ["f_halo", "psi_halo", "load", "migrate_data"];
+
+#[derive(Clone, Debug, Default)]
+struct TrafficLedger {
+    /// `[node][tag]` sent / received.
+    sent: Vec<[TrafficDir; 4]>,
+    recv: Vec<[TrafficDir; 4]>,
+}
+
+impl TrafficLedger {
+    fn new(nodes: usize) -> Self {
+        TrafficLedger {
+            sent: vec![[TrafficDir::default(); 4]; nodes],
+            recv: vec![[TrafficDir::default(); 4]; nodes],
+        }
     }
 
+    /// A symmetric exchange: every node sends and receives one `bytes`
+    /// message per peer.
+    fn symmetric(&mut self, tag: usize, bytes: usize, peers: impl Fn(usize) -> Vec<usize>) {
+        for i in 0..self.sent.len() {
+            let count = peers(i).len() as u64;
+            self.sent[i][tag].add(count, count * bytes as u64);
+            self.recv[i][tag].add(count, count * bytes as u64);
+        }
+    }
+
+    fn migration(&mut self, from: usize, to: usize, bytes: u64) {
+        self.sent[from][3].add(1, bytes);
+        self.recv[to][3].add(1, bytes);
+    }
+
+    fn flush(&self, trace: &TraceSink) {
+        for node in 0..self.sent.len() {
+            for (tag, name) in TRAFFIC_TAGS.iter().enumerate() {
+                let s = self.sent[node][tag];
+                let r = self.recv[node][tag];
+                if s.messages == 0 && r.messages == 0 {
+                    continue;
+                }
+                trace.record(Event::Traffic {
+                    node,
+                    tag: name.to_string(),
+                    sent_messages: s.messages,
+                    sent_bytes: s.bytes,
+                    recv_messages: r.messages,
+                    recv_bytes: r.bytes,
+                });
+            }
+        }
+    }
 }
 
 /// Runs the configured workload under `policy` and `disturbance`.
@@ -277,14 +384,36 @@ pub fn run(
     predictor: &dyn Predictor,
     disturbance: &dyn Disturbance,
 ) -> RunResult {
+    run_traced(cfg, policy, predictor, disturbance, &TraceSink::null())
+}
+
+/// As [`run`], additionally emitting the structured event stream of the
+/// simulated execution into `trace`: the same schema the threaded runtime
+/// records, stamped with virtual-time seconds — so a simulated run and a
+/// real run can be diffed event by event. The engine is single-threaded,
+/// so the stream is byte-deterministic for identical inputs.
+pub fn run_traced(
+    cfg: &ClusterConfig,
+    policy: &dyn RemapPolicy,
+    predictor: &dyn Predictor,
+    disturbance: &dyn Disturbance,
+    trace: &TraceSink,
+) -> RunResult {
     cfg.cost.validate().expect("invalid cost model");
     assert!(cfg.nodes >= 1);
     assert!(cfg.planes >= cfg.nodes, "every node needs at least one plane");
+    trace.record_with(|| Event::Meta {
+        mode: "cluster".into(),
+        nodes: cfg.nodes,
+        phases: cfg.phases,
+        policy: policy.name().into(),
+    });
     let sizes = cfg.sizes();
+    let mut traffic = trace.enabled().then(|| TrafficLedger::new(cfg.nodes));
     let mut partition = Partition::even(cfg.planes, cfg.nodes, cfg.plane_cells);
     let mut histories: Vec<History> =
         (0..cfg.nodes).map(|_| History::new(predictor.window().max(1))).collect();
-    let mut eng = Engine::new(cfg, disturbance);
+    let mut eng = Engine::new(cfg, disturbance, trace);
     let mut migrated_planes = 0usize;
     let mut effective_remaps = 0u64;
     let mut remap_rounds = 0u64;
@@ -305,6 +434,9 @@ pub fn run(
         // Exchange distribution functions.
         if cfg.nodes > 1 {
             eng.exchange(sizes.f_halo, Ledger::Comm, |i| eng_ring(cfg.nodes, i));
+            if let Some(t) = traffic.as_mut() {
+                t.symmetric(0, sizes.f_halo, |i| eng_ring(cfg.nodes, i));
+            }
         }
         // Stage B: bounce back + number densities.
         for i in 0..cfg.nodes {
@@ -314,6 +446,9 @@ pub fn run(
         // Exchange number densities.
         if cfg.nodes > 1 {
             eng.exchange(sizes.psi_halo, Ledger::Comm, |i| eng_ring(cfg.nodes, i));
+            if let Some(t) = traffic.as_mut() {
+                t.symmetric(1, sizes.psi_halo, |i| eng_ring(cfg.nodes, i));
+            }
         }
         // Stage C: forces + velocities.
         for i in 0..cfg.nodes {
@@ -340,6 +475,9 @@ pub fn run(
                         eng.exchange(sizes.load_index, Ledger::Remap, |i| {
                             eng_line(cfg.nodes, i)
                         });
+                        if let Some(t) = traffic.as_mut() {
+                            t.symmetric(2, sizes.load_index, |i| eng_line(cfg.nodes, i));
+                        }
                     }
                 }
                 InfoExchange::Global => {
@@ -350,6 +488,9 @@ pub fn run(
                             (0..cfg.nodes).filter(|&j| j != i).collect()
                         };
                         eng.exchange(sizes.load_index, Ledger::Remap, all);
+                        if let Some(t) = traffic.as_mut() {
+                            t.symmetric(2, sizes.load_index, all);
+                        }
                         // Barrier semantics: nobody proceeds before the
                         // slowest participant.
                         let tmax =
@@ -370,9 +511,25 @@ pub fn run(
                 .collect();
             let target = policy.target_counts(&predicted, &partition);
             let moves = diff(&partition, &target);
+            if trace.enabled() {
+                // Global decision: the engine sees every node at once, so
+                // the audit event carries `node: None` and the full view.
+                let tdec = eng.t.iter().copied().fold(0.0f64, f64::max);
+                trace.record(microslip_balance::decision_event(
+                    tdec,
+                    None,
+                    phase,
+                    policy,
+                    &predicted,
+                    &partition,
+                    &target,
+                    !moves.is_empty(),
+                ));
+            }
             if !moves.is_empty() {
                 effective_remaps += 1;
                 migrated_planes += total_moved(&moves);
+                let before = trace.enabled().then(|| eng.t.clone());
                 // Execute transfers in plane order: sender packs and
                 // sends, receiver waits and unpacks. Each endpoint pays
                 // its scheduling latency once per round.
@@ -387,8 +544,23 @@ pub fn run(
                     let work = m.planes as f64 * mig_plane_work;
                     eng.handle(m.from, work, Ledger::Remap);
                     let arrival = eng.t[m.from];
+                    let bytes = (m.planes * sizes.migration_per_plane) as u64;
+                    trace.record_with(|| Event::Migration {
+                        time: arrival,
+                        phase,
+                        from: m.from,
+                        to: m.to,
+                        planes: m.planes,
+                        bytes,
+                    });
+                    if let Some(t) = traffic.as_mut() {
+                        t.migration(m.from, m.to, bytes);
+                    }
                     eng.wait_until(m.to, arrival, Ledger::Remap);
                     eng.handle(m.to, work, Ledger::Remap);
+                }
+                if let Some(b) = before {
+                    eng.span_since(&b, SpanKind::Remap);
                 }
                 partition.apply(&target);
             }
@@ -399,6 +571,9 @@ pub fn run(
         prev_makespan = makespan;
     }
 
+    if let Some(t) = traffic.as_ref() {
+        t.flush(trace);
+    }
     let total_time = eng.t.iter().copied().fold(0.0f64, f64::max);
     RunResult {
         total_time,

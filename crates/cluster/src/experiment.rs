@@ -54,6 +54,17 @@ pub fn run_scheme(
     run(cfg, scheme.policy().as_ref(), &predictor, disturbance)
 }
 
+/// As [`run_scheme`], recording the structured event stream into `trace`.
+pub fn run_scheme_traced(
+    cfg: &ClusterConfig,
+    scheme: Scheme,
+    disturbance: &dyn Disturbance,
+    trace: &microslip_obs::TraceSink,
+) -> RunResult {
+    let predictor = HarmonicMean { window: cfg.predictor_window };
+    crate::engine::run_traced(cfg, scheme.policy().as_ref(), &predictor, disturbance, trace)
+}
+
 /// Fig. 3: one node disturbed with a duty-cycle competing job at level
 /// `fraction`, 20 nodes, no remapping. Returns (execution time, per-phase
 /// overhead % relative to the dedicated run).

@@ -53,6 +53,33 @@ impl<T: Transport> InstrumentedTransport<T> {
     pub fn into_inner(self) -> T {
         self.inner
     }
+
+    /// Emits one [`Traffic`](microslip_obs::Event::Traffic) event per tag
+    /// seen in either direction, attributed to `node`. Tags are visited in
+    /// ascending order so the emission sequence is deterministic; payload
+    /// volumes are converted from `f64` values to bytes (×8) to match the
+    /// byte-denominated volumes of the cluster simulator.
+    pub fn flush_to(&self, sink: &microslip_obs::TraceSink, node: usize) {
+        if !sink.enabled() {
+            return;
+        }
+        let mut tags: Vec<Tag> =
+            self.sent.keys().chain(self.received.keys()).copied().collect();
+        tags.sort_unstable_by_key(|t| t.0);
+        tags.dedup();
+        for tag in tags {
+            let s = self.sent(tag);
+            let r = self.received(tag);
+            sink.record(microslip_obs::Event::Traffic {
+                node,
+                tag: tag.name().to_string(),
+                sent_messages: s.messages,
+                sent_bytes: s.values * 8,
+                recv_messages: r.messages,
+                recv_bytes: r.values * 8,
+            });
+        }
+    }
 }
 
 impl<T: Transport> Transport for InstrumentedTransport<T> {
@@ -128,5 +155,48 @@ mod tests {
         assert_eq!(b.received(Tag::GATHER).messages, 1);
         // into_inner unwraps cleanly.
         let _inner = a.into_inner();
+    }
+
+    #[test]
+    fn flush_to_emits_sorted_byte_denominated_traffic() {
+        use microslip_obs::{Event, TraceSink};
+
+        let mut m = mesh(2);
+        let mut b = m.pop().unwrap();
+        let mut a = InstrumentedTransport::new(m.pop().unwrap());
+        let h = thread::spawn(move || {
+            let _ = b.recv(0, Tag::PSI_HALO).unwrap();
+            let _ = b.recv(0, Tag::F_HALO).unwrap();
+            b.send(0, Tag::LOAD, vec![1.0, 2.0]).unwrap();
+        });
+        a.send(1, Tag::PSI_HALO, vec![0.0; 4]).unwrap();
+        a.send(1, Tag::F_HALO, vec![0.0; 10]).unwrap();
+        let _ = a.recv(1, Tag::LOAD).unwrap();
+        h.join().unwrap();
+
+        let (sink, rec) = TraceSink::recorder(16);
+        a.flush_to(&sink, 0);
+        let events = rec.take();
+        // Tags emitted in ascending tag order: f_halo(1), psi_halo(2), load(3).
+        let tags: Vec<String> = events
+            .iter()
+            .map(|e| match e {
+                Event::Traffic { tag, .. } => tag.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(tags, ["f_halo", "psi_halo", "load"]);
+        match &events[0] {
+            Event::Traffic { sent_bytes, sent_messages, recv_messages, .. } => {
+                assert_eq!(*sent_bytes, 80, "10 f64 values = 80 bytes");
+                assert_eq!(*sent_messages, 1);
+                assert_eq!(*recv_messages, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Disabled sinks record nothing.
+        let null = TraceSink::null();
+        a.flush_to(&null, 0);
     }
 }

@@ -34,6 +34,20 @@ impl Tag {
     pub const COLLECTIVE: Tag = Tag(6);
     /// Result gathering at the end of a run.
     pub const GATHER: Tag = Tag(7);
+
+    /// Stable schema name of the traffic class (used in trace events).
+    pub fn name(&self) -> &'static str {
+        match *self {
+            Tag::F_HALO => "f_halo",
+            Tag::PSI_HALO => "psi_halo",
+            Tag::LOAD => "load",
+            Tag::MIGRATE_COUNT => "migrate_count",
+            Tag::MIGRATE_DATA => "migrate_data",
+            Tag::COLLECTIVE => "collective",
+            Tag::GATHER => "gather",
+            _ => "other",
+        }
+    }
 }
 
 /// Communication failure.

@@ -1,0 +1,208 @@
+//! The typed event vocabulary shared by every layer of the system.
+//!
+//! One schema serves both execution substrates: the threaded runtime
+//! stamps events with wall-clock seconds since the run epoch, the virtual
+//! cluster simulator with virtual-time seconds — everything else is
+//! identical, so a real run and a simulated run can be diffed event by
+//! event.
+
+/// Activity class of a [`Span`] on one node's timeline.
+///
+/// The runtime separates [`Pad`](SpanKind::Pad) (injected throttle
+/// slowdown) from [`Compute`](SpanKind::Compute) (actual kernel time); the
+/// cluster simulator folds disturbance stretching into its compute spans
+/// because virtual slowness is continuous, not a distinct activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Lattice-update kernels (collision, streaming, forces, …).
+    Compute,
+    /// Injected throttle padding — simulated competing-job time.
+    Pad,
+    /// Halo exchange: packing, sending, blocking receives, waits.
+    Halo,
+    /// Remap round: load exchange, plan evaluation, plane migration.
+    Remap,
+}
+
+impl SpanKind {
+    /// Stable schema name (used in JSONL and Chrome trace output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Pad => "pad",
+            SpanKind::Halo => "halo",
+            SpanKind::Remap => "remap",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        match name {
+            "compute" => Some(SpanKind::Compute),
+            "pad" => Some(SpanKind::Pad),
+            "halo" => Some(SpanKind::Halo),
+            "remap" => Some(SpanKind::Remap),
+            _ => None,
+        }
+    }
+
+    /// All kinds, in schema order.
+    pub const ALL: [SpanKind; 4] =
+        [SpanKind::Compute, SpanKind::Pad, SpanKind::Halo, SpanKind::Remap];
+}
+
+/// A completed activity interval `[start, end)` on one node's timeline,
+/// in seconds since the run epoch (wall or virtual).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    pub node: usize,
+    pub kind: SpanKind,
+    /// 1-based LBM phase index the activity belongs to (0 = priming /
+    /// outside the phase loop).
+    pub phase: u64,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Span {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A remap-policy invocation with its inputs and outcome — the audit
+/// record for oscillation-suppression (lazy filters, β over-redistribution,
+/// conflict netting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemapDecision {
+    /// Timestamp of the decision (seconds since epoch).
+    pub time: f64,
+    /// Deciding rank; `None` for a global decision taken by the driver or
+    /// the virtual-time engine (which sees all nodes at once).
+    pub node: Option<usize>,
+    pub phase: u64,
+    /// Policy name ("filtered", "conservative", "global", "no-remap").
+    pub policy: String,
+    /// Predicted per-node compute times fed to the policy. `None` where a
+    /// node's history is too short (the lazy predictor refused to commit)
+    /// or, for a per-node decision, outside the deciding node's two-hop
+    /// window.
+    pub predicted: Vec<Option<f64>>,
+    /// Derived node speeds `S_i = N_i / T_i` (the β over-redistribution
+    /// inputs); `None` wherever `predicted` is.
+    pub speeds: Vec<Option<f64>>,
+    /// Plane counts before the decision.
+    pub counts: Vec<usize>,
+    /// Target plane counts the policy produced. For a per-node decision
+    /// this reflects only the deciding node's own edges.
+    pub target: Vec<usize>,
+    /// Planes scheduled to move (sum of positive target−count diffs).
+    pub moved: usize,
+    /// Whether the decision changed the partition (false = filtered out /
+    /// lazily suppressed).
+    pub applied: bool,
+}
+
+/// One structured observability event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Run header — emitted once, first.
+    Meta {
+        /// Execution substrate: "runtime" (threads) or "cluster"
+        /// (virtual time).
+        mode: String,
+        nodes: usize,
+        phases: u64,
+        policy: String,
+    },
+    /// An activity interval on one node's timeline.
+    Span(Span),
+    /// A remap decision with its inputs.
+    Remap(RemapDecision),
+    /// Planes actually migrated between two nodes.
+    Migration {
+        time: f64,
+        phase: u64,
+        from: usize,
+        to: usize,
+        planes: usize,
+        /// Payload volume in bytes.
+        bytes: u64,
+    },
+    /// Aggregate message traffic of one node for one tag class — emitted
+    /// at end of run (real byte counters from the transport, or modeled
+    /// volumes from the simulator).
+    Traffic {
+        node: usize,
+        /// Traffic class ("f_halo", "psi_halo", "load", "migrate", …).
+        tag: String,
+        sent_messages: u64,
+        sent_bytes: u64,
+        recv_messages: u64,
+        recv_bytes: u64,
+    },
+}
+
+impl Event {
+    /// Stable schema name of the event type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::Meta { .. } => "meta",
+            Event::Span(_) => "span",
+            Event::Remap(_) => "remap",
+            Event::Migration { .. } => "migration",
+            Event::Traffic { .. } => "traffic",
+        }
+    }
+
+    /// Timestamp used for ordering in exports, if the event carries one.
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            Event::Meta { .. } => None,
+            Event::Span(s) => Some(s.start),
+            Event::Remap(d) => Some(d.time),
+            Event::Migration { time, .. } => Some(*time),
+            Event::Traffic { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_kind_names_round_trip() {
+        for k in SpanKind::ALL {
+            assert_eq!(SpanKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(SpanKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = Span { node: 0, kind: SpanKind::Compute, phase: 1, start: 1.0, end: 2.5 };
+        assert!((s.duration() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_type_names_are_distinct() {
+        let events = [
+            Event::Meta { mode: "runtime".into(), nodes: 1, phases: 1, policy: "x".into() },
+            Event::Span(Span { node: 0, kind: SpanKind::Halo, phase: 1, start: 0.0, end: 1.0 }),
+            Event::Migration { time: 0.0, phase: 1, from: 0, to: 1, planes: 1, bytes: 8 },
+            Event::Traffic {
+                node: 0,
+                tag: "f_halo".into(),
+                sent_messages: 1,
+                sent_bytes: 8,
+                recv_messages: 1,
+                recv_bytes: 8,
+            },
+        ];
+        let mut names: Vec<&str> = events.iter().map(|e| e.type_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,472 @@
+//! Trace exporters and their validating parsers.
+//!
+//! Two formats:
+//!
+//! * **JSONL** — one canonical JSON object per event, in record order.
+//!   Single-threaded producers (the virtual-time cluster engine) emit a
+//!   byte-deterministic stream, which the determinism tests exploit.
+//! * **Chrome `trace_event`** — loadable in `chrome://tracing` and
+//!   [Perfetto](https://ui.perfetto.dev): spans become complete (`"X"`)
+//!   events on `pid 0 / tid <node>`, remap decisions become instants,
+//!   plane counts become counter tracks.
+//!
+//! Each exporter has a validator that re-parses the output and checks the
+//! structural invariants (schema fields present, spans non-overlapping per
+//! node) — used by the golden-file tests and `microslip trace --check`.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, SpanKind};
+use crate::json::{self, Value};
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+/// Serializes one event as a canonical single-line JSON object.
+pub fn event_to_json(e: &Event) -> String {
+    match e {
+        Event::Meta { mode, nodes, phases, policy } => format!(
+            r#"{{"type":"meta","mode":"{}","nodes":{nodes},"phases":{phases},"policy":"{}"}}"#,
+            json::escape(mode),
+            json::escape(policy),
+        ),
+        Event::Span(s) => format!(
+            r#"{{"type":"span","node":{},"kind":"{}","phase":{},"t0":{},"t1":{}}}"#,
+            s.node,
+            s.kind.name(),
+            s.phase,
+            json::num(s.start),
+            json::num(s.end),
+        ),
+        Event::Remap(d) => format!(
+            concat!(
+                r#"{{"type":"remap","time":{},"node":{},"phase":{},"policy":"{}","#,
+                r#""predicted":{},"speeds":{},"counts":{},"target":{},"moved":{},"applied":{}}}"#
+            ),
+            json::num(d.time),
+            d.node.map_or("null".to_string(), |n| n.to_string()),
+            d.phase,
+            json::escape(&d.policy),
+            json::opt_num_array(&d.predicted),
+            json::opt_num_array(&d.speeds),
+            json::usize_array(&d.counts),
+            json::usize_array(&d.target),
+            d.moved,
+            d.applied,
+        ),
+        Event::Migration { time, phase, from, to, planes, bytes } => format!(
+            r#"{{"type":"migration","time":{},"phase":{phase},"from":{from},"to":{to},"planes":{planes},"bytes":{bytes}}}"#,
+            json::num(*time),
+        ),
+        Event::Traffic { node, tag, sent_messages, sent_bytes, recv_messages, recv_bytes } => {
+            format!(
+                concat!(
+                    r#"{{"type":"traffic","node":{},"tag":"{}","sent_messages":{},"#,
+                    r#""sent_bytes":{},"recv_messages":{},"recv_bytes":{}}}"#
+                ),
+                node,
+                json::escape(tag),
+                sent_messages,
+                sent_bytes,
+                recv_messages,
+                recv_bytes,
+            )
+        }
+    }
+}
+
+/// Serializes the event stream as JSONL (one event per line, record
+/// order, trailing newline).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-event-type statistics gathered while validating a JSONL stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JsonlStats {
+    /// Line count per event type.
+    pub counts: BTreeMap<String, usize>,
+    /// Field-name sets per event type — two streams are *schema-identical*
+    /// iff these maps are equal.
+    pub schema: BTreeMap<String, Vec<String>>,
+}
+
+/// Required fields per event type (the schema contract).
+fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {
+    match event_type {
+        "meta" => Some(&["type", "mode", "nodes", "phases", "policy"]),
+        "span" => Some(&["type", "node", "kind", "phase", "t0", "t1"]),
+        "remap" => Some(&[
+            "type", "time", "node", "phase", "policy", "predicted", "speeds", "counts",
+            "target", "moved", "applied",
+        ]),
+        "migration" => Some(&["type", "time", "phase", "from", "to", "planes", "bytes"]),
+        "traffic" => Some(&[
+            "type", "node", "tag", "sent_messages", "sent_bytes", "recv_messages",
+            "recv_bytes",
+        ]),
+        _ => None,
+    }
+}
+
+/// Parses and validates a JSONL event stream: every line must be a JSON
+/// object of a known type carrying exactly the schema fields, spans must
+/// be well-formed (`t1 ≥ t0`, known kind), and per-node spans must not
+/// overlap.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats::default();
+    let mut spans_per_node: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(err)?;
+        let obj = v.as_obj().ok_or_else(|| err("not an object".into()))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing \"type\"".into()))?
+            .to_string();
+        let required =
+            required_fields(&ty).ok_or_else(|| err(format!("unknown event type '{ty}'")))?;
+        let mut keys: Vec<String> = obj.keys().cloned().collect();
+        keys.sort_unstable();
+        let mut want: Vec<String> = required.iter().map(|s| s.to_string()).collect();
+        want.sort_unstable();
+        if keys != want {
+            return Err(err(format!("schema mismatch for '{ty}': got {keys:?}, want {want:?}")));
+        }
+        if ty == "span" {
+            let kind = v.get("kind").and_then(Value::as_str).unwrap_or("");
+            if SpanKind::from_name(kind).is_none() {
+                return Err(err(format!("unknown span kind '{kind}'")));
+            }
+            let node = v
+                .get("node")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| err("span node must be a non-negative integer".into()))?;
+            let t0 = v.get("t0").and_then(Value::as_f64).ok_or_else(|| err("bad t0".into()))?;
+            let t1 = v.get("t1").and_then(Value::as_f64).ok_or_else(|| err("bad t1".into()))?;
+            if t1 < t0 {
+                return Err(err(format!("span ends before it starts: {t0} > {t1}")));
+            }
+            spans_per_node.entry(node).or_default().push((t0, t1));
+        }
+        *stats.counts.entry(ty.clone()).or_default() += 1;
+        stats
+            .schema
+            .entry(ty)
+            .or_insert_with(|| required.iter().map(|s| s.to_string()).collect());
+    }
+    check_non_overlap(&spans_per_node)?;
+    Ok(stats)
+}
+
+fn check_non_overlap(spans_per_node: &BTreeMap<usize, Vec<(f64, f64)>>) -> Result<(), String> {
+    for (node, spans) in spans_per_node {
+        let mut sorted = spans.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+        for w in sorted.windows(2) {
+            // Shared boundaries are fine; actual overlap is not.
+            if w[1].0 < w[0].1 - 1e-9 {
+                return Err(format!(
+                    "node {node}: spans overlap: [{}, {}) and [{}, {})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event
+// ---------------------------------------------------------------------------
+
+/// Serializes the event stream in Chrome `trace_event` JSON format
+/// (object form, complete events), loadable in `chrome://tracing` and
+/// Perfetto. Spans are sorted by `(node, start)` so the output is
+/// deterministic even when worker threads recorded concurrently.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    // Process / thread naming metadata so the UI shows "node N" tracks.
+    let mut nodes: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(s) => Some(s.node),
+            _ => None,
+        })
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    lines.push(
+        r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"microslip"}}"#
+            .to_string(),
+    );
+    for &n in &nodes {
+        lines.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{n},"args":{{"name":"node {n}"}}}}"#
+        ));
+    }
+
+    let us = |t: f64| json::num(t * 1e6);
+
+    let mut spans: Vec<&Event> =
+        events.iter().filter(|e| matches!(e, Event::Span(_))).collect();
+    spans.sort_by(|a, b| {
+        let (Event::Span(x), Event::Span(y)) = (a, b) else { unreachable!() };
+        (x.node, x.start)
+            .partial_cmp(&(y.node, y.start))
+            .expect("finite timestamps")
+    });
+    for e in spans {
+        let Event::Span(s) = e else { unreachable!() };
+        lines.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"args":{{"phase":{}}}}}"#,
+            s.kind.name(),
+            s.kind.name(),
+            s.node,
+            us(s.start),
+            us(s.duration()),
+            s.phase,
+        ));
+    }
+
+    for e in events {
+        match e {
+            Event::Remap(d) => {
+                // Instant on the deciding node's track (tid 0 for global
+                // decisions) plus a counter sample of the target counts.
+                let tid = d.node.unwrap_or(0);
+                lines.push(format!(
+                    r#"{{"name":"remap {}","cat":"remap","ph":"i","s":"t","pid":0,"tid":{tid},"ts":{},"args":{{"phase":{},"applied":{},"moved":{}}}}}"#,
+                    json::escape(&d.policy),
+                    us(d.time),
+                    d.phase,
+                    d.applied,
+                    d.moved,
+                ));
+                if d.node.is_none() && d.applied {
+                    let series: Vec<String> = d
+                        .target
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| format!(r#""node {i}":{c}"#))
+                        .collect();
+                    lines.push(format!(
+                        r#"{{"name":"planes","ph":"C","pid":0,"tid":0,"ts":{},"args":{{{}}}}}"#,
+                        us(d.time),
+                        series.join(","),
+                    ));
+                }
+            }
+            Event::Migration { time, phase, from, to, planes, bytes } => {
+                lines.push(format!(
+                    r#"{{"name":"migrate {planes}p → node {to}","cat":"migration","ph":"i","s":"t","pid":0,"tid":{from},"ts":{},"args":{{"phase":{phase},"planes":{planes},"bytes":{bytes}}}}}"#,
+                    us(*time),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        lines.join(",\n")
+    )
+}
+
+/// Structural statistics of a validated Chrome trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Complete (`"X"`) span events.
+    pub spans: usize,
+    /// Distinct node (tid) tracks carrying spans.
+    pub nodes: usize,
+    /// Instant events (remap decisions, migrations).
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+}
+
+/// Parses a Chrome `trace_event` document and checks the invariants the
+/// exporter promises: every event is well-formed for its phase type, and
+/// the complete spans on each `tid` are non-overlapping.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeStats, String> {
+    let v = Value::parse(text)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+    let mut stats = ChromeStats::default();
+    let mut spans_per_tid: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let err = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = e.get("ph").and_then(Value::as_str).ok_or_else(|| err("missing ph"))?;
+        if e.get("name").and_then(Value::as_str).is_none() {
+            return Err(err("missing name"));
+        }
+        let tid =
+            e.get("tid").and_then(Value::as_usize).ok_or_else(|| err("missing tid"))?;
+        match ph {
+            "X" => {
+                let ts = e
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| err("X event missing ts"))?;
+                let dur = e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| err("X event missing dur"))?;
+                if dur < 0.0 {
+                    return Err(err("negative dur"));
+                }
+                spans_per_tid.entry(tid).or_default().push((ts, ts + dur));
+                stats.spans += 1;
+            }
+            "i" => {
+                if e.get("ts").and_then(Value::as_f64).is_none() {
+                    return Err(err("instant missing ts"));
+                }
+                stats.instants += 1;
+            }
+            "C" => {
+                if e.get("args").and_then(Value::as_obj).is_none() {
+                    return Err(err("counter missing args"));
+                }
+                stats.counters += 1;
+            }
+            "M" => {}
+            other => return Err(err(&format!("unexpected ph '{other}'"))),
+        }
+    }
+    // Non-overlap is checked in microseconds here (Chrome ts units).
+    let spans_us: BTreeMap<usize, Vec<(f64, f64)>> = spans_per_tid
+        .iter()
+        .map(|(k, v)| (*k, v.iter().map(|&(a, b)| (a * 1e-6, b * 1e-6)).collect()))
+        .collect();
+    check_non_overlap(&spans_us)?;
+    stats.nodes = spans_per_tid.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RemapDecision, Span};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Meta { mode: "runtime".into(), nodes: 2, phases: 2, policy: "filtered".into() },
+            Event::Span(Span { node: 0, kind: SpanKind::Compute, phase: 1, start: 0.0, end: 0.5 }),
+            Event::Span(Span { node: 0, kind: SpanKind::Halo, phase: 1, start: 0.5, end: 0.7 }),
+            Event::Span(Span { node: 1, kind: SpanKind::Compute, phase: 1, start: 0.0, end: 0.6 }),
+            Event::Span(Span { node: 1, kind: SpanKind::Pad, phase: 1, start: 0.6, end: 0.9 }),
+            Event::Remap(RemapDecision {
+                time: 0.9,
+                node: None,
+                phase: 2,
+                policy: "filtered".into(),
+                predicted: vec![Some(0.5), None],
+                speeds: vec![Some(2.0), None],
+                counts: vec![10, 10],
+                target: vec![12, 8],
+                moved: 2,
+                applied: true,
+            }),
+            Event::Migration { time: 0.95, phase: 2, from: 1, to: 0, planes: 2, bytes: 1024 },
+            Event::Traffic {
+                node: 0,
+                tag: "f_halo".into(),
+                sent_messages: 4,
+                sent_bytes: 4096,
+                recv_messages: 4,
+                recv_bytes: 4096,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_validator() {
+        let text = to_jsonl(&sample_events());
+        let stats = validate_jsonl(&text).unwrap();
+        assert_eq!(stats.counts["span"], 4);
+        assert_eq!(stats.counts["meta"], 1);
+        assert_eq!(stats.counts["remap"], 1);
+        assert_eq!(stats.counts["migration"], 1);
+        assert_eq!(stats.counts["traffic"], 1);
+        assert!(stats.schema["remap"].contains(&"speeds".to_string()));
+    }
+
+    #[test]
+    fn jsonl_rejects_overlapping_spans() {
+        let events = vec![
+            Event::Span(Span { node: 0, kind: SpanKind::Compute, phase: 1, start: 0.0, end: 1.0 }),
+            Event::Span(Span { node: 0, kind: SpanKind::Halo, phase: 1, start: 0.5, end: 0.7 }),
+        ];
+        let err = validate_jsonl(&to_jsonl(&events)).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_rejects_unknown_type_and_schema_drift() {
+        assert!(validate_jsonl("{\"type\":\"mystery\"}\n").is_err());
+        // A span missing t1 is a schema violation.
+        assert!(validate_jsonl(
+            "{\"type\":\"span\",\"node\":0,\"kind\":\"compute\",\"phase\":1,\"t0\":0}\n"
+        )
+        .is_err());
+        // Extra fields are a violation too (the schema is exact).
+        assert!(validate_jsonl(
+            "{\"type\":\"meta\",\"mode\":\"m\",\"nodes\":1,\"phases\":1,\"policy\":\"p\",\"extra\":1}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_validator() {
+        let text = to_chrome_trace(&sample_events());
+        let stats = validate_chrome_trace(&text).unwrap();
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.instants, 2); // remap + migration
+        assert_eq!(stats.counters, 1);
+    }
+
+    #[test]
+    fn chrome_trace_catches_overlap() {
+        let doc = r#"{"traceEvents":[
+            {"name":"compute","ph":"X","pid":0,"tid":0,"ts":0,"dur":100},
+            {"name":"halo","ph":"X","pid":0,"tid":0,"ts":50,"dur":10}
+        ]}"#;
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_same_tid_different_nodes_do_not_conflict() {
+        let doc = r#"{"traceEvents":[
+            {"name":"compute","ph":"X","pid":0,"tid":0,"ts":0,"dur":100},
+            {"name":"compute","ph":"X","pid":0,"tid":1,"ts":50,"dur":100}
+        ]}"#;
+        let stats = validate_chrome_trace(doc).unwrap();
+        assert_eq!(stats.nodes, 2);
+    }
+
+    #[test]
+    fn schema_identity_between_two_streams() {
+        // The property the runtime/cluster equivalence test relies on:
+        // equal schema maps mean schema-identical streams.
+        let a = validate_jsonl(&to_jsonl(&sample_events())).unwrap();
+        let b = validate_jsonl(&to_jsonl(&sample_events())).unwrap();
+        assert_eq!(a.schema, b.schema);
+    }
+}

@@ -11,6 +11,7 @@ use microslip_comm::Transport;
 use microslip_lbm::geometry::even_slabs;
 use microslip_lbm::macroscopic::Snapshot;
 use microslip_lbm::{ChannelConfig, Parallelism};
+use microslip_obs::{Event, TraceSink};
 
 use crate::throttle::ThrottlePlan;
 use crate::worker::{worker_main, worker_main_with_solver, WorkerConfig, WorkerReport};
@@ -38,6 +39,10 @@ pub struct RuntimeConfig {
     /// level of parallelism). 1 = serial kernels; results are bitwise
     /// identical at any value.
     pub threads_per_worker: usize,
+    /// Observability sink (default: disabled). When enabled, the run
+    /// emits a meta header plus per-worker activity spans, remap-decision
+    /// audits, migrations and end-of-run traffic totals.
+    pub trace: TraceSink,
 }
 
 impl RuntimeConfig {
@@ -53,6 +58,7 @@ impl RuntimeConfig {
             spikes: Vec::new(),
             checkpoint_at_end: false,
             threads_per_worker: 1,
+            trace: TraceSink::null(),
         }
     }
 
@@ -103,6 +109,13 @@ pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> Run
 
     let slabs = even_slabs(cfg.channel.dims.nx, cfg.workers);
     let transports = mesh(cfg.workers);
+    let start = Instant::now();
+    cfg.trace.record_with(|| Event::Meta {
+        mode: "runtime".into(),
+        nodes: cfg.workers,
+        phases: cfg.phases,
+        policy: policy.name().into(),
+    });
     let worker_cfg = Arc::new(WorkerConfig {
         channel: cfg.channel.clone(),
         phases: cfg.phases,
@@ -110,9 +123,10 @@ pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> Run
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
         parallelism: Parallelism::new(cfg.threads_per_worker.max(1)),
+        trace: cfg.trace.clone(),
+        epoch: start,
     });
 
-    let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.workers);
     for (transport, slab) in transports.into_iter().zip(slabs) {
         let rank = transport.rank();
@@ -166,6 +180,13 @@ pub fn run_parallel_from(
     assert_eq!(x, cfg.channel.dims.nx);
 
     let transports = mesh(cfg.workers);
+    let start = Instant::now();
+    cfg.trace.record_with(|| Event::Meta {
+        mode: "runtime".into(),
+        nodes: cfg.workers,
+        phases: cfg.phases,
+        policy: policy.name().into(),
+    });
     let worker_cfg = Arc::new(WorkerConfig {
         channel: cfg.channel.clone(),
         phases: cfg.phases,
@@ -173,8 +194,9 @@ pub fn run_parallel_from(
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
         parallelism: Parallelism::new(cfg.threads_per_worker.max(1)),
+        trace: cfg.trace.clone(),
+        epoch: start,
     });
-    let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.workers);
     for (transport, solver) in transports.into_iter().zip(solvers) {
         let rank = transport.rank();

@@ -35,9 +35,11 @@
 pub mod driver;
 pub mod profile;
 pub mod throttle;
+pub mod trace;
 pub mod worker;
 
 pub use driver::{run_parallel, RunOutcome, RuntimeConfig};
 pub use profile::Profile;
 pub use throttle::{Throttle, ThrottlePlan};
+pub use trace::Tracer;
 pub use worker::{WorkerConfig, WorkerReport};

@@ -51,14 +51,28 @@ impl Throttle {
     /// same slowdown the remapping policies are supposed to react to.
     /// `Profile::compute` therefore includes padding by design.
     pub fn pad(&self, busy: Duration) {
+        self.pad_measured(busy);
+    }
+
+    /// As [`pad`](Self::pad), but returns the padding actually spent as
+    /// *measured* wall time. When the worker is disturbed mid-spin (host
+    /// scheduler preemption) the measured value exceeds the nominal
+    /// `busy · (factor − 1)`; span-based accounting records the measured
+    /// value as an explicit pad span instead of silently folding the
+    /// disturbance into a compute lap.
+    pub fn pad_measured(&self, busy: Duration) -> Duration {
         if !self.is_active() {
-            return;
+            return Duration::ZERO;
         }
         let extra = busy.mul_f64(self.factor - 1.0);
-        let until = Instant::now() + extra;
-        while Instant::now() < until {
+        let start = Instant::now();
+        let until = start + extra;
+        let mut now = Instant::now();
+        while now < until {
             std::hint::spin_loop();
+            now = Instant::now();
         }
+        now.duration_since(start)
     }
 }
 
@@ -133,6 +147,22 @@ mod tests {
         // Expected ≈ 20 ms of padding for 10 ms busy at factor 3.
         assert!(padded >= Duration::from_millis(18), "padded only {padded:?}");
         assert!(padded < Duration::from_millis(200), "padded too long {padded:?}");
+    }
+
+    #[test]
+    fn pad_measured_reports_at_least_the_nominal_padding() {
+        let t = Throttle::new(3.0);
+        let busy = Duration::from_millis(5);
+        let start = Instant::now();
+        let measured = t.pad_measured(busy);
+        let elapsed = start.elapsed();
+        // Nominal padding is busy · (factor − 1) = 10 ms; the measurement
+        // is wall time, so it is at least nominal and at most the whole
+        // call duration.
+        assert!(measured >= busy.mul_f64(2.0), "measured only {measured:?}");
+        assert!(measured <= elapsed);
+        // Inactive throttles pad nothing.
+        assert_eq!(Throttle::none().pad_measured(busy), Duration::ZERO);
     }
 
     #[test]

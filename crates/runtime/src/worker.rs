@@ -7,14 +7,18 @@
 //! consistently with its neighbors (see
 //! [`microslip_balance::policy::NeighborPolicy`]).
 
+use std::time::{Duration, Instant};
+
 use microslip_balance::policy::NeighborPolicy;
 use microslip_balance::predict::{History, Predictor};
 use microslip_balance::Partition;
-use microslip_comm::{LinearTopology, Tag, Transport};
+use microslip_comm::{InstrumentedTransport, LinearTopology, Tag, Transport};
 use microslip_lbm::macroscopic::Snapshot;
 use microslip_lbm::{ChannelConfig, Parallelism, Side, Slab, SlabSolver};
+use microslip_obs::{Event, SpanKind, TraceSink};
 
-use crate::profile::{Profile, Stopwatch};
+use crate::profile::Profile;
+use crate::trace::Tracer;
 use crate::throttle::ThrottlePlan;
 
 /// Static configuration shared by every worker.
@@ -31,6 +35,13 @@ pub struct WorkerConfig {
     /// parallelism under the slab decomposition). Bitwise-neutral: any
     /// value yields the same physics.
     pub parallelism: Parallelism,
+    /// Observability sink (default: disabled). Workers emit activity
+    /// spans, remap-decision audits, migrations and end-of-run traffic
+    /// totals into it.
+    pub trace: TraceSink,
+    /// Common wall-clock origin for span timestamps, shared by every
+    /// worker of a run so their timelines align.
+    pub epoch: Instant,
 }
 
 /// What a worker hands back when the run completes.
@@ -70,7 +81,7 @@ pub fn worker_main_with_solver<T: Transport>(
     cfg: &WorkerConfig,
     policy: &dyn NeighborPolicy,
     predictor: &dyn Predictor,
-    mut transport: T,
+    transport: T,
     mut solver: SlabSolver,
     throttle: ThrottlePlan,
 ) -> WorkerReport {
@@ -78,56 +89,69 @@ pub fn worker_main_with_solver<T: Transport>(
     let n = transport.size();
     let topo = LinearTopology::new(rank, n);
     solver.set_parallelism(cfg.parallelism);
-    let mut profile = Profile::default();
+    let mut transport = InstrumentedTransport::new(transport);
+    let mut tracer = Tracer::new(cfg.trace.clone(), rank, cfg.epoch);
     let mut history = History::new(cfg.predictor_window.max(1));
     let mut planes_sent = 0usize;
     let mut planes_received = 0usize;
 
+    // One compute section: time the kernel in `body`, pad it per the
+    // throttle, and record the kernel and the padding as *adjacent* spans
+    // — the padding is attributed explicitly instead of being folded into
+    // a wall-clock compute lap (where a mid-phase disturbance of the
+    // spin would be indistinguishable from kernel time). Returns the
+    // padded section duration (the load the remap policies must see).
+    fn section(
+        tracer: &mut Tracer,
+        throttle: &crate::throttle::Throttle,
+        phase: u64,
+        body: impl FnOnce(),
+    ) -> f64 {
+        let t0 = tracer.now();
+        body();
+        let t1 = tracer.now();
+        let d = t1 - t0;
+        let pad = throttle.pad_measured(Duration::from_secs_f64(d)).as_secs_f64();
+        tracer.span(SpanKind::Compute, phase, t0, t1);
+        if pad > 0.0 {
+            tracer.span(SpanKind::Pad, phase, t1, t1 + pad);
+        }
+        d + pad
+    }
+
     // Priming: ψ from the initial state, one ψ exchange, then forces and
-    // velocities — the same steps the sequential driver does.
+    // velocities — the same steps the sequential driver does. Phase 0 =
+    // outside the phase loop.
     solver.prime_local_psi();
-    exchange_psi(&mut solver, &mut transport, &topo, &mut profile);
+    exchange_psi(&mut solver, &mut transport, &topo, &mut tracer, 0);
     solver.prime_finish();
 
     for phase in 1..=cfg.phases {
         let throttle = throttle.at(phase);
         let mut compute_secs = 0.0;
-        let mut watch = Stopwatch::start();
 
         // Collision of the slab-edge planes only — everything the halo
         // exchange needs. Interior planes are collided inside the fused
         // streaming sweep below, while the wires would otherwise be idle.
-        solver.collide_edges();
-        let d = watch.lap();
-        throttle.pad(std::time::Duration::from_secs_f64(d));
-        compute_secs += watch.lap() + d;
-        profile.compute += compute_secs;
+        compute_secs += section(&mut tracer, &throttle, phase, || solver.collide_edges());
 
         // Exchange distribution functions.
-        exchange_f(&mut solver, &mut transport, &topo, &mut profile);
+        exchange_f(&mut solver, &mut transport, &topo, &mut tracer, phase);
 
         // Fused collide→stream over the interior, bounce-back, ψ.
-        let mut watch = Stopwatch::start();
-        solver.stream_collide_fused();
-        solver.compute_psi();
-        let d = watch.lap();
-        throttle.pad(std::time::Duration::from_secs_f64(d));
-        let sect = watch.lap() + d;
-        compute_secs += sect;
-        profile.compute += sect;
+        compute_secs += section(&mut tracer, &throttle, phase, || {
+            solver.stream_collide_fused();
+            solver.compute_psi();
+        });
 
         // Exchange number densities.
-        exchange_psi(&mut solver, &mut transport, &topo, &mut profile);
+        exchange_psi(&mut solver, &mut transport, &topo, &mut tracer, phase);
 
         // Forces + velocities.
-        let mut watch = Stopwatch::start();
-        solver.compute_forces();
-        solver.compute_velocities();
-        let d = watch.lap();
-        throttle.pad(std::time::Duration::from_secs_f64(d));
-        let sect = watch.lap() + d;
-        compute_secs += sect;
-        profile.compute += sect;
+        compute_secs += section(&mut tracer, &throttle, phase, || {
+            solver.compute_forces();
+            solver.compute_velocities();
+        });
 
         // Load index: per-point compute time, independent of slab size.
         history.push(compute_secs / solver.points() as f64);
@@ -142,12 +166,15 @@ pub fn worker_main_with_solver<T: Transport>(
                 &mut transport,
                 &topo,
                 &mut history,
-                &mut profile,
+                &mut tracer,
+                phase,
                 &mut planes_sent,
                 &mut planes_received,
             );
         }
     }
+
+    transport.flush_to(tracer.sink(), rank);
 
     let checkpoint = cfg
         .checkpoint_at_end
@@ -155,7 +182,7 @@ pub fn worker_main_with_solver<T: Transport>(
     WorkerReport {
         rank,
         final_slab: solver.slab(),
-        profile,
+        profile: tracer.profile,
         snapshot: solver.snapshot(),
         planes_sent,
         planes_received,
@@ -170,12 +197,14 @@ fn exchange_f<T: Transport>(
     solver: &mut SlabSolver,
     transport: &mut T,
     topo: &LinearTopology,
-    profile: &mut Profile,
+    tracer: &mut Tracer,
+    phase: u64,
 ) {
-    let mut watch = Stopwatch::start();
+    let t0 = tracer.now();
     if topo.size == 1 {
         solver.f_ghosts_periodic();
-        profile.comm += watch.lap();
+        let t1 = tracer.now();
+        tracer.span(SpanKind::Halo, phase, t0, t1);
         return;
     }
     let len = solver.f_halo_len();
@@ -188,7 +217,8 @@ fn exchange_f<T: Transport>(
     solver.f_halo_in(Side::Left, &from_left);
     let from_right = transport.recv(topo.ring_right(), Tag::F_HALO).expect("recv f halo");
     solver.f_halo_in(Side::Right, &from_right);
-    profile.comm += watch.lap();
+    let t1 = tracer.now();
+    tracer.span(SpanKind::Halo, phase, t0, t1);
 }
 
 /// ψ halo exchange over the periodic ring.
@@ -196,12 +226,14 @@ fn exchange_psi<T: Transport>(
     solver: &mut SlabSolver,
     transport: &mut T,
     topo: &LinearTopology,
-    profile: &mut Profile,
+    tracer: &mut Tracer,
+    phase: u64,
 ) {
-    let mut watch = Stopwatch::start();
+    let t0 = tracer.now();
     if topo.size == 1 {
         solver.psi_ghosts_periodic();
-        profile.comm += watch.lap();
+        let t1 = tracer.now();
+        tracer.span(SpanKind::Halo, phase, t0, t1);
         return;
     }
     let len = solver.psi_halo_len();
@@ -215,7 +247,8 @@ fn exchange_psi<T: Transport>(
     let from_right =
         transport.recv(topo.ring_right(), Tag::PSI_HALO).expect("recv psi halo");
     solver.psi_halo_in(Side::Right, &from_right);
-    profile.comm += watch.lap();
+    let t1 = tracer.now();
+    tracer.span(SpanKind::Halo, phase, t0, t1);
 }
 
 /// One node's view of the cluster: `(per-point prediction, planes)` for
@@ -233,11 +266,12 @@ fn remap_round<T: Transport>(
     transport: &mut T,
     topo: &LinearTopology,
     history: &mut History,
-    profile: &mut Profile,
+    tracer: &mut Tracer,
+    phase: u64,
     planes_sent: &mut usize,
     planes_received: &mut usize,
 ) {
-    let mut watch = Stopwatch::start();
+    let t0 = tracer.now();
     let rank = topo.rank;
     let n = topo.size;
     let my_pred = predictor.predict(history.as_slice());
@@ -300,9 +334,49 @@ fn remap_round<T: Transport>(
         .collect();
     let flows = policy.edge_flows(&predicted, &partition);
 
+    // Audit the decision as this node saw it: the target reflects only
+    // this node's own edges (flows elsewhere were computed from padded
+    // inputs and are not authoritative here).
+    if tracer.enabled() {
+        let mut target: Vec<isize> =
+            partition.counts().iter().map(|&c| c as isize).collect();
+        let mut applied = false;
+        for e in [rank.checked_sub(1), (rank + 1 < n).then_some(rank)]
+            .into_iter()
+            .flatten()
+        {
+            let f = flows[e];
+            target[e] -= f;
+            target[e + 1] += f;
+            applied |= f != 0;
+        }
+        let target: Vec<usize> = target.into_iter().map(|c| c.max(0) as usize).collect();
+        tracer.event(microslip_balance::decision_event(
+            tracer.now(),
+            Some(rank),
+            phase,
+            policy,
+            &predicted,
+            &partition,
+            &target,
+            applied,
+        ));
+    }
+
     // Execute this node's edges in increasing edge order: (rank−1, rank)
     // then (rank, rank+1). Dependencies point strictly left-to-right, so
-    // the line cannot deadlock.
+    // the line cannot deadlock. The *sender* records each migration, so
+    // every plane transfer appears exactly once in the event stream.
+    let migration = |tracer: &Tracer, from: usize, to: usize, count: usize, values: usize| {
+        Event::Migration {
+            time: tracer.now(),
+            phase,
+            from,
+            to,
+            planes: count,
+            bytes: (values * 8) as u64,
+        }
+    };
     if let Some(l) = topo.line_left() {
         let f = flows[rank - 1]; // planes l → me if positive
         if f > 0 {
@@ -314,8 +388,10 @@ fn remap_round<T: Transport>(
         } else if f < 0 {
             let count = (-f) as usize;
             let data = solver.take_planes(Side::Left, count);
+            let values = data.len();
             transport.send(l, Tag::MIGRATE_DATA, data).expect("send planes");
             *planes_sent += count;
+            tracer.event(migration(tracer, rank, l, count, values));
         }
     }
     if let Some(r) = topo.line_right() {
@@ -323,8 +399,10 @@ fn remap_round<T: Transport>(
         if f > 0 {
             let count = f as usize;
             let data = solver.take_planes(Side::Right, count);
+            let values = data.len();
             transport.send(r, Tag::MIGRATE_DATA, data).expect("send planes");
             *planes_sent += count;
+            tracer.event(migration(tracer, rank, r, count, values));
         } else if f < 0 {
             let data = transport.recv(r, Tag::MIGRATE_DATA).expect("recv planes");
             let count = (-f) as usize;
@@ -333,5 +411,6 @@ fn remap_round<T: Transport>(
             *planes_received += count;
         }
     }
-    profile.remap += watch.lap();
+    let t1 = tracer.now();
+    tracer.span(SpanKind::Remap, phase, t0, t1);
 }

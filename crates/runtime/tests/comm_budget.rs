@@ -29,6 +29,8 @@ fn run_instrumented(
         predictor_window: 2,
         checkpoint_at_end: false,
         parallelism: Parallelism::serial(),
+        trace: microslip_obs::TraceSink::null(),
+        epoch: std::time::Instant::now(),
     });
     let slabs = even_slabs(16, workers);
     let handles: Vec<_> = mesh(workers)

@@ -11,13 +11,26 @@
 //! * transient spikes (Table 1).
 //!
 //! Run with: `cargo run --release --example nondedicated_cluster`
+//!
+//! Pass `--trace PREFIX` to additionally record the Fig. 9 run as a
+//! structured event stream: `PREFIX.jsonl` (one event per line),
+//! `PREFIX.trace.json` (Chrome `trace_event`, loadable in Perfetto /
+//! `chrome://tracing`) and `PREFIX.summary.json` (derived utilization and
+//! churn metrics).
 
 use microslip::cluster::{
-    fixed_slow_point, run_scheme, transient_point, ClusterConfig, Dedicated, FixedSlowNodes,
-    Scheme,
+    fixed_slow_point, run_scheme, run_scheme_traced, transient_point, ClusterConfig, Dedicated,
+    FixedSlowNodes, Scheme,
 };
+use microslip::obs::{to_chrome_trace, to_jsonl, TraceSink, TraceSummary, DEFAULT_CAPACITY};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_prefix = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let phases = 600;
     println!("cluster: 20 nodes, 400x200x20 lattice, {phases} phases, remap every 10");
     println!();
@@ -42,7 +55,29 @@ fn main() {
     // ---- Fig. 9-style per-node profile ----------------------------------
     println!("== per-node profile, 1 slow node (node 9), filtered scheme ==");
     let cfg = ClusterConfig::paper(20, phases);
-    let r = run_scheme(&cfg, Scheme::Filtered, &FixedSlowNodes::paper(20, 1));
+    let (sink, rec) = match &trace_prefix {
+        Some(_) => {
+            let (s, r) = TraceSink::recorder(DEFAULT_CAPACITY);
+            (s, Some(r))
+        }
+        None => (TraceSink::null(), None),
+    };
+    let r = run_scheme_traced(&cfg, Scheme::Filtered, &FixedSlowNodes::paper(20, 1), &sink);
+    if let (Some(prefix), Some(rec)) = (&trace_prefix, rec) {
+        let events = rec.events();
+        std::fs::write(format!("{prefix}.jsonl"), to_jsonl(&events)).expect("write jsonl");
+        std::fs::write(format!("{prefix}.trace.json"), to_chrome_trace(&events))
+            .expect("write chrome trace");
+        std::fs::write(
+            format!("{prefix}.summary.json"),
+            TraceSummary::from_events(&events).to_json(),
+        )
+        .expect("write summary");
+        println!(
+            "   traced {} events -> {prefix}.jsonl, {prefix}.trace.json, {prefix}.summary.json",
+            events.len()
+        );
+    }
     println!("{:>6} {:>10} {:>10} {:>10} {:>8}", "node", "compute", "comm", "remap", "planes");
     for (i, a) in r.per_node.iter().enumerate() {
         println!(

@@ -4,38 +4,42 @@
 //!
 //! Runs the same workload twice (no remapping vs. filtered remapping) and
 //! shows the wall-clock difference plus the final plane distribution. The
-//! physics is verified to be identical between both runs.
+//! physics is verified to be identical between both runs. Both runs come
+//! from a single [`RunBuilder`] description — only the scheme differs.
 //!
 //! Run with: `cargo run --release --example threaded_lbm`
 
-use std::sync::Arc;
-
-use microslip::balance::{Filtered, NoRemap};
-use microslip::lbm::{ChannelConfig, Dims};
-use microslip::runtime::{run_parallel, RuntimeConfig};
+use microslip::prelude::*;
 
 fn main() {
     let workers = 4;
     let phases = 120;
-    let channel = ChannelConfig::paper_scaled(Dims::new(48, 24, 8));
-    println!(
-        "threaded runtime: {workers} workers, {}x{}x{} channel, {phases} phases",
-        channel.dims.nx, channel.dims.ny, channel.dims.nz
-    );
+    println!("threaded runtime: {workers} workers, 48x24x8 channel, {phases} phases");
     println!("worker 1 is throttled to 25% speed (a 75% competing job)");
     println!();
 
-    let mut cfg = RuntimeConfig::new(channel, workers, phases);
-    cfg.throttle = vec![1.0, 4.0, 1.0, 1.0];
+    let base = RunBuilder::new(ChannelConfig::paper_scaled(Dims::new(48, 24, 8)))
+        .workers(workers)
+        .phases(phases)
+        .throttle(1, 4.0);
 
     // Static decomposition.
-    let static_run = run_parallel(&cfg, Arc::new(NoRemap));
+    let static_run = base
+        .clone()
+        .scheme(Scheme::NoRemap)
+        .build()
+        .expect("valid static run")
+        .run();
     println!("-- no remapping --");
     report(&static_run);
 
     // Filtered dynamic remapping.
-    cfg.remap_interval = 10;
-    let filtered_run = run_parallel(&cfg, Arc::new(Filtered::default()));
+    let filtered_run = base
+        .scheme(Scheme::Filtered)
+        .remap_every(10)
+        .build()
+        .expect("valid filtered run")
+        .run();
     println!("-- filtered dynamic remapping (every 10 phases) --");
     report(&filtered_run);
 
@@ -50,7 +54,7 @@ fn main() {
     );
 }
 
-fn report(out: &microslip::runtime::RunOutcome) {
+fn report(out: &RunOutcome) {
     println!(
         "  wall time {:.2}s   planes by worker: {:?}   migrated: {}",
         out.wall_seconds,
@@ -59,8 +63,8 @@ fn report(out: &microslip::runtime::RunOutcome) {
     );
     for r in &out.reports {
         println!(
-            "  worker {}: compute {:6.2}s  comm {:6.2}s  remap {:6.2}s",
-            r.rank, r.profile.compute, r.profile.comm, r.profile.remap
+            "  worker {}: compute {:6.2}s ({:5.2}s pad)  comm {:6.2}s  remap {:6.2}s",
+            r.rank, r.profile.compute, r.profile.pad, r.profile.comm, r.profile.remap
         );
     }
     println!();

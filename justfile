@@ -8,6 +8,16 @@ tier1:
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --workspace --offline -- -D warnings
+    just trace-smoke
+
+# End-to-end observability smoke: a traced virtual-cluster run and a
+# traced threaded run, artifacts re-parsed and schema-checked (--check),
+# written to a scratch dir so the repo stays clean.
+trace-smoke:
+    cargo build --release --offline --bin microslip
+    rm -rf target/trace-smoke && mkdir -p target/trace-smoke
+    ./target/release/microslip trace --mode cluster --out target/trace-smoke/cluster --phases 120 --check
+    ./target/release/microslip trace --mode parallel --out target/trace-smoke/parallel --phases 12 --workers 3 --check
 
 # Full workspace test run (release mode; slower, covers the examples).
 test-all:

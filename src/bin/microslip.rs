@@ -4,6 +4,9 @@
 //! $ microslip slip --ny 40 --phases 1500        # fluid-slip physics run
 //! $ microslip cluster --scheme filtered --slow 2 # virtual-cluster run
 //! $ microslip parallel --workers 4 --throttle 1:4 # threaded runtime demo
+//! $ microslip trace --mode cluster --out run     # traced run -> run.jsonl,
+//!                                                #   run.trace.json (Perfetto),
+//!                                                #   run.summary.json
 //! $ microslip info                               # model & calibration info
 //! ```
 
@@ -11,11 +14,18 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use microslip::balance::{Conservative, Filtered, NoRemap};
-use microslip::cluster::{run_scheme, ClusterConfig, Dedicated, FixedSlowNodes, Scheme};
+use microslip::cluster::{
+    run_scheme_traced, ClusterConfig, Dedicated, FixedSlowNodes, Scheme,
+};
 use microslip::lbm::diagnostics::FlowDiagnostics;
 use microslip::lbm::observables::{apparent_slip_fraction, mean_velocity_y_profile};
 use microslip::lbm::{ChannelConfig, Dims, Simulation, WallForce};
+use microslip::obs::{
+    to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl, Event, Recorder,
+    TraceSink, TraceSummary, DEFAULT_CAPACITY,
+};
 use microslip::runtime::{run_parallel, RuntimeConfig};
+use microslip::RunBuilder;
 
 /// Parsed `--key value` flags (and bare `--key` booleans).
 struct Flags {
@@ -61,6 +71,7 @@ fn main() {
         "slip" => cmd_slip(rest),
         "cluster" => cmd_cluster(rest),
         "parallel" => cmd_parallel(rest),
+        "trace" => cmd_trace(rest),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -80,8 +91,10 @@ fn print_help() {
     println!();
     println!("commands:");
     println!("  slip      run the two-phase slip physics   [--nx --ny --nz --phases --no-wall-force]");
-    println!("  cluster   virtual non-dedicated cluster    [--nodes --phases --scheme --slow]");
-    println!("  parallel  threaded runtime with remapping  [--workers --phases --throttle R:F --scheme]");
+    println!("  cluster   virtual non-dedicated cluster    [--nodes --phases --scheme --slow --trace PREFIX]");
+    println!("  parallel  threaded runtime with remapping  [--workers --phases --throttle R:F --scheme --trace PREFIX]");
+    println!("  trace     traced run -> PREFIX.jsonl + PREFIX.trace.json + PREFIX.summary.json");
+    println!("            [--mode cluster|parallel --out PREFIX --scheme --phases --check]");
     println!("  info      model parameters and calibration anchors");
 }
 
@@ -113,18 +126,55 @@ fn scheme_by_name(name: &str) -> Result<Scheme, String> {
         .ok_or_else(|| format!("unknown scheme '{name}' (no-remap, filtered, conservative, global)"))
 }
 
+/// `--trace PREFIX`: builds a recording sink, or a null sink when absent.
+fn trace_flag(f: &Flags) -> (TraceSink, Option<(String, std::sync::Arc<Recorder>)>) {
+    match f.values.get("trace") {
+        Some(prefix) if prefix != "true" => {
+            let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+            (sink, Some((prefix.clone(), rec)))
+        }
+        Some(_) => {
+            eprintln!("warning: --trace needs a file prefix; tracing disabled");
+            (TraceSink::null(), None)
+        }
+        None => (TraceSink::null(), None),
+    }
+}
+
+/// Writes the three trace artifacts for `prefix` and prints what landed.
+fn write_trace_artifacts(prefix: &str, events: &[Event]) -> Result<(), String> {
+    let jsonl = to_jsonl(events);
+    let chrome = to_chrome_trace(events);
+    let summary = TraceSummary::from_events(events).to_json();
+    for (suffix, body) in
+        [(".jsonl", &jsonl), (".trace.json", &chrome), (".summary.json", &summary)]
+    {
+        let path = format!("{prefix}{suffix}");
+        std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    println!(
+        "trace: {} events -> {prefix}.jsonl, {prefix}.trace.json (Perfetto), {prefix}.summary.json",
+        events.len()
+    );
+    Ok(())
+}
+
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
     let nodes = f.get("nodes", 20usize)?;
     let phases = f.get("phases", 600u64)?;
     let slow = f.get("slow", 1usize)?;
     let scheme = scheme_by_name(&f.get("scheme", "filtered".to_string())?)?;
+    let (sink, recording) = trace_flag(&f);
     let cfg = ClusterConfig::paper(nodes, phases);
     let r = if slow == 0 {
-        run_scheme(&cfg, scheme, &Dedicated)
+        run_scheme_traced(&cfg, scheme, &Dedicated, &sink)
     } else {
-        run_scheme(&cfg, scheme, &FixedSlowNodes::paper(nodes, slow))
+        run_scheme_traced(&cfg, scheme, &FixedSlowNodes::paper(nodes, slow), &sink)
     };
+    if let Some((prefix, rec)) = recording {
+        write_trace_artifacts(&prefix, &rec.events())?;
+    }
     println!(
         "{} on {nodes} nodes, {phases} phases, {slow} slow node(s):",
         scheme.name()
@@ -145,12 +195,14 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
     let workers = f.get("workers", 4usize)?;
     let phases = f.get("phases", 100u64)?;
     let scheme = f.get("scheme", "filtered".to_string())?;
+    let (sink, recording) = trace_flag(&f);
     let mut cfg = RuntimeConfig::new(
         ChannelConfig::paper_scaled(Dims::new(48, 24, 8)),
         workers,
         phases,
     );
     cfg.remap_interval = 10;
+    cfg.trace = sink;
     // --throttle RANK:FACTOR, repeatable as comma list.
     if let Some(spec) = f.values.get("throttle") {
         cfg.throttle = vec![1.0; workers];
@@ -180,8 +232,78 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
     );
     for r in &outcome.reports {
         println!(
-            "  worker {}: compute {:.2}s  comm {:.2}s  remap {:.2}s",
-            r.rank, r.profile.compute, r.profile.comm, r.profile.remap
+            "  worker {}: compute {:.2}s ({:.2}s pad)  comm {:.2}s  remap {:.2}s",
+            r.rank, r.profile.compute, r.profile.pad, r.profile.comm, r.profile.remap
+        );
+    }
+    if let Some((prefix, rec)) = recording {
+        write_trace_artifacts(&prefix, &rec.events())?;
+    }
+    Ok(())
+}
+
+/// A traced run end to end: run, export, optionally re-parse and check.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let mode = f.get("mode", "cluster".to_string())?;
+    let prefix = f.get("out", "trace".to_string())?;
+    let scheme = scheme_by_name(&f.get("scheme", "filtered".to_string())?)?;
+    let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+    match mode.as_str() {
+        "cluster" => {
+            let nodes = f.get("nodes", 20usize)?;
+            let phases = f.get("phases", 200u64)?;
+            let slow = f.get("slow", 2usize)?;
+            let cfg = ClusterConfig::paper(nodes, phases);
+            let r = if slow == 0 {
+                run_scheme_traced(&cfg, scheme, &Dedicated, &sink)
+            } else {
+                run_scheme_traced(&cfg, scheme, &FixedSlowNodes::paper(nodes, slow), &sink)
+            };
+            println!(
+                "cluster {} on {nodes} nodes, {phases} phases: time {:.1}s, migrated {}",
+                scheme.name(),
+                r.total_time,
+                r.migrated_planes
+            );
+        }
+        "parallel" => {
+            let workers = f.get("workers", 4usize)?;
+            let phases = f.get("phases", 24u64)?;
+            let throttled = f.get("throttle", 4.0f64)?;
+            let outcome = RunBuilder::paper_scaled(32, 8, 4)
+                .workers(workers)
+                .phases(phases)
+                .remap_every(4)
+                .predictor_window(3)
+                .scheme(scheme)
+                .throttle(workers.min(2) - 1, throttled)
+                .trace(sink)
+                .build()?
+                .run();
+            println!(
+                "parallel {} on {workers} workers, {phases} phases: wall {:.2}s, migrated {}",
+                scheme.name(),
+                outcome.wall_seconds,
+                outcome.planes_migrated()
+            );
+        }
+        other => return Err(format!("unknown mode '{other}' (cluster, parallel)")),
+    }
+    if rec.dropped() > 0 {
+        eprintln!("warning: ring buffer dropped {} events", rec.dropped());
+    }
+    let events = rec.events();
+    write_trace_artifacts(&prefix, &events)?;
+    if f.has("check") {
+        let stats = validate_jsonl(&to_jsonl(&events))?;
+        let chrome = validate_chrome_trace(&to_chrome_trace(&events))?;
+        println!(
+            "check: ok ({} events across {} types; {} spans on {} lanes)",
+            stats.counts.values().sum::<usize>(),
+            stats.counts.len(),
+            chrome.spans,
+            chrome.nodes
         );
     }
     Ok(())

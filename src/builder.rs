@@ -1,0 +1,362 @@
+//! Builder-style front door for parallel runs.
+//!
+//! Before this module, configuring a run meant threading state through
+//! four crates by hand: a [`ChannelConfig`](crate::lbm::ChannelConfig) for
+//! the physics, a [`RuntimeConfig`](crate::runtime::RuntimeConfig) for the
+//! threads, a policy object from [`balance`](crate::balance), and (for
+//! virtual-cluster studies) a separately-derived
+//! [`ClusterConfig`](crate::cluster::ClusterConfig) whose geometry had to
+//! be kept consistent with the channel by convention. [`RunBuilder`]
+//! collapses that into one fluent description that can be finalized either
+//! way:
+//!
+//! * [`RunBuilder::build`] → a [`Runtime`] that executes on real threads;
+//! * [`RunBuilder::build_cluster`] → a [`ClusterExperiment`] that replays
+//!   the *same geometry* on the calibrated virtual-time engine.
+//!
+//! Both carry the builder's [`TraceSink`], so a threaded run and its
+//! virtual twin emit schema-identical event streams.
+//!
+//! ```
+//! use microslip::prelude::*;
+//!
+//! let outcome = RunBuilder::paper_scaled(16, 6, 4)
+//!     .workers(2)
+//!     .phases(4)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert_eq!(outcome.final_counts().iter().sum::<usize>(), 16);
+//! ```
+//!
+//! The per-crate constructors ([`RuntimeConfig::new`],
+//! [`ClusterConfig::paper`], …) remain as thin, stable shims for code that
+//! wants full manual control; new code should prefer the builder.
+
+use std::sync::Arc;
+
+use microslip_balance::policy::{Conservative, Filtered, NeighborPolicy, NoRemap};
+use microslip_cluster::{
+    run_scheme_traced, ClusterConfig, CostModel, Dedicated, Disturbance, RunResult, Scheme,
+};
+use microslip_lbm::{ChannelConfig, Dims, Parallelism};
+use microslip_obs::TraceSink;
+use microslip_runtime::{run_parallel, RunOutcome, RuntimeConfig};
+
+/// Fluent description of a parallel microchannel run; finalize with
+/// [`build`](RunBuilder::build) (threaded) or
+/// [`build_cluster`](RunBuilder::build_cluster) (virtual time).
+#[derive(Clone, Debug)]
+pub struct RunBuilder {
+    channel: ChannelConfig,
+    workers: usize,
+    phases: u64,
+    remap_interval: u64,
+    predictor_window: usize,
+    scheme: Scheme,
+    throttle: Vec<(usize, f64)>,
+    spikes: Vec<(usize, u64, u64, f64)>,
+    threads_per_worker: usize,
+    checkpoint_at_end: bool,
+    trace: TraceSink,
+}
+
+impl RunBuilder {
+    /// Starts from an explicit channel configuration.
+    ///
+    /// Defaults: 4 workers, 100 phases, filtered remapping every 10
+    /// phases, predictor window 10, serial kernels, tracing disabled.
+    pub fn new(channel: ChannelConfig) -> Self {
+        RunBuilder {
+            channel,
+            workers: 4,
+            phases: 100,
+            remap_interval: 10,
+            predictor_window: 10,
+            scheme: Scheme::Filtered,
+            throttle: Vec::new(),
+            spikes: Vec::new(),
+            threads_per_worker: 1,
+            checkpoint_at_end: false,
+            trace: TraceSink::null(),
+        }
+    }
+
+    /// Starts from the paper's physics scaled to an `nx × ny × nz`
+    /// lattice, with a small body force so the flow is non-trivial.
+    pub fn paper_scaled(nx: usize, ny: usize, nz: usize) -> Self {
+        let mut channel = ChannelConfig::paper_scaled(Dims::new(nx, ny, nz));
+        channel.body = [1.0e-4, 0.0, 0.0];
+        Self::new(channel)
+    }
+
+    /// Number of workers (threaded run) or virtual nodes (cluster run).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// LBM phases (time steps) to run.
+    pub fn phases(mut self, phases: u64) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Phases between remap rounds; 0 disables remapping entirely.
+    pub fn remap_every(mut self, interval: u64) -> Self {
+        self.remap_interval = interval;
+        self
+    }
+
+    /// Window of the harmonic-mean load predictor (paper: 10).
+    pub fn predictor_window(mut self, window: usize) -> Self {
+        self.predictor_window = window;
+        self
+    }
+
+    /// Remapping scheme. All four schemes run on the virtual cluster;
+    /// [`Scheme::Global`] needs a collective and is rejected by
+    /// [`build`](RunBuilder::build).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Slows worker `rank` down by `factor` (≥ 1) for the whole run — the
+    /// threaded analogue of a node with a competing job.
+    pub fn throttle(mut self, rank: usize, factor: f64) -> Self {
+        self.throttle.push((rank, factor));
+        self
+    }
+
+    /// Adds a transient slowdown of `factor` on `rank` for phases
+    /// `[from, to)`.
+    pub fn spike(mut self, rank: usize, from: u64, to: u64, factor: f64) -> Self {
+        self.spikes.push((rank, from, to, factor));
+        self
+    }
+
+    /// Rayon threads per worker for the second level of parallelism.
+    /// Sets both the kernel parallelism of the channel and the runtime's
+    /// per-worker thread budget (previously two separate knobs).
+    pub fn threads_per_worker(mut self, threads: usize) -> Self {
+        self.threads_per_worker = threads.max(1);
+        self.channel.parallelism = Parallelism::new(threads.max(1));
+        self
+    }
+
+    /// Asks each worker to serialize its final state into its report.
+    pub fn checkpoint_at_end(mut self, on: bool) -> Self {
+        self.checkpoint_at_end = on;
+        self
+    }
+
+    /// Attaches an observability sink; both finalizers thread it through,
+    /// so traces from the two substrates are directly diffable.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Finalizes into a threaded [`Runtime`].
+    pub fn build(self) -> Result<Runtime, String> {
+        if self.scheme == Scheme::Global {
+            return Err(
+                "the global scheme needs a collective exchange and only runs on the \
+                 virtual cluster — use build_cluster()"
+                    .into(),
+            );
+        }
+        if self.workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        if self.channel.dims.nx < self.workers {
+            return Err(format!(
+                "need at least one plane per worker ({} planes < {} workers)",
+                self.channel.dims.nx, self.workers
+            ));
+        }
+        self.channel.validate()?;
+        let mut cfg = RuntimeConfig::new(self.channel, self.workers, self.phases);
+        cfg.remap_interval = self.remap_interval;
+        cfg.predictor_window = self.predictor_window;
+        cfg.checkpoint_at_end = self.checkpoint_at_end;
+        cfg.threads_per_worker = self.threads_per_worker;
+        cfg.trace = self.trace;
+        cfg.spikes = self.spikes;
+        if !self.throttle.is_empty() {
+            cfg.throttle = vec![1.0; self.workers];
+            for (rank, factor) in self.throttle {
+                if rank >= self.workers {
+                    return Err(format!(
+                        "throttle rank {rank} out of range for {} workers",
+                        self.workers
+                    ));
+                }
+                cfg.throttle[rank] = factor;
+            }
+        }
+        Ok(Runtime { cfg, scheme: self.scheme })
+    }
+
+    /// Finalizes into a virtual-time [`ClusterExperiment`] with the *same
+    /// geometry*: one virtual node per worker, one plane per lattice
+    /// plane (`planes = nx`, `plane_cells = ny × nz`), the paper's
+    /// calibrated cost model.
+    pub fn build_cluster(self) -> Result<ClusterExperiment, String> {
+        if self.workers == 0 {
+            return Err("need at least one node".into());
+        }
+        if self.channel.dims.nx < self.workers {
+            return Err(format!(
+                "need at least one plane per node ({} planes < {} nodes)",
+                self.channel.dims.nx, self.workers
+            ));
+        }
+        let d = self.channel.dims;
+        let cfg = ClusterConfig {
+            nodes: self.workers,
+            phases: self.phases,
+            // The engine triggers on `phase % interval`; interval 0 means
+            // "never", which the modulus cannot express directly.
+            remap_interval: if self.remap_interval == 0 {
+                self.phases.saturating_add(1)
+            } else {
+                self.remap_interval
+            },
+            planes: d.nx,
+            plane_cells: d.ny * d.nz,
+            components: self.channel.ncomp(),
+            cost: CostModel::paper(),
+            predictor_window: self.predictor_window,
+        };
+        Ok(ClusterExperiment { cfg, scheme: self.scheme, trace: self.trace })
+    }
+}
+
+/// A fully-validated threaded run, ready to execute.
+#[derive(Clone, Debug)]
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    scheme: Scheme,
+}
+
+impl Runtime {
+    /// The underlying runtime configuration (escape hatch for knobs the
+    /// builder does not surface).
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Mutable escape hatch.
+    pub fn config_mut(&mut self) -> &mut RuntimeConfig {
+        &mut self.cfg
+    }
+
+    /// The policy object the run will use.
+    pub fn policy(&self) -> Arc<dyn NeighborPolicy> {
+        match self.scheme {
+            Scheme::NoRemap => Arc::new(NoRemap),
+            Scheme::Filtered => Arc::new(Filtered::default()),
+            Scheme::Conservative => Arc::new(Conservative::default()),
+            Scheme::Global => unreachable!("rejected by RunBuilder::build"),
+        }
+    }
+
+    /// Executes the run on `workers` threads.
+    pub fn run(&self) -> RunOutcome {
+        run_parallel(&self.cfg, self.policy())
+    }
+}
+
+/// A virtual-time cluster experiment with the builder's geometry.
+#[derive(Clone, Debug)]
+pub struct ClusterExperiment {
+    cfg: ClusterConfig,
+    scheme: Scheme,
+    trace: TraceSink,
+}
+
+impl ClusterExperiment {
+    /// The derived cluster configuration (escape hatch).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Mutable escape hatch.
+    pub fn config_mut(&mut self) -> &mut ClusterConfig {
+        &mut self.cfg
+    }
+
+    /// Replays the run under `disturbance` on the virtual-time engine.
+    pub fn run(&self, disturbance: &dyn Disturbance) -> RunResult {
+        run_scheme_traced(&self.cfg, self.scheme, disturbance, &self.trace)
+    }
+
+    /// Replays the run on a dedicated (undisturbed) virtual cluster.
+    pub fn run_dedicated(&self) -> RunResult {
+        self.run(&Dedicated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microslip_obs::{validate_jsonl, to_jsonl, DEFAULT_CAPACITY};
+
+    #[test]
+    fn build_rejects_global_and_bad_geometry() {
+        assert!(RunBuilder::paper_scaled(16, 6, 4).scheme(Scheme::Global).build().is_err());
+        assert!(RunBuilder::paper_scaled(2, 6, 4).workers(4).build().is_err());
+        assert!(RunBuilder::paper_scaled(16, 6, 4).workers(0).build().is_err());
+        assert!(RunBuilder::paper_scaled(16, 6, 4).throttle(9, 2.0).build().is_err());
+        // Global is fine on the virtual cluster.
+        assert!(RunBuilder::paper_scaled(16, 6, 4).scheme(Scheme::Global).build_cluster().is_ok());
+    }
+
+    #[test]
+    fn builder_threads_both_parallelism_knobs() {
+        let rt = RunBuilder::paper_scaled(16, 6, 4)
+            .workers(2)
+            .threads_per_worker(3)
+            .build()
+            .unwrap();
+        assert_eq!(rt.config().threads_per_worker, 3);
+        assert_eq!(rt.config().channel.parallelism, Parallelism::new(3));
+    }
+
+    #[test]
+    fn cluster_geometry_is_derived_from_the_channel() {
+        let ex = RunBuilder::paper_scaled(16, 6, 4)
+            .workers(4)
+            .phases(30)
+            .remap_every(0)
+            .build_cluster()
+            .unwrap();
+        let c = ex.config();
+        assert_eq!(c.planes, 16);
+        assert_eq!(c.plane_cells, 24);
+        assert_eq!(c.components, 2);
+        assert!(c.remap_interval > c.phases, "interval 0 must mean never");
+        let r = ex.run_dedicated();
+        assert_eq!(r.final_counts.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn traced_builder_run_emits_valid_jsonl() {
+        let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+        let outcome = RunBuilder::paper_scaled(16, 6, 4)
+            .workers(2)
+            .phases(4)
+            .remap_every(2)
+            .predictor_window(2)
+            .trace(sink)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(outcome.final_counts().iter().sum::<usize>(), 16);
+        let stats = validate_jsonl(&to_jsonl(&rec.events())).unwrap();
+        assert!(stats.counts["span"] > 0);
+        assert_eq!(stats.counts["meta"], 1);
+    }
+}

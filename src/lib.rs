@@ -15,7 +15,18 @@
 //!   (no-remap / filtered / conservative / global);
 //! * [`cluster`] — the calibrated virtual-time non-dedicated-cluster
 //!   simulator used to regenerate the paper's performance figures;
-//! * [`runtime`] — the threaded parallel runtime with live remapping.
+//! * [`runtime`] — the threaded parallel runtime with live remapping;
+//! * [`obs`] — the zero-dependency structured event-tracing layer (JSONL
+//!   and Chrome `trace_event` exporters, derived summaries).
+//!
+//! Two additions live in the facade itself:
+//!
+//! * [`RunBuilder`] — the builder-style front door that configures a run
+//!   once and finalizes it either onto real threads
+//!   ([`RunBuilder::build`]) or onto the virtual-time cluster
+//!   ([`RunBuilder::build_cluster`]) with the same geometry and the same
+//!   trace sink;
+//! * [`prelude`] — one `use microslip::prelude::*;` for the common types.
 //!
 //! ## Quickstart
 //!
@@ -37,4 +48,29 @@ pub use microslip_balance as balance;
 pub use microslip_cluster as cluster;
 pub use microslip_comm as comm;
 pub use microslip_lbm as lbm;
+pub use microslip_obs as obs;
 pub use microslip_runtime as runtime;
+
+mod builder;
+pub use builder::{ClusterExperiment, RunBuilder, Runtime};
+
+/// The types most runs need, in one import.
+///
+/// ```
+/// use microslip::prelude::*;
+///
+/// let r = RunBuilder::paper_scaled(8, 6, 4).workers(2).phases(2).build().unwrap().run();
+/// assert!(r.wall_seconds >= 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::builder::{ClusterExperiment, RunBuilder, Runtime};
+    pub use microslip_cluster::{
+        ClusterConfig, Dedicated, Disturbance, DutyCycle, FixedSlowNodes, RunResult, Scheme,
+        TransientSpikes,
+    };
+    pub use microslip_lbm::{ChannelConfig, Dims, Simulation};
+    pub use microslip_obs::{
+        to_chrome_trace, to_jsonl, Event, Recorder, TraceSink, TraceSummary,
+    };
+    pub use microslip_runtime::{RunOutcome, RuntimeConfig};
+}

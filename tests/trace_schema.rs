@@ -1,0 +1,120 @@
+//! Golden trace-schema tests: the observability layer's output formats
+//! are load-bearing artifacts (diffed across substrates, loaded into
+//! Perfetto), so their shape is pinned here.
+//!
+//! * The Chrome `trace_event` export must parse back and satisfy the
+//!   structural invariants (per-worker lanes, non-overlapping complete
+//!   events, metadata first).
+//! * A threaded-runtime run and a virtual-cluster run must emit
+//!   *schema-identical* JSONL: the same event types with exactly the same
+//!   field sets — the property that makes a real run diffable against its
+//!   simulated twin.
+
+use microslip::obs::{
+    to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl, Event, JsonlStats,
+    TraceSink, DEFAULT_CAPACITY,
+};
+use microslip::prelude::*;
+
+/// A tiny traced threaded run: 3 slab workers, one throttled so remap
+/// decisions and migrations actually fire.
+fn runtime_events(scheme: Scheme) -> Vec<Event> {
+    let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+    let outcome = RunBuilder::paper_scaled(15, 6, 4)
+        .workers(3)
+        .phases(9)
+        .remap_every(3)
+        .predictor_window(2)
+        .scheme(scheme)
+        .throttle(1, 6.0)
+        .trace(sink)
+        .build()
+        .expect("valid run")
+        .run();
+    assert_eq!(outcome.final_counts().iter().sum::<usize>(), 15);
+    assert_eq!(rec.dropped(), 0);
+    rec.events()
+}
+
+/// A seeded 20-node virtual-cluster run with the same trace plumbing.
+fn cluster_events(scheme: Scheme) -> Vec<Event> {
+    let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+    // 10 planes per node: enough headroom for the filtered policy's
+    // one-plane migration threshold to pass on the slow nodes.
+    let ex = RunBuilder::paper_scaled(200, 20, 10)
+        .workers(20)
+        .phases(80)
+        .scheme(scheme)
+        .trace(sink)
+        .build_cluster()
+        .expect("valid cluster run");
+    ex.run(&FixedSlowNodes::paper(20, 2));
+    assert_eq!(rec.dropped(), 0);
+    rec.events()
+}
+
+#[test]
+fn chrome_trace_parses_back_with_nonoverlapping_worker_lanes() {
+    for scheme in [Scheme::NoRemap, Scheme::Filtered] {
+        let events = runtime_events(scheme);
+        let chrome = to_chrome_trace(&events);
+        // validate_chrome_trace re-parses the JSON and checks, per lane
+        // (tid = worker), that complete events never overlap.
+        let stats = validate_chrome_trace(&chrome)
+            .unwrap_or_else(|e| panic!("{}: invalid chrome trace: {e}", scheme.name()));
+        assert_eq!(stats.nodes, 3, "{}: one lane per worker", scheme.name());
+        assert!(stats.spans > 0);
+        if scheme == Scheme::Filtered {
+            assert!(stats.instants > 0, "filtered run must record decisions");
+        }
+    }
+}
+
+#[test]
+fn runtime_and_cluster_traces_are_schema_identical() {
+    let rt = validate_jsonl(&to_jsonl(&runtime_events(Scheme::Filtered))).unwrap();
+    let cl = validate_jsonl(&to_jsonl(&cluster_events(Scheme::Filtered))).unwrap();
+    assert_eq!(
+        rt.schema, cl.schema,
+        "threaded and virtual-cluster streams must expose identical field sets"
+    );
+    // Both substrates exercise the full vocabulary on a remapping run.
+    for stats in [&rt, &cl] {
+        for ty in ["meta", "span", "remap", "migration", "traffic"] {
+            assert!(stats.counts.get(ty).copied().unwrap_or(0) > 0, "missing {ty}");
+        }
+    }
+}
+
+#[test]
+fn jsonl_schema_is_the_pinned_golden_shape() {
+    let events = runtime_events(Scheme::Filtered);
+    let JsonlStats { schema, .. } = validate_jsonl(&to_jsonl(&events)).unwrap();
+    // Field order is the exporters' canonical (emission) order.
+    let golden: Vec<(&str, Vec<&str>)> = vec![
+        ("meta", vec!["type", "mode", "nodes", "phases", "policy"]),
+        ("span", vec!["type", "node", "kind", "phase", "t0", "t1"]),
+        (
+            "remap",
+            vec![
+                "type", "time", "node", "phase", "policy", "predicted", "speeds", "counts",
+                "target", "moved", "applied",
+            ],
+        ),
+        ("migration", vec!["type", "time", "phase", "from", "to", "planes", "bytes"]),
+        (
+            "traffic",
+            vec![
+                "type", "node", "tag", "sent_messages", "sent_bytes", "recv_messages",
+                "recv_bytes",
+            ],
+        ),
+    ];
+    for (ty, fields) in golden {
+        assert_eq!(
+            schema.get(ty).map(|v| v.iter().map(String::as_str).collect::<Vec<_>>()),
+            Some(fields),
+            "schema drift for '{ty}' — update exporters, docs and this pin together"
+        );
+    }
+}
