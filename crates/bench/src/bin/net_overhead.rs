@@ -1,0 +1,168 @@
+//! Socket-overhead benchmark: the per-phase halo traffic of a 2-rank run,
+//! replayed over the in-process channel transport and over a real
+//! localhost TCP mesh, so the cost of leaving shared memory is a number
+//! and not a guess.
+//!
+//! Three measurements per transport:
+//!
+//! * **halo phase** — the runtime's exact per-phase message pattern (two
+//!   `F_HALO` and two `PSI_HALO` messages each way, right-bound first)
+//!   with buffers sized from a real `SlabSolver`, round-tripped `reps`
+//!   times;
+//! * **ping-pong** — a 1-float `LOAD` round trip, isolating per-message
+//!   latency from payload bandwidth;
+//! * **bytes/phase** — payload bytes a rank puts on the wire per phase,
+//!   plus the TCP frame overhead (header + CRC) on top.
+//!
+//! Writes `BENCH_net.json`.
+//!
+//! Usage:
+//!   net_overhead [--nx 48] [--ny 24] [--nz 8] [--reps 400] [--out BENCH_net.json]
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use microslip_comm::{mesh, Tag, Transport};
+use microslip_lbm::geometry::even_slabs;
+use microslip_lbm::{ChannelConfig, Dims, SlabSolver};
+use microslip_net::wire::{encode, Frame};
+use microslip_net::{localhost_mesh, NetConfig};
+
+/// `--name value` flag with a default; panics on an unparsable value.
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad value for {name}")),
+        None => default,
+    }
+}
+
+/// One rank's half of the per-phase halo pattern on a two-rank ring
+/// (both neighbours are the peer): right-bound sends first, then the
+/// matching receives, f then psi — exactly the runtime's order.
+fn halo_phase<T: Transport>(t: &mut T, peer: usize, f_len: usize, psi_len: usize) {
+    for (tag, len) in [(Tag::F_HALO, f_len), (Tag::PSI_HALO, psi_len)] {
+        t.send(peer, tag, vec![0.5; len]).expect("send right");
+        t.send(peer, tag, vec![0.5; len]).expect("send left");
+        t.recv(peer, tag).expect("recv left");
+        t.recv(peer, tag).expect("recv right");
+    }
+}
+
+/// Runs `warmup + reps` iterations of `work` on both ranks of a pair;
+/// rank 0 reports its wall time per timed rep (both ranks synchronize on
+/// a barrier right before timing starts).
+fn timed_pair<T, F>(pair: Vec<T>, warmup: usize, reps: usize, work: F) -> f64
+where
+    T: Transport + Send + 'static,
+    F: Fn(&mut T, usize) + Send + Sync + 'static,
+{
+    let start = Arc::new(Barrier::new(2));
+    let work = Arc::new(work);
+    let handles: Vec<_> = pair
+        .into_iter()
+        .map(|mut t| {
+            let start = Arc::clone(&start);
+            let work = Arc::clone(&work);
+            thread::spawn(move || {
+                let me = t.rank();
+                let peer = 1 - me;
+                for _ in 0..warmup {
+                    work(&mut t, peer);
+                }
+                start.wait();
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    work(&mut t, peer);
+                }
+                if me == 0 {
+                    t0.elapsed().as_secs_f64() / reps as f64
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("bench rank panicked"))
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let nx: usize = flag("--nx", 48);
+    let ny: usize = flag("--ny", 24);
+    let nz: usize = flag("--nz", 8);
+    let reps: usize = flag::<usize>("--reps", 400).max(1);
+    let out: String = flag("--out", "BENCH_net.json".to_string());
+    let warmup = (reps / 10).max(10);
+
+    // Halo buffer sizes from a real solver slab — not a guess.
+    let channel = ChannelConfig::paper_scaled(Dims::new(nx, ny, nz));
+    let solver = SlabSolver::new(&channel, even_slabs(nx, 2)[0]);
+    let (f_len, psi_len) = (solver.f_halo_len(), solver.psi_halo_len());
+    drop(solver);
+
+    // Per rank per phase: 2 f-halo + 2 psi-halo payloads on the wire.
+    let payload_bytes = 2 * 8 * (f_len + psi_len);
+    let frame_overhead = encode(&Frame::data(0, Tag::F_HALO.0, Vec::new())).len();
+    let tcp_bytes = payload_bytes + 4 * frame_overhead;
+
+    println!(
+        "halo pattern {nx}x{ny}x{nz}: f={f_len} psi={psi_len} floats, \
+         {payload_bytes} payload bytes/rank/phase ({tcp_bytes} framed), {reps} reps"
+    );
+
+    let chan = timed_pair(mesh(2), warmup, reps, move |t, peer| {
+        halo_phase(t, peer, f_len, psi_len)
+    });
+    let tcp = timed_pair(
+        localhost_mesh(2, &NetConfig::default()),
+        warmup,
+        reps,
+        move |t, peer| halo_phase(t, peer, f_len, psi_len),
+    );
+    println!("halo phase: channel {:.2} us, tcp {:.2} us ({:.1}x)", chan * 1e6, tcp * 1e6, tcp / chan);
+
+    let pingpong = |t: &mut dyn Transport, peer: usize| {
+        if t.rank() == 0 {
+            t.send(peer, Tag::LOAD, vec![1.0]).expect("ping");
+            t.recv(peer, Tag::LOAD).expect("pong");
+        } else {
+            let v = t.recv(peer, Tag::LOAD).expect("ping");
+            t.send(peer, Tag::LOAD, v).expect("pong");
+        }
+    };
+    let chan_pp = timed_pair(mesh(2), warmup, reps, move |t, peer| pingpong(t, peer));
+    let tcp_pp = timed_pair(
+        localhost_mesh(2, &NetConfig::default()),
+        warmup,
+        reps,
+        move |t, peer| pingpong(t, peer),
+    );
+    println!(
+        "ping-pong:  channel {:.2} us, tcp {:.2} us ({:.1}x)",
+        chan_pp * 1e6,
+        tcp_pp * 1e6,
+        tcp_pp / chan_pp
+    );
+
+    let json = format!(
+        "{{\n  \"dims\": [{nx}, {ny}, {nz}],\n  \"reps\": {reps},\n  \
+         \"f_halo_floats\": {f_len},\n  \"psi_halo_floats\": {psi_len},\n  \
+         \"payload_bytes_per_rank_per_phase\": {payload_bytes},\n  \
+         \"tcp_bytes_per_rank_per_phase\": {tcp_bytes},\n  \
+         \"frame_overhead_bytes\": {frame_overhead},\n  \
+         \"halo_phase_seconds\": {{\"channel\": {chan:.9}, \"tcp\": {tcp:.9}}},\n  \
+         \"pingpong_seconds\": {{\"channel\": {chan_pp:.9}, \"tcp\": {tcp_pp:.9}}},\n  \
+         \"tcp_over_channel\": {{\"halo_phase\": {:.3}, \"pingpong\": {:.3}}}\n}}\n",
+        tcp / chan,
+        tcp_pp / chan_pp,
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

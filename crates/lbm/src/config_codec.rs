@@ -1,0 +1,337 @@
+//! Binary serialization of [`ChannelConfig`] — how a multi-process driver
+//! ships the *complete* simulation configuration to its worker processes.
+//!
+//! Same philosophy as [`crate::checkpoint`]: a self-describing
+//! little-endian layout with no external serialization dependency, and
+//! bit-exact `f64` fields (`to_le_bytes`), so a config decoded in a child
+//! process is indistinguishable from the parent's — a precondition for the
+//! multi-process substrate being bitwise-equivalent to the threaded one.
+//!
+//! Layout: an 8-byte magic, then the fields of [`ChannelConfig`] in
+//! declaration order; enums as a `u64` discriminant plus payload, strings
+//! as `u64` length plus UTF-8 bytes, sequences as `u64` count plus
+//! elements.
+
+use crate::component::{CollisionOperator, ComponentSpec, CouplingMatrix};
+use crate::config::{ChannelConfig, InitProfile};
+use crate::force::{WallForce, WallForceMode};
+use crate::geometry::{Dims, SolidRegion};
+use crate::mrt::MrtRates;
+use crate::par::Parallelism;
+use crate::potential::PsiFn;
+
+/// File-format magic ("MSLIPCF1").
+pub const MAGIC: [u8; 8] = *b"MSLIPCF1";
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| format!("config truncated at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(chunk)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "value exceeds usize".to_string())
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(format!("invalid boolean {v}")),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.usize()?;
+        if len > 1 << 20 {
+            return Err(format!("implausible string length {len}"));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|e| format!("bad utf-8: {e}"))
+    }
+}
+
+/// Serializes a complete channel configuration.
+pub fn encode_config(cfg: &ChannelConfig) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    put_u64(&mut out, cfg.dims.nx as u64);
+    put_u64(&mut out, cfg.dims.ny as u64);
+    put_u64(&mut out, cfg.dims.nz as u64);
+    put_u64(&mut out, cfg.components.len() as u64);
+    for (spec, init_n) in &cfg.components {
+        put_str(&mut out, &spec.name);
+        put_f64(&mut out, spec.mass);
+        put_f64(&mut out, spec.tau);
+        put_u64(&mut out, spec.feels_wall_force as u64);
+        match spec.psi_fn {
+            PsiFn::Linear => put_u64(&mut out, 0),
+            PsiFn::ShanChen { n0 } => {
+                put_u64(&mut out, 1);
+                put_f64(&mut out, n0);
+            }
+        }
+        match spec.collision {
+            CollisionOperator::Bgk => put_u64(&mut out, 0),
+            CollisionOperator::Trt { magic } => {
+                put_u64(&mut out, 1);
+                put_f64(&mut out, magic);
+            }
+            CollisionOperator::Mrt(r) => {
+                put_u64(&mut out, 2);
+                for v in [r.s_e, r.s_eps, r.s_q, r.s_pi, r.s_m] {
+                    put_f64(&mut out, v);
+                }
+            }
+        }
+        put_f64(&mut out, spec.wall_adhesion);
+        put_f64(&mut out, *init_n);
+    }
+    let n = cfg.coupling.components();
+    put_u64(&mut out, n as u64);
+    for a in 0..n {
+        for b in 0..n {
+            put_f64(&mut out, cfg.coupling.get(a, b));
+        }
+    }
+    put_f64(&mut out, cfg.wall.amplitude);
+    put_f64(&mut out, cfg.wall.decay);
+    put_u64(&mut out, match cfg.wall.mode {
+        WallForceMode::PerMass => 0,
+        WallForceMode::ForceDensity => 1,
+    });
+    for v in cfg.body {
+        put_f64(&mut out, v);
+    }
+    match cfg.init {
+        InitProfile::Uniform => put_u64(&mut out, 0),
+        InitProfile::CosineX { amplitude } => {
+            put_u64(&mut out, 1);
+            put_f64(&mut out, amplitude);
+        }
+    }
+    put_u64(&mut out, cfg.obstacles.len() as u64);
+    for o in &cfg.obstacles {
+        match *o {
+            SolidRegion::Block { min, max } => {
+                put_u64(&mut out, 0);
+                for v in min.iter().chain(max.iter()) {
+                    put_u64(&mut out, *v as u64);
+                }
+            }
+            SolidRegion::Sphere { center, radius } => {
+                put_u64(&mut out, 1);
+                for v in center {
+                    put_f64(&mut out, v);
+                }
+                put_f64(&mut out, radius);
+            }
+            SolidRegion::CylinderZ { center, radius } => {
+                put_u64(&mut out, 2);
+                for v in center {
+                    put_f64(&mut out, v);
+                }
+                put_f64(&mut out, radius);
+            }
+        }
+    }
+    put_u64(&mut out, cfg.parallelism.threads() as u64);
+    out
+}
+
+/// Restores a channel configuration from [`encode_config`] output.
+pub fn decode_config(bytes: &[u8]) -> Result<ChannelConfig, String> {
+    if bytes.len() < 8 || bytes[..8] != MAGIC {
+        return Err("not a microslip config (bad magic)".into());
+    }
+    let mut r = Reader { bytes, pos: 8 };
+    let dims = Dims::new(r.usize()?, r.usize()?, r.usize()?);
+    let ncomp = r.usize()?;
+    if ncomp == 0 || ncomp > 64 {
+        return Err(format!("implausible component count {ncomp}"));
+    }
+    let mut components = Vec::with_capacity(ncomp);
+    for _ in 0..ncomp {
+        let name = r.str()?;
+        let mass = r.f64()?;
+        let tau = r.f64()?;
+        let feels_wall_force = r.bool()?;
+        let psi_fn = match r.u64()? {
+            0 => PsiFn::Linear,
+            1 => PsiFn::ShanChen { n0: r.f64()? },
+            d => return Err(format!("unknown psi_fn discriminant {d}")),
+        };
+        let collision = match r.u64()? {
+            0 => CollisionOperator::Bgk,
+            1 => CollisionOperator::Trt { magic: r.f64()? },
+            2 => CollisionOperator::Mrt(MrtRates {
+                s_e: r.f64()?,
+                s_eps: r.f64()?,
+                s_q: r.f64()?,
+                s_pi: r.f64()?,
+                s_m: r.f64()?,
+            }),
+            d => return Err(format!("unknown collision discriminant {d}")),
+        };
+        let wall_adhesion = r.f64()?;
+        let init_n = r.f64()?;
+        components.push((
+            ComponentSpec { name, mass, tau, feels_wall_force, psi_fn, collision, wall_adhesion },
+            init_n,
+        ));
+    }
+    let n = r.usize()?;
+    if n != ncomp {
+        return Err(format!("coupling size {n} does not match {ncomp} components"));
+    }
+    let mut coupling = CouplingMatrix::none(n);
+    for a in 0..n {
+        for b in 0..n {
+            coupling.set(a, b, r.f64()?);
+        }
+    }
+    let wall = WallForce {
+        amplitude: r.f64()?,
+        decay: r.f64()?,
+        mode: match r.u64()? {
+            0 => WallForceMode::PerMass,
+            1 => WallForceMode::ForceDensity,
+            d => return Err(format!("unknown wall mode discriminant {d}")),
+        },
+    };
+    let body = [r.f64()?, r.f64()?, r.f64()?];
+    let init = match r.u64()? {
+        0 => InitProfile::Uniform,
+        1 => InitProfile::CosineX { amplitude: r.f64()? },
+        d => return Err(format!("unknown init discriminant {d}")),
+    };
+    let nobs = r.usize()?;
+    if nobs > 1 << 20 {
+        return Err(format!("implausible obstacle count {nobs}"));
+    }
+    let mut obstacles = Vec::with_capacity(nobs);
+    for _ in 0..nobs {
+        obstacles.push(match r.u64()? {
+            0 => SolidRegion::Block {
+                min: [r.usize()?, r.usize()?, r.usize()?],
+                max: [r.usize()?, r.usize()?, r.usize()?],
+            },
+            1 => SolidRegion::Sphere {
+                center: [r.f64()?, r.f64()?, r.f64()?],
+                radius: r.f64()?,
+            },
+            2 => SolidRegion::CylinderZ { center: [r.f64()?, r.f64()?], radius: r.f64()? },
+            d => return Err(format!("unknown obstacle discriminant {d}")),
+        });
+    }
+    let parallelism = Parallelism::new(r.usize()?.max(1));
+    if r.pos != bytes.len() {
+        return Err(format!("{} trailing bytes after config", bytes.len() - r.pos));
+    }
+    Ok(ChannelConfig { dims, components, coupling, wall, body, init, obstacles, parallelism })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_config() -> ChannelConfig {
+        let mut cfg = ChannelConfig::paper_scaled(Dims::new(24, 10, 6));
+        cfg.components[0].0.collision = CollisionOperator::trt_magic();
+        cfg.components[0].0.wall_adhesion = -0.05;
+        cfg.components[1].0.collision = CollisionOperator::mrt_standard();
+        cfg.components[1].0.psi_fn = PsiFn::ShanChen { n0: 0.7 };
+        cfg.components[1].0.mass = 0.83;
+        cfg.coupling.set(0, 0, -1.25e-3);
+        cfg.wall = WallForce { amplitude: 0.31, decay: 3.5, mode: WallForceMode::ForceDensity };
+        cfg.body = [2.5e-5, -1e-7, f64::MIN_POSITIVE];
+        cfg.init = InitProfile::CosineX { amplitude: 0.125 };
+        cfg.obstacles = vec![
+            SolidRegion::Block { min: [2, 1, 0], max: [4, 3, 6] },
+            SolidRegion::Sphere { center: [10.5, 5.0, 3.0], radius: 1.75 },
+            SolidRegion::CylinderZ { center: [18.0, 4.5], radius: 2.25 },
+        ];
+        cfg.parallelism = Parallelism::new(3);
+        cfg
+    }
+
+    #[test]
+    fn paper_config_roundtrips() {
+        let cfg = ChannelConfig::paper();
+        let bytes = encode_config(&cfg);
+        let back = decode_config(&bytes).expect("decode");
+        // Encoding is a pure function of the fields, so byte equality of
+        // the re-encoding proves field-exact (incl. bitwise f64) fidelity.
+        assert_eq!(encode_config(&back), bytes);
+        back.validate().expect("decoded config stays valid");
+        assert_eq!(back.dims.nx, 400);
+        assert_eq!(back.components[0].0.name, "water");
+    }
+
+    #[test]
+    fn every_enum_variant_roundtrips() {
+        let cfg = exotic_config();
+        let bytes = encode_config(&cfg);
+        let back = decode_config(&bytes).expect("decode");
+        assert_eq!(encode_config(&back), bytes);
+        assert_eq!(back.components[1].0.psi_fn, PsiFn::ShanChen { n0: 0.7 });
+        assert_eq!(back.wall.mode, WallForceMode::ForceDensity);
+        assert_eq!(back.obstacles.len(), 3);
+        assert_eq!(back.parallelism.threads(), 3);
+        assert_eq!(back.body[2].to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_config(&ChannelConfig::paper());
+        bytes[0] = b'X';
+        assert!(decode_config(&bytes).unwrap_err().contains("magic"));
+        assert!(decode_config(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode_config(&exotic_config());
+        // Any prefix must fail cleanly, never panic.
+        for cut in (8..bytes.len()).step_by(7) {
+            assert!(decode_config(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_config(&ChannelConfig::paper());
+        bytes.push(0);
+        assert!(decode_config(&bytes).unwrap_err().contains("trailing"));
+    }
+}

@@ -32,6 +32,7 @@ pub mod checkpoint;
 pub mod collision;
 pub mod component;
 pub mod config;
+pub mod config_codec;
 pub mod diagnostics;
 pub mod equilibrium;
 pub mod field;

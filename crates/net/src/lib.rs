@@ -1,0 +1,29 @@
+//! # microslip-net — TCP socket transport
+//!
+//! A genuine network backend for the [`microslip_comm::Transport`]
+//! contract, built on `std::net` only (the repository vendors no external
+//! crates and this one adds none). Where `microslip-comm`'s channel mesh
+//! stands in for MPI inside one address space, this crate puts every rank
+//! in its own OS process and moves halo planes, load indices, and
+//! migration payloads over localhost TCP sockets — the same role MPI over
+//! the interconnect plays in the paper's cluster runs.
+//!
+//! Layers:
+//! - [`wire`]: the length-prefixed little-endian frame format with CRC-32
+//!   integrity checking;
+//! - [`rendezvous`]: the rank-0-coordinated handshake that turns N
+//!   processes into a fully connected mesh with verified ranks;
+//! - [`tcp`]: [`TcpTransport`], the steady-state tagged send/receive with
+//!   timeout, retry, and clean-shutdown semantics.
+//!
+//! The transport passes the generic contract suite in
+//! `microslip_comm::contract`, so the worker protocol behaves identically
+//! on threads and sockets — which is what makes the multi-process runtime
+//! bitwise-equivalent to the threaded one.
+
+pub mod rendezvous;
+pub mod tcp;
+pub mod wire;
+
+pub use rendezvous::{connect, localhost_mesh, reserve_port};
+pub use tcp::{NetConfig, TcpTransport};

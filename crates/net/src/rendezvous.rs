@@ -1,0 +1,350 @@
+//! Rendezvous handshake and mesh establishment.
+//!
+//! Every participant first binds its own *data listener* on an ephemeral
+//! localhost port, then meets the others at the rendezvous address:
+//!
+//! 1. Rank 0 binds the rendezvous listener (with retry — children may
+//!    race it) and accepts `size − 1` connections. Each joiner sends a
+//!    HELLO frame carrying its claimed rank (or [`wire::ASSIGN_ME`]) and
+//!    its data port. Rank 0 verifies claims are unique and in range,
+//!    hands free ranks to assign-me joiners in arrival order, and answers
+//!    each with a ROSTER frame (`from` = that joiner's final rank,
+//!    payload = every rank's data port).
+//! 2. Mesh: rank `i` connects to the data port of every rank `j < i`,
+//!    sending an IDENT frame, and accepts `size − 1 − i` connections from
+//!    higher ranks, identifying each by its IDENT. Because every data
+//!    listener exists *before* the rendezvous, connects complete through
+//!    the TCP backlog regardless of what the peer is currently doing —
+//!    the sequential connect-then-accept order cannot deadlock.
+//!
+//! All failures before the communicator exists surface as
+//! [`CommError::Handshake`].
+
+use std::collections::HashSet;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use microslip_comm::{CommError, NodeId, Transport};
+
+use crate::tcp::{NetConfig, TcpTransport};
+use crate::wire::{self, Frame, FrameError, FrameKind, ASSIGN_ME};
+
+fn handshake<T>(detail: impl Into<String>) -> Result<T, CommError> {
+    Err(CommError::Handshake { detail: detail.into() })
+}
+
+/// Picks a free localhost port by binding an ephemeral listener and
+/// dropping it. The driver reserves the rendezvous port this way before
+/// spawning workers; the small bind race is acceptable on localhost.
+pub fn reserve_port() -> std::io::Result<u16> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?.port())
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, CommError> {
+    match addr.to_socket_addrs() {
+        Ok(mut it) => match it.next() {
+            Some(a) => Ok(a),
+            None => handshake(format!("address {addr} resolved to nothing")),
+        },
+        Err(e) => handshake(format!("cannot resolve {addr}: {e}")),
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpStream, CommError> {
+    let mut last = String::new();
+    for attempt in 0..cfg.connect_retries.max(1) {
+        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+        thread::sleep(cfg.backoff_for(attempt));
+    }
+    handshake(format!(
+        "could not connect to {addr} after {} attempts: {last}",
+        cfg.connect_retries.max(1)
+    ))
+}
+
+fn bind_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpListener, CommError> {
+    let mut last = String::new();
+    for attempt in 0..cfg.connect_retries.max(1) {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = e.to_string(),
+        }
+        thread::sleep(cfg.backoff_for(attempt));
+    }
+    handshake(format!("could not bind {addr}: {last}"))
+}
+
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+) -> Result<TcpStream, CommError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CommError::Handshake { detail: format!("listener setup: {e}") })?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return handshake("timed out waiting for peers to arrive");
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return handshake(format!("accept failed: {e}")),
+        }
+    }
+}
+
+fn read_handshake_frame(stream: &mut TcpStream, deadline: Instant) -> Result<Frame, CommError> {
+    let budget = deadline.saturating_duration_since(Instant::now());
+    let budget = if budget.is_zero() { Duration::from_millis(1) } else { budget };
+    stream
+        .set_read_timeout(Some(budget))
+        .map_err(|e| CommError::Handshake { detail: format!("socket setup: {e}") })?;
+    match wire::read_frame(stream) {
+        Ok(frame) => Ok(frame),
+        Err(FrameError::Io(e)) => handshake(format!("peer went away mid-handshake: {e}")),
+        Err(FrameError::Protocol(d)) => handshake(format!("malformed handshake frame: {d}")),
+    }
+}
+
+fn send_handshake_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), CommError> {
+    stream
+        .write_all(&wire::encode(frame))
+        .map_err(|e| CommError::Handshake { detail: format!("handshake send failed: {e}") })
+}
+
+/// Rank 0's side of the rendezvous: collect HELLOs, assign/verify ranks,
+/// answer with ROSTERs. Returns the data port of every rank.
+fn coordinate(
+    rendezvous: SocketAddr,
+    size: usize,
+    my_data_port: u16,
+    cfg: &NetConfig,
+    deadline: Instant,
+) -> Result<Vec<u16>, CommError> {
+    let listener = bind_with_retry(rendezvous, cfg)?;
+    let mut arrivals: Vec<(TcpStream, Option<NodeId>, u16)> = Vec::with_capacity(size - 1);
+    let mut claimed: HashSet<NodeId> = HashSet::new();
+    for _ in 1..size {
+        let mut stream = accept_with_deadline(&listener, deadline)?;
+        let hello = read_handshake_frame(&mut stream, deadline)?;
+        if hello.kind != FrameKind::Hello {
+            return handshake(format!("expected HELLO, got {:?}", hello.kind));
+        }
+        let port = match u16::try_from(hello.tag) {
+            Ok(p) if p != 0 => p,
+            _ => return handshake(format!("HELLO carries invalid data port {}", hello.tag)),
+        };
+        let claim = if hello.from == ASSIGN_ME {
+            None
+        } else {
+            let rank = hello.from as NodeId;
+            if rank == 0 || rank >= size {
+                return handshake(format!(
+                    "joiner claimed rank {rank}, valid range is 1..{size}"
+                ));
+            }
+            if !claimed.insert(rank) {
+                return handshake(format!("rank {rank} claimed twice"));
+            }
+            Some(rank)
+        };
+        arrivals.push((stream, claim, port));
+    }
+    // Hand free ranks to assign-me joiners in arrival order.
+    let mut free = (1..size).filter(|r| !claimed.contains(r));
+    let mut ports = vec![0u16; size];
+    ports[0] = my_data_port;
+    let mut resolved: Vec<(TcpStream, NodeId)> = Vec::with_capacity(size - 1);
+    for (stream, claim, port) in arrivals {
+        let rank = match claim {
+            Some(r) => r,
+            None => free.next().expect("free ranks match assign-me joiners by counting"),
+        };
+        ports[rank] = port;
+        resolved.push((stream, rank));
+    }
+    let roster_payload: Vec<f64> = ports.iter().map(|&p| p as f64).collect();
+    for (mut stream, rank) in resolved {
+        send_handshake_frame(
+            &mut stream,
+            &Frame {
+                kind: FrameKind::Roster,
+                from: rank as u32,
+                tag: 0,
+                payload: roster_payload.clone(),
+            },
+        )?;
+        // The rendezvous connection has served its purpose; dropping it
+        // sends our FIN and the joiner reads the roster from its buffer.
+    }
+    Ok(ports)
+}
+
+/// A joiner's side of the rendezvous. Returns (final rank, data ports).
+fn join(
+    rendezvous: SocketAddr,
+    claimed: Option<NodeId>,
+    size: usize,
+    my_data_port: u16,
+    cfg: &NetConfig,
+    deadline: Instant,
+) -> Result<(NodeId, Vec<u16>), CommError> {
+    let mut stream = connect_with_retry(rendezvous, cfg)?;
+    let from = match claimed {
+        Some(rank) => rank as u32,
+        None => ASSIGN_ME,
+    };
+    send_handshake_frame(
+        &mut stream,
+        &Frame { kind: FrameKind::Hello, from, tag: my_data_port as u64, payload: vec![] },
+    )?;
+    let roster = read_handshake_frame(&mut stream, deadline)?;
+    if roster.kind != FrameKind::Roster {
+        return handshake(format!("expected ROSTER, got {:?}", roster.kind));
+    }
+    let rank = roster.from as NodeId;
+    if rank == 0 || rank >= size {
+        return handshake(format!("roster assigns impossible rank {rank}"));
+    }
+    if let Some(c) = claimed {
+        if rank != c {
+            return handshake(format!("claimed rank {c} but roster says {rank}"));
+        }
+    }
+    if roster.payload.len() != size {
+        return handshake(format!(
+            "roster lists {} ports for a mesh of {size}",
+            roster.payload.len()
+        ));
+    }
+    let mut ports = Vec::with_capacity(size);
+    for &p in &roster.payload {
+        if p.fract() != 0.0 || !(1.0..=u16::MAX as f64).contains(&p) {
+            return handshake(format!("roster contains invalid port {p}"));
+        }
+        ports.push(p as u16);
+    }
+    Ok((rank, ports))
+}
+
+/// Builds the fully connected mesh once ranks and ports are known.
+fn establish_mesh(
+    rank: NodeId,
+    ports: &[u16],
+    data_listener: &TcpListener,
+    cfg: &NetConfig,
+    deadline: Instant,
+) -> Result<Vec<Option<TcpStream>>, CommError> {
+    let size = ports.len();
+    let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+    // Lower ranks: we dial and identify ourselves.
+    for (j, &port) in ports.iter().enumerate().take(rank) {
+        let mut stream =
+            connect_with_retry(SocketAddr::from(([127, 0, 0, 1], port)), cfg)?;
+        send_handshake_frame(
+            &mut stream,
+            &Frame { kind: FrameKind::Ident, from: rank as u32, tag: 0, payload: vec![] },
+        )?;
+        streams[j] = Some(stream);
+    }
+    // Higher ranks: they dial us; their IDENT says who they are.
+    for _ in rank + 1..size {
+        let mut stream = accept_with_deadline(data_listener, deadline)?;
+        let ident = read_handshake_frame(&mut stream, deadline)?;
+        if ident.kind != FrameKind::Ident {
+            return handshake(format!("expected IDENT, got {:?}", ident.kind));
+        }
+        let peer = ident.from as NodeId;
+        if peer <= rank || peer >= size {
+            return handshake(format!(
+                "IDENT from rank {peer}, expected one of {}..{size}",
+                rank + 1
+            ));
+        }
+        if streams[peer].is_some() {
+            return handshake(format!("rank {peer} connected twice"));
+        }
+        streams[peer] = Some(stream);
+    }
+    for stream in streams.iter_mut().flatten() {
+        stream
+            .set_nodelay(true)
+            .and_then(|_| stream.set_read_timeout(cfg.read_timeout))
+            .map_err(|e| CommError::Handshake { detail: format!("socket setup: {e}") })?;
+    }
+    Ok(streams)
+}
+
+/// Joins (or, as rank 0, coordinates) a TCP mesh of `size` ranks meeting
+/// at `rendezvous_addr`. `rank` is the claimed rank — `Some(0)` makes
+/// this participant the coordinator; `None` asks rank 0 to assign one.
+pub fn connect(
+    rank: Option<NodeId>,
+    size: usize,
+    rendezvous_addr: &str,
+    cfg: &NetConfig,
+) -> Result<TcpTransport, CommError> {
+    if size == 0 {
+        return handshake("mesh size must be at least 1");
+    }
+    if let Some(r) = rank {
+        if r >= size {
+            return Err(CommError::InvalidRank { rank: r, size });
+        }
+    }
+    if size == 1 {
+        // Degenerate mesh: no peers, no sockets. The worker protocol
+        // uses its periodic-ghost fast path and never sends.
+        return match rank {
+            Some(0) | None => Ok(TcpTransport::new(0, vec![None])),
+            Some(r) => Err(CommError::InvalidRank { rank: r, size }),
+        };
+    }
+    let deadline = Instant::now() + cfg.handshake_timeout;
+    let data_listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| CommError::Handshake { detail: format!("cannot bind data listener: {e}") })?;
+    let my_data_port = data_listener
+        .local_addr()
+        .map_err(|e| CommError::Handshake { detail: format!("listener address: {e}") })?
+        .port();
+    let rendezvous = resolve(rendezvous_addr)?;
+    let (my_rank, ports) = if rank == Some(0) {
+        (0, coordinate(rendezvous, size, my_data_port, cfg, deadline)?)
+    } else {
+        join(rendezvous, rank, size, my_data_port, cfg, deadline)?
+    };
+    let streams = establish_mesh(my_rank, &ports, &data_listener, cfg, deadline)?;
+    Ok(TcpTransport::new(my_rank, streams))
+}
+
+/// Test/bench helper: builds an `n`-rank TCP mesh over localhost threads.
+/// Element `i` of the result is rank `i`'s transport. Panics on failure —
+/// production code goes through [`connect`].
+pub fn localhost_mesh(n: usize, cfg: &NetConfig) -> Vec<TcpTransport> {
+    let port = reserve_port().expect("reserve rendezvous port");
+    let addr = format!("127.0.0.1:{port}");
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            thread::spawn(move || connect(Some(i), n, &addr, &cfg))
+        })
+        .collect();
+    let mut out: Vec<TcpTransport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("mesh thread panicked").expect("mesh establishment"))
+        .collect();
+    out.sort_by_key(|t| t.rank());
+    out
+}

@@ -1,0 +1,245 @@
+//! [`TcpTransport`]: the [`Transport`] contract over localhost TCP.
+//!
+//! One socket per peer pair (a fully connected mesh, built by
+//! [`crate::rendezvous`]). Because each peer has its own stream, messages
+//! from different senders can never mix; out-of-order *tags* from the same
+//! peer are buffered in a local stash, exactly like the in-process channel
+//! transport.
+//!
+//! Failure surface, never panics:
+//! - read deadline exceeded → [`CommError::Timeout`] (peer presumed hung);
+//! - EOF / reset / GOODBYE frame → [`CommError::Disconnected`];
+//! - bad magic / version / CRC / impossible frame → [`CommError::Protocol`].
+//!
+//! Clean shutdown mirrors the MPI finalize handshake: send a GOODBYE
+//! poison frame, `shutdown(Write)` (our FIN), then drain until the peer's
+//! FIN so the kernel never turns unread bytes into an RST that would
+//! corrupt the peer's view of its last frames.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use microslip_comm::{CommError, NodeId, Tag, Transport};
+
+use crate::wire::{self, Frame, FrameError, FrameKind};
+
+/// Tunables for connection establishment and steady-state I/O.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Deadline for one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Connect attempts before giving up (covers rendezvous races where a
+    /// child starts before rank 0's listener is up).
+    pub connect_retries: u32,
+    /// Sleep before the first retry; doubles each attempt (exponential
+    /// backoff, capped at [`NetConfig::backoff_cap`]).
+    pub backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Deadline for a blocking `recv` on an established connection.
+    /// `None` waits forever (trust the peer).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for the whole rendezvous + mesh establishment.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_secs(5),
+            connect_retries: 10,
+            backoff: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            read_timeout: Some(Duration::from_secs(60)),
+            handshake_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Backoff before retry number `attempt` (0-based).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self.backoff.saturating_mul(1u32 << attempt.min(10));
+        exp.min(self.backoff_cap)
+    }
+}
+
+/// One rank's endpoint of a TCP mesh communicator.
+#[derive(Debug)]
+pub struct TcpTransport {
+    rank: NodeId,
+    /// Stream to each peer; `None` at our own index.
+    streams: Vec<Option<TcpStream>>,
+    /// Arrived-but-unclaimed messages, keyed by (sender, tag).
+    stash: HashMap<(NodeId, Tag), VecDeque<Vec<f64>>>,
+    /// Peers that said goodbye or whose socket died.
+    hung_up: Vec<bool>,
+    /// Set once `close` has run, so `Drop` does not repeat the handshake.
+    closed: bool,
+}
+
+fn is_disconnect(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+    )
+}
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    // Unix reports a hit read deadline as WouldBlock, Windows as TimedOut.
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+impl TcpTransport {
+    /// Wraps an established, fully connected mesh. `streams[i]` must be
+    /// the socket to rank `i` (and `None` at index `rank`).
+    pub(crate) fn new(rank: NodeId, streams: Vec<Option<TcpStream>>) -> TcpTransport {
+        let n = streams.len();
+        TcpTransport { rank, streams, stash: HashMap::new(), hung_up: vec![false; n], closed: false }
+    }
+
+    /// Number of stashed (arrived but unclaimed) messages.
+    pub fn stashed(&self) -> usize {
+        self.stash.values().map(VecDeque::len).sum()
+    }
+
+    /// Clean shutdown: GOODBYE to every live peer, FIN, then a bounded
+    /// drain of whatever the peer still had in flight. Idempotent; also
+    /// invoked from `Drop`.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let goodbye = wire::encode(&Frame::goodbye(self.rank as u32));
+        for (peer, slot) in self.streams.iter_mut().enumerate() {
+            let Some(stream) = slot else { continue };
+            if !self.hung_up[peer] {
+                use std::io::Write;
+                let _ = stream.write_all(&goodbye);
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            // FIN-drain: consume until the peer's FIN (EOF) or a short
+            // deadline, so close() never blocks on a hung peer.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut sink = [0u8; 4096];
+            loop {
+                match stream.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            *slot = None;
+        }
+    }
+
+    fn check_peer(&self, peer: NodeId) -> Result<(), CommError> {
+        if peer == self.rank {
+            return Err(CommError::SelfSend { rank: self.rank });
+        }
+        if peer >= self.streams.len() {
+            return Err(CommError::InvalidRank { rank: peer, size: self.streams.len() });
+        }
+        Ok(())
+    }
+
+    fn map_io(&mut self, peer: NodeId, e: io::Error) -> CommError {
+        if is_timeout(e.kind()) {
+            CommError::Timeout { peer }
+        } else if is_disconnect(e.kind()) {
+            self.hung_up[peer] = true;
+            CommError::Disconnected { peer }
+        } else {
+            CommError::Protocol { peer, detail: format!("socket error: {e}") }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn send(&mut self, to: NodeId, tag: Tag, payload: Vec<f64>) -> Result<(), CommError> {
+        self.check_peer(to)?;
+        if self.hung_up[to] || self.streams[to].is_none() {
+            return Err(CommError::Disconnected { peer: to });
+        }
+        let bytes = wire::encode(&Frame::data(self.rank as u32, tag.0, payload));
+        let result = {
+            use std::io::Write;
+            self.streams[to].as_mut().unwrap().write_all(&bytes)
+        };
+        result.map_err(|e| self.map_io(to, e))
+    }
+
+    fn recv(&mut self, from: NodeId, tag: Tag) -> Result<Vec<f64>, CommError> {
+        self.check_peer(from)?;
+        // Stash first: messages read while waiting for another tag are
+        // still deliverable even after the peer hung up.
+        if let Some(queue) = self.stash.get_mut(&(from, tag)) {
+            if let Some(payload) = queue.pop_front() {
+                return Ok(payload);
+            }
+        }
+        if self.hung_up[from] || self.streams[from].is_none() {
+            return Err(CommError::Disconnected { peer: from });
+        }
+        loop {
+            let frame = match wire::read_frame(self.streams[from].as_mut().unwrap()) {
+                Ok(frame) => frame,
+                Err(FrameError::Io(e)) => return Err(self.map_io(from, e)),
+                Err(FrameError::Protocol(detail)) => {
+                    // A desynchronized stream cannot be trusted again.
+                    self.hung_up[from] = true;
+                    return Err(CommError::Protocol { peer: from, detail });
+                }
+            };
+            match frame.kind {
+                FrameKind::Goodbye => {
+                    self.hung_up[from] = true;
+                    return Err(CommError::Disconnected { peer: from });
+                }
+                FrameKind::Data => {
+                    if frame.from != from as u32 {
+                        self.hung_up[from] = true;
+                        return Err(CommError::Protocol {
+                            peer: from,
+                            detail: format!(
+                                "frame claims sender {} on the socket to rank {from}",
+                                frame.from
+                            ),
+                        });
+                    }
+                    if frame.tag == tag.0 {
+                        return Ok(frame.payload);
+                    }
+                    self.stash.entry((from, Tag(frame.tag))).or_default().push_back(frame.payload);
+                }
+                other => {
+                    self.hung_up[from] = true;
+                    return Err(CommError::Protocol {
+                        peer: from,
+                        detail: format!("unexpected {other:?} frame on established connection"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,301 @@
+//! The length-prefixed little-endian wire protocol.
+//!
+//! Every message on a microslip TCP connection is one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic      "MSN1" (raw bytes)
+//!      4     2  version    u16 LE, currently 1
+//!      6     1  kind       Data=0 Goodbye=1 Hello=2 Roster=3 Ident=4
+//!      7     1  pad        must be 0
+//!      8     4  from       u32 LE, sender rank (or u32::MAX = assign-me)
+//!     12     8  tag        u64 LE, message tag / handshake argument
+//!     20     4  len        u32 LE, payload length in f64 elements
+//!     24  8×len payload    f64 LE array
+//!      …     4  crc        CRC-32 (IEEE) over bytes 4 .. 24+8×len
+//! ```
+//!
+//! The CRC covers everything after the magic, so a frame whose header was
+//! truncated or whose payload was bit-flipped in transit is rejected as a
+//! protocol violation rather than silently corrupting a halo plane.
+
+use std::io::{self, Read, Write};
+use std::sync::OnceLock;
+
+/// Frame preamble: the ASCII bytes `MSN1` ("microslip net v1").
+pub const MAGIC: [u8; 4] = *b"MSN1";
+
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+
+/// Sanity cap on payload length (f64 elements): a corrupt length field
+/// must not trigger a multi-gigabyte allocation.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 28;
+
+/// `from` value in a HELLO frame meaning "assign me a rank".
+pub const ASSIGN_ME: u32 = u32::MAX;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Tagged application payload.
+    Data,
+    /// Poison frame: the sender is shutting this connection down cleanly.
+    Goodbye,
+    /// Rendezvous: joiner → rank 0. `from` = claimed rank (or
+    /// [`ASSIGN_ME`]), `tag` = the joiner's data-listener port.
+    Hello,
+    /// Rendezvous: rank 0 → joiner. `from` = the joiner's final rank,
+    /// payload = data ports of all ranks, indexed by rank.
+    Roster,
+    /// Mesh establishment: first frame on a data connection, `from` =
+    /// the connecting rank.
+    Ident,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Goodbye => 1,
+            FrameKind::Hello => 2,
+            FrameKind::Roster => 3,
+            FrameKind::Ident => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<FrameKind> {
+        match code {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Goodbye),
+            2 => Some(FrameKind::Hello),
+            3 => Some(FrameKind::Roster),
+            4 => Some(FrameKind::Ident),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded wire frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub from: u32,
+    pub tag: u64,
+    pub payload: Vec<f64>,
+}
+
+impl Frame {
+    pub fn data(from: u32, tag: u64, payload: Vec<f64>) -> Frame {
+        Frame { kind: FrameKind::Data, from, tag, payload }
+    }
+
+    pub fn goodbye(from: u32) -> Frame {
+        Frame { kind: FrameKind::Goodbye, from, tag: 0, payload: Vec::new() }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (includes EOF and timeouts).
+    Io(io::Error),
+    /// Bytes arrived but they are not a valid frame.
+    Protocol(String),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Serializes `frame` into a single buffer (one `write_all`, so a frame is
+/// never interleaved mid-stream by a panicking sender).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let len = frame.payload.len() as u32;
+    let mut buf = Vec::with_capacity(28 + frame.payload.len() * 8);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(frame.kind.code());
+    buf.push(0); // pad
+    buf.extend_from_slice(&frame.from.to_le_bytes());
+    buf.extend_from_slice(&frame.tag.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    for &x in &frame.payload {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    let crc = crc32(&buf[4..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Writes one frame to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+    r.read_exact(buf)
+}
+
+/// Reads and validates one frame from `r`.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 24];
+    read_exact(r, &mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(FrameError::Protocol(format!(
+            "bad magic {:02x?} (expected {:02x?})",
+            &header[0..4],
+            MAGIC
+        )));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(FrameError::Protocol(format!(
+            "unsupported protocol version {version} (expected {VERSION})"
+        )));
+    }
+    let kind = FrameKind::from_code(header[6])
+        .ok_or_else(|| FrameError::Protocol(format!("unknown frame kind {}", header[6])))?;
+    if header[7] != 0 {
+        return Err(FrameError::Protocol(format!("nonzero pad byte {}", header[7])));
+    }
+    let from = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let tag = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let len = u32::from_le_bytes(header[20..24].try_into().unwrap());
+    if len > MAX_PAYLOAD_LEN {
+        return Err(FrameError::Protocol(format!(
+            "payload length {len} exceeds cap {MAX_PAYLOAD_LEN}"
+        )));
+    }
+    let mut body = vec![0u8; len as usize * 8];
+    read_exact(r, &mut body)?;
+    let mut crc_bytes = [0u8; 4];
+    read_exact(r, &mut crc_bytes)?;
+    let got = u32::from_le_bytes(crc_bytes);
+    // The CRC covers version..payload == header[4..] ++ body.
+    let mut covered = Vec::with_capacity(20 + body.len());
+    covered.extend_from_slice(&header[4..]);
+    covered.extend_from_slice(&body);
+    let want = crc32(&covered);
+    if got != want {
+        return Err(FrameError::Protocol(format!(
+            "crc mismatch: frame says {got:#010x}, computed {want:#010x}"
+        )));
+    }
+    let payload = body
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(Frame { kind, from, tag, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let frames = [
+            Frame::data(3, 17, vec![1.0, -2.5, f64::MIN_POSITIVE, 0.0]),
+            Frame::goodbye(0),
+            Frame { kind: FrameKind::Hello, from: ASSIGN_ME, tag: 45123, payload: vec![] },
+            Frame { kind: FrameKind::Roster, from: 2, tag: 0, payload: vec![45123.0, 45124.0] },
+            Frame { kind: FrameKind::Ident, from: 1, tag: 0, payload: vec![] },
+        ];
+        for f in frames {
+            let bytes = encode(&f);
+            let back = read_frame(&mut Cursor::new(&bytes)).expect("decode");
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn empty_and_large_payloads_roundtrip() {
+        for n in [0usize, 1, 255, 4096] {
+            let f = Frame::data(0, 1, (0..n).map(|i| i as f64 * 0.5).collect());
+            let back = read_frame(&mut Cursor::new(encode(&f))).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let f = Frame::data(1, 42, vec![3.5, -1.0]);
+        let clean = encode(&f);
+        // Flip one bit at every byte position; every corruption must be
+        // rejected — as a protocol violation (bad magic/version/kind/pad,
+        // CRC mismatch) or, for a length-field flip, a short read.
+        for pos in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            assert!(
+                read_frame(&mut Cursor::new(&bytes)).is_err(),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let bytes = encode(&Frame::data(0, 1, vec![1.0, 2.0]));
+        for cut in [3, 10, 24, bytes.len() - 1] {
+            match read_frame(&mut Cursor::new(&bytes[..cut])) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+                }
+                other => panic!("cut at {cut}: expected EOF, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocating() {
+        let mut bytes = encode(&Frame::data(0, 1, vec![]));
+        bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Err(FrameError::Protocol(d)) => assert!(d.contains("cap")),
+            other => panic!("expected length-cap rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_reported() {
+        let mut bytes = encode(&Frame::goodbye(0));
+        bytes[4] = 9;
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Err(FrameError::Protocol(d)) => assert!(d.contains("version")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

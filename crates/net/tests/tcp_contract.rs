@@ -1,0 +1,160 @@
+//! TcpTransport against the generic Transport contract, plus the failure
+//! modes only a real network backend has: read deadlines, refused
+//! connections, handshake verification, clean shutdown.
+
+use std::time::Duration;
+
+use microslip_comm::{contract, CommError, Tag, Transport};
+use microslip_net::{connect, localhost_mesh, reserve_port, NetConfig};
+
+fn test_cfg() -> NetConfig {
+    NetConfig {
+        connect_timeout: Duration::from_secs(2),
+        connect_retries: 20,
+        backoff: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        read_timeout: Some(Duration::from_secs(10)),
+        handshake_timeout: Duration::from_secs(10),
+    }
+}
+
+#[test]
+fn tcp_transport_satisfies_the_contract() {
+    let cfg = test_cfg();
+    contract::run_suite(|n| localhost_mesh(n, &cfg));
+}
+
+#[test]
+fn recv_deadline_surfaces_as_timeout() {
+    let cfg = NetConfig { read_timeout: Some(Duration::from_millis(50)), ..test_cfg() };
+    let mut mesh = localhost_mesh(2, &cfg);
+    let _b = mesh.pop().unwrap();
+    let mut a = mesh.pop().unwrap();
+    // Rank 1 is alive but silent: the read deadline, not a disconnect.
+    assert_eq!(a.recv(1, Tag::F_HALO), Err(CommError::Timeout { peer: 1 }));
+    // A timeout is not fatal — traffic afterwards still works.
+    a.send(1, Tag::LOAD, vec![5.0]).unwrap();
+}
+
+#[test]
+fn connect_to_dead_port_fails_with_handshake_error() {
+    // A reserved-then-released port refuses connections; bounded retry
+    // must give up with a typed error, not hang or panic.
+    let port = reserve_port().unwrap();
+    let cfg = NetConfig {
+        connect_retries: 3,
+        backoff: Duration::from_millis(1),
+        handshake_timeout: Duration::from_secs(2),
+        ..test_cfg()
+    };
+    match connect(Some(1), 2, &format!("127.0.0.1:{port}"), &cfg) {
+        Err(CommError::Handshake { detail }) => {
+            assert!(detail.contains("connect"), "unhelpful detail: {detail}");
+        }
+        other => panic!("expected Handshake error, got {other:?}"),
+    }
+}
+
+#[test]
+fn explicit_close_reports_disconnected_to_peer() {
+    let cfg = test_cfg();
+    let mut mesh = localhost_mesh(2, &cfg);
+    let mut b = mesh.pop().unwrap();
+    let mut a = mesh.pop().unwrap();
+    a.send(1, Tag::LOAD, vec![1.0]).unwrap();
+    a.close();
+    // The pre-close message is still deliverable, then the goodbye.
+    assert_eq!(b.recv(0, Tag::LOAD).unwrap(), vec![1.0]);
+    assert_eq!(b.recv(0, Tag::LOAD), Err(CommError::Disconnected { peer: 0 }));
+    assert_eq!(b.send(0, Tag::LOAD, vec![2.0]), Err(CommError::Disconnected { peer: 0 }));
+}
+
+#[test]
+fn auto_assigned_ranks_form_a_working_mesh() {
+    let port = reserve_port().unwrap();
+    let addr = format!("127.0.0.1:{port}");
+    let cfg = test_cfg();
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            // Only rank 0 knows who it is; the others ask to be assigned.
+            let claim = if i == 0 { Some(0) } else { None };
+            std::thread::spawn(move || connect(claim, 3, &addr, &cfg).unwrap())
+        })
+        .collect();
+    let mut mesh: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    mesh.sort_by_key(|t| t.rank());
+    let ranks: Vec<_> = mesh.iter().map(|t| t.rank()).collect();
+    assert_eq!(ranks, vec![0, 1, 2]);
+    // Ring exchange proves every socket pair is wired to the right rank.
+    let handles: Vec<_> = mesh
+        .into_iter()
+        .map(|mut t| {
+            std::thread::spawn(move || {
+                let n = t.size();
+                let me = t.rank();
+                t.send((me + 1) % n, Tag::F_HALO, vec![me as f64]).unwrap();
+                let left = (me + n - 1) % n;
+                assert_eq!(t.recv(left, Tag::F_HALO).unwrap(), vec![left as f64]);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn duplicate_rank_claim_is_rejected() {
+    let port = reserve_port().unwrap();
+    let addr = format!("127.0.0.1:{port}");
+    let cfg = NetConfig { handshake_timeout: Duration::from_secs(5), ..test_cfg() };
+    let handles: Vec<_> = [Some(0), Some(1), Some(1)]
+        .into_iter()
+        .map(|claim| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || connect(claim, 3, &addr, &cfg))
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // The coordinator must detect the duplicate; with it gone, nobody can
+    // complete the handshake.
+    assert!(
+        results.iter().all(|r| r.is_err()),
+        "a mesh with duplicate rank claims must not form"
+    );
+    assert!(results.iter().any(|r| matches!(
+        r,
+        Err(CommError::Handshake { detail }) if detail.contains("claimed twice")
+    )));
+}
+
+#[test]
+fn single_rank_mesh_needs_no_sockets() {
+    let t = connect(Some(0), 1, "127.0.0.1:1", &test_cfg()).unwrap();
+    assert_eq!(t.rank(), 0);
+    assert_eq!(t.size(), 1);
+}
+
+#[test]
+fn large_payload_roundtrip_is_bit_exact() {
+    // A realistic halo plane: tens of thousands of doubles in one frame.
+    let cfg = test_cfg();
+    let mut mesh = localhost_mesh(2, &cfg);
+    let mut b = mesh.pop().unwrap();
+    let mut a = mesh.pop().unwrap();
+    let payload: Vec<f64> = (0..40_000)
+        .map(|i| (i as f64).sin() * 1e-3 + f64::MIN_POSITIVE * i as f64)
+        .collect();
+    let expect = payload.clone();
+    let h = std::thread::spawn(move || {
+        let got = b.recv(0, Tag::F_HALO).unwrap();
+        b.send(0, Tag::PSI_HALO, got).unwrap();
+    });
+    a.send(1, Tag::F_HALO, payload).unwrap();
+    let back = a.recv(1, Tag::PSI_HALO).unwrap();
+    assert!(back.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits()));
+    h.join().unwrap();
+}

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Event, SpanKind};
+use crate::event::{Event, RemapDecision, Span, SpanKind};
 use crate::json::{self, Value};
 
 // ---------------------------------------------------------------------------
@@ -184,6 +184,177 @@ fn check_non_overlap(spans_per_node: &BTreeMap<usize, Vec<(f64, f64)>>) -> Resul
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// JSONL → typed events
+// ---------------------------------------------------------------------------
+
+/// Parses one canonical JSON event line back into a typed [`Event`] —
+/// the inverse of [`event_to_json`]. The schema is exact: unknown types,
+/// missing fields, and wrongly-typed fields are all rejected.
+pub fn event_from_json(line: &str) -> Result<Event, String> {
+    let v = Value::parse(line)?;
+    let obj = v.as_obj().ok_or("not an object")?;
+    let ty = v.get("type").and_then(Value::as_str).ok_or("missing \"type\"")?.to_string();
+    let required = required_fields(&ty).ok_or_else(|| format!("unknown event type '{ty}'"))?;
+    for name in required {
+        if !obj.contains_key(*name) {
+            return Err(format!("{ty} event missing \"{name}\""));
+        }
+    }
+    let bad = |name: &str, want: &str| format!("{ty} field \"{name}\" must be {want}");
+    let f64_of = |name: &str| {
+        v.get(name).and_then(Value::as_f64).ok_or_else(|| bad(name, "a number"))
+    };
+    let u64_of = |name: &str| f64_of(name).map(|x| x as u64);
+    let usize_of = |name: &str| {
+        v.get(name).and_then(Value::as_usize).ok_or_else(|| bad(name, "a non-negative integer"))
+    };
+    let str_of = |name: &str| {
+        v.get(name).and_then(Value::as_str).map(String::from).ok_or_else(|| bad(name, "a string"))
+    };
+    let bool_of = |name: &str| {
+        v.get(name).and_then(Value::as_bool).ok_or_else(|| bad(name, "a boolean"))
+    };
+    let opt_num_arr_of = |name: &str| -> Result<Vec<Option<f64>>, String> {
+        v.get(name)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad(name, "an array"))?
+            .iter()
+            .map(|x| {
+                if x.is_null() {
+                    Ok(None)
+                } else {
+                    x.as_f64().map(Some).ok_or_else(|| bad(name, "numbers or nulls"))
+                }
+            })
+            .collect()
+    };
+    let usize_arr_of = |name: &str| -> Result<Vec<usize>, String> {
+        v.get(name)
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad(name, "an array"))?
+            .iter()
+            .map(|x| x.as_usize().ok_or_else(|| bad(name, "non-negative integers")))
+            .collect()
+    };
+
+    match ty.as_str() {
+        "meta" => Ok(Event::Meta {
+            mode: str_of("mode")?,
+            nodes: usize_of("nodes")?,
+            phases: u64_of("phases")?,
+            policy: str_of("policy")?,
+        }),
+        "span" => {
+            let kind_name = str_of("kind")?;
+            let kind = SpanKind::from_name(&kind_name)
+                .ok_or_else(|| format!("unknown span kind '{kind_name}'"))?;
+            Ok(Event::Span(Span {
+                node: usize_of("node")?,
+                kind,
+                phase: u64_of("phase")?,
+                start: f64_of("t0")?,
+                end: f64_of("t1")?,
+            }))
+        }
+        "remap" => {
+            let node = match v.get("node") {
+                Some(Value::Null) => None,
+                Some(n) => Some(n.as_usize().ok_or_else(|| bad("node", "an integer or null"))?),
+                None => unreachable!("presence checked above"),
+            };
+            Ok(Event::Remap(RemapDecision {
+                time: f64_of("time")?,
+                node,
+                phase: u64_of("phase")?,
+                policy: str_of("policy")?,
+                predicted: opt_num_arr_of("predicted")?,
+                speeds: opt_num_arr_of("speeds")?,
+                counts: usize_arr_of("counts")?,
+                target: usize_arr_of("target")?,
+                moved: usize_of("moved")?,
+                applied: bool_of("applied")?,
+            }))
+        }
+        "migration" => Ok(Event::Migration {
+            time: f64_of("time")?,
+            phase: u64_of("phase")?,
+            from: usize_of("from")?,
+            to: usize_of("to")?,
+            planes: usize_of("planes")?,
+            bytes: u64_of("bytes")?,
+        }),
+        "traffic" => Ok(Event::Traffic {
+            node: usize_of("node")?,
+            tag: str_of("tag")?,
+            sent_messages: u64_of("sent_messages")?,
+            sent_bytes: u64_of("sent_bytes")?,
+            recv_messages: u64_of("recv_messages")?,
+            recv_bytes: u64_of("recv_bytes")?,
+        }),
+        _ => unreachable!("required_fields filtered unknown types"),
+    }
+}
+
+/// Parses a JSONL stream back into typed events (inverse of
+/// [`to_jsonl`]; blank lines are skipped, errors name the line).
+pub fn from_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        events.push(event_from_json(line).map_err(|msg| format!("line {}: {msg}", lineno + 1))?);
+    }
+    Ok(events)
+}
+
+/// Merges per-rank event streams into one run-level stream: the first
+/// [`Event::Meta`] encountered is kept and placed first (later metas are
+/// redundant per-rank copies of the same header), and every other event
+/// follows in rank-major order — all of rank 0's events, then rank 1's,
+/// and so on. The multi-process driver uses this to stitch each worker
+/// process's JSONL trace into the same shape a threaded run produces.
+pub fn merge_rank_streams(streams: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut meta: Option<Event> = None;
+    let mut rest = Vec::new();
+    for stream in streams {
+        for e in stream {
+            match e {
+                Event::Meta { .. } => {
+                    meta.get_or_insert(e);
+                }
+                other => rest.push(other),
+            }
+        }
+    }
+    let mut merged = Vec::with_capacity(rest.len() + 1);
+    merged.extend(meta);
+    merged.extend(rest);
+    merged
+}
+
+/// Canonical time-free serializations of every remap decision in the
+/// stream, sorted. Two substrates (threaded vs multi-process) took the
+/// same remap decisions iff their fingerprint vectors are equal: the
+/// timestamps legitimately differ between wall clocks, every other field
+/// of the audit record must not.
+pub fn remap_fingerprints(events: &[Event]) -> Vec<String> {
+    let mut out: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Remap(d) => {
+                let mut d = d.clone();
+                d.time = 0.0;
+                Some(event_to_json(&Event::Remap(d)))
+            }
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -459,6 +630,77 @@ mod tests {
         ]}"#;
         let stats = validate_chrome_trace(doc).unwrap();
         assert_eq!(stats.nodes, 2);
+    }
+
+    #[test]
+    fn jsonl_parses_back_to_identical_typed_events() {
+        let events = sample_events();
+        let parsed = from_jsonl(&to_jsonl(&events)).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_lines_by_number() {
+        assert!(from_jsonl("{\"type\":\"mystery\"}\n").is_err());
+        assert!(from_jsonl("{\"type\":\"span\",\"node\":0}\n").is_err());
+        let good = "{\"type\":\"meta\",\"mode\":\"m\",\"nodes\":1,\"phases\":1,\"policy\":\"p\"}";
+        let err = from_jsonl(&format!("{good}\nnot json\n")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // Wrongly-typed fields are rejected, not coerced.
+        let bad = good.replace("\"nodes\":1", "\"nodes\":\"one\"");
+        assert!(from_jsonl(&bad).is_err());
+    }
+
+    #[test]
+    fn merge_keeps_one_meta_and_rank_major_order() {
+        let span = |node: usize, start: f64| {
+            Event::Span(Span { node, kind: SpanKind::Compute, phase: 1, start, end: start + 0.1 })
+        };
+        let meta = |mode: &str| Event::Meta {
+            mode: mode.into(),
+            nodes: 2,
+            phases: 1,
+            policy: "filtered".into(),
+        };
+        let merged = merge_rank_streams(vec![
+            vec![meta("mp"), span(0, 0.0), span(0, 0.2)],
+            vec![meta("mp"), span(1, 0.1)],
+        ]);
+        assert_eq!(
+            merged,
+            vec![meta("mp"), span(0, 0.0), span(0, 0.2), span(1, 0.1)],
+            "one meta first, then events rank-major"
+        );
+        // The merged stream is still schema-valid JSONL.
+        validate_jsonl(&to_jsonl(&merged)).unwrap();
+    }
+
+    #[test]
+    fn remap_fingerprints_ignore_time_but_nothing_else() {
+        let decision = |time: f64, moved: usize| {
+            Event::Remap(RemapDecision {
+                time,
+                node: Some(1),
+                phase: 3,
+                policy: "filtered".into(),
+                predicted: vec![Some(0.5), None],
+                speeds: vec![Some(2.0), None],
+                counts: vec![10, 10],
+                target: vec![12, 8],
+                moved,
+                applied: true,
+            })
+        };
+        // Same decisions at different wall-clock times → equal fingerprints
+        // (sorting makes the comparison order-insensitive too).
+        let a = remap_fingerprints(&[decision(0.9, 2), decision(1.7, 0)]);
+        let b = remap_fingerprints(&[decision(2.4, 0), decision(3.3, 2)]);
+        assert_eq!(a, b);
+        // Any substantive difference shows up.
+        let c = remap_fingerprints(&[decision(0.9, 2), decision(1.7, 1)]);
+        assert_ne!(a, c);
+        // Non-remap events contribute nothing.
+        assert!(remap_fingerprints(&sample_events()[..5]).is_empty());
     }
 
     #[test]

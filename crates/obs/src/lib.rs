@@ -46,8 +46,8 @@ pub mod summary;
 
 pub use event::{Event, RemapDecision, Span, SpanKind};
 pub use export::{
-    event_to_json, to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl,
-    ChromeStats, JsonlStats,
+    event_from_json, event_to_json, from_jsonl, merge_rank_streams, remap_fingerprints,
+    to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl, ChromeStats, JsonlStats,
 };
 pub use sink::{EventSink, NullSink, Recorder, TraceSink, DEFAULT_CAPACITY};
 pub use summary::{NodeSummary, TraceSummary};

@@ -14,7 +14,9 @@ use microslip_lbm::{ChannelConfig, Parallelism};
 use microslip_obs::{Event, TraceSink};
 
 use crate::throttle::ThrottlePlan;
-use crate::worker::{worker_main, worker_main_with_solver, WorkerConfig, WorkerReport};
+use crate::worker::{
+    worker_main, worker_main_with_solver, LoadModel, WorkerConfig, WorkerReport,
+};
 
 /// Configuration of a threaded parallel run.
 #[derive(Clone, Debug)]
@@ -35,6 +37,14 @@ pub struct RuntimeConfig {
     /// Ask every worker to serialize its final state into its report
     /// (resume with [`run_parallel_from`]).
     pub checkpoint_at_end: bool,
+    /// Phases between periodic on-disk checkpoints
+    /// (`ckpt-rank{r}-phase{p}.bin` in [`Self::checkpoint_dir`]); 0
+    /// disables them.
+    pub checkpoint_every: u64,
+    /// Directory for periodic checkpoints; `None` = current directory.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Load-index source for the remap predictor (see [`LoadModel`]).
+    pub load: LoadModel,
     /// Rayon threads each worker may use inside its own slab (the second
     /// level of parallelism). 1 = serial kernels; results are bitwise
     /// identical at any value.
@@ -57,6 +67,9 @@ impl RuntimeConfig {
             throttle: Vec::new(),
             spikes: Vec::new(),
             checkpoint_at_end: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            load: LoadModel::Measured,
             threads_per_worker: 1,
             trace: TraceSink::null(),
         }
@@ -122,6 +135,9 @@ pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> Run
         remap_interval: cfg.remap_interval,
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
+        checkpoint_every: cfg.checkpoint_every,
+        checkpoint_dir: cfg.checkpoint_dir.clone(),
+        load: cfg.load,
         parallelism: Parallelism::new(cfg.threads_per_worker.max(1)),
         trace: cfg.trace.clone(),
         epoch: start,
@@ -144,8 +160,14 @@ pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> Run
                 .expect("spawn worker"),
         );
     }
-    let mut reports: Vec<WorkerReport> =
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    let mut reports: Vec<WorkerReport> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .expect("worker panicked")
+                .unwrap_or_else(|e| panic!("worker failed: {e}"))
+        })
+        .collect();
     let wall_seconds = start.elapsed().as_secs_f64();
     reports.sort_by_key(|r| r.rank);
     let snapshot = Snapshot::stitch(reports.iter().map(|r| r.snapshot.clone()).collect());
@@ -193,6 +215,9 @@ pub fn run_parallel_from(
         remap_interval: cfg.remap_interval,
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
+        checkpoint_every: cfg.checkpoint_every,
+        checkpoint_dir: cfg.checkpoint_dir.clone(),
+        load: cfg.load,
         parallelism: Parallelism::new(cfg.threads_per_worker.max(1)),
         trace: cfg.trace.clone(),
         epoch: start,
@@ -221,8 +246,14 @@ pub fn run_parallel_from(
                 .expect("spawn worker"),
         );
     }
-    let mut reports: Vec<WorkerReport> =
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+    let mut reports: Vec<WorkerReport> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .expect("worker panicked")
+                .unwrap_or_else(|e| panic!("worker failed: {e}"))
+        })
+        .collect();
     let wall_seconds = start.elapsed().as_secs_f64();
     reports.sort_by_key(|r| r.rank);
     let snapshot = Snapshot::stitch(reports.iter().map(|r| r.snapshot.clone()).collect());

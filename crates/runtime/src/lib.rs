@@ -42,4 +42,4 @@ pub use driver::{run_parallel, RunOutcome, RuntimeConfig};
 pub use profile::Profile;
 pub use throttle::{Throttle, ThrottlePlan};
 pub use trace::Tracer;
-pub use worker::{WorkerConfig, WorkerReport};
+pub use worker::{LoadModel, WorkerConfig, WorkerError, WorkerReport};

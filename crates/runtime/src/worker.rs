@@ -6,20 +6,67 @@
 //! enough for each worker to compute the plane flow across its own edges
 //! consistently with its neighbors (see
 //! [`microslip_balance::policy::NeighborPolicy`]).
+//!
+//! Transport failures do not panic: the worker returns
+//! [`WorkerError::Comm`] with the typed [`CommError`], after flushing its
+//! traffic totals into the trace sink — a rank that loses a peer mid-run
+//! still leaves a coherent partial trace behind.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use microslip_balance::policy::NeighborPolicy;
 use microslip_balance::predict::{History, Predictor};
 use microslip_balance::Partition;
-use microslip_comm::{InstrumentedTransport, LinearTopology, Tag, Transport};
+use microslip_comm::{CommError, InstrumentedTransport, LinearTopology, Tag, Transport};
 use microslip_lbm::macroscopic::Snapshot;
 use microslip_lbm::{ChannelConfig, Parallelism, Side, Slab, SlabSolver};
 use microslip_obs::{Event, SpanKind, TraceSink};
 
 use crate::profile::Profile;
 use crate::trace::Tracer;
-use crate::throttle::ThrottlePlan;
+use crate::throttle::{Throttle, ThrottlePlan};
+
+/// How a worker derives the per-point load index it feeds the predictor.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum LoadModel {
+    /// Measured wall time of the compute sections (the paper's setup).
+    /// Honest, but nondeterministic across runs and hosts.
+    #[default]
+    Measured,
+    /// Synthetic load: `per_point × throttle factor`, no clock involved.
+    /// With it, remap decisions depend only on the configuration — a
+    /// threaded run and a multi-process run of the same config take
+    /// *identical* remap decisions, which is what the substrate
+    /// equivalence tests pin.
+    Synthetic { per_point: f64 },
+}
+
+/// Why a worker stopped before completing its run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerError {
+    /// The communicator failed (peer died, timed out, spoke garbage).
+    Comm(CommError),
+    /// A checkpoint file could not be written.
+    Io(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Comm(e) => write!(f, "transport failure: {e}"),
+            WorkerError::Io(detail) => write!(f, "checkpoint i/o failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<CommError> for WorkerError {
+    fn from(e: CommError) -> Self {
+        WorkerError::Comm(e)
+    }
+}
 
 /// Static configuration shared by every worker.
 pub struct WorkerConfig {
@@ -31,6 +78,13 @@ pub struct WorkerConfig {
     pub predictor_window: usize,
     /// Serialize each worker's final state into its report.
     pub checkpoint_at_end: bool,
+    /// Phases between periodic on-disk checkpoints; 0 disables them.
+    pub checkpoint_every: u64,
+    /// Directory for periodic checkpoints (`ckpt-rank{r}-phase{p}.bin`);
+    /// defaults to the current directory.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Load-index source for the remap predictor (see [`LoadModel`]).
+    pub load: LoadModel,
     /// Intra-slab thread budget for the phase kernels (the second level of
     /// parallelism under the slab decomposition). Bitwise-neutral: any
     /// value yields the same physics.
@@ -69,7 +123,7 @@ pub fn worker_main<T: Transport>(
     transport: T,
     slab: Slab,
     throttle: ThrottlePlan,
-) -> WorkerReport {
+) -> Result<WorkerReport, WorkerError> {
     let solver = SlabSolver::new(&cfg.channel, slab);
     worker_main_with_solver(cfg, policy, predictor, transport, solver, throttle)
 }
@@ -84,7 +138,7 @@ pub fn worker_main_with_solver<T: Transport>(
     transport: T,
     mut solver: SlabSolver,
     throttle: ThrottlePlan,
-) -> WorkerReport {
+) -> Result<WorkerReport, WorkerError> {
     let rank = transport.rank();
     let n = transport.size();
     let topo = LinearTopology::new(rank, n);
@@ -95,6 +149,56 @@ pub fn worker_main_with_solver<T: Transport>(
     let mut planes_sent = 0usize;
     let mut planes_received = 0usize;
 
+    let outcome = run_phases(
+        cfg,
+        policy,
+        predictor,
+        &mut solver,
+        &mut transport,
+        &topo,
+        &mut history,
+        &mut tracer,
+        &throttle,
+        &mut planes_sent,
+        &mut planes_received,
+    );
+    // Flush traffic totals even when the run aborted: a partial trace
+    // must still account for the bytes that actually moved.
+    transport.flush_to(tracer.sink(), rank);
+    outcome?;
+
+    let checkpoint = cfg
+        .checkpoint_at_end
+        .then(|| microslip_lbm::checkpoint::save_solver(&solver, cfg.phases));
+    Ok(WorkerReport {
+        rank,
+        final_slab: solver.slab(),
+        profile: tracer.profile,
+        snapshot: solver.snapshot(),
+        planes_sent,
+        planes_received,
+        checkpoint,
+    })
+}
+
+/// Priming plus the phase loop — everything that can fail.
+#[allow(clippy::too_many_arguments)]
+fn run_phases<T: Transport>(
+    cfg: &WorkerConfig,
+    policy: &dyn NeighborPolicy,
+    predictor: &dyn Predictor,
+    solver: &mut SlabSolver,
+    transport: &mut InstrumentedTransport<T>,
+    topo: &LinearTopology,
+    history: &mut History,
+    tracer: &mut Tracer,
+    throttle: &ThrottlePlan,
+    planes_sent: &mut usize,
+    planes_received: &mut usize,
+) -> Result<(), WorkerError> {
+    let rank = topo.rank;
+    let n = topo.size;
+
     // One compute section: time the kernel in `body`, pad it per the
     // throttle, and record the kernel and the padding as *adjacent* spans
     // — the padding is attributed explicitly instead of being folded into
@@ -103,7 +207,7 @@ pub fn worker_main_with_solver<T: Transport>(
     // padded section duration (the load the remap policies must see).
     fn section(
         tracer: &mut Tracer,
-        throttle: &crate::throttle::Throttle,
+        throttle: &Throttle,
         phase: u64,
         body: impl FnOnce(),
     ) -> f64 {
@@ -123,7 +227,7 @@ pub fn worker_main_with_solver<T: Transport>(
     // velocities — the same steps the sequential driver does. Phase 0 =
     // outside the phase loop.
     solver.prime_local_psi();
-    exchange_psi(&mut solver, &mut transport, &topo, &mut tracer, 0);
+    exchange_psi(solver, transport, topo, tracer, 0)?;
     solver.prime_finish();
 
     for phase in 1..=cfg.phases {
@@ -133,28 +237,34 @@ pub fn worker_main_with_solver<T: Transport>(
         // Collision of the slab-edge planes only — everything the halo
         // exchange needs. Interior planes are collided inside the fused
         // streaming sweep below, while the wires would otherwise be idle.
-        compute_secs += section(&mut tracer, &throttle, phase, || solver.collide_edges());
+        compute_secs += section(tracer, &throttle, phase, || solver.collide_edges());
 
         // Exchange distribution functions.
-        exchange_f(&mut solver, &mut transport, &topo, &mut tracer, phase);
+        exchange_f(solver, transport, topo, tracer, phase)?;
 
         // Fused collide→stream over the interior, bounce-back, ψ.
-        compute_secs += section(&mut tracer, &throttle, phase, || {
+        compute_secs += section(tracer, &throttle, phase, || {
             solver.stream_collide_fused();
             solver.compute_psi();
         });
 
         // Exchange number densities.
-        exchange_psi(&mut solver, &mut transport, &topo, &mut tracer, phase);
+        exchange_psi(solver, transport, topo, tracer, phase)?;
 
         // Forces + velocities.
-        compute_secs += section(&mut tracer, &throttle, phase, || {
+        compute_secs += section(tracer, &throttle, phase, || {
             solver.compute_forces();
             solver.compute_velocities();
         });
 
         // Load index: per-point compute time, independent of slab size.
-        history.push(compute_secs / solver.points() as f64);
+        // The synthetic model replaces the clock with the throttle factor
+        // itself, making the remap schedule a pure function of the config.
+        let load = match cfg.load {
+            LoadModel::Measured => compute_secs / solver.points() as f64,
+            LoadModel::Synthetic { per_point } => per_point * throttle.factor,
+        };
+        history.push(load);
 
         // Remapping.
         if cfg.remap_interval > 0 && phase % cfg.remap_interval == 0 && n > 1 {
@@ -162,32 +272,33 @@ pub fn worker_main_with_solver<T: Transport>(
                 cfg,
                 policy,
                 predictor,
-                &mut solver,
-                &mut transport,
-                &topo,
-                &mut history,
-                &mut tracer,
+                solver,
+                transport,
+                topo,
+                history,
+                tracer,
                 phase,
-                &mut planes_sent,
-                &mut planes_received,
-            );
+                planes_sent,
+                planes_received,
+            )?;
+        }
+
+        // Periodic on-disk checkpoint, after any migration so the file
+        // reflects the slab layout the next phase will run with.
+        if cfg.checkpoint_every > 0 && phase % cfg.checkpoint_every == 0 {
+            let bytes = microslip_lbm::checkpoint::save_solver(solver, phase);
+            let dir = cfg
+                .checkpoint_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("."));
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| WorkerError::Io(format!("create {}: {e}", dir.display())))?;
+            let path = dir.join(format!("ckpt-rank{rank}-phase{phase}.bin"));
+            std::fs::write(&path, bytes)
+                .map_err(|e| WorkerError::Io(format!("write {}: {e}", path.display())))?;
         }
     }
-
-    transport.flush_to(tracer.sink(), rank);
-
-    let checkpoint = cfg
-        .checkpoint_at_end
-        .then(|| microslip_lbm::checkpoint::save_solver(&solver, cfg.phases));
-    WorkerReport {
-        rank,
-        final_slab: solver.slab(),
-        profile: tracer.profile,
-        snapshot: solver.snapshot(),
-        planes_sent,
-        planes_received,
-        checkpoint,
-    }
+    Ok(())
 }
 
 /// Population halo exchange over the periodic ring. Convention: the
@@ -199,26 +310,27 @@ fn exchange_f<T: Transport>(
     topo: &LinearTopology,
     tracer: &mut Tracer,
     phase: u64,
-) {
+) -> Result<(), CommError> {
     let t0 = tracer.now();
     if topo.size == 1 {
         solver.f_ghosts_periodic();
         let t1 = tracer.now();
         tracer.span(SpanKind::Halo, phase, t0, t1);
-        return;
+        return Ok(());
     }
     let len = solver.f_halo_len();
     let mut buf = vec![0.0; len];
     solver.f_halo_out(Side::Right, &mut buf);
-    transport.send(topo.ring_right(), Tag::F_HALO, buf.clone()).expect("send f halo");
+    transport.send(topo.ring_right(), Tag::F_HALO, buf.clone())?;
     solver.f_halo_out(Side::Left, &mut buf);
-    transport.send(topo.ring_left(), Tag::F_HALO, buf).expect("send f halo");
-    let from_left = transport.recv(topo.ring_left(), Tag::F_HALO).expect("recv f halo");
+    transport.send(topo.ring_left(), Tag::F_HALO, buf)?;
+    let from_left = transport.recv(topo.ring_left(), Tag::F_HALO)?;
     solver.f_halo_in(Side::Left, &from_left);
-    let from_right = transport.recv(topo.ring_right(), Tag::F_HALO).expect("recv f halo");
+    let from_right = transport.recv(topo.ring_right(), Tag::F_HALO)?;
     solver.f_halo_in(Side::Right, &from_right);
     let t1 = tracer.now();
     tracer.span(SpanKind::Halo, phase, t0, t1);
+    Ok(())
 }
 
 /// ψ halo exchange over the periodic ring.
@@ -228,27 +340,27 @@ fn exchange_psi<T: Transport>(
     topo: &LinearTopology,
     tracer: &mut Tracer,
     phase: u64,
-) {
+) -> Result<(), CommError> {
     let t0 = tracer.now();
     if topo.size == 1 {
         solver.psi_ghosts_periodic();
         let t1 = tracer.now();
         tracer.span(SpanKind::Halo, phase, t0, t1);
-        return;
+        return Ok(());
     }
     let len = solver.psi_halo_len();
     let mut buf = vec![0.0; len];
     solver.psi_halo_out(Side::Right, &mut buf);
-    transport.send(topo.ring_right(), Tag::PSI_HALO, buf.clone()).expect("send psi halo");
+    transport.send(topo.ring_right(), Tag::PSI_HALO, buf.clone())?;
     solver.psi_halo_out(Side::Left, &mut buf);
-    transport.send(topo.ring_left(), Tag::PSI_HALO, buf).expect("send psi halo");
-    let from_left = transport.recv(topo.ring_left(), Tag::PSI_HALO).expect("recv psi halo");
+    transport.send(topo.ring_left(), Tag::PSI_HALO, buf)?;
+    let from_left = transport.recv(topo.ring_left(), Tag::PSI_HALO)?;
     solver.psi_halo_in(Side::Left, &from_left);
-    let from_right =
-        transport.recv(topo.ring_right(), Tag::PSI_HALO).expect("recv psi halo");
+    let from_right = transport.recv(topo.ring_right(), Tag::PSI_HALO)?;
     solver.psi_halo_in(Side::Right, &from_right);
     let t1 = tracer.now();
     tracer.span(SpanKind::Halo, phase, t0, t1);
+    Ok(())
 }
 
 /// One node's view of the cluster: `(per-point prediction, planes)` for
@@ -270,7 +382,7 @@ fn remap_round<T: Transport>(
     phase: u64,
     planes_sent: &mut usize,
     planes_received: &mut usize,
-) {
+) -> Result<(), CommError> {
     let t0 = tracer.now();
     let rank = topo.rank;
     let n = topo.size;
@@ -289,10 +401,10 @@ fn remap_round<T: Transport>(
 
     // Hop 1: exchange own data with line neighbors.
     for peer in [topo.line_left(), topo.line_right()].into_iter().flatten() {
-        transport.send(peer, Tag::LOAD, encode(my_pred, my_planes)).expect("send load");
+        transport.send(peer, Tag::LOAD, encode(my_pred, my_planes))?;
     }
     for peer in [topo.line_left(), topo.line_right()].into_iter().flatten() {
-        let msg = transport.recv(peer, Tag::LOAD).expect("recv load");
+        let msg = transport.recv(peer, Tag::LOAD)?;
         view[peer] = Some(decode(&msg));
     }
 
@@ -300,20 +412,20 @@ fn remap_round<T: Transport>(
     // every node knows ranks within distance two.
     if let (Some(l), Some(r)) = (topo.line_left(), topo.line_right()) {
         let (lp, lc) = view[l].unwrap();
-        transport.send(r, Tag::LOAD, encode(lp, lc)).expect("fwd load");
+        transport.send(r, Tag::LOAD, encode(lp, lc))?;
         let (rp, rc) = view[r].unwrap();
-        transport.send(l, Tag::LOAD, encode(rp, rc)).expect("fwd load");
+        transport.send(l, Tag::LOAD, encode(rp, rc))?;
     }
     if let Some(l) = topo.line_left() {
         if l > 0 {
             // Left neighbor has its own left neighbor: expect its data.
-            let msg = transport.recv(l, Tag::LOAD).expect("recv fwd load");
+            let msg = transport.recv(l, Tag::LOAD)?;
             view[l - 1] = Some(decode(&msg));
         }
     }
     if let Some(r) = topo.line_right() {
         if r + 1 < n {
-            let msg = transport.recv(r, Tag::LOAD).expect("recv fwd load");
+            let msg = transport.recv(r, Tag::LOAD)?;
             view[r + 1] = Some(decode(&msg));
         }
     }
@@ -380,7 +492,7 @@ fn remap_round<T: Transport>(
     if let Some(l) = topo.line_left() {
         let f = flows[rank - 1]; // planes l → me if positive
         if f > 0 {
-            let data = transport.recv(l, Tag::MIGRATE_DATA).expect("recv planes");
+            let data = transport.recv(l, Tag::MIGRATE_DATA)?;
             let count = f as usize;
             assert_eq!(data.len(), count * solver.migration_plane_len());
             solver.give_planes(Side::Left, count, &data);
@@ -389,7 +501,7 @@ fn remap_round<T: Transport>(
             let count = (-f) as usize;
             let data = solver.take_planes(Side::Left, count);
             let values = data.len();
-            transport.send(l, Tag::MIGRATE_DATA, data).expect("send planes");
+            transport.send(l, Tag::MIGRATE_DATA, data)?;
             *planes_sent += count;
             tracer.event(migration(tracer, rank, l, count, values));
         }
@@ -400,11 +512,11 @@ fn remap_round<T: Transport>(
             let count = f as usize;
             let data = solver.take_planes(Side::Right, count);
             let values = data.len();
-            transport.send(r, Tag::MIGRATE_DATA, data).expect("send planes");
+            transport.send(r, Tag::MIGRATE_DATA, data)?;
             *planes_sent += count;
             tracer.event(migration(tracer, rank, r, count, values));
         } else if f < 0 {
-            let data = transport.recv(r, Tag::MIGRATE_DATA).expect("recv planes");
+            let data = transport.recv(r, Tag::MIGRATE_DATA)?;
             let count = (-f) as usize;
             assert_eq!(data.len(), count * solver.migration_plane_len());
             solver.give_planes(Side::Right, count, &data);
@@ -413,4 +525,5 @@ fn remap_round<T: Transport>(
     }
     let t1 = tracer.now();
     tracer.span(SpanKind::Remap, phase, t0, t1);
+    Ok(())
 }

@@ -28,6 +28,9 @@ fn run_instrumented(
         remap_interval,
         predictor_window: 2,
         checkpoint_at_end: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
+        load: microslip_runtime::LoadModel::Measured,
         parallelism: Parallelism::serial(),
         trace: microslip_obs::TraceSink::null(),
         epoch: std::time::Instant::now(),
@@ -52,7 +55,7 @@ fn run_instrumented(
                 } else {
                     worker_main(&cfg, &NoRemap, &predictor, &mut t, slab, throttle)
                 };
-                (report, t)
+                (report.expect("worker failed"), t)
             })
         })
         .collect();

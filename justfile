@@ -9,6 +9,7 @@ tier1:
     cargo test -q --offline
     cargo clippy --workspace --offline -- -D warnings
     just trace-smoke
+    just mp-smoke
 
 # End-to-end observability smoke: a traced virtual-cluster run and a
 # traced threaded run, artifacts re-parsed and schema-checked (--check),
@@ -18,6 +19,16 @@ trace-smoke:
     rm -rf target/trace-smoke && mkdir -p target/trace-smoke
     ./target/release/microslip trace --mode cluster --out target/trace-smoke/cluster --phases 120 --check
     ./target/release/microslip trace --mode parallel --out target/trace-smoke/parallel --phases 12 --workers 3 --check
+
+# Multi-process smoke: a 2-rank run on real OS processes meshed over
+# localhost TCP, checked bitwise against the threaded runtime — fields
+# AND (under the synthetic load model) remap decisions must match.
+mp-smoke:
+    cargo build --release --offline --bin microslip
+    rm -rf target/mp-smoke && mkdir -p target/mp-smoke
+    ./target/release/microslip mp --ranks 2 --phases 12 --remap-every 3 \
+        --predictor-window 2 --throttle 1:6 --synthetic-load 1.0 \
+        --dir target/mp-smoke --trace target/mp-smoke/run --check
 
 # Full workspace test run (release mode; slower, covers the examples).
 test-all:
@@ -33,3 +44,9 @@ bench-kernels:
 bench-scaling:
     cargo build --release --offline -p microslip-bench
     ./target/release/kernel_scaling --reps 3 --out BENCH_kernels.json
+
+# Socket-overhead bench: the per-phase halo pattern over in-process
+# channels vs a real localhost TCP mesh; writes BENCH_net.json.
+bench-net:
+    cargo build --release --offline -p microslip-bench --bin net_overhead
+    ./target/release/net_overhead --reps 400 --out BENCH_net.json

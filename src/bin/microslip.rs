@@ -21,11 +21,12 @@ use microslip::lbm::diagnostics::FlowDiagnostics;
 use microslip::lbm::observables::{apparent_slip_fraction, mean_velocity_y_profile};
 use microslip::lbm::{ChannelConfig, Dims, Simulation, WallForce};
 use microslip::obs::{
-    to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl, Event, Recorder,
-    TraceSink, TraceSummary, DEFAULT_CAPACITY,
+    remap_fingerprints, to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl,
+    Event, Recorder, TraceSink, TraceSummary, DEFAULT_CAPACITY,
 };
-use microslip::runtime::{run_parallel, RuntimeConfig};
-use microslip::RunBuilder;
+use microslip::mp::MpWorkerArgs;
+use microslip::runtime::{run_parallel, LoadModel, RuntimeConfig};
+use microslip::{run_multiprocess, MpConfig, RunBuilder};
 
 /// Parsed `--key value` flags (and bare `--key` booleans).
 struct Flags {
@@ -71,6 +72,8 @@ fn main() {
         "slip" => cmd_slip(rest),
         "cluster" => cmd_cluster(rest),
         "parallel" => cmd_parallel(rest),
+        "mp" => cmd_mp(rest),
+        "mp-worker" => cmd_mp_worker(rest),
         "trace" => cmd_trace(rest),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -92,7 +95,12 @@ fn print_help() {
     println!("commands:");
     println!("  slip      run the two-phase slip physics   [--nx --ny --nz --phases --no-wall-force]");
     println!("  cluster   virtual non-dedicated cluster    [--nodes --phases --scheme --slow --trace PREFIX]");
-    println!("  parallel  threaded runtime with remapping  [--workers --phases --throttle R:F --scheme --trace PREFIX]");
+    println!("  parallel  threaded runtime with remapping  [--workers --phases --throttle R:F --scheme --trace PREFIX");
+    println!("                                              --checkpoint-every N --checkpoint-dir DIR]");
+    println!("  mp        multi-process runtime over TCP   [--ranks --phases --throttle R:F --scheme --dir DIR");
+    println!("                                              --checkpoint-every N --resume-phase P --synthetic-load P --trace PREFIX");
+    println!("                                              --check  (compare against the threaded runtime)]");
+    println!("  mp-worker one rank of an mp run (internal; spawned by 'mp')");
     println!("  trace     traced run -> PREFIX.jsonl + PREFIX.trace.json + PREFIX.summary.json");
     println!("            [--mode cluster|parallel --out PREFIX --scheme --phases --check]");
     println!("  info      model parameters and calibration anchors");
@@ -190,6 +198,23 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `--throttle RANK:FACTOR[,RANK:FACTOR…]` → dense per-rank factors.
+fn throttle_spec(spec: &str, ranks: usize) -> Result<Vec<f64>, String> {
+    let mut out = vec![1.0; ranks];
+    for part in spec.split(',') {
+        let (rank, factor) = part
+            .split_once(':')
+            .ok_or_else(|| format!("--throttle wants RANK:FACTOR, got '{part}'"))?;
+        let rank: usize = rank.parse().map_err(|_| format!("bad rank '{rank}'"))?;
+        let factor: f64 = factor.parse().map_err(|_| format!("bad factor '{factor}'"))?;
+        if rank >= ranks {
+            return Err(format!("rank {rank} out of range for {ranks} ranks"));
+        }
+        out[rank] = factor;
+    }
+    Ok(out)
+}
+
 fn cmd_parallel(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
     let workers = f.get("workers", 4usize)?;
@@ -203,20 +228,12 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
     );
     cfg.remap_interval = 10;
     cfg.trace = sink;
-    // --throttle RANK:FACTOR, repeatable as comma list.
+    cfg.checkpoint_every = f.get("checkpoint-every", 0u64)?;
+    if let Some(dir) = f.values.get("checkpoint-dir") {
+        cfg.checkpoint_dir = Some(dir.into());
+    }
     if let Some(spec) = f.values.get("throttle") {
-        cfg.throttle = vec![1.0; workers];
-        for part in spec.split(',') {
-            let (rank, factor) = part
-                .split_once(':')
-                .ok_or_else(|| format!("--throttle wants RANK:FACTOR, got '{part}'"))?;
-            let rank: usize = rank.parse().map_err(|_| format!("bad rank '{rank}'"))?;
-            let factor: f64 = factor.parse().map_err(|_| format!("bad factor '{factor}'"))?;
-            if rank >= workers {
-                return Err(format!("rank {rank} out of range for {workers} workers"));
-            }
-            cfg.throttle[rank] = factor;
-        }
+        cfg.throttle = throttle_spec(spec, workers)?;
     }
     let outcome = match scheme.as_str() {
         "no-remap" => run_parallel(&cfg, Arc::new(NoRemap)),
@@ -240,6 +257,136 @@ fn cmd_parallel(args: &[String]) -> Result<(), String> {
         write_trace_artifacts(&prefix, &rec.events())?;
     }
     Ok(())
+}
+
+fn cmd_mp(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let ranks = f.get("ranks", 2usize)?;
+    let phases = f.get("phases", 20u64)?;
+    let scheme = scheme_by_name(&f.get("scheme", "filtered".to_string())?)?;
+    let nx = f.get("nx", 32usize)?;
+    let ny = f.get("ny", 8usize)?;
+    let nz = f.get("nz", 4usize)?;
+    let mut channel = ChannelConfig::paper_scaled(Dims::new(nx, ny, nz));
+    channel.body = [1.0e-4, 0.0, 0.0];
+    let check_channel = channel.clone();
+    let mut cfg = MpConfig::new(channel, ranks, phases);
+    cfg.remap_interval = f.get("remap-every", 10u64)?;
+    cfg.predictor_window = f.get("predictor-window", 3usize)?;
+    cfg.scheme = scheme;
+    cfg.checkpoint_every = f.get("checkpoint-every", 0u64)?;
+    if f.has("resume-phase") {
+        cfg.resume_phase = Some(f.get("resume-phase", 0u64)?);
+    }
+    if let Some(spec) = f.values.get("throttle") {
+        cfg.throttle = throttle_spec(spec, ranks)?;
+    }
+    if f.has("synthetic-load") {
+        cfg.load = LoadModel::Synthetic { per_point: f.get("synthetic-load", 1.0f64)? };
+    }
+    if let Some(dir) = f.values.get("dir") {
+        cfg.dir = Some(dir.into());
+    }
+    let outcome = run_multiprocess(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} on {ranks} processes, {phases} phases: planes {:?}, migrated {}",
+        scheme.name(),
+        outcome.final_counts(),
+        outcome.planes_migrated()
+    );
+    println!("artifacts in {}", outcome.dir.display());
+    if let Some(prefix) = f.values.get("trace") {
+        if prefix != "true" {
+            write_trace_artifacts(prefix, &outcome.events)?;
+        }
+    }
+    if f.has("check") {
+        // Re-run the exact configuration on the threaded runtime and hold
+        // the two substrates to the equivalence bar: bitwise-identical
+        // fields, and (under a synthetic load model) identical remap
+        // decisions.
+        let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
+        let mut rcfg = RuntimeConfig::new(check_channel, ranks, phases);
+        rcfg.remap_interval = cfg.remap_interval;
+        rcfg.predictor_window = cfg.predictor_window;
+        rcfg.throttle = cfg.throttle.clone();
+        rcfg.spikes = cfg.spikes.clone();
+        rcfg.load = cfg.load;
+        rcfg.trace = sink;
+        let reference = match scheme {
+            Scheme::NoRemap => run_parallel(&rcfg, Arc::new(NoRemap)),
+            Scheme::Filtered => run_parallel(&rcfg, Arc::new(Filtered::default())),
+            Scheme::Conservative => run_parallel(&rcfg, Arc::new(Conservative::default())),
+            other => {
+                return Err(format!("scheme '{}' not executable on the threaded runtime", other.name()))
+            }
+        };
+        if outcome.snapshot != reference.snapshot {
+            return Err("check failed: mp fields differ from the threaded reference".to_string());
+        }
+        let mp_prints = remap_fingerprints(&outcome.events);
+        let threaded_prints = remap_fingerprints(&rec.events());
+        if matches!(cfg.load, LoadModel::Synthetic { .. }) && mp_prints != threaded_prints {
+            return Err("check failed: mp remap decisions differ from the threaded reference".to_string());
+        }
+        println!(
+            "check: bitwise-identical to the threaded reference ({} remap decisions match)",
+            mp_prints.len()
+        );
+    }
+    Ok(())
+}
+
+/// One rank of a multi-process run — spawned by `microslip mp`, not meant
+/// for direct use.
+fn cmd_mp_worker(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let need = |key: &str| -> Result<String, String> {
+        f.values.get(key).cloned().ok_or_else(|| format!("mp-worker requires --{key}"))
+    };
+    let mut spikes = Vec::new();
+    if let Some(spec) = f.values.get("spikes") {
+        for part in spec.split(',') {
+            let fields: Vec<&str> = part.split(':').collect();
+            let err = || format!("--spikes wants FROM:TO:FACTOR, got '{part}'");
+            if fields.len() != 3 {
+                return Err(err());
+            }
+            let from = fields[0].parse().map_err(|_| err())?;
+            let to = fields[1].parse().map_err(|_| err())?;
+            let factor = fields[2].parse().map_err(|_| err())?;
+            spikes.push((from, to, factor));
+        }
+    }
+    let a = MpWorkerArgs {
+        rank: need("rank")?.parse().map_err(|_| "bad --rank".to_string())?,
+        ranks: need("ranks")?.parse().map_err(|_| "bad --ranks".to_string())?,
+        rendezvous: need("rendezvous")?,
+        dir: need("dir")?.into(),
+        phases: f.get("phases", 100u64)?,
+        remap_interval: f.get("remap-every", 0u64)?,
+        predictor_window: f.get("predictor-window", 10usize)?,
+        scheme: f.get("scheme", "filtered".to_string())?,
+        throttle_factor: f.get("throttle-factor", 1.0f64)?,
+        spikes,
+        synthetic_load: f
+            .values
+            .get("synthetic-load")
+            .map(|v| v.parse().map_err(|_| format!("bad --synthetic-load '{v}'")))
+            .transpose()?,
+        checkpoint_every: f.get("checkpoint-every", 0u64)?,
+        resume_phase: f
+            .values
+            .get("resume-phase")
+            .map(|v| v.parse().map_err(|_| format!("bad --resume-phase '{v}'")))
+            .transpose()?,
+        die_at_phase: f
+            .values
+            .get("die-at-phase")
+            .map(|v| v.parse().map_err(|_| format!("bad --die-at-phase '{v}'")))
+            .transpose()?,
+    };
+    microslip::mp::run_worker(&a)
 }
 
 /// A traced run end to end: run, export, optionally re-parse and check.

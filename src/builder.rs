@@ -41,7 +41,9 @@ use microslip_cluster::{
 };
 use microslip_lbm::{ChannelConfig, Dims, Parallelism};
 use microslip_obs::TraceSink;
-use microslip_runtime::{run_parallel, RunOutcome, RuntimeConfig};
+use microslip_runtime::{run_parallel, LoadModel, RunOutcome, RuntimeConfig};
+
+use crate::mp::{run_multiprocess, MpConfig, MpFailure, MpOutcome};
 
 /// Fluent description of a parallel microchannel run; finalize with
 /// [`build`](RunBuilder::build) (threaded) or
@@ -58,6 +60,7 @@ pub struct RunBuilder {
     spikes: Vec<(usize, u64, u64, f64)>,
     threads_per_worker: usize,
     checkpoint_at_end: bool,
+    load: LoadModel,
     trace: TraceSink,
 }
 
@@ -78,6 +81,7 @@ impl RunBuilder {
             spikes: Vec::new(),
             threads_per_worker: 1,
             checkpoint_at_end: false,
+            load: LoadModel::Measured,
             trace: TraceSink::null(),
         }
     }
@@ -151,6 +155,18 @@ impl RunBuilder {
         self
     }
 
+    /// Load-index source for the remap predictor. The default
+    /// ([`LoadModel::Measured`]) uses wall-clock kernel time, like the
+    /// paper; [`LoadModel::Synthetic`] derives load from the throttle
+    /// factors alone, which makes remap decisions a pure function of the
+    /// configuration — a threaded run and a multi-process run then take
+    /// *identical* decisions (compare them with
+    /// [`microslip_obs::remap_fingerprints`]).
+    pub fn load_model(mut self, load: LoadModel) -> Self {
+        self.load = load;
+        self
+    }
+
     /// Attaches an observability sink; both finalizers thread it through,
     /// so traces from the two substrates are directly diffable.
     pub fn trace(mut self, sink: TraceSink) -> Self {
@@ -177,26 +193,52 @@ impl RunBuilder {
             ));
         }
         self.channel.validate()?;
+        let throttle = expand_throttle(&self.throttle, self.workers)?;
         let mut cfg = RuntimeConfig::new(self.channel, self.workers, self.phases);
         cfg.remap_interval = self.remap_interval;
         cfg.predictor_window = self.predictor_window;
         cfg.checkpoint_at_end = self.checkpoint_at_end;
         cfg.threads_per_worker = self.threads_per_worker;
+        cfg.load = self.load;
         cfg.trace = self.trace;
         cfg.spikes = self.spikes;
-        if !self.throttle.is_empty() {
-            cfg.throttle = vec![1.0; self.workers];
-            for (rank, factor) in self.throttle {
-                if rank >= self.workers {
-                    return Err(format!(
-                        "throttle rank {rank} out of range for {} workers",
-                        self.workers
-                    ));
-                }
-                cfg.throttle[rank] = factor;
-            }
-        }
+        cfg.throttle = throttle;
         Ok(Runtime { cfg, scheme: self.scheme })
+    }
+
+    /// Finalizes into a [`Multiprocess`] run: the same worker protocol as
+    /// [`build`](RunBuilder::build), but with every rank in its own OS
+    /// process over localhost TCP (see [`crate::mp`]). The builder's
+    /// trace sink is not carried over — each worker process records its
+    /// own trace, and the driver merges them into
+    /// [`MpOutcome::events`].
+    pub fn build_multiprocess(self) -> Result<Multiprocess, String> {
+        if self.scheme == Scheme::Global {
+            return Err(
+                "the global scheme needs a collective exchange and only runs on the \
+                 virtual cluster — use build_cluster()"
+                    .into(),
+            );
+        }
+        if self.workers == 0 {
+            return Err("need at least one rank".into());
+        }
+        if self.channel.dims.nx < self.workers {
+            return Err(format!(
+                "need at least one plane per rank ({} planes < {} ranks)",
+                self.channel.dims.nx, self.workers
+            ));
+        }
+        self.channel.validate()?;
+        let throttle = expand_throttle(&self.throttle, self.workers)?;
+        let mut cfg = MpConfig::new(self.channel, self.workers, self.phases);
+        cfg.remap_interval = self.remap_interval;
+        cfg.predictor_window = self.predictor_window;
+        cfg.scheme = self.scheme;
+        cfg.throttle = throttle;
+        cfg.spikes = self.spikes;
+        cfg.load = self.load;
+        Ok(Multiprocess { cfg })
     }
 
     /// Finalizes into a virtual-time [`ClusterExperiment`] with the *same
@@ -234,6 +276,22 @@ impl RunBuilder {
     }
 }
 
+/// Expands sparse `(rank, factor)` throttle pairs into a dense per-rank
+/// vector, validating ranks.
+fn expand_throttle(pairs: &[(usize, f64)], workers: usize) -> Result<Vec<f64>, String> {
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = vec![1.0; workers];
+    for &(rank, factor) in pairs {
+        if rank >= workers {
+            return Err(format!("throttle rank {rank} out of range for {workers} workers"));
+        }
+        out[rank] = factor;
+    }
+    Ok(out)
+}
+
 /// A fully-validated threaded run, ready to execute.
 #[derive(Clone, Debug)]
 pub struct Runtime {
@@ -266,6 +324,31 @@ impl Runtime {
     /// Executes the run on `workers` threads.
     pub fn run(&self) -> RunOutcome {
         run_parallel(&self.cfg, self.policy())
+    }
+}
+
+/// A fully-validated multi-process run, ready to fork its workers.
+#[derive(Clone, Debug)]
+pub struct Multiprocess {
+    cfg: MpConfig,
+}
+
+impl Multiprocess {
+    /// The underlying configuration (escape hatch for knobs the builder
+    /// does not surface: checkpointing, resume, run directory, fault
+    /// injection).
+    pub fn config(&self) -> &MpConfig {
+        &self.cfg
+    }
+
+    /// Mutable escape hatch.
+    pub fn config_mut(&mut self) -> &mut MpConfig {
+        &mut self.cfg
+    }
+
+    /// Forks the worker processes and gathers the stitched outcome.
+    pub fn run(&self) -> Result<MpOutcome, MpFailure> {
+        run_multiprocess(&self.cfg)
     }
 }
 

@@ -19,13 +19,16 @@
 //! * [`obs`] — the zero-dependency structured event-tracing layer (JSONL
 //!   and Chrome `trace_event` exporters, derived summaries).
 //!
-//! Two additions live in the facade itself:
+//! Three additions live in the facade itself:
 //!
 //! * [`RunBuilder`] — the builder-style front door that configures a run
-//!   once and finalizes it either onto real threads
-//!   ([`RunBuilder::build`]) or onto the virtual-time cluster
-//!   ([`RunBuilder::build_cluster`]) with the same geometry and the same
-//!   trace sink;
+//!   once and finalizes it onto real threads ([`RunBuilder::build`]),
+//!   onto the virtual-time cluster ([`RunBuilder::build_cluster`]), or
+//!   onto separate OS processes over localhost TCP
+//!   ([`RunBuilder::build_multiprocess`]) with the same geometry;
+//! * [`mp`] — the multi-process rank runtime: a driver that forks
+//!   `microslip mp-worker` children meshed by [`microslip_net`] and
+//!   stitches their snapshots, reports and JSONL traces back together;
 //! * [`prelude`] — one `use microslip::prelude::*;` for the common types.
 //!
 //! ## Quickstart
@@ -52,7 +55,9 @@ pub use microslip_obs as obs;
 pub use microslip_runtime as runtime;
 
 mod builder;
-pub use builder::{ClusterExperiment, RunBuilder, Runtime};
+pub mod mp;
+pub use builder::{ClusterExperiment, Multiprocess, RunBuilder, Runtime};
+pub use mp::{run_multiprocess, MpConfig, MpFailure, MpFault, MpOutcome, MpReport};
 
 /// The types most runs need, in one import.
 ///
@@ -63,7 +68,8 @@ pub use builder::{ClusterExperiment, RunBuilder, Runtime};
 /// assert!(r.wall_seconds >= 0.0);
 /// ```
 pub mod prelude {
-    pub use crate::builder::{ClusterExperiment, RunBuilder, Runtime};
+    pub use crate::builder::{ClusterExperiment, Multiprocess, RunBuilder, Runtime};
+    pub use crate::mp::{MpConfig, MpOutcome};
     pub use microslip_cluster::{
         ClusterConfig, Dedicated, Disturbance, DutyCycle, FixedSlowNodes, RunResult, Scheme,
         TransientSpikes,
@@ -72,5 +78,5 @@ pub mod prelude {
     pub use microslip_obs::{
         to_chrome_trace, to_jsonl, Event, Recorder, TraceSink, TraceSummary,
     };
-    pub use microslip_runtime::{RunOutcome, RuntimeConfig};
+    pub use microslip_runtime::{LoadModel, RunOutcome, RuntimeConfig};
 }

@@ -1,0 +1,619 @@
+//! Multi-process rank runtime: the worker protocol of
+//! [`microslip_runtime`], with every rank in its own OS process talking
+//! over localhost TCP through [`microslip_net`].
+//!
+//! The threaded runtime shares one address space; this module is the
+//! closest reproduction of the paper's actual deployment — separate MPI
+//! ranks on a cluster — that a single machine can host. The driver
+//! ([`run_multiprocess`]) forks `ranks` copies of the `microslip` binary
+//! running the `mp-worker` subcommand, hands them a rendezvous address,
+//! and gathers their results from a shared run directory:
+//!
+//! * `config.bin` — the [`ChannelConfig`], byte-exact via
+//!   [`microslip_lbm::config_codec`], written by the driver and decoded by
+//!   every child;
+//! * `rank{r}.state` — each rank's end-of-run solver state
+//!   ([`microslip_lbm::checkpoint`] format), stitched into the global
+//!   [`Snapshot`];
+//! * `rank{r}.report` — a small key/value summary (slab, migration
+//!   counts);
+//! * `rank{r}.jsonl` — the rank's structured trace, merged with
+//!   [`microslip_obs::merge_rank_streams`]; written even when the rank
+//!   fails, so a crashed run still leaves partial evidence behind;
+//! * `rank{r}.error` — present only on failure, the typed
+//!   [`WorkerError`] rendered for the driver.
+//!
+//! Determinism carries over: remapping moves planes, never changes
+//! physics, so an `mp` run is bitwise identical to the threaded and
+//! sequential runs of the same configuration. With
+//! [`LoadModel::Synthetic`] the remap *decisions* are a pure function of
+//! the configuration too, and the two substrates produce identical
+//! decision audit trails (compare with
+//! [`microslip_obs::remap_fingerprints`]).
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use microslip_balance::policy::{Conservative, Filtered, NeighborPolicy, NoRemap};
+use microslip_balance::predict::HarmonicMean;
+use microslip_cluster::Scheme;
+use microslip_comm::{CommError, NodeId, Tag, Transport};
+use microslip_lbm::checkpoint::load_solver;
+use microslip_lbm::config_codec::{decode_config, encode_config};
+use microslip_lbm::geometry::even_slabs;
+use microslip_lbm::macroscopic::Snapshot;
+use microslip_lbm::{ChannelConfig, Slab};
+use microslip_net::{connect, reserve_port, NetConfig};
+use microslip_obs::{
+    from_jsonl, merge_rank_streams, to_jsonl, Event, TraceSink, DEFAULT_CAPACITY,
+};
+use microslip_runtime::worker::{
+    worker_main, worker_main_with_solver, WorkerConfig, WorkerError, WorkerReport,
+};
+use microslip_runtime::{LoadModel, ThrottlePlan};
+
+/// Deliberate mid-run death of one rank, for fault-injection tests: the
+/// rank exits hard (no goodbye frame, no flush) partway through the halo
+/// exchange of `die_at_phase`, exactly like a killed cluster node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MpFault {
+    pub rank: usize,
+    pub die_at_phase: u64,
+}
+
+/// Configuration of a multi-process run.
+#[derive(Clone, Debug)]
+pub struct MpConfig {
+    pub channel: ChannelConfig,
+    /// Worker processes (one slab each).
+    pub ranks: usize,
+    pub phases: u64,
+    /// Phases between remap rounds; 0 disables remapping.
+    pub remap_interval: u64,
+    pub predictor_window: usize,
+    /// Remapping scheme; [`Scheme::Global`] is rejected (needs a
+    /// collective).
+    pub scheme: Scheme,
+    /// Per-rank slowdown factors (≥ 1). Empty = all full speed.
+    pub throttle: Vec<f64>,
+    /// Transient spikes `(rank, from_phase, to_phase, factor)`.
+    pub spikes: Vec<(usize, u64, u64, f64)>,
+    /// Load-index source. Use [`LoadModel::Synthetic`] when comparing
+    /// remap decisions against a threaded run of the same configuration.
+    pub load: LoadModel,
+    /// Phases between periodic checkpoints in the run directory; 0
+    /// disables them.
+    pub checkpoint_every: u64,
+    /// Resume every rank from `ckpt-rank{r}-phase{p}.bin` in the run
+    /// directory and run `phases` *more* phases.
+    pub resume_phase: Option<u64>,
+    /// Run directory; `None` = a fresh directory under the system temp
+    /// dir.
+    pub dir: Option<PathBuf>,
+    /// Worker executable; `None` = this process's own binary.
+    pub worker_exe: Option<PathBuf>,
+    /// Optional fault injection (tests).
+    pub fault: Option<MpFault>,
+}
+
+impl MpConfig {
+    /// A run with no remapping and no throttling.
+    pub fn new(channel: ChannelConfig, ranks: usize, phases: u64) -> Self {
+        MpConfig {
+            channel,
+            ranks,
+            phases,
+            remap_interval: 0,
+            predictor_window: 10,
+            scheme: Scheme::Filtered,
+            throttle: Vec::new(),
+            spikes: Vec::new(),
+            load: LoadModel::Measured,
+            checkpoint_every: 0,
+            resume_phase: None,
+            dir: None,
+            worker_exe: None,
+            fault: None,
+        }
+    }
+}
+
+/// Per-rank summary parsed back from `rank{r}.report`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MpReport {
+    pub rank: usize,
+    pub final_slab: Slab,
+    pub planes_sent: usize,
+    pub planes_received: usize,
+}
+
+/// Result of a successful multi-process run.
+#[derive(Clone, Debug)]
+pub struct MpOutcome {
+    /// The stitched global macroscopic state.
+    pub snapshot: Snapshot,
+    /// Per-rank reports, ordered by rank.
+    pub reports: Vec<MpReport>,
+    /// The merged trace: one meta (mode `"mp"`), then each rank's events
+    /// in rank-major order.
+    pub events: Vec<Event>,
+    /// The run directory with all artifacts.
+    pub dir: PathBuf,
+}
+
+impl MpOutcome {
+    /// Final plane counts by rank.
+    pub fn final_counts(&self) -> Vec<usize> {
+        self.reports.iter().map(|r| r.final_slab.nx_local).collect()
+    }
+
+    /// Total planes migrated (sum of sends).
+    pub fn planes_migrated(&self) -> usize {
+        self.reports.iter().map(|r| r.planes_sent).sum()
+    }
+}
+
+/// Why a multi-process run failed. Per-rank errors are the typed
+/// [`WorkerError`]s the workers rendered into their `rank{r}.error`
+/// files — partial traces for the failed ranks remain in [`Self::dir`].
+#[derive(Clone, Debug)]
+pub struct MpFailure {
+    pub message: String,
+    /// `(rank, error text)` for every rank that failed.
+    pub rank_errors: Vec<(usize, String)>,
+    /// The run directory (partial artifacts survive for post-mortems).
+    pub dir: PathBuf,
+}
+
+impl fmt::Display for MpFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        for (rank, e) in &self.rank_errors {
+            write!(f, "; rank {rank}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for MpFailure {}
+
+fn policy_by_name(name: &str) -> Result<Arc<dyn NeighborPolicy>, String> {
+    match name {
+        "no-remap" => Ok(Arc::new(NoRemap)),
+        "filtered" => Ok(Arc::new(Filtered::default())),
+        "conservative" => Ok(Arc::new(Conservative::default())),
+        other => {
+            Err(format!("scheme '{other}' not executable on the multi-process runtime"))
+        }
+    }
+}
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_run_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "microslip-mp-{}-{}",
+        std::process::id(),
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Forks `cfg.ranks` worker processes, waits for them, and stitches their
+/// results. On failure the error carries every failed rank's typed error
+/// text; partial traces stay in the run directory.
+pub fn run_multiprocess(cfg: &MpConfig) -> Result<MpOutcome, MpFailure> {
+    let dir = cfg.dir.clone().unwrap_or_else(fresh_run_dir);
+    let fail = |message: String| MpFailure {
+        message,
+        rank_errors: Vec::new(),
+        dir: dir.clone(),
+    };
+
+    if cfg.ranks == 0 {
+        return Err(fail("need at least one rank".into()));
+    }
+    if cfg.channel.dims.nx < cfg.ranks {
+        return Err(fail(format!(
+            "need at least one plane per rank ({} planes < {} ranks)",
+            cfg.channel.dims.nx, cfg.ranks
+        )));
+    }
+    if cfg.scheme == Scheme::Global {
+        return Err(fail(
+            "the global scheme needs a collective exchange and only runs on the \
+             virtual cluster"
+                .into(),
+        ));
+    }
+    cfg.channel.validate().map_err(&fail)?;
+    policy_by_name(cfg.scheme.name()).map_err(&fail)?;
+
+    fs::create_dir_all(&dir)
+        .map_err(|e| fail(format!("create run dir {}: {e}", dir.display())))?;
+    let config_path = dir.join("config.bin");
+    fs::write(&config_path, encode_config(&cfg.channel))
+        .map_err(|e| fail(format!("write {}: {e}", config_path.display())))?;
+
+    let port =
+        reserve_port().map_err(|e| fail(format!("reserve rendezvous port: {e}")))?;
+    let rendezvous = format!("127.0.0.1:{port}");
+    let exe = match &cfg.worker_exe {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| fail(format!("locate worker executable: {e}")))?,
+    };
+
+    let mut children = Vec::with_capacity(cfg.ranks);
+    for rank in 0..cfg.ranks {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("mp-worker")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--ranks")
+            .arg(cfg.ranks.to_string())
+            .arg("--rendezvous")
+            .arg(&rendezvous)
+            .arg("--dir")
+            .arg(&dir)
+            .arg("--phases")
+            .arg(cfg.phases.to_string())
+            .arg("--remap-every")
+            .arg(cfg.remap_interval.to_string())
+            .arg("--predictor-window")
+            .arg(cfg.predictor_window.to_string())
+            .arg("--scheme")
+            .arg(cfg.scheme.name())
+            .arg("--checkpoint-every")
+            .arg(cfg.checkpoint_every.to_string())
+            .stdout(Stdio::null());
+        let factor = cfg.throttle.get(rank).copied().unwrap_or(1.0);
+        if factor > 1.0 {
+            // f64 Display is shortest-round-trip, so the child parses the
+            // exact same value — synthetic load indices stay bit-equal to
+            // the threaded run's.
+            cmd.arg("--throttle-factor").arg(factor.to_string());
+        }
+        let spikes: Vec<String> = cfg
+            .spikes
+            .iter()
+            .filter(|s| s.0 == rank)
+            .map(|&(_, from, to, x)| format!("{from}:{to}:{x}"))
+            .collect();
+        if !spikes.is_empty() {
+            cmd.arg("--spikes").arg(spikes.join(","));
+        }
+        if let LoadModel::Synthetic { per_point } = cfg.load {
+            cmd.arg("--synthetic-load").arg(per_point.to_string());
+        }
+        if let Some(p) = cfg.resume_phase {
+            cmd.arg("--resume-phase").arg(p.to_string());
+        }
+        if cfg.fault.is_some_and(|f| f.rank == rank) {
+            cmd.arg("--die-at-phase")
+                .arg(cfg.fault.unwrap().die_at_phase.to_string());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| fail(format!("spawn rank {rank} ({}): {e}", exe.display())))?;
+        children.push(child);
+    }
+
+    let mut rank_errors = Vec::new();
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = child.wait();
+        let err_path = dir.join(format!("rank{rank}.error"));
+        if let Ok(text) = fs::read_to_string(&err_path) {
+            rank_errors.push((rank, text.trim().to_string()));
+            continue;
+        }
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => rank_errors.push((rank, format!("exited with {s}"))),
+            Err(e) => rank_errors.push((rank, format!("wait failed: {e}"))),
+        }
+    }
+    if !rank_errors.is_empty() {
+        return Err(MpFailure {
+            message: format!(
+                "{} of {} ranks failed (partial traces in {})",
+                rank_errors.len(),
+                cfg.ranks,
+                dir.display()
+            ),
+            rank_errors,
+            dir,
+        });
+    }
+
+    gather(cfg, &dir).map_err(|message| MpFailure {
+        message,
+        rank_errors: Vec::new(),
+        dir: dir.clone(),
+    })
+}
+
+/// Reads every rank's artifacts and assembles the outcome.
+fn gather(cfg: &MpConfig, dir: &Path) -> Result<MpOutcome, String> {
+    let mut snapshots = Vec::with_capacity(cfg.ranks);
+    let mut reports = Vec::with_capacity(cfg.ranks);
+    let mut streams = Vec::with_capacity(cfg.ranks);
+    for rank in 0..cfg.ranks {
+        let state_path = dir.join(format!("rank{rank}.state"));
+        let bytes = fs::read(&state_path)
+            .map_err(|e| format!("read {}: {e}", state_path.display()))?;
+        let (solver, _) = load_solver(&cfg.channel, &bytes)
+            .map_err(|e| format!("{}: {e}", state_path.display()))?;
+        snapshots.push(solver.snapshot());
+
+        let report_path = dir.join(format!("rank{rank}.report"));
+        let text = fs::read_to_string(&report_path)
+            .map_err(|e| format!("read {}: {e}", report_path.display()))?;
+        reports.push(parse_report(rank, &text)?);
+
+        let trace_path = dir.join(format!("rank{rank}.jsonl"));
+        let jsonl = fs::read_to_string(&trace_path)
+            .map_err(|e| format!("read {}: {e}", trace_path.display()))?;
+        streams
+            .push(from_jsonl(&jsonl).map_err(|e| format!("{}: {e}", trace_path.display()))?);
+    }
+    Ok(MpOutcome {
+        snapshot: Snapshot::stitch(snapshots),
+        reports,
+        events: merge_rank_streams(streams),
+        dir: dir.to_path_buf(),
+    })
+}
+
+fn parse_report(rank: usize, text: &str) -> Result<MpReport, String> {
+    let get = |key: &str| -> Result<usize, String> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|v| v.trim().parse().ok()))
+            .ok_or_else(|| format!("rank{rank}.report: missing or invalid '{key}'"))
+    };
+    let reported = get("rank ")?;
+    if reported != rank {
+        return Err(format!("rank{rank}.report claims rank {reported}"));
+    }
+    Ok(MpReport {
+        rank,
+        final_slab: Slab { x0: get("x0 ")?, nx_local: get("nx_local ")? },
+        planes_sent: get("planes_sent ")?,
+        planes_received: get("planes_received ")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker side (the `mp-worker` subcommand)
+// ---------------------------------------------------------------------------
+
+/// Parsed arguments of one `mp-worker` invocation.
+#[derive(Clone, Debug)]
+pub struct MpWorkerArgs {
+    pub rank: usize,
+    pub ranks: usize,
+    pub rendezvous: String,
+    pub dir: PathBuf,
+    pub phases: u64,
+    pub remap_interval: u64,
+    pub predictor_window: usize,
+    /// Policy name ("no-remap", "filtered", "conservative").
+    pub scheme: String,
+    pub throttle_factor: f64,
+    /// `(from_phase, to_phase, factor)` spikes for this rank.
+    pub spikes: Vec<(u64, u64, f64)>,
+    /// `Some(per_point)` selects [`LoadModel::Synthetic`].
+    pub synthetic_load: Option<f64>,
+    pub checkpoint_every: u64,
+    pub resume_phase: Option<u64>,
+    /// Fault injection: exit hard mid-halo-exchange at this phase.
+    pub die_at_phase: Option<u64>,
+}
+
+/// A [`Transport`] wrapper that kills the process partway through the
+/// F-halo exchange of a chosen phase — `process::exit` runs no
+/// destructors, so no goodbye frame is sent and peers see a raw EOF,
+/// exactly like a node crash.
+struct FaultTransport<T: Transport> {
+    inner: T,
+    f_halo_sends: u64,
+    /// Each phase sends two F-halo messages; dying on send `2 × phase`
+    /// leaves the right-bound message of `die_at_phase` delivered and the
+    /// left-bound one missing.
+    die_on_send: u64,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    fn new(inner: T, die_at_phase: u64) -> Self {
+        FaultTransport { inner, f_halo_sends: 0, die_on_send: 2 * die_at_phase.max(1) }
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn rank(&self) -> NodeId {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&mut self, to: NodeId, tag: Tag, payload: Vec<f64>) -> Result<(), CommError> {
+        if tag == Tag::F_HALO {
+            self.f_halo_sends += 1;
+            if self.f_halo_sends >= self.die_on_send {
+                std::process::exit(13);
+            }
+        }
+        self.inner.send(to, tag, payload)
+    }
+
+    fn recv(&mut self, from: NodeId, tag: Tag) -> Result<Vec<f64>, CommError> {
+        self.inner.recv(from, tag)
+    }
+}
+
+fn execute<T: Transport>(
+    a: &MpWorkerArgs,
+    cfg: &WorkerConfig,
+    policy: &dyn NeighborPolicy,
+    transport: T,
+) -> Result<WorkerReport, WorkerError> {
+    let predictor = HarmonicMean { window: cfg.predictor_window.max(1) };
+    let mut throttle = ThrottlePlan::constant(a.throttle_factor.max(1.0));
+    for &(from, to, factor) in &a.spikes {
+        throttle = throttle.with_spike(from, to, factor);
+    }
+    match a.resume_phase {
+        None => {
+            let slab = even_slabs(cfg.channel.dims.nx, a.ranks)[a.rank];
+            worker_main(cfg, policy, &predictor, transport, slab, throttle)
+        }
+        Some(p) => {
+            let path = a.dir.join(format!("ckpt-rank{}-phase{p}.bin", a.rank));
+            let bytes = fs::read(&path)
+                .map_err(|e| WorkerError::Io(format!("read {}: {e}", path.display())))?;
+            let (solver, _) = load_solver(&cfg.channel, &bytes)
+                .map_err(|e| WorkerError::Io(format!("{}: {e}", path.display())))?;
+            worker_main_with_solver(cfg, policy, &predictor, transport, solver, throttle)
+        }
+    }
+}
+
+/// Entry point of the `mp-worker` subcommand: joins the TCP mesh, runs
+/// the standard worker protocol, and leaves `rank{r}.state` /
+/// `rank{r}.report` / `rank{r}.jsonl` in the run directory. On failure
+/// the trace is still flushed and `rank{r}.error` carries the typed
+/// error.
+pub fn run_worker(a: &MpWorkerArgs) -> Result<(), String> {
+    let rank = a.rank;
+    let config_path = a.dir.join("config.bin");
+    let config_bytes = fs::read(&config_path)
+        .map_err(|e| format!("read {}: {e}", config_path.display()))?;
+    let channel = decode_config(&config_bytes)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let policy = policy_by_name(&a.scheme)?;
+
+    let (sink, recorder) = TraceSink::recorder(DEFAULT_CAPACITY);
+    sink.record(Event::Meta {
+        mode: "mp".into(),
+        nodes: a.ranks,
+        phases: a.phases,
+        policy: a.scheme.clone(),
+    });
+    let parallelism = channel.parallelism;
+    let cfg = WorkerConfig {
+        channel,
+        phases: a.phases,
+        remap_interval: a.remap_interval,
+        predictor_window: a.predictor_window,
+        checkpoint_at_end: true,
+        checkpoint_every: a.checkpoint_every,
+        checkpoint_dir: Some(a.dir.clone()),
+        load: match a.synthetic_load {
+            Some(per_point) => LoadModel::Synthetic { per_point },
+            None => LoadModel::Measured,
+        },
+        parallelism,
+        trace: sink,
+        epoch: Instant::now(),
+    };
+
+    let net = NetConfig::default();
+    let result = connect(Some(rank), a.ranks, &a.rendezvous, &net)
+        .map_err(WorkerError::Comm)
+        .and_then(|transport| match a.die_at_phase {
+            Some(p) => {
+                execute(a, &cfg, policy.as_ref(), FaultTransport::new(transport, p))
+            }
+            None => execute(a, &cfg, policy.as_ref(), transport),
+        });
+
+    // The trace lands on disk no matter what: a failed rank must leave
+    // its partial evidence (spans, traffic totals) behind.
+    let trace_path = a.dir.join(format!("rank{rank}.jsonl"));
+    fs::write(&trace_path, to_jsonl(&recorder.events()))
+        .map_err(|e| format!("write {}: {e}", trace_path.display()))?;
+
+    match result {
+        Ok(report) => {
+            let state = report.checkpoint.expect("checkpoint_at_end was requested");
+            let state_path = a.dir.join(format!("rank{rank}.state"));
+            fs::write(&state_path, state)
+                .map_err(|e| format!("write {}: {e}", state_path.display()))?;
+            let summary = format!(
+                "rank {}\nx0 {}\nnx_local {}\nplanes_sent {}\nplanes_received {}\n",
+                report.rank,
+                report.final_slab.x0,
+                report.final_slab.nx_local,
+                report.planes_sent,
+                report.planes_received,
+            );
+            let report_path = a.dir.join(format!("rank{rank}.report"));
+            fs::write(&report_path, summary)
+                .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+            Ok(())
+        }
+        Err(e) => {
+            let err_path = a.dir.join(format!("rank{rank}.error"));
+            let _ = fs::write(&err_path, format!("{e}\n"));
+            Err(format!("rank {rank} failed: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microslip_lbm::Dims;
+
+    #[test]
+    fn report_round_trips_through_the_kv_format() {
+        let text = "rank 2\nx0 8\nnx_local 5\nplanes_sent 3\nplanes_received 1\n";
+        let r = parse_report(2, text).unwrap();
+        assert_eq!(
+            r,
+            MpReport {
+                rank: 2,
+                final_slab: Slab { x0: 8, nx_local: 5 },
+                planes_sent: 3,
+                planes_received: 1,
+            }
+        );
+        assert!(parse_report(1, text).is_err(), "rank mismatch must be caught");
+        assert!(parse_report(0, "rank 0\n").is_err(), "missing keys must be caught");
+    }
+
+    #[test]
+    fn driver_validates_before_spawning_anything() {
+        let channel = ChannelConfig::paper_scaled(Dims::new(8, 6, 4));
+        let no_ranks = MpConfig::new(channel.clone(), 0, 2);
+        assert!(run_multiprocess(&no_ranks).is_err());
+        let too_thin = MpConfig::new(channel.clone(), 16, 2);
+        assert!(run_multiprocess(&too_thin).is_err());
+        let mut global = MpConfig::new(channel, 2, 2);
+        global.scheme = Scheme::Global;
+        let err = run_multiprocess(&global).unwrap_err();
+        assert!(err.to_string().contains("global"), "{err}");
+    }
+
+    #[test]
+    fn fault_transport_passes_through_below_the_trigger() {
+        // Two channel endpoints; the fault only fires at the configured
+        // send count, so an early exchange is untouched.
+        let mut mesh = microslip_comm::mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        let mut a = FaultTransport::new(a, 1000);
+        let mut b = FaultTransport::new(b, 1000);
+        a.send(1, Tag::F_HALO, vec![1.0, 2.0]).unwrap();
+        assert_eq!(b.recv(0, Tag::F_HALO).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(a.f_halo_sends, 1);
+        assert_eq!(a.rank(), 0);
+        assert_eq!(b.size(), 2);
+    }
+}

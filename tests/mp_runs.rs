@@ -1,0 +1,181 @@
+//! Multi-process runtime integration tests: real `microslip mp-worker`
+//! processes meshed over localhost TCP must reproduce the threaded
+//! runtime bit for bit — fields *and* remap decisions — and fail cleanly
+//! when a rank dies mid-run.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use microslip::lbm::config_codec::encode_config;
+use microslip::lbm::{ChannelConfig, Dims};
+use microslip::obs::{from_jsonl, remap_fingerprints, validate_jsonl, Event, TraceSink};
+use microslip::runtime::LoadModel;
+use microslip::{MpFault, RunBuilder};
+
+const WORKER_EXE: &str = env!("CARGO_BIN_EXE_microslip");
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("microslip-mp-{label}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The common geometry: small enough to run in seconds, throttled enough
+/// that filtered remapping actually migrates planes.
+fn builder(ranks: usize, phases: u64) -> RunBuilder {
+    RunBuilder::paper_scaled(20, 6, 4)
+        .workers(ranks)
+        .phases(phases)
+        .remap_every(3)
+        .predictor_window(2)
+        .throttle(1, 6.0)
+        .load_model(LoadModel::Synthetic { per_point: 1.0 })
+}
+
+#[test]
+fn mp_run_matches_threaded_bitwise_with_identical_remap_decisions() {
+    for ranks in [2usize, 4] {
+        // Threaded reference, traced so its remap decisions are on record.
+        let (sink, recorder) = TraceSink::recorder(1 << 16);
+        let threaded = builder(ranks, 12).trace(sink).build().unwrap().run();
+        let threaded_prints = remap_fingerprints(&recorder.events());
+
+        let mut mp = builder(ranks, 12).build_multiprocess().unwrap();
+        mp.config_mut().worker_exe = Some(WORKER_EXE.into());
+        mp.config_mut().dir = Some(scratch_dir(&format!("equiv-{ranks}")));
+        let outcome = mp.run().unwrap_or_else(|e| panic!("{ranks}-rank mp run failed: {e}"));
+
+        assert_eq!(
+            outcome.snapshot, threaded.snapshot,
+            "{ranks}-rank mp run diverged from the threaded run"
+        );
+        assert_eq!(outcome.final_counts(), threaded.final_counts());
+        assert!(
+            outcome.planes_migrated() > 0,
+            "equivalence is only meaningful if remapping actually moved planes"
+        );
+
+        // The audit trails agree decision for decision (synthetic load
+        // makes them a pure function of the configuration).
+        let mp_prints = remap_fingerprints(&outcome.events);
+        assert!(!mp_prints.is_empty(), "expected remap decisions on record");
+        assert_eq!(mp_prints, threaded_prints, "{ranks}-rank remap decisions differ");
+
+        // The merged trace is a well-formed stream with one meta, mode "mp".
+        let stats = validate_jsonl(&microslip::obs::to_jsonl(&outcome.events)).unwrap();
+        assert_eq!(stats.counts["meta"], 1);
+        match &outcome.events[0] {
+            Event::Meta { mode, nodes, .. } => {
+                assert_eq!(mode, "mp");
+                assert_eq!(*nodes, ranks);
+            }
+            other => panic!("merged stream must lead with meta, got {other:?}"),
+        }
+
+        let _ = fs::remove_dir_all(&outcome.dir);
+    }
+}
+
+#[test]
+fn mp_restart_from_periodic_checkpoints_is_bitwise() {
+    let dir = scratch_dir("restart");
+
+    // Full 10-phase run, checkpointing every 5 phases.
+    let mut full = builder(2, 10).build_multiprocess().unwrap();
+    full.config_mut().worker_exe = Some(WORKER_EXE.into());
+    full.config_mut().dir = Some(dir.clone());
+    full.config_mut().checkpoint_every = 5;
+    let want = full.run().expect("full mp run failed");
+    for rank in 0..2 {
+        for phase in [5u64, 10] {
+            assert!(
+                dir.join(format!("ckpt-rank{rank}-phase{phase}.bin")).exists(),
+                "missing checkpoint rank {rank} phase {phase}"
+            );
+        }
+    }
+
+    // Resume from the phase-5 files and run the remaining 5 phases.
+    let mut resumed = builder(2, 5).build_multiprocess().unwrap();
+    resumed.config_mut().worker_exe = Some(WORKER_EXE.into());
+    resumed.config_mut().dir = Some(dir.clone());
+    resumed.config_mut().resume_phase = Some(5);
+    let got = resumed.run().expect("resumed mp run failed");
+
+    assert_eq!(
+        got.snapshot, want.snapshot,
+        "mp restart from periodic checkpoints diverged from the uninterrupted run"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_rank_surfaces_typed_errors_and_partial_traces() {
+    let dir = scratch_dir("fault");
+    let mut mp = builder(2, 8).build_multiprocess().unwrap();
+    mp.config_mut().worker_exe = Some(WORKER_EXE.into());
+    mp.config_mut().dir = Some(dir.clone());
+    mp.config_mut().fault = Some(MpFault { rank: 1, die_at_phase: 3 });
+
+    let failure = mp.run().expect_err("a killed rank must fail the run");
+    assert_eq!(failure.rank_errors.len(), 2, "{failure}");
+
+    // The killed rank exits hard (code 13), leaving no error file.
+    let (_, killed) = &failure.rank_errors.iter().find(|(r, _)| *r == 1).unwrap();
+    assert!(killed.contains("13"), "expected the injected exit code: {killed}");
+
+    // The survivor reports the typed transport failure…
+    let (_, survivor) = &failure.rank_errors.iter().find(|(r, _)| *r == 0).unwrap();
+    assert!(
+        survivor.contains("transport failure") && survivor.contains("disconnected"),
+        "survivor must surface CommError::Disconnected: {survivor}"
+    );
+    // …and the same text is on disk for post-mortems.
+    let on_disk = fs::read_to_string(dir.join("rank0.error")).unwrap();
+    assert!(on_disk.contains("disconnected"), "{on_disk}");
+
+    // Both ranks flushed valid partial traces; the survivor's accounts for
+    // real work (spans) and the bytes that moved (traffic totals).
+    let jsonl = fs::read_to_string(dir.join("rank0.jsonl")).unwrap();
+    let stats = validate_jsonl(&jsonl).unwrap();
+    assert!(stats.counts["span"] > 0, "partial trace must keep completed spans");
+    assert!(stats.counts["traffic"] > 0, "traffic totals must be flushed on failure");
+    let events = from_jsonl(&jsonl).unwrap();
+    assert!(matches!(events[0], Event::Meta { .. }));
+    // No state file: the run did not complete.
+    assert!(!dir.join("rank0.state").exists());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreachable_rendezvous_fails_with_typed_handshake_error() {
+    let dir = scratch_dir("dead-rendezvous");
+    let channel = ChannelConfig::paper_scaled(Dims::new(8, 6, 4));
+    fs::write(dir.join("config.bin"), encode_config(&channel)).unwrap();
+
+    // Rank 1 dials a port nobody listens on; bounded retries must give up
+    // with a typed handshake error, an error file, and a flushed trace.
+    let output = Command::new(WORKER_EXE)
+        .arg("mp-worker")
+        .args(["--rank", "1", "--ranks", "2"])
+        .args(["--rendezvous", "127.0.0.1:9"])
+        .args(["--phases", "2"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("spawn mp-worker");
+    assert!(!output.status.success(), "connecting to a dead port must fail");
+
+    let err = fs::read_to_string(dir.join("rank1.error")).unwrap();
+    assert!(
+        err.contains("handshake failed") && err.contains("could not connect"),
+        "expected a typed handshake failure: {err}"
+    );
+    let jsonl = fs::read_to_string(dir.join("rank1.jsonl")).unwrap();
+    validate_jsonl(&jsonl).unwrap();
+
+    let _ = fs::remove_dir_all(&dir);
+}
