@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip-balance — filtered dynamic remapping of lattice points
 //!
 //! The paper's primary contribution: load-balancing policies that remap

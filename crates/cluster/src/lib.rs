@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip-cluster — virtual-time non-dedicated cluster simulator
 //!
 //! The substitute for the paper's 32-node Linux cluster: a deterministic

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip-comm — message-passing substrate
 //!
 //! An in-process substitute for the paper's MPI layer: tagged blocking

@@ -41,6 +41,16 @@ struct Reader<'a> {
     pos: usize,
 }
 
+/// Copies an 8-byte chunk (from `Reader::take(8)`) into a fixed array
+/// without a fallible conversion.
+fn le8(chunk: &[u8]) -> [u8; 8] {
+    let mut le = [0u8; 8];
+    for (dst, src) in le.iter_mut().zip(chunk) {
+        *dst = *src;
+    }
+    le
+}
+
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         let end = self.pos.checked_add(n).ok_or("length overflow")?;
@@ -53,7 +63,7 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(le8(self.take(8)?)))
     }
 
     fn usize(&mut self) -> Result<usize, String> {
@@ -61,7 +71,7 @@ impl<'a> Reader<'a> {
     }
 
     fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(le8(self.take(8)?)))
     }
 
     fn bool(&mut self) -> Result<bool, String> {
@@ -171,7 +181,7 @@ pub fn encode_config(cfg: &ChannelConfig) -> Vec<u8> {
 
 /// Restores a channel configuration from [`encode_config`] output.
 pub fn decode_config(bytes: &[u8]) -> Result<ChannelConfig, String> {
-    if bytes.len() < 8 || bytes[..8] != MAGIC {
+    if !bytes.starts_with(&MAGIC) {
         return Err("not a microslip config (bad magic)".into());
     }
     let mut r = Reader { bytes, pos: 8 };

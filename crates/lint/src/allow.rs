@@ -1,0 +1,136 @@
+//! The `// lint:allow(<rule>, <reason>)` suppression-comment parser.
+//!
+//! A suppression silences findings of `<rule>` on the comment's own line
+//! and the line directly below it (so it can trail the offending
+//! expression or sit on its own line above it). The reason is mandatory:
+//! an allow without one is itself a violation (`allow-syntax`), because a
+//! suppression nobody can audit is just a hole.
+
+/// A successfully parsed suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Outcome of inspecting one comment for a suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllowParse {
+    /// The comment is not a `lint:allow` at all.
+    NotAllow,
+    /// A well-formed suppression.
+    Valid(Allow),
+    /// The comment tries to be a suppression but is malformed; the payload
+    /// says how.
+    Malformed(String),
+}
+
+/// The canonical serialization — `parse_allow(&format_allow(a))` yields
+/// `a` back for any rule/reason accepted by the grammar (the property
+/// test in `tests/allow_roundtrip.rs` pins this).
+pub fn format_allow(a: &Allow) -> String {
+    format!("lint:allow({}, {})", a.rule, a.reason)
+}
+
+fn is_rule_char(c: char) -> bool {
+    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'
+}
+
+/// Parses the text of one comment (the part after `//`).
+pub fn parse_allow(comment_text: &str) -> AllowParse {
+    let text = comment_text.trim();
+    let Some(rest) = text.strip_prefix("lint:allow") else {
+        return AllowParse::NotAllow;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix('(') else {
+        return AllowParse::Malformed(
+            "expected '(' after lint:allow — syntax is lint:allow(<rule>, <reason>)".into(),
+        );
+    };
+    let Some(body_end) = rest.rfind(')') else {
+        return AllowParse::Malformed("lint:allow is missing its closing ')'".into());
+    };
+    let (body, trailing) = (&rest[..body_end], &rest[body_end + 1..]);
+    if !trailing.trim().is_empty() {
+        return AllowParse::Malformed(format!(
+            "unexpected text after lint:allow(...): '{}'",
+            trailing.trim()
+        ));
+    }
+    let Some((rule, reason)) = body.split_once(',') else {
+        return AllowParse::Malformed(
+            "lint:allow needs a reason: lint:allow(<rule>, <reason>)".into(),
+        );
+    };
+    let rule = rule.trim();
+    let reason = reason.trim();
+    if rule.is_empty() || !rule.chars().all(is_rule_char) {
+        return AllowParse::Malformed(format!(
+            "'{rule}' is not a rule name (lowercase letters, digits and '-' only)"
+        ));
+    }
+    if reason.is_empty() {
+        return AllowParse::Malformed(format!(
+            "lint:allow({rule}, …) has an empty reason — say why the rule does not apply"
+        ));
+    }
+    AllowParse::Valid(Allow { rule: rule.to_string(), reason: reason.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_comments_are_not_allows() {
+        assert_eq!(parse_allow(" just a comment"), AllowParse::NotAllow);
+        assert_eq!(parse_allow(""), AllowParse::NotAllow);
+        assert_eq!(parse_allow(" TODO lint:allow later"), AllowParse::NotAllow);
+    }
+
+    #[test]
+    fn well_formed_allow_parses() {
+        let got = parse_allow(" lint:allow(boundary-panic, bench helper panics by contract)");
+        assert_eq!(
+            got,
+            AllowParse::Valid(Allow {
+                rule: "boundary-panic".into(),
+                reason: "bench helper panics by contract".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn reason_may_contain_parens_and_commas() {
+        let got = parse_allow("lint:allow(determinism-hash, keyed lookup (no iteration), ordered)");
+        assert_eq!(
+            got,
+            AllowParse::Valid(Allow {
+                rule: "determinism-hash".into(),
+                reason: "keyed lookup (no iteration), ordered".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        assert!(matches!(parse_allow("lint:allow(boundary-panic)"), AllowParse::Malformed(_)));
+        assert!(matches!(parse_allow("lint:allow(boundary-panic, )"), AllowParse::Malformed(_)));
+        assert!(matches!(parse_allow("lint:allow(boundary-panic,)"), AllowParse::Malformed(_)));
+    }
+
+    #[test]
+    fn malformed_shapes_are_reported() {
+        assert!(matches!(parse_allow("lint:allow"), AllowParse::Malformed(_)));
+        assert!(matches!(parse_allow("lint:allow(rule, reason"), AllowParse::Malformed(_)));
+        assert!(matches!(parse_allow("lint:allow(Bad_Rule, x)"), AllowParse::Malformed(_)));
+        assert!(matches!(parse_allow("lint:allow(, x)"), AllowParse::Malformed(_)));
+        assert!(matches!(parse_allow("lint:allow(r, x) trailing"), AllowParse::Malformed(_)));
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        let a = Allow { rule: "unsafe-containment".into(), reason: "SIMD kernel (reviewed)".into() };
+        assert_eq!(parse_allow(&format!(" {}", format_allow(&a))), AllowParse::Valid(a));
+    }
+}

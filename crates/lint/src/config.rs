@@ -1,0 +1,227 @@
+//! What the lint checks *where* — the project's invariant map.
+//!
+//! All paths are workspace-root-relative with forward slashes. The
+//! [`default_config`] is the single source of truth for microslip's own
+//! invariants; the fixture self-tests build small synthetic configs
+//! instead, so every rule stays testable in isolation.
+
+/// Per-rule path scoping for one lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Directories (or files) whose code must be deterministic: no wall
+    /// clocks, no hash-order-dependent collections, no thread identity.
+    pub determinism_paths: Vec<String>,
+    /// Files inside the determinism paths that are *allowed* to read wall
+    /// clocks, with a justification each. These are the timing modules:
+    /// they measure, they never decide.
+    pub timing_allowlist: Vec<(String, String)>,
+    /// Untrusted-input parser files: `unwrap`/`expect`/`panic!`-family
+    /// macros and direct slice indexing are banned; failures must surface
+    /// as typed `Result` errors.
+    pub boundary_paths: Vec<String>,
+    /// The only files permitted to contain `unsafe`, with a one-line
+    /// justification each. Everything else walked by the scanner must be
+    /// unsafe-free (most crates additionally `#![forbid(unsafe_code)]`).
+    pub unsafe_registry: Vec<(String, String)>,
+    /// Directories walked for the workspace-wide scans (unsafe
+    /// containment and suppression-syntax checking).
+    pub scan_roots: Vec<String>,
+    /// Path prefixes excluded from all scanning (vendored shims, build
+    /// output, and the lint's own deliberately-violating fixtures).
+    pub exclude: Vec<String>,
+    /// The trace-schema cross-check, if enabled.
+    pub schema: Option<SchemaCheck>,
+}
+
+/// Files and function names for the trace-schema exhaustiveness rule:
+/// every variant of the event enum must appear in the JSONL emitter, the
+/// JSONL parser, the `type_name` mapping, and the `required_fields`
+/// schema contract — so emitter/parser drift fails the build.
+#[derive(Clone, Debug)]
+pub struct SchemaCheck {
+    /// File holding the event enum.
+    pub event_file: String,
+    /// Name of the event enum.
+    pub event_enum: String,
+    /// File holding the exporter/parser functions.
+    pub exporter_file: String,
+    /// Function serializing an event to one JSON line.
+    pub emitter_fn: String,
+    /// Function parsing one JSON line back into an event.
+    pub parser_fn: String,
+    /// Function mapping each variant to its stable schema name.
+    pub name_fn: String,
+    /// Function listing the required JSON fields per schema name.
+    pub contract_fn: String,
+}
+
+/// True when `path` equals `prefix` or lives under it.
+pub fn path_matches(path: &str, prefix: &str) -> bool {
+    path == prefix || path.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
+}
+
+impl LintConfig {
+    pub fn in_determinism_paths(&self, path: &str) -> bool {
+        self.determinism_paths.iter().any(|p| path_matches(path, p))
+            && !self.timing_allowlist.iter().any(|(p, _)| path_matches(path, p))
+    }
+
+    pub fn in_boundary_paths(&self, path: &str) -> bool {
+        self.boundary_paths.iter().any(|p| path_matches(path, p))
+    }
+
+    pub fn unsafe_justification(&self, path: &str) -> Option<&str> {
+        self.unsafe_registry
+            .iter()
+            .find(|(p, _)| path_matches(path, p))
+            .map(|(_, why)| why.as_str())
+    }
+
+    pub fn is_excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| path_matches(path, p))
+    }
+}
+
+/// The microslip workspace's invariant map.
+pub fn default_config() -> LintConfig {
+    LintConfig {
+        // Decision and kernel code: the bitwise serial/threaded/mp
+        // equivalence tests (tests/parallel_equivalence.rs, tests/
+        // mp_runs.rs) and the cluster byte-determinism tests only hold if
+        // nothing in these crates consults a wall clock, iterates a
+        // randomized-order collection, or branches on thread identity.
+        determinism_paths: vec![
+            "crates/balance/src".into(),
+            "crates/cluster/src".into(),
+            "crates/lbm/src".into(),
+            "crates/runtime/src".into(),
+        ],
+        timing_allowlist: vec![
+            (
+                "crates/runtime/src/throttle.rs".into(),
+                "injects and measures wall-clock padding; feeds observability, not decisions"
+                    .into(),
+            ),
+            (
+                "crates/runtime/src/profile.rs".into(),
+                "wall-clock stopwatch for derived profiles; never feeds back into remapping"
+                    .into(),
+            ),
+            (
+                "crates/runtime/src/trace.rs".into(),
+                "stamps trace events with wall time relative to the run epoch".into(),
+            ),
+            (
+                "crates/runtime/src/driver.rs".into(),
+                "run-level timing (epoch, wall totals) around the workers, outside the \
+                 decision loop"
+                    .into(),
+            ),
+        ],
+        // Untrusted bytes cross these files: TCP frames, rank-merged
+        // JSONL, and the config blob a parent ships to worker processes.
+        // A malformed input must come back as CommError::Protocol / a
+        // parse error, never as a panic that kills the rank.
+        boundary_paths: vec![
+            "crates/net/src/wire.rs".into(),
+            "crates/net/src/rendezvous.rs".into(),
+            "crates/net/src/tcp.rs".into(),
+            "crates/obs/src/json.rs".into(),
+            "crates/lbm/src/config_codec.rs".into(),
+        ],
+        unsafe_registry: vec![
+            (
+                "crates/lbm/src/streaming.rs".into(),
+                "raw-pointer plane streaming over disjoint x-planes (src/dst never alias)"
+                    .into(),
+            ),
+            (
+                "crates/lbm/src/collision.rs".into(),
+                "BGK/TRT collision kernels via raw pointers over disjoint cell ranges".into(),
+            ),
+            (
+                "crates/lbm/src/mrt.rs".into(),
+                "MRT collision kernel via raw pointers over disjoint cell ranges".into(),
+            ),
+            (
+                "crates/lbm/src/macroscopic.rs".into(),
+                "psi/momentum reductions through raw pointers over disjoint cell ranges".into(),
+            ),
+            (
+                "crates/lbm/src/force.rs".into(),
+                "force accumulation writes through raw pointers, one disjoint range per thread"
+                    .into(),
+            ),
+            (
+                "crates/lbm/src/multicomponent.rs".into(),
+                "per-component raw field pointers inside the fused parallel sweep".into(),
+            ),
+            (
+                "crates/lbm/src/solver.rs".into(),
+                "fused collide-stream writes through disjoint plane pointers".into(),
+            ),
+            (
+                "crates/lbm/src/par.rs".into(),
+                "Send/Sync pointer wrappers underpinning the disjoint-chunk parallelism".into(),
+            ),
+        ],
+        scan_roots: vec![
+            "src".into(),
+            "crates".into(),
+            "examples".into(),
+            "tests".into(),
+        ],
+        exclude: vec![
+            "vendor".into(),
+            "target".into(),
+            // The fixtures violate every rule on purpose — that is their
+            // job (see crates/lint/tests/self_test.rs).
+            "crates/lint/tests/fixtures".into(),
+        ],
+        schema: Some(SchemaCheck {
+            event_file: "crates/obs/src/event.rs".into(),
+            event_enum: "Event".into(),
+            exporter_file: "crates/obs/src/export.rs".into(),
+            emitter_fn: "event_to_json".into(),
+            parser_fn: "event_from_json".into(),
+            name_fn: "type_name".into(),
+            contract_fn: "required_fields".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_matching_requires_component_boundaries() {
+        assert!(path_matches("crates/net/src/wire.rs", "crates/net/src/wire.rs"));
+        assert!(path_matches("crates/net/src/wire.rs", "crates/net/src"));
+        assert!(path_matches("crates/net/src/wire.rs", "crates/net"));
+        assert!(!path_matches("crates/network/src/wire.rs", "crates/net"));
+        assert!(!path_matches("crates/net", "crates/net/src"));
+    }
+
+    #[test]
+    fn timing_allowlist_carves_out_of_determinism_paths() {
+        let cfg = default_config();
+        assert!(cfg.in_determinism_paths("crates/runtime/src/worker.rs"));
+        assert!(!cfg.in_determinism_paths("crates/runtime/src/throttle.rs"));
+        assert!(!cfg.in_determinism_paths("crates/net/src/tcp.rs"));
+    }
+
+    #[test]
+    fn default_config_is_internally_consistent() {
+        let cfg = default_config();
+        for (path, why) in cfg.timing_allowlist.iter().chain(cfg.unsafe_registry.iter()) {
+            assert!(!why.trim().is_empty(), "{path} needs a justification");
+        }
+        for (path, _) in &cfg.timing_allowlist {
+            assert!(
+                cfg.determinism_paths.iter().any(|p| path_matches(path, p)),
+                "{path} is allowlisted but not inside any determinism path"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Diagnostics: the finding type and its two output formats —
+//! rustc-style `file:line: rule: message` text and a machine-readable
+//! JSON array (`--json`).
+
+use std::fmt;
+
+/// One rule violation at one source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-root-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule identifier (also the name `lint:allow` takes).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Orders findings for stable output: by file, then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings as a JSON array (one object per finding).
+pub fn to_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                r#"{{"file":"{}","line":{},"rule":"{}","message":"{}"}}"#,
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let f = Finding {
+            file: "crates/net/src/wire.rs".into(),
+            line: 42,
+            rule: "boundary-panic",
+            message: "`unwrap()` in an untrusted-input parser".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/net/src/wire.rs:42: boundary-panic: `unwrap()` in an untrusted-input parser"
+        );
+    }
+
+    #[test]
+    fn json_output_is_parseable_shape() {
+        let findings = vec![Finding {
+            file: "a.rs".into(),
+            line: 1,
+            rule: "allow-syntax",
+            message: "quote \" and backslash \\".into(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#""rule":"allow-syntax""#));
+        assert!(json.contains(r#"quote \" and backslash \\"#));
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn sorting_is_by_file_then_line() {
+        let mk = |file: &str, line| Finding {
+            file: file.into(),
+            line,
+            rule: "determinism-clock",
+            message: String::new(),
+        };
+        let mut v = vec![mk("b.rs", 1), mk("a.rs", 9), mk("a.rs", 2)];
+        sort_findings(&mut v);
+        assert_eq!(
+            v.iter().map(|f| (f.file.clone(), f.line)).collect::<Vec<_>>(),
+            vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+}

@@ -1,0 +1,188 @@
+#![forbid(unsafe_code)]
+//! # microslip-lint — static invariant checking for the workspace
+//!
+//! A zero-dependency linter enforcing the project rules clippy cannot
+//! express, because they are about *this* system's guarantees:
+//!
+//! * **determinism** (`determinism-clock` / `determinism-hash` /
+//!   `determinism-thread`) — the bitwise serial/threaded/multi-process
+//!   equivalence results rest on decision and kernel code never reading a
+//!   wall clock, iterating a hash-ordered collection, or branching on
+//!   thread identity. Timing modules are allowlisted by name.
+//! * **panic-freedom at the trust boundary** (`boundary-panic` /
+//!   `boundary-index`) — files that parse untrusted bytes (TCP frames,
+//!   JSONL traces, config blobs) must return typed errors, never panic.
+//! * **trace-schema exhaustiveness** (`schema-drift`) — every `Event`
+//!   variant must appear in the JSONL emitter, the parser, the name
+//!   mapping and the required-fields contract, so the exporter and the
+//!   validator cannot drift apart silently.
+//! * **unsafe containment** (`unsafe-containment`) — `unsafe` only in
+//!   explicitly registered kernel files, each with a justification.
+//!
+//! Findings can be suppressed inline with `// lint:allow(<rule>,
+//! <reason>)`; a missing reason is itself a violation (`allow-syntax`).
+//! The binary prints rustc-style `file:line: rule: message` diagnostics
+//! (or JSON with `--json`) and exits nonzero on any finding.
+
+pub mod allow;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use allow::{format_allow, parse_allow, Allow, AllowParse};
+pub use config::{default_config, LintConfig, SchemaCheck};
+pub use diag::{sort_findings, to_json, Finding};
+
+/// Lints one file's source against every per-file rule the config scopes
+/// it into, applying `lint:allow` suppressions. Returns the surviving
+/// findings and whether the file contains `unsafe` at all (the caller
+/// cross-checks the registry for staleness).
+pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>, bool) {
+    let tokens = lexer::lex(src);
+    let (suppressions, mut findings) = rules::collect_suppressions(rel_path, &tokens);
+    let mut raw = Vec::new();
+    if cfg.in_determinism_paths(rel_path) {
+        raw.extend(rules::check_determinism(rel_path, &tokens));
+    }
+    if cfg.in_boundary_paths(rel_path) {
+        raw.extend(rules::check_boundary(rel_path, &tokens));
+    }
+    let registered = cfg.unsafe_justification(rel_path).is_some();
+    raw.extend(rules::check_unsafe_containment(rel_path, &tokens, registered));
+    findings.extend(raw.into_iter().filter(|f| !suppressions.covers(f.rule, f.line)));
+    (findings, !rules::unsafe_lines(&tokens).is_empty())
+}
+
+/// Lints the whole workspace under `root`: walks the configured scan
+/// roots, runs the per-file rules, the unsafe-registry staleness check,
+/// and the trace-schema cross-check. Findings come back sorted.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for scan_root in &cfg.scan_roots {
+        collect_rs_files(root, Path::new(scan_root), cfg, &mut files)?;
+    }
+    files.sort();
+
+    let mut unsafe_seen: Vec<&str> = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let (file_findings, has_unsafe) = lint_source(rel, &src, cfg);
+        findings.extend(file_findings);
+        if has_unsafe {
+            if let Some((reg, _)) = cfg.unsafe_registry.iter().find(|(p, _)| p == rel) {
+                unsafe_seen.push(reg);
+            }
+        }
+    }
+    // Registry staleness: an entry whose file no longer uses unsafe (or no
+    // longer exists) is a hole waiting to hide a future violation.
+    for (reg, _) in &cfg.unsafe_registry {
+        if !unsafe_seen.contains(&reg.as_str()) {
+            findings.push(Finding {
+                file: reg.clone(),
+                line: 1,
+                rule: "unsafe-containment",
+                message: "registered in the unsafe registry but contains no `unsafe` \
+                          (or was not scanned); remove the stale registry entry"
+                    .to_string(),
+            });
+        }
+    }
+
+    if let Some(sc) = &cfg.schema {
+        let read = |rel: &str| std::fs::read_to_string(root.join(rel));
+        match (read(&sc.event_file), read(&sc.exporter_file)) {
+            (Ok(event_src), Ok(export_src)) => {
+                findings.extend(rules::check_schema(sc, &event_src, &export_src));
+            }
+            (event, export) => {
+                for (rel, result) in [(&sc.event_file, event), (&sc.exporter_file, export)] {
+                    if let Err(e) = result {
+                        findings.push(Finding {
+                            file: rel.clone(),
+                            line: 1,
+                            rule: "schema-drift",
+                            message: format!("cannot read schema file: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `root/dir` (paths returned
+/// root-relative with forward slashes), honoring the exclude list.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &LintConfig,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(&abs)? {
+        let entry = entry?;
+        let rel: PathBuf = dir.join(entry.file_name());
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if cfg.is_excluded(&rel_str) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &rel, cfg, out)?;
+        } else if ty.is_file() && rel_str.ends_with(".rs") {
+            out.push(rel_str);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_scopes_rules_by_path() {
+        let cfg = LintConfig {
+            determinism_paths: vec!["kernel".into()],
+            boundary_paths: vec!["parser/wire.rs".into()],
+            ..LintConfig::default()
+        };
+        let src = "fn f() { let t = Instant::now(); x.unwrap(); }";
+        let (in_kernel, _) = lint_source("kernel/k.rs", src, &cfg);
+        assert_eq!(in_kernel.iter().map(|f| f.rule).collect::<Vec<_>>(), ["determinism-clock"]);
+        let (in_parser, _) = lint_source("parser/wire.rs", src, &cfg);
+        assert_eq!(in_parser.iter().map(|f| f.rule).collect::<Vec<_>>(), ["boundary-panic"]);
+        let (elsewhere, _) = lint_source("docs/example.rs", src, &cfg);
+        assert!(elsewhere.is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_exactly_its_rule_and_site() {
+        let cfg = LintConfig { boundary_paths: vec!["p.rs".into()], ..LintConfig::default() };
+        let src = "fn f() {\n    // lint:allow(boundary-panic, infallible by construction)\n    \
+                   x.unwrap();\n    y.unwrap();\n}\n";
+        let (findings, _) = lint_source("p.rs", src, &cfg);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn unsafe_flag_reported_per_file() {
+        let cfg = LintConfig::default();
+        let (findings, has_unsafe) = lint_source("a.rs", "unsafe fn f() {}", &cfg);
+        assert!(has_unsafe);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unsafe-containment");
+    }
+}

@@ -1,0 +1,89 @@
+#![forbid(unsafe_code)]
+//! The `microslip-lint` binary: lints the workspace and exits nonzero on
+//! any finding.
+//!
+//! ```text
+//! microslip-lint [--root <dir>] [--json]
+//! ```
+//!
+//! Without `--root`, the workspace root is located by walking upward from
+//! the current directory to the first `Cargo.toml` declaring
+//! `[workspace]`. Diagnostics go to stdout — rustc-style text by default,
+//! a JSON array with `--json`; the summary line goes to stderr so piped
+//! JSON stays clean.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use microslip_lint::{default_config, lint_workspace, to_json};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("microslip-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: microslip-lint [--root <dir>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("microslip-lint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("microslip-lint: could not locate the workspace root (no Cargo.toml with [workspace] above the current directory); pass --root");
+        return ExitCode::from(2);
+    };
+
+    let cfg = default_config();
+    let findings = match lint_workspace(&root, &cfg) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("microslip-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("microslip-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("microslip-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,86 @@
+//! Property test: the `lint:allow` grammar round-trips through its
+//! canonical serialization for every rule/reason the parser accepts.
+//!
+//! The vendored proptest shim has no string-regex strategies, so rule and
+//! reason strings are built from index vectors over explicit alphabets.
+
+use microslip_lint::{format_allow, parse_allow, Allow, AllowParse};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const RULE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+/// Printable ASCII for reasons — includes '(', ')' and ',' on purpose:
+/// the grammar allows them inside a reason, and the round trip must
+/// survive them.
+fn reason_char(ix: usize) -> char {
+    // 0x20..=0x7e, printable ASCII including space.
+    char::from(0x20 + (ix % 0x5f) as u8)
+}
+
+fn rule_from(ixs: &[usize]) -> String {
+    ixs.iter().map(|&i| char::from(RULE_CHARS[i % RULE_CHARS.len()])).collect()
+}
+
+fn reason_from(ixs: &[usize]) -> String {
+    let raw: String = ixs.iter().map(|&i| reason_char(i)).collect();
+    // The parser trims the reason, so only trim-stable reasons can round
+    // trip; an all-whitespace draw falls back to a fixed reason.
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        "reviewed".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn format_then_parse_is_identity(
+        rule_ixs in vec(0usize..1000, 1..12),
+        reason_ixs in vec(0usize..1000, 1..40),
+    ) {
+        let a = Allow { rule: rule_from(&rule_ixs), reason: reason_from(&reason_ixs) };
+        let parsed = parse_allow(&format_allow(&a));
+        prop_assert_eq!(parsed, AllowParse::Valid(a));
+    }
+
+    #[test]
+    fn leading_whitespace_is_insignificant(
+        rule_ixs in vec(0usize..1000, 1..12),
+        reason_ixs in vec(0usize..1000, 1..40),
+        pad in 0usize..6,
+    ) {
+        let a = Allow { rule: rule_from(&rule_ixs), reason: reason_from(&reason_ixs) };
+        let padded = format!("{}{}", " ".repeat(pad), format_allow(&a));
+        prop_assert_eq!(parse_allow(&padded), AllowParse::Valid(a));
+    }
+
+    #[test]
+    fn truncations_never_parse_as_valid_with_other_meaning(
+        rule_ixs in vec(0usize..1000, 1..12),
+        reason_ixs in vec(0usize..1000, 1..40),
+        cut in 0usize..200,
+    ) {
+        // Chopping the serialized form anywhere must yield NotAllow, a
+        // Malformed diagnostic, or (if the cut lands after a ')' inside
+        // the reason) a Valid parse whose reason is a prefix of the
+        // original — never a different rule.
+        let a = Allow { rule: rule_from(&rule_ixs), reason: reason_from(&reason_ixs) };
+        let s = format_allow(&a);
+        let cut = cut.min(s.len());
+        let prefix = s.get(..cut).unwrap_or(""); // always a boundary: ASCII only
+        match parse_allow(prefix) {
+            AllowParse::Valid(b) => {
+                prop_assert_eq!(&b.rule, &a.rule);
+                prop_assert!(
+                    a.reason.starts_with(b.reason.trim_end()),
+                    "reason {:?} is not a prefix of {:?}", b.reason, a.reason
+                );
+            }
+            AllowParse::NotAllow | AllowParse::Malformed(_) => {}
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: malformed suppressions — each comment below is itself an
+//! `allow-syntax` finding, and none of them silences anything.
+
+pub fn lookup(table: &[u32; 256], byte: u8) -> u32 {
+    // lint:allow(boundary-index)
+    // lint:allow(no-such-rule, believable reason)
+    table[byte as usize]
+}

@@ -1,0 +1,6 @@
+//! Fixture: a well-formed suppression silencing exactly one finding.
+
+pub fn lookup(table: &[u32; 256], byte: u8) -> u32 {
+    // lint:allow(boundary-index, index is a u8 and the table has 256 entries)
+    table[byte as usize]
+}

@@ -1,0 +1,12 @@
+//! Fixture: every boundary violation family in non-test code.
+
+pub fn parse_header(bytes: &[u8]) -> (u8, u8) {
+    let kind = bytes[0];
+    let flags = bytes.first().copied().unwrap();
+    if flags == 0xFF {
+        panic!("bad flags");
+    }
+    let checked: Result<u8, String> = Ok(kind);
+    let kind = checked.expect("kind");
+    (kind, flags)
+}

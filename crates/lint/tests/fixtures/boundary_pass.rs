@@ -1,0 +1,20 @@
+//! Fixture: a parser that survives the boundary rules — typed errors,
+//! `.get(..)` everywhere, panics only inside `#[cfg(test)]`.
+
+pub fn parse_header(bytes: &[u8]) -> Result<(u8, u8), String> {
+    let kind = *bytes.get(0).ok_or("truncated header")?;
+    let flags = *bytes.get(1).ok_or("truncated header")?;
+    if flags != 0 {
+        return Err(format!("nonzero flags {flags}"));
+    }
+    Ok((kind, flags))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let (kind, _) = super::parse_header(&[7, 0]).unwrap();
+        assert_eq!(kind, 7);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: every determinism violation family, outside any test module.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn decide(loads: &HashMap<usize, f64>) -> usize {
+    let t0 = Instant::now();
+    let me = std::thread::current().id();
+    let _ = (t0, me);
+    loads.keys().copied().next().unwrap_or(0)
+}

@@ -1,0 +1,22 @@
+//! Fixture: determinism-clean decision code. Clocks appear only inside a
+//! `#[cfg(test)]` module, which the rules exempt.
+
+use std::collections::BTreeMap;
+
+pub fn pick_target(loads: &BTreeMap<usize, f64>) -> Option<usize> {
+    loads
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(&rank, _)| rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a three-variant enum. `Drop` was added here but the exporter
+//! fixture (`schema_fail_export.rs`) was never updated — the drift the
+//! schema rule exists to catch. The name mapping also misses it.
+
+pub enum Ev {
+    Tick { at: f64 },
+    Note { text: String },
+    Drop { count: u64 },
+}
+
+pub fn label(e: &Ev) -> &'static str {
+    match e {
+        Ev::Tick { .. } => "tick",
+        Ev::Note { .. } => "note",
+        _ => "unknown",
+    }
+}

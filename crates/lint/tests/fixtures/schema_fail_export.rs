@@ -1,0 +1,28 @@
+//! Fixture: exporter that only knows the first two `Ev` variants — the
+//! enum grew a `Drop` variant it never learned about.
+
+use super::schema_fail_event::Ev;
+
+pub fn to_json(e: &Ev) -> String {
+    match e {
+        Ev::Tick { at } => format!("{{\"type\":\"tick\",\"at\":{at}}}"),
+        Ev::Note { text } => format!("{{\"type\":\"note\",\"text\":\"{text}\"}}"),
+        _ => String::new(),
+    }
+}
+
+pub fn from_json(ty: &str) -> Option<Ev> {
+    match ty {
+        "tick" => Some(Ev::Tick { at: 0.0 }),
+        "note" => Some(Ev::Note { text: String::new() }),
+        _ => None,
+    }
+}
+
+pub fn fields(ty: &str) -> &'static [&'static str] {
+    match ty {
+        "tick" => &["at"],
+        "note" => &["text"],
+        _ => &[],
+    }
+}

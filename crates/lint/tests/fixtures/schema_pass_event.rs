@@ -1,0 +1,14 @@
+//! Fixture: a two-variant event enum whose exporter (sibling fixture
+//! `schema_pass_export.rs`) covers every variant everywhere.
+
+pub enum Ev {
+    Tick { at: f64 },
+    Note { text: String },
+}
+
+pub fn label(e: &Ev) -> &'static str {
+    match e {
+        Ev::Tick { .. } => "tick",
+        Ev::Note { .. } => "note",
+    }
+}

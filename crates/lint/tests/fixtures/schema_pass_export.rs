@@ -1,0 +1,27 @@
+//! Fixture: exporter covering both `Ev` variants in the emitter, the
+//! parser, and the required-fields contract.
+
+use super::schema_pass_event::Ev;
+
+pub fn to_json(e: &Ev) -> String {
+    match e {
+        Ev::Tick { at } => format!("{{\"type\":\"tick\",\"at\":{at}}}"),
+        Ev::Note { text } => format!("{{\"type\":\"note\",\"text\":\"{text}\"}}"),
+    }
+}
+
+pub fn from_json(ty: &str) -> Option<Ev> {
+    match ty {
+        "tick" => Some(Ev::Tick { at: 0.0 }),
+        "note" => Some(Ev::Note { text: String::new() }),
+        _ => None,
+    }
+}
+
+pub fn fields(ty: &str) -> &'static [&'static str] {
+    match ty {
+        "tick" => &["at"],
+        "note" => &["text"],
+        _ => &[],
+    }
+}

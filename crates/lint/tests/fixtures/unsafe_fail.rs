@@ -1,0 +1,5 @@
+//! Fixture: `unsafe` in a file that is not in the registry.
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() }
+}

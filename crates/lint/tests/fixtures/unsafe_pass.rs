@@ -1,0 +1,6 @@
+//! Fixture: an ordinary safe module — nothing for unsafe containment to
+//! object to.
+
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

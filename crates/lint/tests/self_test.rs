@@ -1,0 +1,144 @@
+//! Fixture-based self-tests: every rule family must fire on its
+//! deliberately-violating fixture and stay silent on its clean twin.
+//!
+//! The fixtures live under `tests/fixtures/` (excluded from the
+//! workspace scan precisely because they violate rules on purpose) and
+//! are linted here through the public `lint_source` / `check_schema`
+//! entry points with small synthetic configs, so each rule is exercised
+//! exactly as the binary would.
+
+use microslip_lint::rules::check_schema;
+use microslip_lint::{lint_source, LintConfig, SchemaCheck};
+
+/// Lints a fixture as if it were at `path` under the given config.
+fn lint(path: &str, src: &str, cfg: &LintConfig) -> Vec<(u32, &'static str)> {
+    let (findings, _) = lint_source(path, src, cfg);
+    findings.into_iter().map(|f| (f.line, f.rule)).collect()
+}
+
+fn determinism_cfg() -> LintConfig {
+    LintConfig { determinism_paths: vec!["kernel".into()], ..LintConfig::default() }
+}
+
+fn boundary_cfg() -> LintConfig {
+    LintConfig { boundary_paths: vec!["parser".into()], ..LintConfig::default() }
+}
+
+#[test]
+fn determinism_fixture_pair() {
+    let cfg = determinism_cfg();
+    let clean = lint(
+        "kernel/pass.rs",
+        include_str!("fixtures/determinism_pass.rs"),
+        &cfg,
+    );
+    assert_eq!(clean, [], "clean fixture must produce no findings");
+
+    let dirty = lint(
+        "kernel/fail.rs",
+        include_str!("fixtures/determinism_fail.rs"),
+        &cfg,
+    );
+    let rules: Vec<&str> = dirty.iter().map(|&(_, r)| r).collect();
+    assert!(rules.contains(&"determinism-clock"), "clock rule must fire: {dirty:?}");
+    assert!(rules.contains(&"determinism-hash"), "hash rule must fire: {dirty:?}");
+    assert!(rules.contains(&"determinism-thread"), "thread rule must fire: {dirty:?}");
+}
+
+#[test]
+fn boundary_fixture_pair() {
+    let cfg = boundary_cfg();
+    let clean = lint(
+        "parser/pass.rs",
+        include_str!("fixtures/boundary_pass.rs"),
+        &cfg,
+    );
+    assert_eq!(clean, [], "clean fixture must produce no findings");
+
+    let dirty = lint(
+        "parser/fail.rs",
+        include_str!("fixtures/boundary_fail.rs"),
+        &cfg,
+    );
+    let count = |rule: &str| dirty.iter().filter(|&&(_, r)| r == rule).count();
+    assert_eq!(count("boundary-index"), 1, "{dirty:?}");
+    // `.unwrap()`, `panic!` and `.expect()` are three distinct sites.
+    assert_eq!(count("boundary-panic"), 3, "{dirty:?}");
+}
+
+#[test]
+fn boundary_rules_only_fire_inside_boundary_paths() {
+    let cfg = boundary_cfg();
+    let elsewhere = lint(
+        "other/fail.rs",
+        include_str!("fixtures/boundary_fail.rs"),
+        &cfg,
+    );
+    assert_eq!(elsewhere, [], "boundary rules are path-scoped");
+}
+
+#[test]
+fn unsafe_fixture_pair() {
+    let cfg = LintConfig::default(); // empty registry: nothing may be unsafe
+    let clean = lint("any/pass.rs", include_str!("fixtures/unsafe_pass.rs"), &cfg);
+    assert_eq!(clean, []);
+
+    let dirty = lint("any/fail.rs", include_str!("fixtures/unsafe_fail.rs"), &cfg);
+    assert_eq!(dirty.iter().map(|&(_, r)| r).collect::<Vec<_>>(), ["unsafe-containment"]);
+
+    // The same file is clean once registered.
+    let registered = LintConfig {
+        unsafe_registry: vec![("any/fail.rs".into(), "fixture kernel".into())],
+        ..LintConfig::default()
+    };
+    let ok = lint("any/fail.rs", include_str!("fixtures/unsafe_fail.rs"), &registered);
+    assert_eq!(ok, []);
+}
+
+#[test]
+fn allow_fixture_pair() {
+    let cfg = boundary_cfg();
+    let clean = lint("parser/pass.rs", include_str!("fixtures/allow_pass.rs"), &cfg);
+    assert_eq!(clean, [], "a well-formed allow must silence its finding");
+
+    let dirty = lint("parser/fail.rs", include_str!("fixtures/allow_fail.rs"), &cfg);
+    let count = |rule: &str| dirty.iter().filter(|&&(_, r)| r == rule).count();
+    // Both malformed comments are findings, and neither suppresses the
+    // indexing below them.
+    assert_eq!(count("allow-syntax"), 2, "{dirty:?}");
+    assert_eq!(count("boundary-index"), 1, "{dirty:?}");
+}
+
+fn fixture_schema() -> SchemaCheck {
+    SchemaCheck {
+        event_file: "event.rs".into(),
+        event_enum: "Ev".into(),
+        exporter_file: "export.rs".into(),
+        emitter_fn: "to_json".into(),
+        parser_fn: "from_json".into(),
+        name_fn: "label".into(),
+        contract_fn: "fields".into(),
+    }
+}
+
+#[test]
+fn schema_fixture_pair() {
+    let sc = fixture_schema();
+    let clean = check_schema(
+        &sc,
+        include_str!("fixtures/schema_pass_event.rs"),
+        include_str!("fixtures/schema_pass_export.rs"),
+    );
+    assert!(clean.is_empty(), "clean schema fixtures must agree: {clean:?}");
+
+    let drifted = check_schema(
+        &sc,
+        include_str!("fixtures/schema_fail_event.rs"),
+        include_str!("fixtures/schema_fail_export.rs"),
+    );
+    assert!(drifted.iter().all(|f| f.rule == "schema-drift"));
+    // The `Drop` variant is missing from the emitter, the parser, and the
+    // name mapping — three distinct drift findings.
+    assert_eq!(drifted.len(), 3, "{drifted:?}");
+    assert!(drifted.iter().all(|f| f.message.contains("Drop")), "{drifted:?}");
+}

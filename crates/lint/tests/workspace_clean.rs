@@ -1,0 +1,18 @@
+//! The workspace must lint clean under its own invariant map — this is
+//! the same scan `just lint` (and therefore `just tier1`) runs, embedded
+//! in the test suite so plain `cargo test` enforces it too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = microslip_lint::default_config();
+    let findings = microslip_lint::lint_workspace(&root, &cfg)
+        .expect("workspace scan must be able to read every source file");
+    assert!(
+        findings.is_empty(),
+        "the workspace has lint findings:\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}

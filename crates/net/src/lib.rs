@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip-net — TCP socket transport
 //!
 //! A genuine network backend for the [`microslip_comm::Transport`]

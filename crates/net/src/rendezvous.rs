@@ -35,6 +35,19 @@ fn handshake<T>(detail: impl Into<String>) -> Result<T, CommError> {
     Err(CommError::Handshake { detail: detail.into() })
 }
 
+/// Stores `port` at `rank`, surfacing an out-of-range rank as a handshake
+/// error instead of an index panic.
+fn set_port(ports: &mut [u16], rank: NodeId, port: u16) -> Result<(), CommError> {
+    let size = ports.len();
+    match ports.get_mut(rank) {
+        Some(slot) => {
+            *slot = port;
+            Ok(())
+        }
+        None => handshake(format!("rank {rank} out of range for a mesh of {size}")),
+    }
+}
+
 /// Picks a free localhost port by binding an ephemeral listener and
 /// dropping it. The driver reserves the rendezvous port this way before
 /// spawning workers; the small bind race is acceptable on localhost.
@@ -164,14 +177,19 @@ fn coordinate(
     // Hand free ranks to assign-me joiners in arrival order.
     let mut free = (1..size).filter(|r| !claimed.contains(r));
     let mut ports = vec![0u16; size];
-    ports[0] = my_data_port;
+    set_port(&mut ports, 0, my_data_port)?;
     let mut resolved: Vec<(TcpStream, NodeId)> = Vec::with_capacity(size - 1);
     for (stream, claim, port) in arrivals {
         let rank = match claim {
             Some(r) => r,
-            None => free.next().expect("free ranks match assign-me joiners by counting"),
+            // Unreachable by counting (claims are unique and in range), but
+            // a typed error here costs nothing and cannot take rank 0 down.
+            None => match free.next() {
+                Some(r) => r,
+                None => return handshake("assign-me joiners outnumber free ranks"),
+            },
         };
-        ports[rank] = port;
+        set_port(&mut ports, rank, port)?;
         resolved.push((stream, rank));
     }
     let roster_payload: Vec<f64> = ports.iter().map(|&p| p as f64).collect();
@@ -256,7 +274,10 @@ fn establish_mesh(
             &mut stream,
             &Frame { kind: FrameKind::Ident, from: rank as u32, tag: 0, payload: vec![] },
         )?;
-        streams[j] = Some(stream);
+        match streams.get_mut(j) {
+            Some(slot) => *slot = Some(stream),
+            None => return handshake(format!("dialed rank {j} outside a mesh of {size}")),
+        }
     }
     // Higher ranks: they dial us; their IDENT says who they are.
     for _ in rank + 1..size {
@@ -272,10 +293,13 @@ fn establish_mesh(
                 rank + 1
             ));
         }
-        if streams[peer].is_some() {
+        let Some(slot) = streams.get_mut(peer) else {
+            return handshake(format!("IDENT rank {peer} outside a mesh of {size}"));
+        };
+        if slot.is_some() {
             return handshake(format!("rank {peer} connected twice"));
         }
-        streams[peer] = Some(stream);
+        *slot = Some(stream);
     }
     for stream in streams.iter_mut().flatten() {
         stream
@@ -332,6 +356,7 @@ pub fn connect(
 /// Element `i` of the result is rank `i`'s transport. Panics on failure —
 /// production code goes through [`connect`].
 pub fn localhost_mesh(n: usize, cfg: &NetConfig) -> Vec<TcpTransport> {
+    // lint:allow(boundary-panic, test/bench helper documented to panic on failure; production code uses connect())
     let port = reserve_port().expect("reserve rendezvous port");
     let addr = format!("127.0.0.1:{port}");
     let handles: Vec<_> = (0..n)
@@ -343,6 +368,7 @@ pub fn localhost_mesh(n: usize, cfg: &NetConfig) -> Vec<TcpTransport> {
         .collect();
     let mut out: Vec<TcpTransport> = handles
         .into_iter()
+        // lint:allow(boundary-panic, test/bench helper documented to panic on failure; production code uses connect())
         .map(|h| h.join().expect("mesh thread panicked").expect("mesh establishment"))
         .collect();
     out.sort_by_key(|t| t.rank());

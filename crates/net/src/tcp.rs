@@ -120,7 +120,7 @@ impl TcpTransport {
         let goodbye = wire::encode(&Frame::goodbye(self.rank as u32));
         for (peer, slot) in self.streams.iter_mut().enumerate() {
             let Some(stream) = slot else { continue };
-            if !self.hung_up[peer] {
+            if !self.hung_up.get(peer).copied().unwrap_or(true) {
                 use std::io::Write;
                 let _ = stream.write_all(&goodbye);
             }
@@ -153,10 +153,23 @@ impl TcpTransport {
         if is_timeout(e.kind()) {
             CommError::Timeout { peer }
         } else if is_disconnect(e.kind()) {
-            self.hung_up[peer] = true;
+            self.mark_hung(peer);
             CommError::Disconnected { peer }
         } else {
             CommError::Protocol { peer, detail: format!("socket error: {e}") }
+        }
+    }
+
+    /// Whether `peer` said goodbye or its socket died. Out-of-range ranks
+    /// (pre-filtered by `check_peer`) read as hung so no caller can reach
+    /// a live stream through an invalid index.
+    fn is_hung(&self, peer: NodeId) -> bool {
+        self.hung_up.get(peer).copied().unwrap_or(true)
+    }
+
+    fn mark_hung(&mut self, peer: NodeId) {
+        if let Some(flag) = self.hung_up.get_mut(peer) {
+            *flag = true;
         }
     }
 }
@@ -172,13 +185,16 @@ impl Transport for TcpTransport {
 
     fn send(&mut self, to: NodeId, tag: Tag, payload: Vec<f64>) -> Result<(), CommError> {
         self.check_peer(to)?;
-        if self.hung_up[to] || self.streams[to].is_none() {
+        if self.is_hung(to) {
             return Err(CommError::Disconnected { peer: to });
         }
         let bytes = wire::encode(&Frame::data(self.rank as u32, tag.0, payload));
         let result = {
             use std::io::Write;
-            self.streams[to].as_mut().unwrap().write_all(&bytes)
+            let Some(stream) = self.streams.get_mut(to).and_then(Option::as_mut) else {
+                return Err(CommError::Disconnected { peer: to });
+            };
+            stream.write_all(&bytes)
         };
         result.map_err(|e| self.map_io(to, e))
     }
@@ -192,27 +208,33 @@ impl Transport for TcpTransport {
                 return Ok(payload);
             }
         }
-        if self.hung_up[from] || self.streams[from].is_none() {
+        if self.is_hung(from) {
             return Err(CommError::Disconnected { peer: from });
         }
         loop {
-            let frame = match wire::read_frame(self.streams[from].as_mut().unwrap()) {
+            let read = {
+                let Some(stream) = self.streams.get_mut(from).and_then(Option::as_mut) else {
+                    return Err(CommError::Disconnected { peer: from });
+                };
+                wire::read_frame(stream)
+            };
+            let frame = match read {
                 Ok(frame) => frame,
                 Err(FrameError::Io(e)) => return Err(self.map_io(from, e)),
                 Err(FrameError::Protocol(detail)) => {
                     // A desynchronized stream cannot be trusted again.
-                    self.hung_up[from] = true;
+                    self.mark_hung(from);
                     return Err(CommError::Protocol { peer: from, detail });
                 }
             };
             match frame.kind {
                 FrameKind::Goodbye => {
-                    self.hung_up[from] = true;
+                    self.mark_hung(from);
                     return Err(CommError::Disconnected { peer: from });
                 }
                 FrameKind::Data => {
                     if frame.from != from as u32 {
-                        self.hung_up[from] = true;
+                        self.mark_hung(from);
                         return Err(CommError::Protocol {
                             peer: from,
                             detail: format!(
@@ -227,7 +249,7 @@ impl Transport for TcpTransport {
                     self.stash.entry((from, Tag(frame.tag))).or_default().push_back(frame.payload);
                 }
                 other => {
-                    self.hung_up[from] = true;
+                    self.mark_hung(from);
                     return Err(CommError::Protocol {
                         peer: from,
                         detail: format!("unexpected {other:?} frame on established connection"),

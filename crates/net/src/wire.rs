@@ -126,6 +126,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     });
     let mut crc = !0u32;
     for &b in bytes {
+        // lint:allow(boundary-index, index is masked to 0xFF and the table has 256 entries)
         crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
@@ -135,18 +136,22 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// never interleaved mid-stream by a panicking sender).
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let len = frame.payload.len() as u32;
-    let mut buf = Vec::with_capacity(28 + frame.payload.len() * 8);
-    buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
-    buf.push(frame.kind.code());
-    buf.push(0); // pad
-    buf.extend_from_slice(&frame.from.to_le_bytes());
-    buf.extend_from_slice(&frame.tag.to_le_bytes());
-    buf.extend_from_slice(&len.to_le_bytes());
+    // Build the CRC-covered region (everything after the magic) first, so
+    // the checksum never needs to slice back into a partially built buffer.
+    let mut covered = Vec::with_capacity(20 + frame.payload.len() * 8);
+    covered.extend_from_slice(&VERSION.to_le_bytes());
+    covered.push(frame.kind.code());
+    covered.push(0); // pad
+    covered.extend_from_slice(&frame.from.to_le_bytes());
+    covered.extend_from_slice(&frame.tag.to_le_bytes());
+    covered.extend_from_slice(&len.to_le_bytes());
     for &x in &frame.payload {
-        buf.extend_from_slice(&x.to_le_bytes());
+        covered.extend_from_slice(&x.to_le_bytes());
     }
-    let crc = crc32(&buf[4..]);
+    let crc = crc32(&covered);
+    let mut buf = Vec::with_capacity(8 + covered.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&covered);
     buf.extend_from_slice(&crc.to_le_bytes());
     buf
 }
@@ -160,31 +165,49 @@ fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
     r.read_exact(buf)
 }
 
+/// Converts one `chunks_exact(8)` chunk into an `f64` without fallible
+/// conversions: copying through a fixed array cannot fail even if the
+/// chunk were somehow short.
+fn f64_from_le_chunk(chunk: &[u8]) -> f64 {
+    let mut le = [0u8; 8];
+    for (dst, src) in le.iter_mut().zip(chunk) {
+        *dst = *src;
+    }
+    f64::from_le_bytes(le)
+}
+
 /// Reads and validates one frame from `r`.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
-    let mut header = [0u8; 24];
-    read_exact(r, &mut header)?;
-    if header[0..4] != MAGIC {
+    let mut magic = [0u8; 4];
+    read_exact(r, &mut magic)?;
+    if magic != MAGIC {
         return Err(FrameError::Protocol(format!(
-            "bad magic {:02x?} (expected {:02x?})",
-            &header[0..4],
-            MAGIC
+            "bad magic {magic:02x?} (expected {MAGIC:02x?})"
         )));
     }
-    let version = u16::from_le_bytes([header[4], header[5]]);
+    // Fixed-size header after the magic, destructured by pattern so no
+    // byte is ever fetched through a fallible index.
+    let mut header = [0u8; 20];
+    read_exact(r, &mut header)?;
+    #[rustfmt::skip]
+    let [v0, v1, kind_code, pad,
+         from0, from1, from2, from3,
+         tag0, tag1, tag2, tag3, tag4, tag5, tag6, tag7,
+         len0, len1, len2, len3] = header;
+    let version = u16::from_le_bytes([v0, v1]);
     if version != VERSION {
         return Err(FrameError::Protocol(format!(
             "unsupported protocol version {version} (expected {VERSION})"
         )));
     }
-    let kind = FrameKind::from_code(header[6])
-        .ok_or_else(|| FrameError::Protocol(format!("unknown frame kind {}", header[6])))?;
-    if header[7] != 0 {
-        return Err(FrameError::Protocol(format!("nonzero pad byte {}", header[7])));
+    let kind = FrameKind::from_code(kind_code)
+        .ok_or_else(|| FrameError::Protocol(format!("unknown frame kind {kind_code}")))?;
+    if pad != 0 {
+        return Err(FrameError::Protocol(format!("nonzero pad byte {pad}")));
     }
-    let from = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
-    let tag = u64::from_le_bytes(header[12..20].try_into().unwrap());
-    let len = u32::from_le_bytes(header[20..24].try_into().unwrap());
+    let from = u32::from_le_bytes([from0, from1, from2, from3]);
+    let tag = u64::from_le_bytes([tag0, tag1, tag2, tag3, tag4, tag5, tag6, tag7]);
+    let len = u32::from_le_bytes([len0, len1, len2, len3]);
     if len > MAX_PAYLOAD_LEN {
         return Err(FrameError::Protocol(format!(
             "payload length {len} exceeds cap {MAX_PAYLOAD_LEN}"
@@ -195,9 +218,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut crc_bytes = [0u8; 4];
     read_exact(r, &mut crc_bytes)?;
     let got = u32::from_le_bytes(crc_bytes);
-    // The CRC covers version..payload == header[4..] ++ body.
+    // The CRC covers version..payload == header ++ body.
     let mut covered = Vec::with_capacity(20 + body.len());
-    covered.extend_from_slice(&header[4..]);
+    covered.extend_from_slice(&header);
     covered.extend_from_slice(&body);
     let want = crc32(&covered);
     if got != want {
@@ -205,10 +228,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
             "crc mismatch: frame says {got:#010x}, computed {want:#010x}"
         )));
     }
-    let payload = body
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let payload = body.chunks_exact(8).map(f64_from_le_chunk).collect();
     Ok(Frame { kind, from, tag, payload })
 }
 

@@ -93,13 +93,13 @@ impl Value {
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
 fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
+    if b.get(*pos) == Some(&c) {
         *pos += 1;
         Ok(())
     } else {
@@ -122,7 +122,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
 }
 
 fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
+    if b.get(*pos..).is_some_and(|rest| rest.starts_with(lit.as_bytes())) {
         *pos += lit.len();
         Ok(v)
     } else {
@@ -132,12 +132,11 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, St
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while matches!(b.get(*pos), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
         *pos += 1;
     }
-    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let digits = b.get(start..*pos).unwrap_or(&[]);
+    let s = std::str::from_utf8(digits).map_err(|e| e.to_string())?;
     s.parse::<f64>().map(Value::Num).map_err(|_| format!("invalid number '{s}' at byte {start}"))
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip-obs — structured event-tracing observability
 //!
 //! A zero-dependency, low-overhead event layer shared by every crate in

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip-runtime — threaded parallel LBM with dynamic remapping
 //!
 //! A real (threaded, message-passing) implementation of the paper's

@@ -13,6 +13,7 @@
 //! still leaves a coherent partial trace behind.
 
 use std::fmt;
+// lint:allow(determinism-clock, Instant is only named as the epoch field type; clock reads live in the allowlisted tracer)
 use std::time::{Duration, Instant};
 
 use microslip_balance::policy::NeighborPolicy;
@@ -95,6 +96,7 @@ pub struct WorkerConfig {
     pub trace: TraceSink,
     /// Common wall-clock origin for span timestamps, shared by every
     /// worker of a run so their timelines align.
+    // lint:allow(determinism-clock, epoch is a passed-in origin the driver read once; workers never read the clock here)
     pub epoch: Instant,
 }
 

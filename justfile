@@ -8,8 +8,17 @@ tier1:
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --workspace --offline -- -D warnings
+    just lint
     just trace-smoke
     just mp-smoke
+
+# Project-invariant static analysis (microslip-lint): determinism of the
+# decision/kernel crates, panic-freedom of the untrusted-input parsers,
+# trace-schema exhaustiveness, and unsafe containment. The self-tests
+# prove each rule fires; the binary run proves the workspace is clean.
+lint:
+    cargo test -q --offline -p microslip-lint
+    cargo run -q --offline -p microslip-lint
 
 # End-to-end observability smoke: a traced virtual-cluster run and a
 # traced threaded run, artifacts re-parsed and schema-checked (--check),

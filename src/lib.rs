@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # microslip
 //!
 //! A Rust reproduction of Zhou, Zhu, Petzold & Yang, *Parallel Simulation
