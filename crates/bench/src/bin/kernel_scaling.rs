@@ -59,6 +59,11 @@ fn time_phase(s: &mut SlabSolver, reps: usize, fused: bool) -> f64 {
 struct Row {
     variant: &'static str,
     threads: usize,
+    /// Threads the kernels actually use: the configured count clamped to
+    /// the host's available parallelism. Keeps the thread axis honest on
+    /// small hosts, where configured counts above the core count all
+    /// execute identically.
+    effective_threads: usize,
     secs: f64,
 }
 
@@ -76,18 +81,29 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let secs = time_phase(&mut solver(dims, Parallelism::serial()), reps, false);
-    rows.push(Row { variant: "serial", threads: 1, secs });
+    rows.push(Row { variant: "serial", threads: 1, effective_threads: 1, secs });
     let secs = time_phase(&mut solver(dims, Parallelism::serial()), reps, true);
-    rows.push(Row { variant: "fused", threads: 1, secs });
+    rows.push(Row { variant: "fused", threads: 1, effective_threads: 1, secs });
     for threads in [1usize, 2, 4, 8] {
-        let secs = time_phase(&mut solver(dims, Parallelism::new(threads)), reps, true);
-        rows.push(Row { variant: "fused+rayon", threads, secs });
+        let par = Parallelism::new(threads);
+        let secs = time_phase(&mut solver(dims, par), reps, true);
+        rows.push(Row {
+            variant: "fused+rayon",
+            threads,
+            effective_threads: par.effective_threads(),
+            secs,
+        });
     }
 
     let serial = rows[0].secs;
     for r in &rows {
+        let eff = if r.effective_threads == r.threads {
+            String::new()
+        } else {
+            format!(" (effective {}t)", r.effective_threads)
+        };
         println!(
-            "  {:>12} {}t: {:.4}s/phase  {:6.2} MLUP/s  speedup {:.2}",
+            "  {:>12} {}t: {:.4}s/phase  {:6.2} MLUP/s  speedup {:.2}{eff}",
             r.variant,
             r.threads,
             r.secs,
@@ -104,9 +120,10 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"variant\": \"{}\", \"threads\": {}, \"secs_per_phase\": {:.6}, \"mlups\": {:.3}, \"speedup_vs_serial\": {:.3}}}{comma}\n",
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"effective_threads\": {}, \"secs_per_phase\": {:.6}, \"mlups\": {:.3}, \"speedup_vs_serial\": {:.3}}}{comma}\n",
             r.variant,
             r.threads,
+            r.effective_threads,
             r.secs,
             cells / r.secs / 1e6,
             serial / r.secs

@@ -1,0 +1,68 @@
+//! Per-kernel phase breakdown: times each step of the fused periodic
+//! phase separately so optimization effort goes where the time is.
+//!
+//! Usage:
+//!   phase_profile [--planes 100] [--ny 100] [--nz 20] [--reps 3]
+//!                 [--threads 1]
+
+use std::time::Instant;
+
+use microslip_lbm::{ChannelConfig, Dims, Parallelism, Slab, SlabSolver};
+
+/// `--name value` flag with a default; panics on an unparsable value.
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad value for {name}")),
+        None => default,
+    }
+}
+
+fn main() {
+    let nx: usize = flag("--planes", 100);
+    let ny: usize = flag("--ny", 100);
+    let nz: usize = flag("--nz", 20);
+    let reps: usize = flag::<usize>("--reps", 3).max(1);
+    let threads: usize = flag("--threads", 1);
+
+    let dims = Dims::new(nx, ny, nz);
+    let mut cfg = ChannelConfig::paper_scaled(dims);
+    cfg.parallelism = Parallelism::new(threads);
+    let mut s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: dims.nx });
+    s.prime_periodic();
+    s.phase_periodic_fused(); // warmup
+
+    // Time each step of the fused schedule; min over reps per step.
+    let names =
+        ["collide_edges", "f_ghosts", "stream+collide", "psi", "psi_ghosts", "forces", "velocities"];
+    let mut best = [f64::INFINITY; 7];
+    for _ in 0..reps {
+        let steps: [&mut dyn FnMut(&mut SlabSolver); 7] = [
+            &mut |s| s.collide_edges(),
+            &mut |s| s.f_ghosts_periodic(),
+            &mut |s| s.stream_collide_fused(),
+            &mut |s| s.compute_psi(),
+            &mut |s| s.psi_ghosts_periodic(),
+            &mut |s| s.compute_forces(),
+            &mut |s| s.compute_velocities(),
+        ];
+        for (k, step) in steps.into_iter().enumerate() {
+            let t = Instant::now();
+            step(&mut s);
+            best[k] = best[k].min(t.elapsed().as_secs_f64());
+        }
+    }
+    let total: f64 = best.iter().sum();
+    let cells = (nx * ny * nz) as f64;
+    println!(
+        "fused phase breakdown on {nx}x{ny}x{nz}, {threads} thread(s), min of {reps} (sum {:.4}s, {:.2} MLUP/s)",
+        total,
+        cells / total / 1e6
+    );
+    for (name, secs) in names.iter().zip(best) {
+        println!("  {name:>14}: {secs:.4}s  {:5.1}%", 100.0 * secs / total);
+    }
+}

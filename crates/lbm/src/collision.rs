@@ -65,9 +65,29 @@ pub(crate) unsafe fn collide_cells_raw(
     }
 }
 
-/// Single-relaxation-time LBGK. Safety: see [`collide_cells_raw`].
+/// Single-relaxation-time LBGK: AVX2 4-cells-at-a-time when the host
+/// supports it (bitwise identical — see [`crate::simd`]), scalar
+/// otherwise and for the remainder cells. Safety: see
+/// [`collide_cells_raw`].
 unsafe fn collide_bgk_raw(tau: f64, f: *mut f64, ueq: *const f64, cells: usize, range: Range<usize>) {
     let omega = 1.0 / tau;
+    #[cfg(target_arch = "x86_64")]
+    let range = if crate::simd::avx2_available() {
+        crate::simd::collide_bgk_avx2(omega, f, ueq, cells, range)
+    } else {
+        range
+    };
+    collide_bgk_scalar(omega, f, ueq, cells, range);
+}
+
+/// Scalar LBGK over `range`. Safety: see [`collide_cells_raw`].
+unsafe fn collide_bgk_scalar(
+    omega: f64,
+    f: *mut f64,
+    ueq: *const f64,
+    cells: usize,
+    range: Range<usize>,
+) {
     for cell in range {
         // Gather populations (strided by `cells` across channels).
         let mut fi = [0.0f64; 19];

@@ -121,17 +121,17 @@ impl ComponentSpec {
 /// Per-slab mutable state of one component.
 ///
 /// Storage is sized for the slab *including* ghost planes. `f` holds the
-/// current populations; `f_tmp` is the streaming target (swapped each
-/// phase). `psi` is the number density (ghost planes refreshed by the
-/// second halo exchange of each phase); `force` is the total force density
-/// and `ueq` the equilibrium velocity used by the next collision.
+/// current populations; streaming updates it **in place** (sliding-window
+/// sweep, see [`crate::streaming`]), so no second lattice is stored — the
+/// dominant allocation is half what a two-lattice scheme would need. `psi`
+/// is the number density (ghost planes refreshed by the second halo
+/// exchange of each phase); `force` is the total force density and `ueq`
+/// the equilibrium velocity used by the next collision.
 #[derive(Clone, Debug)]
 pub struct ComponentState {
     pub spec: ComponentSpec,
     /// Populations, Q channels.
     pub f: SlabArray,
-    /// Streaming scratch buffer, Q channels.
-    pub f_tmp: SlabArray,
     /// Number density `n_σ = Σ_i f_i`, 1 channel (ghosts exchanged).
     pub psi: SlabArray,
     /// Total force density on this component, 3 channels (interior only).
@@ -146,7 +146,6 @@ impl ComponentState {
         ComponentState {
             spec,
             f: SlabArray::new(grid, D3Q19::Q),
-            f_tmp: SlabArray::new(grid, D3Q19::Q),
             psi: SlabArray::new(grid, 1),
             force: SlabArray::new(grid, 3),
             ueq: SlabArray::new(grid, 3),

@@ -24,7 +24,8 @@
 use crate::component::{ComponentState, CouplingMatrix};
 use crate::field::LocalGrid;
 use crate::lattice::{Lattice, D3Q19};
-use crate::par::{Parallelism, SendPtr};
+use crate::par::{ConstPtr, Parallelism, SendPtr};
+use crate::potential::PsiFn;
 
 /// How the hydrophobic wall magnitude combines with the local fluid state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +113,7 @@ pub(crate) fn compute_forces_with(
     let ncells = grid.cells();
     assert_eq!(solid.len(), ncells);
     let s = comps.len();
+    let par = par.effective();
     let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
     let ny = grid.ny as isize;
     let nz = grid.nz as isize;
@@ -157,122 +159,131 @@ pub(crate) fn compute_forces_with(
         Vec::new()
     };
 
-    // Pass 1: interaction-kernel vector G_b(x) = Σ_i w_i ψ_b(x+e_i) e_i
-    // for every component (≈ c_s² ∇ψ_b to second order), where ψ_b is the
-    // component's interaction potential evaluated on its number density.
-    let mut gvec: Vec<Vec<f64>> = vec![vec![0.0; 3 * ncells]; s];
-    for (b, comp) in comps.iter().enumerate() {
-        let psi_fn = comp.spec.psi_fn;
-        let psi = comp.psi.channel(0);
-        let out_ptr = SendPtr::new(gvec[b].as_mut_ptr());
-        par.run_chunks(&chunks, |lo, hi| {
-            for xl in lo..hi {
-                for y in 0..grid.ny {
-                    for z in 0..grid.nz {
-                        let cell = (xl * grid.ny + y) * grid.nz + z;
-                        let mut acc = [0.0f64; 3];
-                        for i in 1..D3Q19::Q {
-                            let e = D3Q19::E[i];
-                            let yn = y as isize + e[1] as isize;
-                            let zn = z as isize + e[2] as isize;
-                            if yn < 0 || yn >= ny || zn < 0 || zn >= nz {
-                                continue; // ψ = 0 behind walls
-                            }
-                            let xn = (xl as isize + e[0] as isize) as usize;
-                            let p = psi_fn
-                                .eval(psi[(xn * grid.ny + yn as usize) * grid.nz + zn as usize]);
-                            let wp = D3Q19::W[i] * p;
-                            acc[0] += wp * e[0] as f64;
-                            acc[1] += wp * e[1] as f64;
-                            acc[2] += wp * e[2] as f64;
-                        }
-                        for a in 0..3 {
-                            // Safety: disjoint chunk planes, see above.
-                            unsafe { *out_ptr.get().add(a * ncells + cell) = acc[a] };
-                        }
-                    }
-                }
-            }
-        });
-    }
+    // The interaction-kernel vector G_b(x) = Σ_i w_i ψ_b(x+e_i) e_i
+    // (≈ c_s² ∇ψ_b to second order) is never materialized over the whole
+    // lattice: each chunk computes it one plane at a time into a
+    // cache-resident buffer (via the separable-aggregate form, see
+    // [`crate::simd::gvec_plane`]) and immediately assembles every
+    // component's total force for that plane. That removes 3·s
+    // full-lattice channels of write+read memory traffic per phase. The
+    // per-cell values depend only on ψ and the cell position, so the
+    // result is bitwise identical at any chunking or decomposition.
+    //
+    // ψ is pre-evaluated once per cell per component (the gather would
+    // re-evaluate each neighbor up to 18×); Linear is the identity, so
+    // the density array is borrowed directly. The arrays live until the
+    // end of this function, so raw pointers into them stay valid for the
+    // launches below.
+    let evals: Vec<Option<Vec<f64>>> = comps
+        .iter()
+        .map(|c| match c.spec.psi_fn {
+            PsiFn::Linear => None,
+            pf => Some(c.psi.channel(0).iter().map(|&n| pf.eval(n)).collect()),
+        })
+        .collect();
+    let pe_ptrs: Vec<ConstPtr<f64>> = comps
+        .iter()
+        .zip(&evals)
+        .map(|(c, ev)| ConstPtr::new(ev.as_deref().unwrap_or(c.psi.channel(0)).as_ptr()))
+        .collect();
 
-    // Pass 2: total force density per component.
-    for a in 0..s {
-        let mass = comps[a].spec.mass;
-        let psi_fn = comps[a].spec.psi_fn;
-        let g_wall = comps[a].spec.wall_adhesion;
-        let feels_wall = comps[a].spec.feels_wall_force;
-        let interaction: Vec<f64> = (0..s).map(|b| coupling.get(a, b)).collect();
-        // Split borrows of the same component: ψ read, force written —
-        // distinct arrays, so no aliasing.
-        let c = &mut comps[a];
-        let psi_data: &[f64] = c.psi.channel(0);
-        let force_ptr = SendPtr::new(c.force.data_mut().as_mut_ptr());
-        let (interaction, adhesion_vec, gvec) = (&interaction, &adhesion_vec, &gvec);
-        par.run_chunks(&chunks, |lo, hi| {
-            for xl in lo..hi {
-                for y in 0..grid.ny {
-                    let wall_mag = if feels_wall && !wall.is_off() {
-                        None // computed per z below
-                    } else {
-                        Some((0.0, 0.0))
-                    };
-                    for z in 0..grid.nz {
-                        let cell = (xl * grid.ny + y) * grid.nz + z;
-                        let n_here = psi_data[cell];
-                        let psi_here = psi_fn.eval(n_here);
-                        let rho_here = mass * n_here;
-                        // Shan–Chen term.
-                        let mut fx = 0.0;
-                        let mut fy = 0.0;
-                        let mut fz = 0.0;
-                        for (b, &g) in interaction.iter().enumerate() {
-                            if g == 0.0 {
-                                continue;
-                            }
-                            let gv = &gvec[b];
-                            fx -= psi_here * g * gv[cell];
-                            fy -= psi_here * g * gv[ncells + cell];
-                            fz -= psi_here * g * gv[2 * ncells + cell];
+    // Per-component assembly inputs (see [`crate::simd::ForceAssembly`]).
+    let dims1 = crate::geometry::Dims::new(1, grid.ny, grid.nz);
+    let assemblies: Vec<crate::simd::ForceAssembly> = (0..s)
+        .map(|a| {
+            let g_wall = comps[a].spec.wall_adhesion;
+            // G(d) separates by axis (y walls depend only on y, z walls
+            // only on z), so the four exp() per cell collapse into two
+            // per-row tables. Each entry is computed by the exact
+            // expression the per-cell code used, so the values are
+            // bitwise identical.
+            let use_wall = comps[a].spec.feels_wall_force && !wall.is_off();
+            crate::simd::ForceAssembly {
+                ny: grid.ny,
+                nz: grid.nz,
+                ncells,
+                p: grid.plane_cells(),
+                n: ConstPtr::new(comps[a].psi.channel(0).as_ptr()),
+                pe: pe_ptrs[a],
+                force: SendPtr::new(comps[a].force.data_mut().as_mut_ptr()),
+                // Active couplings in ascending-b order (the inactive
+                // g = 0 terms contributed nothing and are skipped,
+                // exactly as before).
+                couplings: (0..s)
+                    .filter(|&b| coupling.get(a, b) != 0.0)
+                    .map(|b| (b, coupling.get(a, b)))
+                    .collect(),
+                adhesion: if g_wall != 0.0 {
+                    Some((ConstPtr::new(adhesion_vec.as_ptr()), g_wall))
+                } else {
+                    None
+                },
+                wy: (0..grid.ny)
+                    .map(|y| {
+                        if use_wall {
+                            wall.magnitudes(dims1.wall_distances(y, 0)).0
+                        } else {
+                            0.0
                         }
-                        // Solid-fluid adhesion (alternative hydrophobicity):
-                        // F = −g_w ψ(n) Σ_i w_i s(x+e_i) e_i.
-                        if g_wall != 0.0 {
-                            fx -= g_wall * psi_here * adhesion_vec[cell];
-                            fy -= g_wall * psi_here * adhesion_vec[ncells + cell];
-                            fz -= g_wall * psi_here * adhesion_vec[2 * ncells + cell];
+                    })
+                    .collect(),
+                wz: (0..grid.nz)
+                    .map(|z| {
+                        if use_wall {
+                            wall.magnitudes(dims1.wall_distances(0, z)).1
+                        } else {
+                            0.0
                         }
-                        // Hydrophobic wall force.
-                        let (wy, wz) = match wall_mag {
-                            Some(m) => m,
-                            None => {
-                                let d = crate::geometry::Dims::new(1, grid.ny, grid.nz)
-                                    .wall_distances(y, z);
-                                wall.magnitudes(d)
-                            }
-                        };
-                        let wall_scale = match wall.mode {
-                            WallForceMode::PerMass => rho_here,
-                            WallForceMode::ForceDensity => 1.0,
-                        };
-                        fy += wy * wall_scale;
-                        fz += wz * wall_scale;
-                        // Body force (acceleration on every component).
-                        fx += rho_here * body[0];
-                        fy += rho_here * body[1];
-                        fz += rho_here * body[2];
-                        // Safety: disjoint chunk planes of this component's
-                        // force array.
-                        unsafe {
-                            *force_ptr.get().add(cell) = fx;
-                            *force_ptr.get().add(ncells + cell) = fy;
-                            *force_ptr.get().add(2 * ncells + cell) = fz;
-                        }
+                    })
+                    .collect(),
+                per_mass: wall.mode == WallForceMode::PerMass,
+                mass: comps[a].spec.mass,
+                body,
+            }
+        })
+        .collect();
+
+    let p = grid.plane_cells();
+    let (pe_ptrs, assemblies) = (&pe_ptrs, &assemblies);
+    par.run_chunks(&chunks, |lo, hi| {
+        // Per-chunk plane buffers for the interaction-kernel vectors
+        // (3 channels × plane cells per component). Pointers are captured
+        // once so the per-plane loop never re-borrows the buffers.
+        let mut gp: Vec<Vec<f64>> = (0..s).map(|_| vec![0.0; 3 * p]).collect();
+        let gp_ptrs: Vec<SendPtr<f64>> =
+            gp.iter_mut().map(|v| SendPtr::new(v.as_mut_ptr())).collect();
+        let planes: Vec<ConstPtr<f64>> =
+            gp_ptrs.iter().map(|q| ConstPtr::new(q.get() as *const f64)).collect();
+        // Staging plane + trailing zero row for the aggregate sweeps.
+        let mut scratch = vec![0.0; p + grid.nz];
+        let scratch = scratch.as_mut_ptr();
+        for xl in lo..hi {
+            // Safety: the plane buffers are chunk-local; ψ arrays are
+            // read-only during the launch; each force plane is written by
+            // exactly one chunk (chunk planes are disjoint).
+            unsafe {
+                for b in 0..s {
+                    crate::simd::gvec_plane(
+                        pe_ptrs[b].get(),
+                        gp_ptrs[b].get(),
+                        scratch,
+                        xl,
+                        grid.ny,
+                        grid.nz,
+                        p,
+                    );
+                }
+                for args in assemblies {
+                    #[cfg(target_arch = "x86_64")]
+                    if crate::simd::avx2_available() {
+                        crate::simd::force_assemble_avx2(args, xl, &planes);
+                        continue;
                     }
+                    crate::simd::force_assemble_scalar(args, xl, &planes);
                 }
             }
-        });
-    }
+        }
+    });
 }
 
 #[cfg(test)]

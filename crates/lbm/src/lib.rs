@@ -45,6 +45,7 @@ pub mod multicomponent;
 pub mod observables;
 pub mod par;
 pub mod potential;
+pub(crate) mod simd;
 pub mod simulation;
 pub mod solver;
 pub mod streaming;
@@ -54,7 +55,7 @@ pub mod units;
 pub use component::{CollisionOperator, ComponentSpec, CouplingMatrix};
 pub use config::{ChannelConfig, InitProfile};
 pub use force::{WallForce, WallForceMode};
-pub use geometry::{Dims, Microchannel, Slab};
+pub use geometry::{Dims, Microchannel, Slab, SolidRegion};
 pub use macroscopic::Snapshot;
 pub use par::Parallelism;
 pub use potential::PsiFn;

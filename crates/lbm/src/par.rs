@@ -63,6 +63,34 @@ impl Parallelism {
         self.threads <= 1
     }
 
+    /// The thread count actually worth fanning out to on this host:
+    /// `min(threads, available hardware threads)`.
+    ///
+    /// The *decomposition* ([`plane_chunks`](Self::plane_chunks)) always
+    /// honors the configured `threads` so results are host-independent;
+    /// only the *execution* consults this. On a host with fewer cores than
+    /// the configured budget, spawning the excess tasks would pay scheduling
+    /// overhead for zero added parallelism — `threads: 8` on a one-core
+    /// machine must degrade to the inline serial sweep, not to eight queued
+    /// tasks (the root cause of the historical parallel-slower-than-serial
+    /// regression).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.min(rayon::current_num_threads()).max(1)
+    }
+
+    /// A budget clamped to [`effective_threads`](Self::effective_threads).
+    ///
+    /// The per-phase kernels decompose their planes with this, so a
+    /// one-core host configured with `threads: 8` pays neither task
+    /// spawning nor per-chunk setup (boundary-plane saves, scratch
+    /// buffers). Safe because every kernel is decomposition-invariant:
+    /// collision/ψ/velocities are cell-local, forces accumulate per cell
+    /// in a fixed direction order, and streaming is pure data movement —
+    /// so any chunking produces bitwise identical fields.
+    pub fn effective(&self) -> Parallelism {
+        Parallelism { threads: self.effective_threads() }
+    }
+
     /// Splits the inclusive plane range `[first, last]` into at most
     /// `threads` contiguous half-open chunks `(start, end)`.
     ///
@@ -88,9 +116,11 @@ impl Parallelism {
         chunks
     }
 
-    /// Runs `body(start, end)` for every chunk. A single chunk (or a
-    /// serial budget) runs inline; otherwise each chunk becomes a scoped
-    /// rayon task, with the first chunk executed on the calling thread.
+    /// Runs `body(start, end)` for every chunk. A single chunk, a serial
+    /// budget, or a host without usable extra cores
+    /// ([`effective_threads`](Self::effective_threads) ≤ 1) runs inline;
+    /// otherwise each chunk becomes a scoped rayon task, with the first
+    /// chunk executed on the calling thread.
     ///
     /// `body` must be safe to run concurrently for distinct chunks — the
     /// kernels guarantee this by writing only cells inside their own chunk.
@@ -98,7 +128,7 @@ impl Parallelism {
     where
         F: Fn(usize, usize) + Sync,
     {
-        if chunks.len() <= 1 || self.is_serial() {
+        if chunks.len() <= 1 || self.effective_threads() <= 1 {
             for &(a, b) in chunks {
                 body(a, b);
             }
@@ -223,6 +253,15 @@ mod tests {
     fn more_threads_than_planes_clamps() {
         let chunks = Parallelism::new(16).plane_chunks(1, 3);
         assert_eq!(chunks, vec![(1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_host_parallelism() {
+        let host = rayon::current_num_threads().max(1);
+        assert_eq!(Parallelism::serial().effective_threads(), 1);
+        assert_eq!(Parallelism::new(host).effective_threads(), host);
+        assert_eq!(Parallelism::new(host + 7).effective_threads(), host);
+        assert!(Parallelism::new(usize::MAX).effective_threads() >= 1);
     }
 
     #[test]

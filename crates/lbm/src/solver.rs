@@ -210,7 +210,7 @@ impl SlabSolver {
 
     /// Phase step 1: LBGK collision of every component.
     pub fn collide(&mut self) {
-        let par = self.par;
+        let par = self.par.effective();
         let grid = self.grid();
         let p = grid.plane_cells();
         let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
@@ -560,7 +560,6 @@ fn resize_all(c: &mut ComponentState, new_nx: usize, shift: isize) {
         a.resize_shift(new_nx, shift);
     };
     resize(&mut c.f);
-    resize(&mut c.f_tmp);
     resize(&mut c.psi);
     resize(&mut c.force);
     resize(&mut c.ueq);

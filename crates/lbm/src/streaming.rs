@@ -20,15 +20,38 @@
 //!
 //! This places the no-slip wall half a grid spacing outside the first fluid
 //! cell, second-order accurately.
+//!
+//! # In-place sliding-window sweep
+//!
+//! Historically streaming wrote a second full lattice (`f_tmp`) and swapped
+//! buffers — doubling the dominant allocation and the write traffic of the
+//! hottest loop. The sweep below streams **in place**: x-planes are
+//! processed left to right, and because the pull stencil only ever reads
+//! planes `xl − 1 ..= xl + 1`, a two-plane ring buffer of *saved*
+//! post-collision planes is enough to replace the second lattice:
+//!
+//! - `e_x = +1` channels pull from the saved copy of plane `xl − 1`
+//!   (overwritten one iteration ago),
+//! - `e_x = 0` channels and **all** bounce-back reads pull from the saved
+//!   copy of plane `xl` (taken just before overwriting it),
+//! - `e_x = −1` channels pull from plane `xl + 1`, still untouched in `f`.
+//!
+//! Streaming is pure data movement — every destination receives exactly the
+//! same source value as the two-lattice scheme — so the result is bitwise
+//! identical while the memory footprint halves. Multi-chunk sweeps
+//! (parallel or not) additionally save the two planes flanking each chunk
+//! cut before the sweep starts, so no chunk ever pulls a neighbor chunk's
+//! already-overwritten plane.
 
 use crate::component::ComponentState;
 use crate::field::LocalGrid;
 use crate::lattice::{Lattice, D3Q19};
 use crate::par::{ConstPtr, Parallelism, SendPtr};
-use std::ops::Range;
 
-/// Streams one component over the interior of its slab, consuming the
-/// ghost planes of `f` and writing into `f_tmp`, then swaps the buffers.
+const Q: usize = D3Q19::Q;
+
+/// Streams one component over the interior of its slab **in place**,
+/// consuming the ghost planes of `f`.
 ///
 /// `solid` flags solid cells over the full local grid (ghost planes
 /// included); populations bounce back at solid upstream cells exactly as
@@ -45,147 +68,16 @@ pub fn stream(comp: &mut ComponentState, solid: &[bool]) {
 /// [`stream`] with a caller-supplied obstacle flag (the solver knows it
 /// without scanning the mask) and a thread budget: the interior planes are
 /// chunked and streamed concurrently. Bitwise identical to serial at any
-/// thread count — each plane writes only itself and reads `f`, which
-/// nobody mutates during the sweep.
+/// thread count — streaming moves values without arithmetic, and the saved
+/// boundary planes guarantee every chunk pulls the same post-collision
+/// sources as a single serial sweep.
 pub(crate) fn stream_with(
     comp: &mut ComponentState,
     solid: &[bool],
     has_solid: bool,
     par: Parallelism,
 ) {
-    let grid = comp.grid();
-    assert_eq!(solid.len(), grid.cells());
-    {
-        let chunks = par.plane_chunks(LocalGrid::FIRST, grid.last());
-        let src = ConstPtr::new(comp.f.data().as_ptr());
-        let dst = SendPtr::new(comp.f_tmp.data_mut().as_mut_ptr());
-        par.run_chunks(&chunks, |a, b| {
-            // Safety: chunks are disjoint plane ranges; each task writes
-            // only its own planes of `f_tmp` and reads `f` read-only.
-            unsafe { stream_planes_raw(src.get(), dst.get(), grid, solid, has_solid, a..b) }
-        });
-    }
-    std::mem::swap(&mut comp.f, &mut comp.f_tmp);
-}
-
-/// Pull-streams the planes of `planes` from `src` (post-collision `f`,
-/// ghosts current) into `dst` (`f_tmp`). Does **not** swap buffers.
-///
-/// # Safety
-///
-/// `src` and `dst` must point to distinct Q-channel channel-major arrays
-/// over `grid`; `planes` must lie within the interior; no other thread may
-/// write the `planes` planes of `dst`, nor any plane of `src` in
-/// `planes ± 1` (the pull stencil), during the call.
-pub(crate) unsafe fn stream_planes_raw(
-    src: *const f64,
-    dst: *mut f64,
-    grid: LocalGrid,
-    solid: &[bool],
-    has_solid: bool,
-    planes: Range<usize>,
-) {
-    if has_solid {
-        stream_planes_generic(src, dst, grid, solid, planes);
-    } else {
-        stream_planes_fast(src, dst, grid, planes);
-    }
-}
-
-/// Reference per-cell streaming with obstacle bounce-back.
-/// Safety: see [`stream_planes_raw`].
-unsafe fn stream_planes_generic(
-    src: *const f64,
-    dst: *mut f64,
-    grid: LocalGrid,
-    solid: &[bool],
-    planes: Range<usize>,
-) {
-    let cells = grid.cells();
-    let ny = grid.ny as isize;
-    let nz = grid.nz as isize;
-    for i in 0..D3Q19::Q {
-        let e = D3Q19::E[i];
-        let opp = D3Q19::OPP[i];
-        let src_i = src.add(i * cells);
-        let src_opp = src.add(opp * cells);
-        let dst_i = dst.add(i * cells);
-        for xl in planes.clone() {
-            // Upstream plane along x always exists (ghosts at 0, lx−1).
-            let xs = (xl as isize - e[0] as isize) as usize;
-            for y in 0..ny {
-                let ys = y - e[1] as isize;
-                for z in 0..nz {
-                    let zs = z - e[2] as isize;
-                    let cell = (xl * grid.ny + y as usize) * grid.nz + z as usize;
-                    if solid[cell] {
-                        // Solid cells carry no populations.
-                        *dst_i.add(cell) = 0.0;
-                        continue;
-                    }
-                    let v = if ys < 0 || ys >= ny || zs < 0 || zs >= nz {
-                        // Upstream cell is behind a wall: bounce back.
-                        *src_opp.add(cell)
-                    } else {
-                        let source = (xs * grid.ny + ys as usize) * grid.nz + zs as usize;
-                        if solid[source] {
-                            // Upstream cell is an obstacle: bounce back.
-                            *src_opp.add(cell)
-                        } else {
-                            *src_i.add(source)
-                        }
-                    };
-                    *dst_i.add(cell) = v;
-                }
-            }
-        }
-    }
-}
-
-/// Obstacle-free streaming: with no solids, a whole z-row either bounces
-/// in place (upstream row behind a y-wall) or is a contiguous copy of the
-/// upstream row, with at most one bounce-back cell at a z-wall. Replacing
-/// the per-cell bounds arithmetic with row copies is the serial fast path
-/// of the fused sweep. Produces bit-identical values to the reference
-/// loop — every cell receives the same `src` element either way.
-/// Safety: see [`stream_planes_raw`].
-unsafe fn stream_planes_fast(src: *const f64, dst: *mut f64, grid: LocalGrid, planes: Range<usize>) {
-    let cells = grid.cells();
-    let (ny, nz) = (grid.ny, grid.nz);
-    for i in 0..D3Q19::Q {
-        let e = D3Q19::E[i];
-        let opp = D3Q19::OPP[i];
-        let src_i = src.add(i * cells);
-        let src_opp = src.add(opp * cells);
-        let dst_i = dst.add(i * cells);
-        for xl in planes.clone() {
-            let xs = (xl as isize - e[0] as isize) as usize;
-            for y in 0..ny {
-                let row = (xl * ny + y) * nz;
-                let ys = y as isize - e[1] as isize;
-                if ys < 0 || ys >= ny as isize {
-                    // Upstream row is behind a y-wall: the whole row
-                    // bounces back in place.
-                    std::ptr::copy_nonoverlapping(src_opp.add(row), dst_i.add(row), nz);
-                    continue;
-                }
-                let srow = (xs * ny + ys as usize) * nz;
-                match e[2] {
-                    0 => std::ptr::copy_nonoverlapping(src_i.add(srow), dst_i.add(row), nz),
-                    1 => {
-                        // z = 0 pulls from behind the z-low wall: bounce.
-                        *dst_i.add(row) = *src_opp.add(row);
-                        std::ptr::copy_nonoverlapping(src_i.add(srow), dst_i.add(row + 1), nz - 1);
-                    }
-                    _ => {
-                        // e_z = −1: z = nz−1 bounces at the z-high wall.
-                        std::ptr::copy_nonoverlapping(src_i.add(srow + 1), dst_i.add(row), nz - 1);
-                        *dst_i.add(row + nz - 1) = *src_opp.add(row + nz - 1);
-                    }
-                }
-            }
-        }
-    }
+    sweep(comp, solid, has_solid, par, false);
 }
 
 /// Fused collide→stream sweep over the slab interior.
@@ -201,33 +93,67 @@ unsafe fn stream_planes_fast(src: *const f64, dst: *mut f64, grid: LocalGrid, pl
 /// streaming reads them.
 ///
 /// With a multi-thread budget the chunks proceed concurrently; the two
-/// planes around each chunk cut are pre-collided serially so no task ever
-/// reads a neighbor's in-flight collision write. Collision stays cell-local
-/// and streaming still reads the same post-collision values, so the result
-/// is bitwise identical to `collide()` followed by `stream()` at any
-/// thread count.
+/// planes around each chunk cut are pre-collided (and then saved) serially
+/// so no task ever reads a neighbor's in-flight write. Collision stays
+/// cell-local and streaming still reads the same post-collision values, so
+/// the result is bitwise identical to `collide()` followed by `stream()`
+/// at any thread count.
 pub(crate) fn stream_collide_fused(
     comp: &mut ComponentState,
     solid: &[bool],
     has_solid: bool,
     par: Parallelism,
 ) {
+    sweep(comp, solid, has_solid, par, true);
+}
+
+/// One post-collision x-plane as a streaming source: either a live plane
+/// of `f` (ghosts, not-yet-overwritten right neighbors) or a saved copy
+/// (ring buffer, chunk-boundary saves). `ch(i)` is the contiguous
+/// `plane_cells`-long channel-`i` slice of the plane.
+#[derive(Clone, Copy)]
+struct PlaneSrc {
+    base: *const f64,
+    /// Channel stride: `cells` for live planes of `f` (channel-major over
+    /// the full slab), `plane_cells` for saved plane copies.
+    stride: usize,
+}
+
+impl PlaneSrc {
+    /// Safety: caller guarantees `base + i*stride + plane_cells` stays in
+    /// bounds of the underlying allocation for all `i < Q`.
+    unsafe fn ch(self, i: usize) -> *const f64 {
+        self.base.add(i * self.stride)
+    }
+}
+
+/// The in-place collide/stream sweep shared by [`stream_with`] (`fuse =
+/// false`, every plane already collided) and [`stream_collide_fused`]
+/// (`fuse = true`, edge planes collided, the rest collided inside the
+/// sweep).
+fn sweep(comp: &mut ComponentState, solid: &[bool], has_solid: bool, par: Parallelism, fuse: bool) {
     let grid = comp.grid();
     let cells = grid.cells();
     let p = grid.plane_cells();
     assert_eq!(solid.len(), cells);
     let first = LocalGrid::FIRST;
     let last = grid.last();
+    // Decompose by the *effective* budget: chunk cuts cost boundary-plane
+    // saves and per-chunk ring buffers, so never cut more than the host
+    // can actually run. Bitwise safe — streaming moves the same values
+    // under any decomposition.
+    let par = par.effective();
+    let chunks = par.plane_chunks(first, last);
     let op = comp.spec.collision;
     let tau = comp.spec.tau;
-    let chunks = par.plane_chunks(first, last);
 
-    // `done[xl]`: plane xl already collided. Edges were collided before
-    // the halo exchange; chunk-cut planes are pre-collided below.
+    // `done[xl]`: plane xl already collided (fused schedule only). Edges
+    // were collided before the halo exchange; chunk-cut planes are
+    // pre-collided here so the saves below capture post-collision values.
     let mut done = vec![false; grid.lx];
     done[first] = true;
     done[last] = true;
-    {
+    if fuse {
         let ueq = comp.ueq.data().as_ptr();
         let f = comp.f.data_mut().as_mut_ptr();
         for &(a, _) in &chunks[1..] {
@@ -242,15 +168,53 @@ pub(crate) fn stream_collide_fused(
             }
         }
     }
+
+    // Save the post-collision planes flanking each chunk cut: the chunk
+    // left of a cut needs plane `b` (its `e_x = −1` source) before the
+    // right chunk overwrites it, and the right chunk needs plane `a − 1`
+    // (its `e_x = +1` source) before the left chunk overwrites it. The
+    // saves depend only on the chunk decomposition, never on execution
+    // order, so inline and threaded execution read identical sources.
+    type SavedCut = (Option<Vec<f64>>, Option<Vec<f64>>);
+    let saved: Vec<SavedCut> = chunks
+        .iter()
+        .map(|&(a, b)| {
+            let left = (a > first).then(|| save_plane(comp, a - 1));
+            let right = (b <= last).then(|| save_plane(comp, b));
+            (left, right)
+        })
+        .collect();
+
     {
         let ueq = ConstPtr::new(comp.ueq.data().as_ptr());
         let f = SendPtr::new(comp.f.data_mut().as_mut_ptr());
-        let dst = SendPtr::new(comp.f_tmp.data_mut().as_mut_ptr());
         let done = &done;
+        let saved = &saved;
+        let chunks_ref = &chunks;
         par.run_chunks(&chunks, |a, b| {
+            let k = chunks_ref
+                .iter()
+                .position(|&c| c == (a, b))
+                .expect("run_chunks passes chunks verbatim");
+            let (left, right) = &saved[k];
+            let fp = f.get();
+            // A live plane of `f` as a source (ghosts, right neighbors):
+            // channel-major means channel i of plane xl starts at
+            // `i*cells + xl*p = (xl*p) + i*cells`.
+            let live = |xl: usize| PlaneSrc { base: unsafe { fp.add(xl * p) as *const f64 }, stride: cells };
+            // Two-plane ring buffer holding the saved post-collision copies
+            // of planes xl (cur) and xl−1 (prev).
+            let mut ring = [vec![0.0f64; Q * p], vec![0.0f64; Q * p]];
+            let mut cur_slot = 0usize;
+            let mut prev = match left {
+                Some(buf) => PlaneSrc { base: buf.as_ptr(), stride: p },
+                // First chunk: plane `first − 1` is the left ghost plane,
+                // which streaming never writes — read it live.
+                None => live(first - 1),
+            };
             for xl in a..b {
                 let nxt = xl + 1;
-                if nxt < b && !done[nxt] {
+                if fuse && nxt < b && !done[nxt] {
                     // Safety: plane `nxt` is strictly inside this chunk
                     // (chunk cuts and edges are pre-collided), so no other
                     // task touches it; collision is cell-local.
@@ -258,21 +222,185 @@ pub(crate) fn stream_collide_fused(
                         crate::collision::collide_cells_raw(
                             op,
                             tau,
-                            f.get(),
+                            fp,
                             ueq.get(),
                             cells,
                             nxt * p..(nxt + 1) * p,
                         )
                     };
                 }
-                // Safety: plane `xl` and its ±1 neighbors are collided by
-                // now; concurrent `f` writes are confined to the open
-                // interior of other chunks, ≥ 2 planes away from `xl`.
-                unsafe { stream_planes_raw(f.get() as *const f64, dst.get(), grid, solid, has_solid, xl..xl + 1) };
+                // Save the post-collision plane xl before overwriting it.
+                // Safety: `prev` may point into ring[1 − cur_slot] — never
+                // the slot written here. Source planes of `f` are disjoint
+                // from the ring buffers.
+                let cur = unsafe {
+                    let dst = ring[cur_slot].as_mut_ptr();
+                    for i in 0..Q {
+                        std::ptr::copy_nonoverlapping(fp.add(i * cells + xl * p) as *const f64, dst.add(i * p), p);
+                    }
+                    PlaneSrc { base: dst as *const f64, stride: p }
+                };
+                let next = if nxt == b {
+                    match right {
+                        Some(buf) => PlaneSrc { base: buf.as_ptr(), stride: p },
+                        // Last chunk: plane `last + 1` is the right ghost
+                        // plane (never written) — read it live.
+                        None => live(nxt),
+                    }
+                } else {
+                    // Still inside this chunk and not yet streamed.
+                    live(nxt)
+                };
+                // Safety: the write target (plane xl of `f`) never aliases
+                // a source — `cur`/saved copies live outside `f`, `prev`
+                // live is the left ghost, `next` live is plane xl+1 — and
+                // concurrent tasks write only their own disjoint planes.
+                unsafe {
+                    if has_solid {
+                        stream_plane_generic(fp, grid, xl, prev, cur, next, solid);
+                    } else {
+                        stream_plane_fast(fp, grid, xl, prev, cur, next);
+                    }
+                }
+                prev = cur;
+                cur_slot = 1 - cur_slot;
             }
         });
     }
-    std::mem::swap(&mut comp.f, &mut comp.f_tmp);
+}
+
+/// Copies all Q channels of post-collision plane `xl` into a fresh
+/// `[Q * plane_cells]` buffer (channel-contiguous).
+fn save_plane(comp: &ComponentState, xl: usize) -> Vec<f64> {
+    let grid = comp.grid();
+    let p = grid.plane_cells();
+    let mut buf = vec![0.0f64; Q * p];
+    for i in 0..Q {
+        let ch = comp.f.channel(i);
+        buf[i * p..(i + 1) * p].copy_from_slice(&ch[xl * p..(xl + 1) * p]);
+    }
+    buf
+}
+
+/// Picks the upstream plane source for channel `i`: `e_x = +1` pulls from
+/// the saved previous plane, `e_x = 0` from the saved current plane,
+/// `e_x = −1` from the right neighbor.
+unsafe fn upstream(i: usize, prev: PlaneSrc, cur: PlaneSrc, next: PlaneSrc) -> *const f64 {
+    match D3Q19::E[i][0] {
+        1 => prev.ch(i),
+        0 => cur.ch(i),
+        _ => next.ch(i),
+    }
+}
+
+/// Obstacle-free in-place streaming of one plane: with no solids, a whole
+/// z-row either bounces in place (upstream row behind a y-wall) or is a
+/// contiguous copy of the upstream row, with at most one bounce-back cell
+/// at a z-wall. Produces bit-identical values to the per-cell reference
+/// loop — every cell receives the same source element either way.
+///
+/// # Safety
+///
+/// `f` must be the component's channel-major population array over `grid`;
+/// `xl` an interior plane; `prev`/`cur`/`next` must expose the
+/// post-collision values of planes `xl − 1`, `xl`, `xl + 1` and not alias
+/// plane `xl` of `f`; no other thread may access plane `xl` of `f` during
+/// the call.
+unsafe fn stream_plane_fast(
+    f: *mut f64,
+    grid: LocalGrid,
+    xl: usize,
+    prev: PlaneSrc,
+    cur: PlaneSrc,
+    next: PlaneSrc,
+) {
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let (ny, nz) = (grid.ny, grid.nz);
+    for i in 0..Q {
+        let e = D3Q19::E[i];
+        let opp = D3Q19::OPP[i];
+        let src = upstream(i, prev, cur, next);
+        let bounce = cur.ch(opp);
+        let dst = f.add(i * cells + xl * p);
+        for y in 0..ny {
+            let row = y * nz;
+            let ys = y as isize - e[1] as isize;
+            if ys < 0 || ys >= ny as isize {
+                // Upstream row is behind a y-wall: the whole row bounces
+                // back in place.
+                std::ptr::copy_nonoverlapping(bounce.add(row), dst.add(row), nz);
+                continue;
+            }
+            let srow = ys as usize * nz;
+            match e[2] {
+                0 => std::ptr::copy_nonoverlapping(src.add(srow), dst.add(row), nz),
+                1 => {
+                    // z = 0 pulls from behind the z-low wall: bounce.
+                    *dst.add(row) = *bounce.add(row);
+                    std::ptr::copy_nonoverlapping(src.add(srow), dst.add(row + 1), nz - 1);
+                }
+                _ => {
+                    // e_z = −1: z = nz−1 bounces at the z-high wall.
+                    std::ptr::copy_nonoverlapping(src.add(srow + 1), dst.add(row), nz - 1);
+                    *dst.add(row + nz - 1) = *bounce.add(row + nz - 1);
+                }
+            }
+        }
+    }
+}
+
+/// Reference per-cell in-place streaming with obstacle bounce-back.
+/// Safety: see [`stream_plane_fast`]; additionally `solid` must cover the
+/// full local grid.
+unsafe fn stream_plane_generic(
+    f: *mut f64,
+    grid: LocalGrid,
+    xl: usize,
+    prev: PlaneSrc,
+    cur: PlaneSrc,
+    next: PlaneSrc,
+    solid: &[bool],
+) {
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let ny = grid.ny as isize;
+    let nz = grid.nz as isize;
+    for i in 0..Q {
+        let e = D3Q19::E[i];
+        let opp = D3Q19::OPP[i];
+        let src = upstream(i, prev, cur, next);
+        let bounce = cur.ch(opp);
+        let dst = f.add(i * cells + xl * p);
+        // Upstream plane along x always exists (ghosts at 0, lx−1); the
+        // solid mask is indexed globally, the sources plane-locally.
+        let xs = (xl as isize - e[0] as isize) as usize;
+        for y in 0..ny {
+            let ys = y - e[1] as isize;
+            for z in 0..nz {
+                let zs = z - e[2] as isize;
+                let q = (y * nz + z) as usize;
+                if solid[xl * p + q] {
+                    // Solid cells carry no populations.
+                    *dst.add(q) = 0.0;
+                    continue;
+                }
+                let v = if ys < 0 || ys >= ny || zs < 0 || zs >= nz {
+                    // Upstream cell is behind a wall: bounce back.
+                    *bounce.add(q)
+                } else {
+                    let sq = (ys * nz + zs) as usize;
+                    if solid[xs * p + sq] {
+                        // Upstream cell is an obstacle: bounce back.
+                        *bounce.add(q)
+                    } else {
+                        *src.add(sq)
+                    }
+                };
+                *dst.add(q) = v;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +435,65 @@ mod tests {
     fn stream_clear(c: &mut ComponentState) {
         let solid = no_solid(c);
         stream(c, &solid);
+    }
+
+    /// Two-lattice per-cell reference streaming: the specification the
+    /// in-place sweep must reproduce bit for bit.
+    fn stream_reference(c: &mut ComponentState, solid: &[bool]) {
+        let grid = c.grid();
+        let cells = grid.cells();
+        let ny = grid.ny as isize;
+        let nz = grid.nz as isize;
+        let src = c.f.data().to_vec();
+        for i in 0..Q {
+            let e = D3Q19::E[i];
+            let opp = D3Q19::OPP[i];
+            for xl in LocalGrid::FIRST..=grid.last() {
+                let xs = (xl as isize - e[0] as isize) as usize;
+                for y in 0..ny {
+                    let ys = y - e[1] as isize;
+                    for z in 0..nz {
+                        let zs = z - e[2] as isize;
+                        let cell = (xl * grid.ny + y as usize) * grid.nz + z as usize;
+                        if solid[cell] {
+                            c.f.set(i, cell, 0.0);
+                            continue;
+                        }
+                        let v = if ys < 0 || ys >= ny || zs < 0 || zs >= nz {
+                            src[opp * cells + cell]
+                        } else {
+                            let source = (xs * grid.ny + ys as usize) * grid.nz + zs as usize;
+                            if solid[source] {
+                                src[opp * cells + cell]
+                            } else {
+                                src[i * cells + source]
+                            }
+                        };
+                        c.f.set(i, cell, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_pseudorandom(c: &mut ComponentState, seed: usize) {
+        let grid = c.grid();
+        for xl in 1..=grid.last() {
+            for y in 0..grid.ny {
+                for z in 0..grid.nz {
+                    let cell = grid.idx(xl, y, z);
+                    for i in 0..Q {
+                        let h = xl
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(y.wrapping_mul(40503))
+                            .wrapping_add(z.wrapping_mul(9973))
+                            .wrapping_add(i.wrapping_mul(131))
+                            .wrapping_add(seed.wrapping_mul(7919));
+                        c.f.set(i, cell, 0.05 + (h % 997) as f64 * 1e-4);
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -368,8 +555,11 @@ mod tests {
         fill_ghosts_periodic(&mut c);
         stream_clear(&mut c);
         assert_eq!(c.f.at(4, cell), 0.7, "halfway bounce-back at y-high wall");
-        // And nothing leaked into any +y population anywhere.
-        let total3: f64 = c.f.channel(3).iter().sum();
+        // And nothing leaked into any interior +y population (ghost planes
+        // are stale after an in-place sweep and excluded).
+        let p = grid.plane_cells();
+        let total3: f64 =
+            c.f.channel(3)[LocalGrid::FIRST * p..(grid.last() + 1) * p].iter().sum();
         assert_eq!(total3, 0.0);
     }
 
@@ -470,5 +660,141 @@ mod tests {
         stream_clear(&mut c);
         let below = grid.idx(1, grid.ny - 2, 1);
         assert_eq!(c.f.at(4, below), 1.0);
+    }
+
+    #[test]
+    fn inplace_sweep_matches_two_lattice_reference() {
+        // The heart of the rewrite: the sliding-window in-place sweep must
+        // reproduce the two-lattice pull scheme bit for bit — obstacle-free
+        // fast path and generic obstacle path, all chunk decompositions.
+        for (nx, ny, nz) in [(1, 3, 4), (2, 4, 3), (5, 3, 5), (9, 4, 2)] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut a = make(nx, ny, nz);
+                fill_pseudorandom(&mut a, nx + threads);
+                let mut b = a.clone();
+                let solid = no_solid(&a);
+
+                fill_ghosts_periodic(&mut a);
+                fill_ghosts_periodic(&mut b);
+                stream_with(&mut a, &solid, false, Parallelism::new(threads));
+                stream_reference(&mut b, &solid);
+                assert_eq!(
+                    a.f.data(),
+                    b.f.data(),
+                    "in-place sweep diverged ({nx}x{ny}x{nz}, {threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_sweep_matches_reference_with_obstacles() {
+        for threads in [1usize, 2, 5] {
+            let mut a = make(7, 5, 4);
+            let grid = a.grid();
+            fill_pseudorandom(&mut a, threads);
+            let mut solid = no_solid(&a);
+            // An obstacle block spanning a chunk cut plus a lone voxel.
+            for xl in 3..=4 {
+                for y in 1..3 {
+                    solid[grid.idx(xl, y, 2)] = true;
+                }
+            }
+            solid[grid.idx(1, 4, 0)] = true;
+            for cell in 0..grid.cells() {
+                if solid[cell] {
+                    for i in 0..Q {
+                        a.f.set(i, cell, 0.0);
+                    }
+                }
+            }
+            let mut b = a.clone();
+            fill_ghosts_periodic(&mut a);
+            fill_ghosts_periodic(&mut b);
+            stream_with(&mut a, &solid, true, Parallelism::new(threads));
+            stream_reference(&mut b, &solid);
+            assert_eq!(a.f.data(), b.f.data(), "obstacle sweep diverged ({threads} threads)");
+        }
+    }
+
+    mod permutation_props {
+        //! Proptests for the structural invariants the in-place sweep
+        //! relies on: the direction reversal is a self-inverse permutation
+        //! of the channels, the link-shift permutation of (channel, cell)
+        //! pairs undoes itself when composed with its reverse, and the
+        //! sweep itself is a permutation of the population values (no
+        //! value invented, none lost).
+
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn opposite_direction_is_a_self_inverse_permutation(i in 0usize..Q) {
+                prop_assert_eq!(D3Q19::OPP[D3Q19::OPP[i]], i);
+                for a in 0..3 {
+                    prop_assert_eq!(D3Q19::E[D3Q19::OPP[i]][a], -D3Q19::E[i][a]);
+                }
+            }
+
+            #[test]
+            fn link_shift_composed_with_reverse_is_identity(
+                i in 0usize..Q,
+                x in 0u16..16,
+                y in 0u16..16,
+                z in 0u16..16,
+            ) {
+                // Shifting a lattice site along e_i and then along
+                // e_opp(i) returns to the origin — the index permutation
+                // the swap/in-place stream is built from is self-inverse.
+                let (x, y, z) = (x as isize, y as isize, z as isize);
+                let e = D3Q19::E[i];
+                let o = D3Q19::E[D3Q19::OPP[i]];
+                let shifted = [x + e[0] as isize, y + e[1] as isize, z + e[2] as isize];
+                let back = [
+                    shifted[0] + o[0] as isize,
+                    shifted[1] + o[1] as isize,
+                    shifted[2] + o[2] as isize,
+                ];
+                prop_assert_eq!(back, [x, y, z]);
+            }
+
+            #[test]
+            fn streaming_is_a_permutation_of_values(
+                nx in 1usize..6,
+                ny in 2usize..5,
+                nz in 2usize..5,
+                threads in 1usize..5,
+                seed in 0usize..64,
+            ) {
+                // The in-place sweep only moves values: sorting all
+                // populations before and after must give the same
+                // multiset (streaming = index permutation), and applying
+                // the reference scheme to a copy must give bitwise the
+                // same field.
+                let grid = LocalGrid::new(nx, ny, nz);
+                let mut a = ComponentState::new(ComponentSpec::water(), grid);
+                fill_pseudorandom(&mut a, seed);
+                let mut b = a.clone();
+                fill_ghosts_periodic(&mut a);
+                fill_ghosts_periodic(&mut b);
+                let solid = no_solid(&a);
+
+                let mut before: Vec<u64> =
+                    a.f.data().iter().map(|v| v.to_bits()).collect();
+                stream_with(&mut a, &solid, false, Parallelism::new(threads));
+                let mut after: Vec<u64> =
+                    a.f.data().iter().map(|v| v.to_bits()).collect();
+                // Ghost planes are stale after streaming; compare the
+                // full multiset anyway by restoring ghosts from `b`
+                // (streaming never writes ghosts, so they are unchanged).
+                before.sort_unstable();
+                after.sort_unstable();
+                prop_assert_eq!(before, after, "streaming must permute, not rewrite");
+
+                stream_reference(&mut b, &solid);
+                prop_assert_eq!(a.f.data(), b.f.data());
+            }
+        }
     }
 }

@@ -140,6 +140,10 @@ pub fn default_config() -> LintConfig {
                 "BGK/TRT collision kernels via raw pointers over disjoint cell ranges".into(),
             ),
             (
+                "crates/lbm/src/simd.rs".into(),
+                "runtime-dispatched core::arch AVX2 kernels, bitwise-identical to their scalar references".into(),
+            ),
+            (
                 "crates/lbm/src/mrt.rs".into(),
                 "MRT collision kernel via raw pointers over disjoint cell ranges".into(),
             ),

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use microslip::balance::policy::NeighborPolicy;
 use microslip::balance::{Conservative, FilterParams, Filtered, NoRemap};
-use microslip::lbm::{ChannelConfig, Dims, Simulation, Snapshot};
+use microslip::lbm::{ChannelConfig, CollisionOperator, Dims, Simulation, Snapshot, SolidRegion};
 use microslip::runtime::{run_parallel, RuntimeConfig};
 
 fn channel(nx: usize) -> ChannelConfig {
@@ -115,6 +115,70 @@ fn intra_slab_threads_do_not_change_physics() {
             "3 workers x {threads} threads with remapping diverged"
         );
     }
+}
+
+#[test]
+fn obstacle_bounce_back_survives_decomposition_and_threads() {
+    // Interior solids exercise the bounce-back branch of the in-place
+    // streaming sweep; a cylinder post and a wall-attached block cover
+    // both the curved and the axis-aligned masks.
+    let mut ch = ChannelConfig::paper_scaled(Dims::new(20, 8, 6));
+    ch.body = [1.0e-4, 0.0, 0.0];
+    ch.obstacles = vec![
+        SolidRegion::CylinderZ { center: [9.5, 4.0], radius: 1.8 },
+        SolidRegion::Block { min: [14, 0, 0], max: [16, 3, 6] },
+    ];
+    let phases = 8;
+    let want = sequential(&ch, phases);
+    for workers in [2usize, 4] {
+        let cfg = RuntimeConfig::new(ch.clone(), workers, phases);
+        let got = run_parallel(&cfg, Arc::new(NoRemap));
+        assert_eq!(got.snapshot, want, "{workers} workers diverged around obstacles");
+    }
+    let mut cfg = RuntimeConfig::new(ch, 2, phases);
+    cfg.threads_per_worker = 4;
+    let got = run_parallel(&cfg, Arc::new(NoRemap));
+    assert_eq!(got.snapshot, want, "threaded obstacle run diverged");
+}
+
+#[test]
+fn trt_and_mrt_operators_stay_bitwise() {
+    // The non-BGK collision operators take different kernel paths
+    // (including the AVX2 BGK fast path being skipped); each must still
+    // be bitwise identical across decomposition and thread counts.
+    for (name, op) in [
+        ("trt", CollisionOperator::trt_magic()),
+        ("mrt", CollisionOperator::mrt_standard()),
+    ] {
+        let mut ch = channel(16);
+        for (spec, _) in ch.components.iter_mut() {
+            spec.collision = op;
+        }
+        let phases = 6;
+        let want = sequential(&ch, phases);
+        let cfg = RuntimeConfig::new(ch.clone(), 3, phases);
+        let got = run_parallel(&cfg, Arc::new(NoRemap));
+        assert_eq!(got.snapshot, want, "{name}: 3 workers diverged");
+        let mut cfg = RuntimeConfig::new(ch, 2, phases);
+        cfg.threads_per_worker = 4;
+        let got = run_parallel(&cfg, Arc::new(NoRemap));
+        assert_eq!(got.snapshot, want, "{name}: threaded run diverged");
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_continues_bitwise() {
+    // Save/restore through the serialized field layout must reproduce an
+    // uninterrupted run exactly, including with obstacles in the domain.
+    let mut ch = channel(14);
+    ch.obstacles = vec![SolidRegion::Block { min: [6, 0, 0], max: [7, 3, 4] }];
+    let want = sequential(&ch, 10);
+    let mut sim = Simulation::new(ch.clone());
+    sim.run(4);
+    let bytes = sim.save();
+    let mut restored = Simulation::restore(ch, &bytes).expect("restore");
+    restored.run(6);
+    assert_eq!(restored.snapshot(), want, "restored run diverged from uninterrupted run");
 }
 
 #[test]

@@ -1,13 +1,22 @@
 //! Offline stand-in for the subset of `rayon` that microslip uses.
 //!
 //! Rayon proper keeps a lazily-started global pool of persistent worker
-//! threads with work stealing. This shim implements the same *fork-join
-//! semantics* on `std::thread::scope`: every parallel region spawns OS
-//! threads for its duration and joins them before returning. That is
-//! slower to launch (microseconds per region, irrelevant next to the
-//! millisecond-scale LBM kernels here) but has identical ordering
-//! guarantees: `collect` preserves input order and `scope` joins all
-//! spawned work before returning.
+//! threads with work stealing. Earlier versions of this shim spawned fresh
+//! OS threads per parallel region via `std::thread::scope`; profiling the
+//! LBM kernels showed that spawn/join cost (tens of microseconds, paid
+//! five kernels × two components per phase) dominating the sub-millisecond
+//! kernel bodies and making the "parallel" path *slower* than serial. The
+//! shim now mirrors rayon's actual architecture: a lazily-created global
+//! pool of `available_parallelism - 1` persistent workers plus the scope
+//! caller, fed through a shared injector queue. On a single-core host the
+//! pool has zero workers and every task runs inline on the caller — no
+//! thread is ever created.
+//!
+//! Ordering guarantees are identical to rayon: `collect` preserves input
+//! order and `scope` joins all spawned work (including nested spawns)
+//! before returning. Task *scheduling* order is nondeterministic, exactly
+//! like rayon — callers must not bake ordering assumptions into spawned
+//! work.
 //!
 //! Exposed surface:
 //! - `prelude::*` with [`IntoParallelIterator`] / [`IntoParallelRefIterator`]
@@ -16,7 +25,13 @@
 //! - [`scope`] with `Scope::spawn` — structured fork-join tasks.
 //! - [`current_num_threads`] — the machine's available parallelism.
 
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 /// Number of threads parallel regions fan out to by default (rayon: the
 /// global pool size). Here: `std::thread::available_parallelism`.
@@ -24,9 +39,198 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
+/// A type-erased unit of work queued on the global pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The global pool: an injector queue drained by persistent workers and by
+/// any thread blocked in [`scope`] waiting for its tasks.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+impl Pool {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        // A panicking job never holds the lock (jobs run outside it), so a
+        // poisoned queue still contains coherent data.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, job: Job) {
+        self.lock_queue().push_back(job);
+        self.work_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.lock_queue().pop_front()
+    }
+}
+
+/// Lazily starts the persistent workers on first use. With one hardware
+/// thread the pool is empty and all work runs on scope callers.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker thread");
+        }
+        pool
+    })
+}
+
+/// Persistent worker body: pop a job or park on the condvar. Jobs are
+/// panic-isolated by the scope machinery, so this loop never unwinds.
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.lock_queue();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = pool.work_ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// Join-state shared between one [`scope`] call and its spawned tasks
+/// (including tasks spawned by tasks).
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl ScopeState {
+    fn lock_pending(&self) -> MutexGuard<'_, usize> {
+        self.pending.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.lock_pending();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Blocks until every task of `state` has finished. The waiting thread
+/// *helps*: it drains the global queue instead of parking, which both
+/// keeps the caller productive (rayon runs the final join on the caller
+/// too) and guarantees progress when the pool has zero workers.
+fn wait_scope(state: &ScopeState) {
+    let pool = pool();
+    loop {
+        if *state.lock_pending() == 0 {
+            return;
+        }
+        if let Some(job) = pool.try_pop() {
+            // May belong to any live scope — running someone else's task
+            // while we wait is work stealing, not a correctness hazard.
+            job();
+            continue;
+        }
+        let pending = state.lock_pending();
+        if *pending == 0 {
+            return;
+        }
+        // Tasks are in flight on workers. Park until one completes; the
+        // timeout re-checks the queue to cover the push-after-try_pop race
+        // (a task we could help with arriving between the checks).
+        let _ = state.done.wait_timeout(pending, Duration::from_millis(1));
+    }
+}
+
+/// Structured fork-join scope, mirroring `rayon::scope`: tasks spawned on
+/// the scope may borrow from the enclosing stack frame, and `scope`
+/// returns only after every spawned task has finished.
+pub struct Scope<'scope, 'env: 'scope> {
+    state: Arc<ScopeState>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queues `body` on the global pool within this scope. The task
+    /// receives a scope handle so it can spawn nested tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        *self.state.lock_pending() += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                state: Arc::clone(&state),
+                _scope: PhantomData,
+                _env: PhantomData,
+            };
+            if catch_unwind(AssertUnwindSafe(|| body(&nested))).is_err() {
+                state.panicked.store(true, Ordering::SeqCst);
+            }
+            state.task_finished();
+        });
+        // Safety: the job's captured borrows live for 'scope, and the
+        // owning `scope` call (or its unwind guard) blocks in `wait_scope`
+        // until `pending == 0` — i.e. until this job has run to completion
+        // — before 'scope can end. Erasing the lifetime therefore never
+        // lets the job outlive its borrows.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+        };
+        pool().push(job);
+    }
+}
+
+/// Joins the scope's tasks even if the scope body itself unwinds, so
+/// borrowed stack data stays alive until every task is done.
+struct JoinGuard<'a> {
+    state: &'a ScopeState,
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        wait_scope(self.state);
+    }
+}
+
+/// Creates a fork-join scope; see [`Scope`].
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let state = Arc::new(ScopeState {
+        pending: Mutex::new(0),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let result = {
+        let guard = JoinGuard { state: &state };
+        let sc = Scope { state: Arc::clone(&state), _scope: PhantomData, _env: PhantomData };
+        let result = f(&sc);
+        drop(guard); // join all tasks before borrows may end
+        result
+    };
+    if state.panicked.load(Ordering::SeqCst) {
+        panic!("parallel task panicked");
+    }
+    result
+}
+
 /// Splits `items` into at most [`current_num_threads`] contiguous chunks,
-/// maps each chunk on its own scoped thread, and returns the results in
-/// input order.
+/// maps each chunk as a pooled task, and returns the results in input
+/// order.
 fn fork_join_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -46,16 +250,17 @@ where
         let rest = items.split_off(items.len().min(chunk));
         chunks.push(std::mem::replace(&mut items, rest));
     }
-    let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel task panicked")).collect()
+    let mut out: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+    scope(|s| {
+        for (c, slot) in chunks.into_iter().zip(out.iter_mut()) {
+            s.spawn(move |_| {
+                *slot = Some(c.into_iter().map(f).collect::<Vec<R>>());
+            });
+        }
     });
     let mut flat = Vec::with_capacity(n);
-    for v in out.iter_mut() {
-        flat.append(v);
+    for v in &mut out {
+        flat.append(v.as_mut().expect("scope joined, every slot is filled"));
     }
     flat
 }
@@ -150,33 +355,6 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Structured fork-join scope, mirroring `rayon::scope`: tasks spawned on
-/// the scope may borrow from the enclosing stack frame, and `scope`
-/// returns only after every spawned task has finished.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Runs `body` on another thread within this scope. The task receives
-    /// a scope handle so it can spawn nested tasks.
-    pub fn spawn<F>(&self, body: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        inner.spawn(move || body(&Scope { inner }));
-    }
-}
-
-/// Creates a fork-join scope; see [`Scope`].
-pub fn scope<'env, F, R>(f: F) -> R
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-{
-    std::thread::scope(|s| f(&Scope { inner: s }))
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -231,5 +409,46 @@ mod tests {
             hits.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let data = vec![1usize, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        super::scope(|s| {
+            for x in &data {
+                s.spawn(|_| {
+                    total.fetch_add(*x, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        });
+        assert!(caught.is_err(), "scope must re-raise task panics");
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_the_pool() {
+        // Regression guard for the per-region thread-spawn overhead: many
+        // small scopes must all complete against the shared global pool.
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 400);
     }
 }
