@@ -33,18 +33,28 @@ impl Move {
 /// conserve planes.
 pub fn diff(old: &Partition, new_counts: &[usize]) -> Vec<Move> {
     assert_eq!(new_counts.len(), old.nodes());
-    assert_eq!(new_counts.iter().sum::<usize>(), old.total_planes(), "plane leak in plan");
+    diff_counts(old.counts(), new_counts)
+}
+
+/// Like [`diff`], but on raw count vectors. Unlike [`Partition`], a count
+/// vector may hold zero-count nodes, which occur mid-recovery: a dead
+/// rank whose planes are re-homed ends at zero, and a joining rank starts
+/// there. Panics if the target does not conserve planes.
+pub fn diff_counts(old_counts: &[usize], new_counts: &[usize]) -> Vec<Move> {
+    assert_eq!(new_counts.len(), old_counts.len());
+    let total: usize = old_counts.iter().sum();
+    assert_eq!(new_counts.iter().sum::<usize>(), total, "plane leak in plan");
     let owner_at = |counts: &[usize]| -> Vec<usize> {
-        let mut owners = Vec::with_capacity(old.total_planes());
+        let mut owners = Vec::with_capacity(total);
         for (node, &c) in counts.iter().enumerate() {
             owners.extend(std::iter::repeat_n(node, c));
         }
         owners
     };
-    let old_owner = owner_at(old.counts());
+    let old_owner = owner_at(old_counts);
     let new_owner = owner_at(new_counts);
     let mut moves: Vec<Move> = Vec::new();
-    for plane in 0..old.total_planes() {
+    for plane in 0..total {
         let (f, t) = (old_owner[plane], new_owner[plane]);
         if f == t {
             continue;

@@ -7,7 +7,9 @@
 use microslip_balance::policy::{Conservative, Filtered, Global, NoRemap, RemapPolicy};
 use microslip_balance::predict::HarmonicMean;
 
-use crate::disturbance::{Dedicated, Disturbance, DutyCycle, FixedSlowNodes, TransientSpikes};
+use crate::disturbance::{
+    Dedicated, Disturbance, DutyCycle, FixedSlowNodes, RankDeath, TransientSpikes,
+};
 use crate::engine::{run, ClusterConfig, RunResult};
 
 /// The four remapping schemes of the paper's evaluation.
@@ -98,6 +100,21 @@ pub fn transient_point(phases: u64, scheme: Scheme, spike_len: f64, seed: u64) -
     (spiked.total_time - dedicated.total_time) / dedicated.total_time * 100.0
 }
 
+/// Elastic-ranks scenario: `victim` dies at virtual time `at` and its
+/// replacement rejoins `outage` seconds later, on an otherwise dedicated
+/// 20-node cluster. Lets a remap scheme be tuned against rank death in
+/// virtual time before the runtime pays for it with real processes.
+pub fn rank_death_point(
+    phases: u64,
+    scheme: Scheme,
+    victim: usize,
+    at: f64,
+    outage: f64,
+) -> RunResult {
+    let cfg = ClusterConfig::paper(20, phases);
+    run_scheme(&cfg, scheme, &RankDeath::new(victim, at, outage))
+}
+
 /// §4.2 scaling claim: dedicated speedup at `nodes` nodes.
 pub fn dedicated_speedup(phases: u64, nodes: usize) -> f64 {
     let cfg = ClusterConfig::paper(nodes, phases);
@@ -171,6 +188,36 @@ mod tests {
         let s20 = dedicated_speedup(100, 20);
         assert!((s1 - 1.0).abs() < 1e-9);
         assert!(s20 > 17.0 && s20 < 20.0, "speedup(20) = {s20}");
+    }
+
+    #[test]
+    fn rank_death_costs_the_outage_for_every_scheme() {
+        // The model's key lesson for the elastic-ranks design: phases are
+        // neighbor-synchronized, so a dead rank's in-flight phase simply
+        // spans the whole outage — there is no remap boundary while it is
+        // down, and *no* remapping scheme can recover the lost window.
+        // Rank death therefore costs ≈ the outage regardless of policy,
+        // which is why the process runtime handles death with checkpoint
+        // rollback instead of load redistribution.
+        let (phases, outage) = (600, 30.0);
+        let dedicated = fixed_slow_point(phases, Scheme::NoRemap, 0).total_time;
+        for scheme in [Scheme::NoRemap, Scheme::Filtered] {
+            let dead = rank_death_point(phases, scheme, 9, 10.0, outage).total_time;
+            let cost = dead - dedicated;
+            assert!(
+                cost > 0.9 * outage && cost < 1.5 * outage,
+                "{}: death cost {cost} should be ≈ the {outage}s outage",
+                scheme.name()
+            );
+        }
+        // Filtered's post-mortem churn (the predictor briefly believes the
+        // revived rank is slow) must stay a small fraction of the run.
+        let stuck = rank_death_point(phases, Scheme::NoRemap, 9, 10.0, outage).total_time;
+        let healed = rank_death_point(phases, Scheme::Filtered, 9, 10.0, outage).total_time;
+        assert!(
+            (healed - stuck).abs() < 0.05 * stuck,
+            "schemes should agree within 5% under one death: {healed} vs {stuck}"
+        );
     }
 
     #[test]

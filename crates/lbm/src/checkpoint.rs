@@ -29,6 +29,9 @@ pub enum CheckpointError {
     BadLength { expected: usize, got: usize },
     /// The checkpoint does not belong to the given configuration.
     ConfigMismatch(String),
+    /// A sealed file is torn or bit-rotted: the CRC-32 trailer is missing
+    /// or does not match the payload.
+    Corrupt { detail: String },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -39,11 +42,78 @@ impl std::fmt::Display for CheckpointError {
                 write!(f, "checkpoint length {got}, expected {expected}")
             }
             CheckpointError::ConfigMismatch(why) => write!(f, "config mismatch: {why}"),
+            CheckpointError::Corrupt { detail } => {
+                write!(f, "corrupt checkpoint: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+/// The table is rebuilt per call — checkpoint files are written a handful
+/// of times per run, so simplicity beats a cached table here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *slot = c;
+    }
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Appends the CRC-32 trailer that [`unseal`] verifies.
+pub fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&payload);
+    payload.extend_from_slice(&crc.to_le_bytes());
+    payload
+}
+
+/// Strips and verifies the CRC-32 trailer of a sealed checkpoint,
+/// returning the payload. A torn write (file shorter than the trailer) or
+/// any bit rot in payload or trailer yields [`CheckpointError::Corrupt`].
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < 4 {
+        return Err(CheckpointError::Corrupt {
+            detail: format!("{} bytes is shorter than the CRC trailer", bytes.len()),
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt {
+            detail: format!("CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+        });
+    }
+    Ok(payload)
+}
+
+/// Crash-safe sealed write: the payload plus CRC trailer lands in a
+/// same-directory temp file and is renamed into place, so a reader never
+/// observes a half-written checkpoint — it sees either the old file, the
+/// new file, or a leftover `.tmp` it ignores.
+pub fn write_sealed(path: &std::path::Path, payload: Vec<u8>) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, seal(payload))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a sealed checkpoint file and returns the verified payload.
+pub fn read_sealed(path: &std::path::Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = std::fs::read(path).map_err(|e| CheckpointError::Corrupt {
+        detail: format!("read {}: {e}", path.display()),
+    })?;
+    unseal(&bytes).map(|p| p.to_vec())
+}
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -277,5 +347,67 @@ mod tests {
         let e = CheckpointError::BadLength { expected: 10, got: 4 };
         assert!(e.to_string().contains("10"));
         assert!(CheckpointError::ConfigMismatch("x".into()).to_string().contains("x"));
+        let e = CheckpointError::Corrupt { detail: "CRC mismatch".into() };
+        assert!(e.to_string().contains("corrupt") && e.to_string().contains("CRC"));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let payload = Simulation::new(config()).save();
+        let sealed = seal(payload.clone());
+        assert_eq!(sealed.len(), payload.len() + 4);
+        assert_eq!(unseal(&sealed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn torn_seal_rejected() {
+        // A write killed mid-flight under a non-atomic scheme leaves a
+        // prefix; any truncation must surface as Corrupt, never as a
+        // silently shorter checkpoint.
+        let sealed = seal(Simulation::new(config()).save());
+        for cut in [0, 3, sealed.len() / 2, sealed.len() - 1] {
+            let err = unseal(&sealed[..cut]).unwrap_err();
+            assert!(matches!(err, CheckpointError::Corrupt { .. }), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_rot_rejected_in_payload_and_trailer() {
+        let sealed = seal(Simulation::new(config()).save());
+        for flip in [9, sealed.len() - 2] {
+            let mut bad = sealed.clone();
+            bad[flip] ^= 0x40;
+            let err = unseal(&bad).unwrap_err();
+            assert!(matches!(err, CheckpointError::Corrupt { .. }), "flip {flip}: {err}");
+        }
+    }
+
+    #[test]
+    fn write_sealed_is_atomic_and_readable() {
+        let dir = std::env::temp_dir()
+            .join(format!("microslip-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt-rank0-phase5.bin");
+        let payload = Simulation::new(config()).save();
+        write_sealed(&path, payload.clone()).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+        assert_eq!(read_sealed(&path).unwrap(), payload);
+        // A sealed file restores through the normal loader.
+        let (solver, phase) = load_solver(&config(), &read_sealed(&path).unwrap()).unwrap();
+        assert_eq!(phase, 0);
+        assert_eq!(solver.nx_local(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_sealed_missing_file_is_typed() {
+        let err = read_sealed(std::path::Path::new("/nonexistent/ckpt.bin")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }));
     }
 }

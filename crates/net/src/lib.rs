@@ -26,5 +26,5 @@ pub mod rendezvous;
 pub mod tcp;
 pub mod wire;
 
-pub use rendezvous::{connect, localhost_mesh, reserve_port};
+pub use rendezvous::{connect, connect_epoch, localhost_mesh, reserve_port};
 pub use tcp::{NetConfig, TcpTransport};

@@ -17,6 +17,23 @@
 //!    the TCP backlog regardless of what the peer is currently doing —
 //!    the sequential connect-then-accept order cannot deadlock.
 //!
+//! **Epoch-stamped membership.** Every mesh belongs to an epoch (1 =
+//! initial). After a rank dies, the driver re-runs the rendezvous at a
+//! fresh address with the epoch incremented; joiners announce themselves
+//! with a REJOIN frame carrying their epoch, and every IDENT carries the
+//! epoch in its tag. The coordinator and every acceptor reject mismatched
+//! epochs, fencing a stale process out of a recovered mesh. Per-frame
+//! fencing inside the data phase is unnecessary: frames cannot cross
+//! connections, and each epoch's mesh is a fresh set of connections.
+//!
+//! **Bounded wall-time.** One `handshake_timeout` deadline covers the
+//! whole rendezvous — connect retries, binds, accepts and handshake reads
+//! all charge against it, so per-attempt timeouts cannot stack unbounded.
+//! An accept that times out names the ranks that never arrived, so a
+//! worker dying *during* the handshake is classified as a
+//! [`CommError::Handshake`] naming the offending rank rather than a
+//! generic timeout.
+//!
 //! All failures before the communicator exists surface as
 //! [`CommError::Handshake`].
 
@@ -66,36 +83,64 @@ fn resolve(addr: &str) -> Result<SocketAddr, CommError> {
     }
 }
 
-fn connect_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpStream, CommError> {
+/// Dials `addr` with bounded retries. Each attempt and each backoff sleep
+/// charges against `deadline`, so the total wall-time spent here can never
+/// exceed the rendezvous budget no matter how the retry knobs are set.
+fn connect_with_retry(
+    addr: SocketAddr,
+    cfg: &NetConfig,
+    deadline: Instant,
+) -> Result<TcpStream, CommError> {
     let mut last = String::new();
-    for attempt in 0..cfg.connect_retries.max(1) {
-        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+    let attempts = cfg.connect_retries.max(1);
+    for attempt in 0..attempts {
+        if attempt > 0 && Instant::now() >= deadline {
+            return handshake(format!(
+                "could not connect to {addr} within the rendezvous deadline \
+                 ({attempt} attempts): {last}"
+            ));
+        }
+        let per_attempt = cfg
+            .connect_timeout
+            .min(deadline.saturating_duration_since(Instant::now()))
+            .max(Duration::from_millis(1));
+        match TcpStream::connect_timeout(&addr, per_attempt) {
             Ok(stream) => return Ok(stream),
             Err(e) => last = e.to_string(),
         }
-        thread::sleep(cfg.backoff_for(attempt));
+        thread::sleep(cfg.backoff_for(attempt).min(deadline.saturating_duration_since(Instant::now())));
     }
-    handshake(format!(
-        "could not connect to {addr} after {} attempts: {last}",
-        cfg.connect_retries.max(1)
-    ))
+    handshake(format!("could not connect to {addr} after {attempts} attempts: {last}"))
 }
 
-fn bind_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpListener, CommError> {
+/// Binds `addr` with bounded retries, charged against `deadline` like
+/// [`connect_with_retry`].
+fn bind_with_retry(
+    addr: SocketAddr,
+    cfg: &NetConfig,
+    deadline: Instant,
+) -> Result<TcpListener, CommError> {
     let mut last = String::new();
     for attempt in 0..cfg.connect_retries.max(1) {
+        if attempt > 0 && Instant::now() >= deadline {
+            break;
+        }
         match TcpListener::bind(addr) {
             Ok(listener) => return Ok(listener),
             Err(e) => last = e.to_string(),
         }
-        thread::sleep(cfg.backoff_for(attempt));
+        thread::sleep(cfg.backoff_for(attempt).min(deadline.saturating_duration_since(Instant::now())));
     }
     handshake(format!("could not bind {addr}: {last}"))
 }
 
+/// Accepts one connection before `deadline`. `missing` renders, lazily,
+/// who we were still waiting for — a joiner that died mid-handshake shows
+/// up here by rank instead of as an anonymous timeout.
 fn accept_with_deadline(
     listener: &TcpListener,
     deadline: Instant,
+    missing: impl Fn() -> String,
 ) -> Result<TcpStream, CommError> {
     listener
         .set_nonblocking(true)
@@ -108,7 +153,10 @@ fn accept_with_deadline(
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if Instant::now() >= deadline {
-                    return handshake("timed out waiting for peers to arrive");
+                    return handshake(format!(
+                        "timed out waiting for peers to arrive: {}",
+                        missing()
+                    ));
                 }
                 thread::sleep(Duration::from_millis(2));
             }
@@ -136,23 +184,48 @@ fn send_handshake_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), Com
         .map_err(|e| CommError::Handshake { detail: format!("handshake send failed: {e}") })
 }
 
-/// Rank 0's side of the rendezvous: collect HELLOs, assign/verify ranks,
-/// answer with ROSTERs. Returns the data port of every rank.
+/// Rank 0's side of the rendezvous: collect HELLOs (epoch 1) or REJOINs
+/// (later epochs), assign/verify ranks, fence epoch mismatches, answer
+/// with ROSTERs. Returns the data port of every rank.
 fn coordinate(
     rendezvous: SocketAddr,
     size: usize,
     my_data_port: u16,
+    epoch: u64,
     cfg: &NetConfig,
     deadline: Instant,
 ) -> Result<Vec<u16>, CommError> {
-    let listener = bind_with_retry(rendezvous, cfg)?;
+    let listener = bind_with_retry(rendezvous, cfg, deadline)?;
     let mut arrivals: Vec<(TcpStream, Option<NodeId>, u16)> = Vec::with_capacity(size - 1);
     let mut claimed: HashSet<NodeId> = HashSet::new();
     for _ in 1..size {
-        let mut stream = accept_with_deadline(&listener, deadline)?;
+        let mut stream = accept_with_deadline(&listener, deadline, || {
+            let missing: Vec<NodeId> = (1..size).filter(|r| !claimed.contains(r)).collect();
+            format!(
+                "{} of {} joiners arrived, ranks {missing:?} never did",
+                arrivals.len(),
+                size - 1
+            )
+        })?;
         let hello = read_handshake_frame(&mut stream, deadline)?;
-        if hello.kind != FrameKind::Hello {
-            return handshake(format!("expected HELLO, got {:?}", hello.kind));
+        let joiner_epoch = match hello.kind {
+            FrameKind::Hello => 1,
+            FrameKind::Rejoin => match hello.payload.as_slice() {
+                [e] if e.fract() == 0.0 && *e >= 1.0 => *e as u64,
+                _ => {
+                    return handshake(format!(
+                        "REJOIN from rank {} carries no valid epoch",
+                        hello.from
+                    ))
+                }
+            },
+            other => return handshake(format!("expected HELLO or REJOIN, got {other:?}")),
+        };
+        if joiner_epoch != epoch {
+            return handshake(format!(
+                "fenced joiner rank {} at epoch {joiner_epoch}: the mesh is at epoch {epoch}",
+                hello.from
+            ));
         }
         let port = match u16::try_from(hello.tag) {
             Ok(p) if p != 0 => p,
@@ -215,18 +288,26 @@ fn join(
     claimed: Option<NodeId>,
     size: usize,
     my_data_port: u16,
+    epoch: u64,
     cfg: &NetConfig,
     deadline: Instant,
 ) -> Result<(NodeId, Vec<u16>), CommError> {
-    let mut stream = connect_with_retry(rendezvous, cfg)?;
+    let mut stream = connect_with_retry(rendezvous, cfg, deadline)?;
     let from = match claimed {
         Some(rank) => rank as u32,
         None => ASSIGN_ME,
     };
-    send_handshake_frame(
-        &mut stream,
-        &Frame { kind: FrameKind::Hello, from, tag: my_data_port as u64, payload: vec![] },
-    )?;
+    let announce = if epoch <= 1 {
+        Frame { kind: FrameKind::Hello, from, tag: my_data_port as u64, payload: vec![] }
+    } else {
+        Frame {
+            kind: FrameKind::Rejoin,
+            from,
+            tag: my_data_port as u64,
+            payload: vec![epoch as f64],
+        }
+    };
+    send_handshake_frame(&mut stream, &announce)?;
     let roster = read_handshake_frame(&mut stream, deadline)?;
     if roster.kind != FrameKind::Roster {
         return handshake(format!("expected ROSTER, got {:?}", roster.kind));
@@ -256,11 +337,13 @@ fn join(
     Ok((rank, ports))
 }
 
-/// Builds the fully connected mesh once ranks and ports are known.
+/// Builds the fully connected mesh once ranks and ports are known. Every
+/// IDENT carries the epoch in its tag; acceptors fence mismatches.
 fn establish_mesh(
     rank: NodeId,
     ports: &[u16],
     data_listener: &TcpListener,
+    epoch: u64,
     cfg: &NetConfig,
     deadline: Instant,
 ) -> Result<Vec<Option<TcpStream>>, CommError> {
@@ -269,10 +352,10 @@ fn establish_mesh(
     // Lower ranks: we dial and identify ourselves.
     for (j, &port) in ports.iter().enumerate().take(rank) {
         let mut stream =
-            connect_with_retry(SocketAddr::from(([127, 0, 0, 1], port)), cfg)?;
+            connect_with_retry(SocketAddr::from(([127, 0, 0, 1], port)), cfg, deadline)?;
         send_handshake_frame(
             &mut stream,
-            &Frame { kind: FrameKind::Ident, from: rank as u32, tag: 0, payload: vec![] },
+            &Frame { kind: FrameKind::Ident, from: rank as u32, tag: epoch, payload: vec![] },
         )?;
         match streams.get_mut(j) {
             Some(slot) => *slot = Some(stream),
@@ -281,10 +364,21 @@ fn establish_mesh(
     }
     // Higher ranks: they dial us; their IDENT says who they are.
     for _ in rank + 1..size {
-        let mut stream = accept_with_deadline(data_listener, deadline)?;
+        let mut stream = accept_with_deadline(data_listener, deadline, || {
+            let missing: Vec<NodeId> = (rank + 1..size)
+                .filter(|&p| !matches!(streams.get(p), Some(Some(_))))
+                .collect();
+            format!("rank {rank} never received IDENT from ranks {missing:?}")
+        })?;
         let ident = read_handshake_frame(&mut stream, deadline)?;
         if ident.kind != FrameKind::Ident {
             return handshake(format!("expected IDENT, got {:?}", ident.kind));
+        }
+        if ident.tag != epoch {
+            return handshake(format!(
+                "fenced IDENT from rank {} at epoch {}: the mesh is at epoch {epoch}",
+                ident.from, ident.tag
+            ));
         }
         let peer = ident.from as NodeId;
         if peer <= rank || peer >= size {
@@ -313,14 +407,34 @@ fn establish_mesh(
 /// Joins (or, as rank 0, coordinates) a TCP mesh of `size` ranks meeting
 /// at `rendezvous_addr`. `rank` is the claimed rank — `Some(0)` makes
 /// this participant the coordinator; `None` asks rank 0 to assign one.
+/// The mesh belongs to membership epoch 1; a recovered run re-meshes via
+/// [`connect_epoch`].
 pub fn connect(
     rank: Option<NodeId>,
     size: usize,
     rendezvous_addr: &str,
     cfg: &NetConfig,
 ) -> Result<TcpTransport, CommError> {
+    connect_epoch(rank, size, rendezvous_addr, 1, cfg)
+}
+
+/// [`connect`] for an explicit membership epoch. Joiners at epoch > 1
+/// announce themselves with REJOIN frames; the coordinator and every mesh
+/// acceptor reject participants whose epoch differs, fencing stale
+/// processes (and their frames — frames cannot cross connections) out of
+/// the recovered mesh.
+pub fn connect_epoch(
+    rank: Option<NodeId>,
+    size: usize,
+    rendezvous_addr: &str,
+    epoch: u64,
+    cfg: &NetConfig,
+) -> Result<TcpTransport, CommError> {
     if size == 0 {
         return handshake("mesh size must be at least 1");
+    }
+    if epoch == 0 {
+        return handshake("membership epochs start at 1");
     }
     if let Some(r) = rank {
         if r >= size {
@@ -344,11 +458,11 @@ pub fn connect(
         .port();
     let rendezvous = resolve(rendezvous_addr)?;
     let (my_rank, ports) = if rank == Some(0) {
-        (0, coordinate(rendezvous, size, my_data_port, cfg, deadline)?)
+        (0, coordinate(rendezvous, size, my_data_port, epoch, cfg, deadline)?)
     } else {
-        join(rendezvous, rank, size, my_data_port, cfg, deadline)?
+        join(rendezvous, rank, size, my_data_port, epoch, cfg, deadline)?
     };
-    let streams = establish_mesh(my_rank, &ports, &data_listener, cfg, deadline)?;
+    let streams = establish_mesh(my_rank, &ports, &data_listener, epoch, cfg, deadline)?;
     Ok(TcpTransport::new(my_rank, streams))
 }
 

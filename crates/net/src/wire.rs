@@ -6,7 +6,7 @@
 //! offset  size  field
 //!      0     4  magic      "MSN1" (raw bytes)
 //!      4     2  version    u16 LE, currently 1
-//!      6     1  kind       Data=0 Goodbye=1 Hello=2 Roster=3 Ident=4
+//!      6     1  kind       Data=0 Goodbye=1 Hello=2 Roster=3 Ident=4 Rejoin=5
 //!      7     1  pad        must be 0
 //!      8     4  from       u32 LE, sender rank (or u32::MAX = assign-me)
 //!     12     8  tag        u64 LE, message tag / handshake argument
@@ -49,8 +49,14 @@ pub enum FrameKind {
     /// payload = data ports of all ranks, indexed by rank.
     Roster,
     /// Mesh establishment: first frame on a data connection, `from` =
-    /// the connecting rank.
+    /// the connecting rank, `tag` = the membership epoch.
     Ident,
+    /// Rendezvous after a membership change: like [`Hello`](Self::Hello)
+    /// (`from` = rank, `tag` = data-listener port) but carries the
+    /// membership epoch as a one-element payload. The coordinator rejects
+    /// joiners whose epoch does not match its own — the fencing that keeps
+    /// a stale process out of a recovered mesh.
+    Rejoin,
 }
 
 impl FrameKind {
@@ -61,6 +67,7 @@ impl FrameKind {
             FrameKind::Hello => 2,
             FrameKind::Roster => 3,
             FrameKind::Ident => 4,
+            FrameKind::Rejoin => 5,
         }
     }
 
@@ -71,6 +78,7 @@ impl FrameKind {
             2 => Some(FrameKind::Hello),
             3 => Some(FrameKind::Roster),
             4 => Some(FrameKind::Ident),
+            5 => Some(FrameKind::Rejoin),
             _ => None,
         }
     }
@@ -252,6 +260,7 @@ mod tests {
             Frame { kind: FrameKind::Hello, from: ASSIGN_ME, tag: 45123, payload: vec![] },
             Frame { kind: FrameKind::Roster, from: 2, tag: 0, payload: vec![45123.0, 45124.0] },
             Frame { kind: FrameKind::Ident, from: 1, tag: 0, payload: vec![] },
+            Frame { kind: FrameKind::Rejoin, from: 2, tag: 45125, payload: vec![3.0] },
         ];
         for f in frames {
             let bytes = encode(&f);

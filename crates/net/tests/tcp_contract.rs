@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use microslip_comm::{contract, CommError, Tag, Transport};
-use microslip_net::{connect, localhost_mesh, reserve_port, NetConfig};
+use microslip_net::{connect, connect_epoch, localhost_mesh, reserve_port, NetConfig};
 
 fn test_cfg() -> NetConfig {
     NetConfig {
@@ -129,6 +129,93 @@ fn duplicate_rank_claim_is_rejected() {
         r,
         Err(CommError::Handshake { detail }) if detail.contains("claimed twice")
     )));
+}
+
+#[test]
+fn epoch_stamped_mesh_forms_after_rejoin() {
+    // A recovered mesh: every participant re-rendezvouses at epoch 3 via
+    // REJOIN frames and epoch-tagged IDENTs. The mesh must work exactly
+    // like an epoch-1 mesh.
+    let port = reserve_port().unwrap();
+    let addr = format!("127.0.0.1:{port}");
+    let cfg = test_cfg();
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || connect_epoch(Some(i), 3, &addr, 3, &cfg).unwrap())
+        })
+        .collect();
+    let mut mesh: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    mesh.sort_by_key(|t| t.rank());
+    let handles: Vec<_> = mesh
+        .into_iter()
+        .map(|mut t| {
+            std::thread::spawn(move || {
+                let (n, me) = (t.size(), t.rank());
+                t.send((me + 1) % n, Tag::F_HALO, vec![me as f64]).unwrap();
+                let left = (me + n - 1) % n;
+                assert_eq!(t.recv(left, Tag::F_HALO).unwrap(), vec![left as f64]);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn stale_epoch_joiner_is_fenced() {
+    // The coordinator is at epoch 2; a stale epoch-1 process (plain HELLO)
+    // must be fenced out with a typed error naming the epochs, and the
+    // recovered mesh must not form around it.
+    let port = reserve_port().unwrap();
+    let addr = format!("127.0.0.1:{port}");
+    let cfg = NetConfig { handshake_timeout: Duration::from_secs(3), ..test_cfg() };
+    let handles: Vec<_> = [(0usize, 2u64), (1, 1)]
+        .into_iter()
+        .map(|(rank, epoch)| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || connect_epoch(Some(rank), 2, &addr, epoch, &cfg))
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(results.iter().all(|r| r.is_err()), "a cross-epoch mesh must not form");
+    assert!(
+        results.iter().any(|r| matches!(
+            r,
+            Err(CommError::Handshake { detail })
+                if detail.contains("fenced") && detail.contains("epoch")
+        )),
+        "{results:?}"
+    );
+}
+
+#[test]
+fn handshake_timeout_names_the_missing_ranks() {
+    // Rank 2 never shows up (died before its HELLO). The coordinator must
+    // classify that as a handshake failure naming the offending rank, not
+    // a generic timeout — and within the bounded rendezvous wall-time.
+    let port = reserve_port().unwrap();
+    let addr = format!("127.0.0.1:{port}");
+    let cfg = NetConfig { handshake_timeout: Duration::from_secs(2), ..test_cfg() };
+    let joiner = {
+        let addr = addr.clone();
+        let cfg = cfg.clone();
+        std::thread::spawn(move || connect(Some(1), 3, &addr, &cfg))
+    };
+    let started = std::time::Instant::now();
+    let result = connect(Some(0), 3, &addr, &cfg);
+    assert!(started.elapsed() < Duration::from_secs(10), "rendezvous wall-time unbounded");
+    match result {
+        Err(CommError::Handshake { detail }) => {
+            assert!(detail.contains("[2]"), "must name the missing rank: {detail}");
+            assert!(detail.contains("1 of 2"), "must count arrivals: {detail}");
+        }
+        other => panic!("expected Handshake error, got {other:?}"),
+    }
+    assert!(joiner.join().unwrap().is_err(), "the mesh must not form without rank 2");
 }
 
 #[test]

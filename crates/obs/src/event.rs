@@ -103,6 +103,60 @@ pub struct RemapDecision {
     pub applied: bool,
 }
 
+/// Stage of the recovery arc after a rank dies (or joins) mid-run.
+///
+/// A chaotic run's trace tells the whole story in order:
+/// death detected → rollback chosen → mesh re-established → recovery
+/// plan applied → run resumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryStage {
+    /// A survivor observed the dead peer (disconnect or timeout).
+    DeathDetected,
+    /// The rollback phase was agreed: state restored from the last
+    /// common CRC-valid checkpoint (phase 0 = fresh start).
+    Rollback,
+    /// The epoch-stamped mesh was re-established with the replacement.
+    Remesh,
+    /// The recovery plan (plane re-homing) was applied.
+    PlanApplied,
+    /// The phase loop resumed from the rollback point.
+    Resumed,
+}
+
+impl RecoveryStage {
+    /// Stable schema name (used in JSONL and Chrome trace output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryStage::DeathDetected => "death-detected",
+            RecoveryStage::Rollback => "rollback",
+            RecoveryStage::Remesh => "remesh",
+            RecoveryStage::PlanApplied => "plan-applied",
+            RecoveryStage::Resumed => "resumed",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<RecoveryStage> {
+        match name {
+            "death-detected" => Some(RecoveryStage::DeathDetected),
+            "rollback" => Some(RecoveryStage::Rollback),
+            "remesh" => Some(RecoveryStage::Remesh),
+            "plan-applied" => Some(RecoveryStage::PlanApplied),
+            "resumed" => Some(RecoveryStage::Resumed),
+            _ => None,
+        }
+    }
+
+    /// All stages, in arc order.
+    pub const ALL: [RecoveryStage; 5] = [
+        RecoveryStage::DeathDetected,
+        RecoveryStage::Rollback,
+        RecoveryStage::Remesh,
+        RecoveryStage::PlanApplied,
+        RecoveryStage::Resumed,
+    ];
+}
+
 /// One structured observability event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -141,6 +195,22 @@ pub enum Event {
         recv_messages: u64,
         recv_bytes: u64,
     },
+    /// One stage of the recovery arc after a membership change.
+    Recovery {
+        time: f64,
+        /// Rank observing or executing the stage.
+        node: usize,
+        /// Membership epoch the stage belongs to (1 = initial mesh).
+        epoch: u64,
+        stage: RecoveryStage,
+        /// Phase the stage refers to: the rollback/restart phase once
+        /// agreed, otherwise the phase at which the stage occurred.
+        phase: u64,
+        /// Planes involved (restored slab width or plan volume).
+        planes: usize,
+        /// Free-form context ("peer 2 disconnected", plan summary, …).
+        detail: String,
+    },
 }
 
 impl Event {
@@ -152,6 +222,7 @@ impl Event {
             Event::Remap(_) => "remap",
             Event::Migration { .. } => "migration",
             Event::Traffic { .. } => "traffic",
+            Event::Recovery { .. } => "recovery",
         }
     }
 
@@ -163,6 +234,7 @@ impl Event {
             Event::Remap(d) => Some(d.time),
             Event::Migration { time, .. } => Some(*time),
             Event::Traffic { .. } => None,
+            Event::Recovery { time, .. } => Some(*time),
         }
     }
 }
@@ -199,10 +271,27 @@ mod tests {
                 recv_messages: 1,
                 recv_bytes: 8,
             },
+            Event::Recovery {
+                time: 0.5,
+                node: 0,
+                epoch: 2,
+                stage: RecoveryStage::Rollback,
+                phase: 5,
+                planes: 10,
+                detail: "restored ckpt".into(),
+            },
         ];
         let mut names: Vec<&str> = events.iter().map(|e| e.type_name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn recovery_stage_names_round_trip() {
+        for s in RecoveryStage::ALL {
+            assert_eq!(RecoveryStage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(RecoveryStage::from_name("bogus"), None);
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Event, RemapDecision, Span, SpanKind};
+use crate::event::{Event, RecoveryStage, RemapDecision, Span, SpanKind};
 use crate::json::{self, Value};
 
 // ---------------------------------------------------------------------------
@@ -73,6 +73,19 @@ pub fn event_to_json(e: &Event) -> String {
                 recv_bytes,
             )
         }
+        Event::Recovery { time, node, epoch, stage, phase, planes, detail } => format!(
+            concat!(
+                r#"{{"type":"recovery","time":{},"node":{},"epoch":{},"#,
+                r#""stage":"{}","phase":{},"planes":{},"detail":"{}"}}"#
+            ),
+            json::num(*time),
+            node,
+            epoch,
+            stage.name(),
+            phase,
+            planes,
+            json::escape(detail),
+        ),
     }
 }
 
@@ -110,6 +123,9 @@ fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {
         "traffic" => Some(&[
             "type", "node", "tag", "sent_messages", "sent_bytes", "recv_messages",
             "recv_bytes",
+        ]),
+        "recovery" => Some(&[
+            "type", "time", "node", "epoch", "stage", "phase", "planes", "detail",
         ]),
         _ => None,
     }
@@ -158,6 +174,12 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
                 return Err(err(format!("span ends before it starts: {t0} > {t1}")));
             }
             spans_per_node.entry(node).or_default().push((t0, t1));
+        }
+        if ty == "recovery" {
+            let stage = v.get("stage").and_then(Value::as_str).unwrap_or("");
+            if RecoveryStage::from_name(stage).is_none() {
+                return Err(err(format!("unknown recovery stage '{stage}'")));
+            }
         }
         *stats.counts.entry(ty.clone()).or_default() += 1;
         stats
@@ -294,6 +316,20 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
             recv_messages: u64_of("recv_messages")?,
             recv_bytes: u64_of("recv_bytes")?,
         }),
+        "recovery" => {
+            let stage_name = str_of("stage")?;
+            let stage = RecoveryStage::from_name(&stage_name)
+                .ok_or_else(|| format!("unknown recovery stage '{stage_name}'"))?;
+            Ok(Event::Recovery {
+                time: f64_of("time")?,
+                node: usize_of("node")?,
+                epoch: u64_of("epoch")?,
+                stage,
+                phase: u64_of("phase")?,
+                planes: usize_of("planes")?,
+                detail: str_of("detail")?,
+            })
+        }
         _ => unreachable!("required_fields filtered unknown types"),
     }
 }
@@ -445,6 +481,16 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     us(*time),
                 ));
             }
+            Event::Recovery { time, node, epoch, stage, phase, planes, detail } => {
+                // Process-scoped ("s":"p") instants so the whole recovery
+                // arc stands out across every track of a chaotic run.
+                lines.push(format!(
+                    r#"{{"name":"recovery {} (epoch {epoch})","cat":"recovery","ph":"i","s":"p","pid":0,"tid":{node},"ts":{},"args":{{"phase":{phase},"planes":{planes},"detail":"{}"}}}}"#,
+                    stage.name(),
+                    us(*time),
+                    json::escape(detail),
+                ));
+            }
             _ => {}
         }
     }
@@ -562,6 +608,15 @@ mod tests {
                 recv_messages: 4,
                 recv_bytes: 4096,
             },
+            Event::Recovery {
+                time: 0.97,
+                node: 0,
+                epoch: 2,
+                stage: RecoveryStage::Rollback,
+                phase: 5,
+                planes: 10,
+                detail: "restored ckpt-rank0-phase5.bin".into(),
+            },
         ]
     }
 
@@ -574,7 +629,20 @@ mod tests {
         assert_eq!(stats.counts["remap"], 1);
         assert_eq!(stats.counts["migration"], 1);
         assert_eq!(stats.counts["traffic"], 1);
+        assert_eq!(stats.counts["recovery"], 1);
         assert!(stats.schema["remap"].contains(&"speeds".to_string()));
+        assert!(stats.schema["recovery"].contains(&"epoch".to_string()));
+    }
+
+    #[test]
+    fn jsonl_rejects_unknown_recovery_stage() {
+        let line = concat!(
+            "{\"type\":\"recovery\",\"time\":1,\"node\":0,\"epoch\":2,",
+            "\"stage\":\"bogus\",\"phase\":5,\"planes\":10,\"detail\":\"d\"}\n"
+        );
+        let err = validate_jsonl(line).unwrap_err();
+        assert!(err.contains("unknown recovery stage"), "{err}");
+        assert!(from_jsonl(line).is_err());
     }
 
     #[test]
@@ -608,8 +676,11 @@ mod tests {
         let stats = validate_chrome_trace(&text).unwrap();
         assert_eq!(stats.spans, 4);
         assert_eq!(stats.nodes, 2);
-        assert_eq!(stats.instants, 2); // remap + migration
+        assert_eq!(stats.instants, 3); // remap + migration + recovery
         assert_eq!(stats.counters, 1);
+        // The recovery instant is self-explaining: stage and epoch in the
+        // name, context in args.
+        assert!(text.contains("recovery rollback (epoch 2)"), "{text}");
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub struct TraceSummary {
     pub churn: f64,
     /// Total bytes sent across all traffic counters.
     pub traffic_bytes: u64,
+    /// Recovery-arc events recorded (0 for an undisturbed run).
+    pub recoveries: usize,
     /// Events in the stream (for truncation cross-checks).
     pub events: usize,
 }
@@ -98,6 +100,9 @@ impl TraceSummary {
                 }
                 Event::Traffic { sent_bytes, .. } => {
                     s.traffic_bytes += sent_bytes;
+                }
+                Event::Recovery { .. } => {
+                    s.recoveries += 1;
                 }
             }
         }
@@ -156,6 +161,7 @@ impl TraceSummary {
                 "  \"migrated_bytes\": {},\n",
                 "  \"churn\": {},\n",
                 "  \"traffic_bytes\": {},\n",
+                "  \"recoveries\": {},\n",
                 "  \"nodes\": [\n    {}\n  ]\n",
                 "}}\n"
             ),
@@ -170,6 +176,7 @@ impl TraceSummary {
             self.migrated_bytes,
             json::num(self.churn),
             self.traffic_bytes,
+            self.recoveries,
             nodes.join(",\n    "),
         )
     }

@@ -132,6 +132,7 @@ pub fn run_parallel(cfg: &RuntimeConfig, policy: Arc<dyn NeighborPolicy>) -> Run
     let worker_cfg = Arc::new(WorkerConfig {
         channel: cfg.channel.clone(),
         phases: cfg.phases,
+        start_phase: 0,
         remap_interval: cfg.remap_interval,
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,
@@ -212,6 +213,7 @@ pub fn run_parallel_from(
     let worker_cfg = Arc::new(WorkerConfig {
         channel: cfg.channel.clone(),
         phases: cfg.phases,
+        start_phase: 0,
         remap_interval: cfg.remap_interval,
         predictor_window: cfg.predictor_window,
         checkpoint_at_end: cfg.checkpoint_at_end,

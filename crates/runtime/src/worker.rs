@@ -73,6 +73,11 @@ impl From<CommError> for WorkerError {
 pub struct WorkerConfig {
     pub channel: ChannelConfig,
     pub phases: u64,
+    /// First phase already completed: the loop runs `start_phase + 1 ..=
+    /// phases`. 0 for a fresh run; a checkpoint's phase when resuming, so
+    /// the phase numbering (and periodic checkpoint names) continue where
+    /// the interrupted run stopped.
+    pub start_phase: u64,
     /// Phases between remap rounds; 0 disables remapping entirely.
     pub remap_interval: u64,
     /// Harmonic-predictor window (paper: 10).
@@ -232,7 +237,7 @@ fn run_phases<T: Transport>(
     exchange_psi(solver, transport, topo, tracer, 0)?;
     solver.prime_finish();
 
-    for phase in 1..=cfg.phases {
+    for phase in cfg.start_phase + 1..=cfg.phases {
         let throttle = throttle.at(phase);
         let mut compute_secs = 0.0;
 
@@ -286,7 +291,10 @@ fn run_phases<T: Transport>(
         }
 
         // Periodic on-disk checkpoint, after any migration so the file
-        // reflects the slab layout the next phase will run with.
+        // reflects the slab layout the next phase will run with. Sealed
+        // (CRC-32 trailer) and written via temp-file + rename, so a crash
+        // mid-write can never leave a checkpoint that both exists under
+        // its final name and fails verification silently.
         if cfg.checkpoint_every > 0 && phase % cfg.checkpoint_every == 0 {
             let bytes = microslip_lbm::checkpoint::save_solver(solver, phase);
             let dir = cfg
@@ -296,7 +304,7 @@ fn run_phases<T: Transport>(
             std::fs::create_dir_all(&dir)
                 .map_err(|e| WorkerError::Io(format!("create {}: {e}", dir.display())))?;
             let path = dir.join(format!("ckpt-rank{rank}-phase{phase}.bin"));
-            std::fs::write(&path, bytes)
+            microslip_lbm::checkpoint::write_sealed(&path, bytes)
                 .map_err(|e| WorkerError::Io(format!("write {}: {e}", path.display())))?;
         }
     }

@@ -53,9 +53,15 @@ fn periodic_checkpoints_restart_bitwise() {
         }
     }
 
-    // Restart from the phase-5 files and run the remaining 5 phases.
+    // Restart from the phase-5 files (sealed: CRC trailer verified on
+    // read) and run the remaining 5 phases.
     let checkpoints: Vec<Vec<u8>> = (0..workers)
-        .map(|rank| fs::read(dir.join(format!("ckpt-rank{rank}-phase5.bin"))).unwrap())
+        .map(|rank| {
+            microslip_lbm::checkpoint::read_sealed(
+                &dir.join(format!("ckpt-rank{rank}-phase5.bin")),
+            )
+            .unwrap()
+        })
         .collect();
     let mut resume_cfg = cfg.clone();
     resume_cfg.phases = 5;

@@ -25,6 +25,7 @@ fn run_instrumented(
     let cfg = Arc::new(WorkerConfig {
         channel,
         phases,
+        start_phase: 0,
         remap_interval,
         predictor_window: 2,
         checkpoint_at_end: false,

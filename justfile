@@ -11,6 +11,7 @@ tier1:
     just lint
     just trace-smoke
     just mp-smoke
+    just chaos
 
 # Project-invariant static analysis (microslip-lint): determinism of the
 # decision/kernel crates, panic-freedom of the untrusted-input parsers,
@@ -38,6 +39,18 @@ mp-smoke:
     ./target/release/microslip mp --ranks 2 --phases 12 --remap-every 3 \
         --predictor-window 2 --throttle 1:6 --synthetic-load 1.0 \
         --dir target/mp-smoke --trace target/mp-smoke/run --check
+
+# Elastic-ranks chaos smoke: 4 ranks, rank 2 killed mid-halo at phase 7;
+# the supervisor respawns it, the mesh re-forms at epoch 2 and rolls back
+# to the last common checkpoint, and --check holds the recovered fields
+# to bitwise equality with the threaded (undisturbed) reference.
+chaos:
+    cargo build --release --offline --bin microslip
+    rm -rf target/chaos-smoke && mkdir -p target/chaos-smoke
+    ./target/release/microslip mp --ranks 4 --phases 12 --remap-every 3 \
+        --predictor-window 2 --throttle 1:6 --synthetic-load 1.0 \
+        --checkpoint-every 3 --chaos kill:2@7 \
+        --dir target/chaos-smoke --trace target/chaos-smoke/run --check
 
 # Full workspace test run (release mode; slower, covers the examples).
 test-all:

@@ -58,7 +58,9 @@ pub use microslip_runtime as runtime;
 mod builder;
 pub mod mp;
 pub use builder::{ClusterExperiment, Multiprocess, RunBuilder, Runtime};
-pub use mp::{run_multiprocess, MpConfig, MpFailure, MpFault, MpOutcome, MpReport};
+pub use mp::{
+    run_multiprocess, FaultSite, MpConfig, MpFailure, MpFault, MpOutcome, MpReport,
+};
 
 /// The types most runs need, in one import.
 ///

@@ -11,7 +11,7 @@ use microslip::lbm::config_codec::encode_config;
 use microslip::lbm::{ChannelConfig, Dims};
 use microslip::obs::{from_jsonl, remap_fingerprints, validate_jsonl, Event, TraceSink};
 use microslip::runtime::LoadModel;
-use microslip::{MpFault, RunBuilder};
+use microslip::{FaultSite, MpFault, RunBuilder};
 
 const WORKER_EXE: &str = env!("CARGO_BIN_EXE_microslip");
 
@@ -117,7 +117,8 @@ fn killed_rank_surfaces_typed_errors_and_partial_traces() {
     let mut mp = builder(2, 8).build_multiprocess().unwrap();
     mp.config_mut().worker_exe = Some(WORKER_EXE.into());
     mp.config_mut().dir = Some(dir.clone());
-    mp.config_mut().fault = Some(MpFault { rank: 1, die_at_phase: 3 });
+    mp.config_mut().fault =
+        Some(MpFault { rank: 1, die_at_phase: 3, site: FaultSite::Halo });
 
     let failure = mp.run().expect_err("a killed rank must fail the run");
     assert_eq!(failure.rank_errors.len(), 2, "{failure}");
@@ -148,6 +149,75 @@ fn killed_rank_surfaces_typed_errors_and_partial_traces() {
     assert!(!dir.join("rank0.state").exists());
 
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_kill_and_rejoin_recovers_bitwise_with_full_recovery_arc() {
+    // Undisturbed reference (same checkpoint cadence, so the only
+    // difference between the runs is the injected death).
+    let ref_dir = scratch_dir("chaos-ref");
+    let mut clean = builder(4, 12).build_multiprocess().unwrap();
+    clean.config_mut().worker_exe = Some(WORKER_EXE.into());
+    clean.config_mut().dir = Some(ref_dir.clone());
+    clean.config_mut().checkpoint_every = 3;
+    let want = clean.run().expect("reference run failed");
+
+    // Same configuration, but rank 2 is killed mid-halo-exchange at phase
+    // 7 and the supervising driver respawns it. Checkpoints exist at
+    // phases 3 and 6 when the death lands, so the mesh must agree to roll
+    // back to phase 6 and replay 7..=12.
+    let dir = scratch_dir("chaos");
+    let mut mp = builder(4, 12).build_multiprocess().unwrap();
+    mp.config_mut().worker_exe = Some(WORKER_EXE.into());
+    mp.config_mut().dir = Some(dir.clone());
+    mp.config_mut().checkpoint_every = 3;
+    mp.config_mut().fault =
+        Some(MpFault { rank: 2, die_at_phase: 7, site: FaultSite::Halo });
+    mp.config_mut().recover = true;
+    let got = mp.run().expect("chaos run failed to recover");
+
+    // The tentpole property: checkpoint rollback replays the identical
+    // deterministic physics, so the recovered fields are *bitwise* equal
+    // to the undisturbed run. (Plane layouts may differ — the predictor's
+    // history restarts empty after the rollback, so post-recovery remap
+    // decisions are allowed to diverge; the physics may not.)
+    assert_eq!(
+        got.snapshot, want.snapshot,
+        "recovered run diverged from the undisturbed run"
+    );
+
+    // The driver published exactly one membership change, naming the dead
+    // rank and the audit recovery plan.
+    let epoch = fs::read_to_string(dir.join("epoch")).unwrap();
+    assert!(epoch.contains("epoch 2"), "expected a single epoch bump: {epoch}");
+    assert!(epoch.contains("dead 2"), "epoch file must name the dead rank: {epoch}");
+    assert!(epoch.contains("plan "), "epoch file must carry the plan: {epoch}");
+
+    // The merged trace tells the full recovery story, every stage typed.
+    let stages: std::collections::HashSet<&str> = got
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Recovery { stage, .. } => Some(stage.name()),
+            _ => None,
+        })
+        .collect();
+    for want_stage in ["death-detected", "remesh", "rollback", "plan-applied", "resumed"]
+    {
+        assert!(stages.contains(want_stage), "missing stage {want_stage}: {stages:?}");
+    }
+    assert!(
+        got.events.iter().any(|e| matches!(
+            e,
+            Event::Recovery { stage, phase: 6, epoch: 2, .. }
+                if stage.name() == "rollback"
+        )),
+        "the mesh must agree to roll back to checkpoint phase 6"
+    );
+    validate_jsonl(&microslip::obs::to_jsonl(&got.events)).unwrap();
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&ref_dir);
 }
 
 #[test]
