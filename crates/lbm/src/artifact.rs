@@ -1,0 +1,236 @@
+//! Sealed result artifacts — what a finished sweep job produces and the
+//! content-addressed cache stores.
+//!
+//! An artifact packages everything a client needs from one completed run:
+//! the final macroscopic [`Snapshot`], the derived [`FlowDiagnostics`],
+//! the phase count, the content-address key it was computed under, and a
+//! JSON trace summary. The codec follows [`crate::config_codec`]: a
+//! self-describing little-endian layout, bit-exact `f64` fields, and a
+//! decoder that surfaces typed errors — never panics — on untrusted
+//! bytes.
+//!
+//! **Determinism contract.** [`ResultArtifact::seal`] is a pure function
+//! of the artifact's fields, and the fields of a completed job are pure
+//! functions of its scenario (the solver is bitwise deterministic across
+//! substrates, and the embedded summary is rebuilt from virtual-time
+//! events). Two runs of the same scenario therefore seal to *identical
+//! bytes* — which is what lets the daemon serve a cached artifact
+//! verbatim and lets a client `cmp` a fetched result against a local
+//! re-run.
+
+use crate::checkpoint::{self, CheckpointError};
+use crate::config_codec::{put_f64, put_str, put_u64, Reader};
+use crate::diagnostics::FlowDiagnostics;
+use crate::macroscopic::Snapshot;
+
+/// Artifact-format magic ("MSLIPRA1" — microslip result artifact v1).
+pub const MAGIC: [u8; 8] = *b"MSLIPRA1";
+
+/// Cap on cells implied by a decoded header, so corrupt dimensions cannot
+/// trigger a multi-gigabyte allocation (matches the largest domains the
+/// experiments run by a wide margin).
+const MAX_CELLS: u64 = 1 << 28;
+
+/// One completed job's results, ready to seal into the cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultArtifact {
+    /// Content-address key (canonical-scenario hash) this result answers.
+    pub key: String,
+    /// Phases the simulation ran.
+    pub phases: u64,
+    /// Final macroscopic fields.
+    pub snapshot: Snapshot,
+    /// Diagnostics derived from the final snapshot.
+    pub diagnostics: FlowDiagnostics,
+    /// Machine-readable trace summary (JSON document).
+    pub summary_json: String,
+}
+
+impl ResultArtifact {
+    /// Serializes the artifact (without the CRC trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let s = &self.snapshot;
+        let d = &self.diagnostics;
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_str(&mut out, &self.key);
+        put_u64(&mut out, self.phases);
+        put_u64(&mut out, s.x0 as u64);
+        put_u64(&mut out, s.nx as u64);
+        put_u64(&mut out, s.ny as u64);
+        put_u64(&mut out, s.nz as u64);
+        put_u64(&mut out, s.rho.len() as u64);
+        for comp in &s.rho {
+            for &v in comp {
+                put_f64(&mut out, v);
+            }
+        }
+        for &v in &s.velocity {
+            put_f64(&mut out, v);
+        }
+        let [mx, my, mz] = d.total_momentum;
+        for v in [
+            d.total_mass,
+            d.mean_density,
+            mx,
+            my,
+            mz,
+            d.kinetic_energy,
+            d.max_speed,
+            d.max_mach,
+            d.flow_rate,
+        ] {
+            put_f64(&mut out, v);
+        }
+        put_str(&mut out, &self.summary_json);
+        out
+    }
+
+    /// Restores an artifact from [`encode`](Self::encode) output.
+    pub fn decode(bytes: &[u8]) -> Result<ResultArtifact, String> {
+        if !bytes.starts_with(&MAGIC) {
+            return Err("not a microslip result artifact (bad magic)".into());
+        }
+        let mut r = Reader { bytes, pos: 8 };
+        let key = r.str()?;
+        let phases = r.u64()?;
+        let x0 = r.usize()?;
+        let nx = r.u64()?;
+        let ny = r.u64()?;
+        let nz = r.u64()?;
+        let cells64 = nx
+            .checked_mul(ny)
+            .and_then(|p| p.checked_mul(nz))
+            .ok_or("cell count overflow")?;
+        if cells64 > MAX_CELLS {
+            return Err(format!("implausible cell count {cells64}"));
+        }
+        let cells = cells64 as usize;
+        let ncomp = r.usize()?;
+        if ncomp == 0 || ncomp > 64 {
+            return Err(format!("implausible component count {ncomp}"));
+        }
+        let mut rho = Vec::with_capacity(ncomp);
+        for _ in 0..ncomp {
+            let mut comp = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                comp.push(r.f64()?);
+            }
+            rho.push(comp);
+        }
+        let mut velocity = Vec::with_capacity(cells * 3);
+        for _ in 0..cells * 3 {
+            velocity.push(r.f64()?);
+        }
+        let snapshot = Snapshot {
+            x0,
+            nx: nx as usize,
+            ny: ny as usize,
+            nz: nz as usize,
+            rho,
+            velocity,
+        };
+        let diagnostics = FlowDiagnostics {
+            total_mass: r.f64()?,
+            mean_density: r.f64()?,
+            total_momentum: [r.f64()?, r.f64()?, r.f64()?],
+            kinetic_energy: r.f64()?,
+            max_speed: r.f64()?,
+            max_mach: r.f64()?,
+            flow_rate: r.f64()?,
+        };
+        let summary_json = r.str()?;
+        if r.pos != bytes.len() {
+            return Err(format!("{} trailing bytes after artifact", bytes.len() - r.pos));
+        }
+        Ok(ResultArtifact { key, phases, snapshot, diagnostics, summary_json })
+    }
+
+    /// Encodes and seals with the CRC-32 trailer — the exact byte string
+    /// the cache stores and the daemon ships to `fetch` clients.
+    pub fn seal(&self) -> Vec<u8> {
+        checkpoint::seal(self.encode())
+    }
+
+    /// Verifies and decodes a sealed artifact.
+    pub fn unseal(bytes: &[u8]) -> Result<ResultArtifact, String> {
+        let payload = checkpoint::unseal(bytes).map_err(describe)?;
+        ResultArtifact::decode(payload)
+    }
+}
+
+fn describe(e: CheckpointError) -> String {
+    format!("sealed artifact rejected: {e:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChannelConfig;
+    use crate::geometry::Dims;
+    use crate::simulation::Simulation;
+
+    fn artifact() -> ResultArtifact {
+        let mut sim = Simulation::new(ChannelConfig::paper_scaled(Dims::new(8, 6, 4)));
+        sim.run(5);
+        let snapshot = sim.snapshot();
+        let diagnostics = FlowDiagnostics::compute(&snapshot);
+        ResultArtifact {
+            key: "00f00ba4deadbeef".into(),
+            phases: 5,
+            snapshot,
+            diagnostics,
+            summary_json: "{\"mode\": \"serve\"}\n".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let a = artifact();
+        let bytes = a.encode();
+        let back = ResultArtifact::decode(&bytes).expect("decode");
+        // Re-encoding byte-equality proves bitwise field fidelity.
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.key, a.key);
+        assert_eq!(back.snapshot.rho.len(), 2);
+        assert_eq!(back.diagnostics.total_mass.to_bits(), a.diagnostics.total_mass.to_bits());
+    }
+
+    #[test]
+    fn sealing_is_deterministic() {
+        let a = artifact();
+        assert_eq!(a.seal(), artifact().seal());
+        let back = ResultArtifact::unseal(&a.seal()).expect("unseal");
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn corruption_and_truncation_rejected() {
+        let sealed = artifact().seal();
+        // Torn trailer.
+        assert!(ResultArtifact::unseal(&sealed[..sealed.len() - 1]).is_err());
+        // Bit rot in the body.
+        let mut rotted = sealed.clone();
+        rotted[40] ^= 1;
+        assert!(ResultArtifact::unseal(&rotted).is_err());
+        // Truncation at every stride inside the payload must fail cleanly.
+        let payload = artifact().encode();
+        for cut in (8..payload.len()).step_by(97) {
+            assert!(ResultArtifact::decode(&payload[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn absurd_dimensions_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        put_str(&mut bytes, "k");
+        put_u64(&mut bytes, 1); // phases
+        put_u64(&mut bytes, 0); // x0
+        for _ in 0..3 {
+            put_u64(&mut bytes, u64::MAX / 3); // nx, ny, nz
+        }
+        let err = ResultArtifact::decode(&bytes).unwrap_err();
+        assert!(err.contains("overflow") || err.contains("implausible"), "{err}");
+    }
+}

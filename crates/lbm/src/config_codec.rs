@@ -23,22 +23,25 @@ use crate::potential::PsiFn;
 /// File-format magic ("MSLIPCF1").
 pub const MAGIC: [u8; 8] = *b"MSLIPCF1";
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// Little-endian cursor shared by this codec and the result-artifact codec
+/// in [`crate::artifact`]: every read is bounds-checked and surfaces a
+/// typed error, never a panic.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 /// Copies an 8-byte chunk (from `Reader::take(8)`) into a fixed array
@@ -52,7 +55,7 @@ fn le8(chunk: &[u8]) -> [u8; 8] {
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         let end = self.pos.checked_add(n).ok_or("length overflow")?;
         let chunk = self
             .bytes
@@ -62,19 +65,19 @@ impl<'a> Reader<'a> {
         Ok(chunk)
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(le8(self.take(8)?)))
     }
 
-    fn usize(&mut self) -> Result<usize, String> {
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
         usize::try_from(self.u64()?).map_err(|_| "value exceeds usize".to_string())
     }
 
-    fn f64(&mut self) -> Result<f64, String> {
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
         Ok(f64::from_le_bytes(le8(self.take(8)?)))
     }
 
-    fn bool(&mut self) -> Result<bool, String> {
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
         match self.u64()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -82,7 +85,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn str(&mut self) -> Result<String, String> {
+    pub(crate) fn str(&mut self) -> Result<String, String> {
         let len = self.usize()?;
         if len > 1 << 20 {
             return Err(format!("implausible string length {len}"));

@@ -28,6 +28,7 @@
 // they keep the stencil arithmetic explicit.
 #![allow(clippy::needless_range_loop)]
 pub mod analytic;
+pub mod artifact;
 pub mod checkpoint;
 pub mod collision;
 pub mod component;
@@ -48,6 +49,7 @@ pub mod potential;
 pub(crate) mod simd;
 pub mod simulation;
 pub mod solver;
+pub mod store;
 pub mod streaming;
 pub mod twodim;
 pub mod units;
@@ -59,7 +61,9 @@ pub use geometry::{Dims, Microchannel, Slab, SolidRegion};
 pub use macroscopic::Snapshot;
 pub use par::Parallelism;
 pub use potential::PsiFn;
+pub use artifact::ResultArtifact;
 pub use checkpoint::CheckpointError;
 pub use diagnostics::FlowDiagnostics;
 pub use simulation::Simulation;
 pub use solver::{Side, SlabSolver};
+pub use store::CacheStore;

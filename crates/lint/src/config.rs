@@ -126,8 +126,16 @@ pub fn default_config() -> LintConfig {
             "crates/net/src/wire.rs".into(),
             "crates/net/src/rendezvous.rs".into(),
             "crates/net/src/tcp.rs".into(),
+            "crates/net/src/serve.rs".into(),
             "crates/obs/src/json.rs".into(),
             "crates/lbm/src/config_codec.rs".into(),
+            // The serve daemon's request path: scenario and sweep-request
+            // codecs, sealed artifacts, the cache store, and the server
+            // loop itself all parse bytes a client controls.
+            "crates/lbm/src/artifact.rs".into(),
+            "crates/lbm/src/store.rs".into(),
+            "src/scenario.rs".into(),
+            "src/serve.rs".into(),
         ],
         unsafe_registry: vec![
             (

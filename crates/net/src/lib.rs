@@ -15,7 +15,11 @@
 //! - [`rendezvous`]: the rank-0-coordinated handshake that turns N
 //!   processes into a fully connected mesh with verified ranks;
 //! - [`tcp`]: [`TcpTransport`], the steady-state tagged send/receive with
-//!   timeout, retry, and clean-shutdown semantics.
+//!   timeout, retry, and clean-shutdown semantics;
+//! - [`serve`]: [`ServeLoop`], the one-request/one-reply accept loop the
+//!   sweep daemon (`microslip serve`) fronts its scheduler with, plus the
+//!   matching single-exchange [`request`] client call. Serve frames use
+//!   kind codes 16+ — see the versioning notes in [`wire`].
 //!
 //! The transport passes the generic contract suite in
 //! `microslip_comm::contract`, so the worker protocol behaves identically
@@ -23,8 +27,10 @@
 //! bitwise-equivalent to the threaded one.
 
 pub mod rendezvous;
+pub mod serve;
 pub mod tcp;
 pub mod wire;
 
 pub use rendezvous::{connect, connect_epoch, localhost_mesh, reserve_port};
+pub use serve::{request, Reply, Served, ServeLoop};
 pub use tcp::{NetConfig, TcpTransport};

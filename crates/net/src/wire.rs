@@ -6,7 +6,7 @@
 //! offset  size  field
 //!      0     4  magic      "MSN1" (raw bytes)
 //!      4     2  version    u16 LE, currently 1
-//!      6     1  kind       Data=0 Goodbye=1 Hello=2 Roster=3 Ident=4 Rejoin=5
+//!      6     1  kind       see the kind-code table below
 //!      7     1  pad        must be 0
 //!      8     4  from       u32 LE, sender rank (or u32::MAX = assign-me)
 //!     12     8  tag        u64 LE, message tag / handshake argument
@@ -18,6 +18,42 @@
 //! The CRC covers everything after the magic, so a frame whose header was
 //! truncated or whose payload was bit-flipped in transit is rejected as a
 //! protocol violation rather than silently corrupting a halo plane.
+//!
+//! ## Kind codes and protocol versioning
+//!
+//! ```text
+//! code  kind         protocol        carries
+//!    0  Data         mesh (v1)       tagged f64 application payload
+//!    1  Goodbye      mesh (v1)       clean connection shutdown
+//!    2  Hello        mesh (v1)       rendezvous join request
+//!    3  Roster       mesh (v1)       rendezvous port table
+//!    4  Ident        mesh (v1)       data-connection identification
+//!    5  Rejoin       mesh (v1)       epoch-fenced re-rendezvous
+//!   16  SweepSubmit  serve (v2)      byte payload: encoded sweep request
+//!   17  SweepReply   serve (v2)      byte payload: accepted-sweep report
+//!   18  StatusQuery  serve (v2)      tag = sweep id (0 = all)
+//!   19  StatusReply  serve (v2)      byte payload: job-state report
+//!   20  Fetch        serve (v2)      byte payload: content-address key
+//!   21  FetchReply   serve (v2)      byte payload: sealed result artifact
+//!   22  ServeError   serve (v2)      byte payload: typed failure message
+//!   23  Shutdown     serve (v2)      graceful daemon shutdown request
+//! ```
+//!
+//! The serve request/response frames introduced for `microslip serve` are
+//! versioned **by kind-code range** rather than by bumping the `MSN1`
+//! magic: codes 0–15 are reserved for the rank-mesh protocol, codes 16+
+//! for the sweep service. A v1-only peer (an old `mp` rank or client)
+//! that receives a serve frame fails its [`FrameKind::from_code`] lookup
+//! and surfaces a typed `Protocol("unknown frame kind …")` error — never
+//! a hang or a misparse — while the magic, header layout, CRC coverage
+//! and framing stay byte-compatible for every existing v1 exchange.
+//!
+//! Serve frames carry *byte* payloads (request codecs, sealed artifacts)
+//! packed into the f64 payload lane via [`Frame::from_bytes`]: 8 bytes
+//! per element, zero-padded, with the true byte length in `tag`. The
+//! packing is a pure bit reinterpretation ([`f64::from_le_bytes`] /
+//! [`f64::to_le_bytes`] never canonicalize NaNs), so
+//! [`Frame::bytes_payload`] recovers the exact input bytes.
 
 use std::io::{self, Read, Write};
 use std::sync::OnceLock;
@@ -57,6 +93,30 @@ pub enum FrameKind {
     /// joiners whose epoch does not match its own — the fencing that keeps
     /// a stale process out of a recovered mesh.
     Rejoin,
+    /// Serve: client → daemon. Byte payload = an encoded sweep request
+    /// (base scenario + parameter grid). Codes ≥ 16 are the serve
+    /// protocol's range — a v1 mesh peer rejects them with a typed
+    /// `Protocol` error (see the module docs on versioning).
+    SweepSubmit,
+    /// Serve: daemon → client. Byte payload = the accepted-sweep report
+    /// (sweep id, expanded job keys, dedupe counts).
+    SweepReply,
+    /// Serve: client → daemon. `tag` = sweep id to report on (0 = all).
+    StatusQuery,
+    /// Serve: daemon → client. Byte payload = per-job state report.
+    StatusReply,
+    /// Serve: client → daemon. Byte payload = the content-address key of
+    /// the result artifact to fetch.
+    Fetch,
+    /// Serve: daemon → client. Byte payload = the sealed result artifact,
+    /// verbatim as stored (byte-identical to a direct run's output).
+    FetchReply,
+    /// Serve: daemon → client. Byte payload = a typed failure message
+    /// (unknown key, malformed request, …).
+    ServeError,
+    /// Serve: client → daemon. Ask the daemon to finish its queue and
+    /// exit cleanly; acknowledged with an empty [`StatusReply`](Self::StatusReply).
+    Shutdown,
 }
 
 impl FrameKind {
@@ -68,6 +128,14 @@ impl FrameKind {
             FrameKind::Roster => 3,
             FrameKind::Ident => 4,
             FrameKind::Rejoin => 5,
+            FrameKind::SweepSubmit => 16,
+            FrameKind::SweepReply => 17,
+            FrameKind::StatusQuery => 18,
+            FrameKind::StatusReply => 19,
+            FrameKind::Fetch => 20,
+            FrameKind::FetchReply => 21,
+            FrameKind::ServeError => 22,
+            FrameKind::Shutdown => 23,
         }
     }
 
@@ -79,6 +147,14 @@ impl FrameKind {
             3 => Some(FrameKind::Roster),
             4 => Some(FrameKind::Ident),
             5 => Some(FrameKind::Rejoin),
+            16 => Some(FrameKind::SweepSubmit),
+            17 => Some(FrameKind::SweepReply),
+            18 => Some(FrameKind::StatusQuery),
+            19 => Some(FrameKind::StatusReply),
+            20 => Some(FrameKind::Fetch),
+            21 => Some(FrameKind::FetchReply),
+            22 => Some(FrameKind::ServeError),
+            23 => Some(FrameKind::Shutdown),
             _ => None,
         }
     }
@@ -100,6 +176,37 @@ impl Frame {
 
     pub fn goodbye(from: u32) -> Frame {
         Frame { kind: FrameKind::Goodbye, from, tag: 0, payload: Vec::new() }
+    }
+
+    /// Packs a byte blob into the f64 payload lane: 8 bytes per element
+    /// (zero-padded tail), true byte length in `tag`. The reinterpretation
+    /// is bit-exact — [`bytes_payload`](Self::bytes_payload) recovers the
+    /// input verbatim. The serve request/response frames use this to carry
+    /// encoded scenarios and sealed artifacts.
+    pub fn from_bytes(kind: FrameKind, from: u32, bytes: &[u8]) -> Frame {
+        let payload = bytes.chunks(8).map(f64_from_le_chunk).collect();
+        Frame { kind, from, tag: bytes.len() as u64, payload }
+    }
+
+    /// Recovers the byte blob packed by [`from_bytes`](Self::from_bytes).
+    /// The frame must be canonical: `tag` names the byte length, and the
+    /// payload must hold exactly `ceil(tag / 8)` elements — anything else
+    /// is a protocol violation, not a guess.
+    pub fn bytes_payload(&self) -> Result<Vec<u8>, FrameError> {
+        let declared = self.tag;
+        let have_elems = self.payload.len() as u64;
+        let need_elems = declared.div_ceil(8);
+        if need_elems != have_elems {
+            return Err(FrameError::Protocol(format!(
+                "byte payload length {declared} needs {need_elems} f64 elements, frame has {have_elems}"
+            )));
+        }
+        let mut out = Vec::with_capacity(self.payload.len() * 8);
+        for x in &self.payload {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.truncate(declared as usize);
+        Ok(out)
     }
 }
 
@@ -261,11 +368,65 @@ mod tests {
             Frame { kind: FrameKind::Roster, from: 2, tag: 0, payload: vec![45123.0, 45124.0] },
             Frame { kind: FrameKind::Ident, from: 1, tag: 0, payload: vec![] },
             Frame { kind: FrameKind::Rejoin, from: 2, tag: 45125, payload: vec![3.0] },
+            Frame::from_bytes(FrameKind::SweepSubmit, 0, b"scenario bytes"),
+            Frame::from_bytes(FrameKind::SweepReply, 0, b"sweep=1 jobs=4"),
+            Frame { kind: FrameKind::StatusQuery, from: 0, tag: 1, payload: vec![] },
+            Frame::from_bytes(FrameKind::StatusReply, 0, b"done=4"),
+            Frame::from_bytes(FrameKind::Fetch, 0, b"00f00ba4deadbeef"),
+            Frame::from_bytes(FrameKind::FetchReply, 0, &[0u8, 1, 2, 255]),
+            Frame::from_bytes(FrameKind::ServeError, 0, b"unknown key"),
+            Frame { kind: FrameKind::Shutdown, from: 0, tag: 0, payload: vec![] },
         ];
         for f in frames {
             let bytes = encode(&f);
             let back = read_frame(&mut Cursor::new(&bytes)).expect("decode");
             assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn byte_payloads_roundtrip_bit_exactly() {
+        // Lengths straddling the 8-byte element boundary, plus content that
+        // reinterprets as NaN/infinity bit patterns — packing must never
+        // canonicalize them.
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 4096] {
+            let bytes: Vec<u8> = (0..n).map(|i| (i * 37 % 251) as u8).collect();
+            let f = Frame::from_bytes(FrameKind::FetchReply, 2, &bytes);
+            assert_eq!(f.tag, n as u64);
+            let wire = encode(&f);
+            let back = read_frame(&mut Cursor::new(&wire)).unwrap();
+            assert_eq!(back.bytes_payload().unwrap(), bytes);
+        }
+        let nan_bits = [0xFFu8; 8];
+        let f = Frame::from_bytes(FrameKind::FetchReply, 0, &nan_bits);
+        assert_eq!(f.bytes_payload().unwrap(), nan_bits);
+    }
+
+    #[test]
+    fn inconsistent_byte_length_is_protocol_error() {
+        // tag says 9 bytes (needs 2 elements) but payload has 1.
+        let f = Frame { kind: FrameKind::Fetch, from: 0, tag: 9, payload: vec![0.0] };
+        match f.bytes_payload() {
+            Err(FrameError::Protocol(d)) => assert!(d.contains("byte payload")),
+            other => panic!("{other:?}"),
+        }
+        // tag says 3 bytes but payload has 2 elements (too many).
+        let f = Frame { kind: FrameKind::Fetch, from: 0, tag: 3, payload: vec![0.0, 0.0] };
+        assert!(f.bytes_payload().is_err());
+    }
+
+    #[test]
+    fn v1_reader_rejects_serve_kinds_with_typed_error() {
+        // A v1-only peer has no codes ≥ 16 in its kind table; simulate one
+        // by patching the kind byte to a code outside any known range and
+        // asserting the failure is a typed Protocol error, not a hang or
+        // misparse. Real serve codes decode fine on this (v2) reader, so
+        // also check the exact error text shape an old reader produces.
+        let mut bytes = encode(&Frame::goodbye(0));
+        bytes[6] = 99;
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Err(FrameError::Protocol(d)) => assert!(d.contains("unknown frame kind 99")),
+            other => panic!("{other:?}"),
         }
     }
 

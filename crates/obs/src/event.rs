@@ -157,6 +157,64 @@ impl RecoveryStage {
     ];
 }
 
+/// Stage of a served sweep job's lifecycle (`microslip serve`).
+///
+/// A sweep's trace tells the scheduling story per content-addressed job
+/// key: submitted → (cache-hit | started → \[restarted…\] → done/failed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobStage {
+    /// The job entered a sweep (one event per expanded grid point).
+    Submitted,
+    /// The job's key was already in the result cache — no compute run.
+    CacheHit,
+    /// A worker subprocess was spawned for the job.
+    Started,
+    /// The worker died and the job was respawned from its newest
+    /// CRC-valid checkpoint.
+    Restarted,
+    /// The worker finished and the sealed artifact entered the cache.
+    Done,
+    /// The job was given up on (respawn budget exhausted or typed error).
+    Failed,
+}
+
+impl JobStage {
+    /// Stable schema name (used in JSONL and Chrome trace output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStage::Submitted => "submitted",
+            JobStage::CacheHit => "cache-hit",
+            JobStage::Started => "started",
+            JobStage::Restarted => "restarted",
+            JobStage::Done => "done",
+            JobStage::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<JobStage> {
+        match name {
+            "submitted" => Some(JobStage::Submitted),
+            "cache-hit" => Some(JobStage::CacheHit),
+            "started" => Some(JobStage::Started),
+            "restarted" => Some(JobStage::Restarted),
+            "done" => Some(JobStage::Done),
+            "failed" => Some(JobStage::Failed),
+            _ => None,
+        }
+    }
+
+    /// All stages, in lifecycle order.
+    pub const ALL: [JobStage; 6] = [
+        JobStage::Submitted,
+        JobStage::CacheHit,
+        JobStage::Started,
+        JobStage::Restarted,
+        JobStage::Done,
+        JobStage::Failed,
+    ];
+}
+
 /// One structured observability event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -211,6 +269,21 @@ pub enum Event {
         /// Free-form context ("peer 2 disconnected", plan summary, …).
         detail: String,
     },
+    /// One stage of a served sweep job's lifecycle (`microslip serve`).
+    Job {
+        time: f64,
+        /// Sweep the job belongs to (1-based submission order).
+        sweep: u64,
+        /// Content-addressed job key (hex hash of the canonical scenario
+        /// bytes) — identical scenarios share a key by construction.
+        key: String,
+        stage: JobStage,
+        /// Phase context: the checkpoint phase a restart resumed from,
+        /// the final phase for `done`, otherwise 0.
+        phase: u64,
+        /// Free-form context (worker exit status, cache path, …).
+        detail: String,
+    },
 }
 
 impl Event {
@@ -223,6 +296,7 @@ impl Event {
             Event::Migration { .. } => "migration",
             Event::Traffic { .. } => "traffic",
             Event::Recovery { .. } => "recovery",
+            Event::Job { .. } => "job",
         }
     }
 
@@ -235,6 +309,7 @@ impl Event {
             Event::Migration { time, .. } => Some(*time),
             Event::Traffic { .. } => None,
             Event::Recovery { time, .. } => Some(*time),
+            Event::Job { time, .. } => Some(*time),
         }
     }
 }
@@ -280,11 +355,19 @@ mod tests {
                 planes: 10,
                 detail: "restored ckpt".into(),
             },
+            Event::Job {
+                time: 0.6,
+                sweep: 1,
+                key: "a1b2c3".into(),
+                stage: JobStage::Done,
+                phase: 12,
+                detail: "exit 0".into(),
+            },
         ];
         let mut names: Vec<&str> = events.iter().map(|e| e.type_name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
     }
 
     #[test]
@@ -293,5 +376,13 @@ mod tests {
             assert_eq!(RecoveryStage::from_name(s.name()), Some(s));
         }
         assert_eq!(RecoveryStage::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn job_stage_names_round_trip() {
+        for s in JobStage::ALL {
+            assert_eq!(JobStage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(JobStage::from_name("bogus"), None);
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Event, RecoveryStage, RemapDecision, Span, SpanKind};
+use crate::event::{Event, JobStage, RecoveryStage, RemapDecision, Span, SpanKind};
 use crate::json::{self, Value};
 
 // ---------------------------------------------------------------------------
@@ -86,6 +86,18 @@ pub fn event_to_json(e: &Event) -> String {
             planes,
             json::escape(detail),
         ),
+        Event::Job { time, sweep, key, stage, phase, detail } => format!(
+            concat!(
+                r#"{{"type":"job","time":{},"sweep":{},"key":"{}","#,
+                r#""stage":"{}","phase":{},"detail":"{}"}}"#
+            ),
+            json::num(*time),
+            sweep,
+            json::escape(key),
+            stage.name(),
+            phase,
+            json::escape(detail),
+        ),
     }
 }
 
@@ -127,6 +139,7 @@ fn required_fields(event_type: &str) -> Option<&'static [&'static str]> {
         "recovery" => Some(&[
             "type", "time", "node", "epoch", "stage", "phase", "planes", "detail",
         ]),
+        "job" => Some(&["type", "time", "sweep", "key", "stage", "phase", "detail"]),
         _ => None,
     }
 }
@@ -179,6 +192,12 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
             let stage = v.get("stage").and_then(Value::as_str).unwrap_or("");
             if RecoveryStage::from_name(stage).is_none() {
                 return Err(err(format!("unknown recovery stage '{stage}'")));
+            }
+        }
+        if ty == "job" {
+            let stage = v.get("stage").and_then(Value::as_str).unwrap_or("");
+            if JobStage::from_name(stage).is_none() {
+                return Err(err(format!("unknown job stage '{stage}'")));
             }
         }
         *stats.counts.entry(ty.clone()).or_default() += 1;
@@ -327,6 +346,19 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
                 stage,
                 phase: u64_of("phase")?,
                 planes: usize_of("planes")?,
+                detail: str_of("detail")?,
+            })
+        }
+        "job" => {
+            let stage_name = str_of("stage")?;
+            let stage = JobStage::from_name(&stage_name)
+                .ok_or_else(|| format!("unknown job stage '{stage_name}'"))?;
+            Ok(Event::Job {
+                time: f64_of("time")?,
+                sweep: u64_of("sweep")?,
+                key: str_of("key")?,
+                stage,
+                phase: u64_of("phase")?,
                 detail: str_of("detail")?,
             })
         }
@@ -491,6 +523,17 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     json::escape(detail),
                 ));
             }
+            Event::Job { time, sweep, key, stage, phase, detail } => {
+                // Scheduler-level instants live on tid 0 (the daemon has no
+                // per-node timeline); the key makes dedupe visible.
+                lines.push(format!(
+                    r#"{{"name":"job {} {}","cat":"job","ph":"i","s":"p","pid":0,"tid":0,"ts":{},"args":{{"sweep":{sweep},"phase":{phase},"detail":"{}"}}}}"#,
+                    stage.name(),
+                    json::escape(key),
+                    us(*time),
+                    json::escape(detail),
+                ));
+            }
             _ => {}
         }
     }
@@ -617,6 +660,14 @@ mod tests {
                 planes: 10,
                 detail: "restored ckpt-rank0-phase5.bin".into(),
             },
+            Event::Job {
+                time: 0.98,
+                sweep: 1,
+                key: "00f00ba4".into(),
+                stage: JobStage::CacheHit,
+                phase: 0,
+                detail: "served from cache".into(),
+            },
         ]
     }
 
@@ -630,8 +681,21 @@ mod tests {
         assert_eq!(stats.counts["migration"], 1);
         assert_eq!(stats.counts["traffic"], 1);
         assert_eq!(stats.counts["recovery"], 1);
+        assert_eq!(stats.counts["job"], 1);
         assert!(stats.schema["remap"].contains(&"speeds".to_string()));
         assert!(stats.schema["recovery"].contains(&"epoch".to_string()));
+        assert!(stats.schema["job"].contains(&"key".to_string()));
+    }
+
+    #[test]
+    fn jsonl_rejects_unknown_job_stage() {
+        let line = concat!(
+            "{\"type\":\"job\",\"time\":1,\"sweep\":1,\"key\":\"ab\",",
+            "\"stage\":\"bogus\",\"phase\":0,\"detail\":\"d\"}\n"
+        );
+        let err = validate_jsonl(line).unwrap_err();
+        assert!(err.contains("unknown job stage"), "{err}");
+        assert!(from_jsonl(line).is_err());
     }
 
     #[test]
@@ -676,11 +740,13 @@ mod tests {
         let stats = validate_chrome_trace(&text).unwrap();
         assert_eq!(stats.spans, 4);
         assert_eq!(stats.nodes, 2);
-        assert_eq!(stats.instants, 3); // remap + migration + recovery
+        assert_eq!(stats.instants, 4); // remap + migration + recovery + job
         assert_eq!(stats.counters, 1);
         // The recovery instant is self-explaining: stage and epoch in the
         // name, context in args.
         assert!(text.contains("recovery rollback (epoch 2)"), "{text}");
+        // So is the job instant: stage and key in the name.
+        assert!(text.contains("job cache-hit 00f00ba4"), "{text}");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod json;
 pub mod sink;
 pub mod summary;
 
-pub use event::{Event, RecoveryStage, RemapDecision, Span, SpanKind};
+pub use event::{Event, JobStage, RecoveryStage, RemapDecision, Span, SpanKind};
 pub use export::{
     event_from_json, event_to_json, from_jsonl, merge_rank_streams, remap_fingerprints,
     to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl, ChromeStats, JsonlStats,

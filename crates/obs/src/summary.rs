@@ -59,6 +59,14 @@ pub struct TraceSummary {
     pub traffic_bytes: u64,
     /// Recovery-arc events recorded (0 for an undisturbed run).
     pub recoveries: usize,
+    /// Sweep jobs submitted (0 outside `microslip serve` traces).
+    pub jobs_submitted: usize,
+    /// Jobs served straight from the content-addressed result cache.
+    pub cache_hits: usize,
+    /// Jobs that ran to completion and sealed an artifact.
+    pub jobs_done: usize,
+    /// Jobs given up on (respawn budget exhausted or typed error).
+    pub jobs_failed: usize,
     /// Events in the stream (for truncation cross-checks).
     pub events: usize,
 }
@@ -104,6 +112,13 @@ impl TraceSummary {
                 Event::Recovery { .. } => {
                     s.recoveries += 1;
                 }
+                Event::Job { stage, .. } => match stage {
+                    crate::event::JobStage::Submitted => s.jobs_submitted += 1,
+                    crate::event::JobStage::CacheHit => s.cache_hits += 1,
+                    crate::event::JobStage::Done => s.jobs_done += 1,
+                    crate::event::JobStage::Failed => s.jobs_failed += 1,
+                    crate::event::JobStage::Started | crate::event::JobStage::Restarted => {}
+                },
             }
         }
         for n in per_node.values_mut() {
@@ -162,6 +177,10 @@ impl TraceSummary {
                 "  \"churn\": {},\n",
                 "  \"traffic_bytes\": {},\n",
                 "  \"recoveries\": {},\n",
+                "  \"jobs_submitted\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"jobs_done\": {},\n",
+                "  \"jobs_failed\": {},\n",
                 "  \"nodes\": [\n    {}\n  ]\n",
                 "}}\n"
             ),
@@ -177,6 +196,10 @@ impl TraceSummary {
             json::num(self.churn),
             self.traffic_bytes,
             self.recoveries,
+            self.jobs_submitted,
+            self.cache_hits,
+            self.jobs_done,
+            self.jobs_failed,
             nodes.join(",\n    "),
         )
     }
@@ -252,6 +275,38 @@ mod tests {
         assert_eq!(s.remap_applied, 2);
         assert_eq!(s.migrated_planes, 4);
         assert!((s.churn - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_counters_fold_by_stage() {
+        use crate::event::JobStage;
+        let job = |stage| Event::Job {
+            time: 0.0,
+            sweep: 1,
+            key: "k".into(),
+            stage,
+            phase: 0,
+            detail: String::new(),
+        };
+        let events = vec![
+            job(JobStage::Submitted),
+            job(JobStage::Submitted),
+            job(JobStage::Submitted),
+            job(JobStage::CacheHit),
+            job(JobStage::Started),
+            job(JobStage::Restarted),
+            job(JobStage::Done),
+            job(JobStage::Failed),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.jobs_submitted, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.jobs_done, 1);
+        assert_eq!(s.jobs_failed, 1);
+        let doc = s.to_json();
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.get("cache_hits").unwrap().as_usize(), Some(1));
+        assert_eq!(v.get("jobs_submitted").unwrap().as_usize(), Some(3));
     }
 
     #[test]

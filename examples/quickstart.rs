@@ -4,7 +4,7 @@
 //!    Poiseuille profile.
 //! 2. A small 3-D two-component (water + air) hydrophobic microchannel —
 //!    the paper's physics at toy resolution — reporting the apparent slip.
-//! 3. The same channel on the parallel runtime via [`RunBuilder`] — one
+//! 3. The same channel on the parallel runtime via [`Scenario`] — one
 //!    fluent configuration instead of hand-threading four configs.
 //!
 //! Run with: `cargo run --release --example quickstart`
@@ -59,12 +59,12 @@ fn main() {
 
     // ---- Part 3: the same physics on the parallel runtime ----------------
     println!();
-    println!("== parallel runtime via RunBuilder ==");
-    let outcome = RunBuilder::paper_scaled(16, 24, 8)
+    println!("== parallel runtime via Scenario ==");
+    let outcome = Scenario::paper_scaled(16, 24, 8)
         .workers(4)
         .phases(60)
         .scheme(Scheme::NoRemap)
-        .build()
+        .runtime()
         .expect("valid run")
         .run();
     println!(

@@ -5,7 +5,7 @@
 //! Runs the same workload twice (no remapping vs. filtered remapping) and
 //! shows the wall-clock difference plus the final plane distribution. The
 //! physics is verified to be identical between both runs. Both runs come
-//! from a single [`RunBuilder`] description — only the scheme differs.
+//! from a single [`Scenario`] description — only the scheme differs.
 //!
 //! Run with: `cargo run --release --example threaded_lbm`
 
@@ -18,7 +18,7 @@ fn main() {
     println!("worker 1 is throttled to 25% speed (a 75% competing job)");
     println!();
 
-    let base = RunBuilder::new(ChannelConfig::paper_scaled(Dims::new(48, 24, 8)))
+    let base = Scenario::new(ChannelConfig::paper_scaled(Dims::new(48, 24, 8)))
         .workers(workers)
         .phases(phases)
         .throttle(1, 4.0);
@@ -27,7 +27,7 @@ fn main() {
     let static_run = base
         .clone()
         .scheme(Scheme::NoRemap)
-        .build()
+        .runtime()
         .expect("valid static run")
         .run();
     println!("-- no remapping --");
@@ -37,7 +37,7 @@ fn main() {
     let filtered_run = base
         .scheme(Scheme::Filtered)
         .remap_every(10)
-        .build()
+        .runtime()
         .expect("valid filtered run")
         .run();
     println!("-- filtered dynamic remapping (every 10 phases) --");

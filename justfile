@@ -12,6 +12,7 @@ tier1:
     just trace-smoke
     just mp-smoke
     just chaos
+    just serve-smoke
 
 # Project-invariant static analysis (microslip-lint): determinism of the
 # decision/kernel crates, panic-freedom of the untrusted-input parsers,
@@ -51,6 +52,37 @@ chaos:
         --predictor-window 2 --throttle 1:6 --synthetic-load 1.0 \
         --checkpoint-every 3 --chaos kill:2@7 \
         --dir target/chaos-smoke --trace target/chaos-smoke/run --check
+
+# Sweep-daemon smoke: start `microslip serve`, submit a 4-job grid with
+# 2 duplicate parameter points (chaos kills the first scheduled job at
+# phase 9, after its cadence-4 checkpoints), then assert the full
+# contract: exactly 2 cache hits observed, the killed worker's job
+# restarted from checkpoint, a clean drain-and-shutdown, and the fetched
+# artifact byte-identical to a direct `run-job` of the same scenario.
+serve-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    cargo build --release --offline --bin microslip
+    rm -rf target/serve-smoke && mkdir -p target/serve-smoke
+    MS=./target/release/microslip
+    DIR=target/serve-smoke
+    $MS serve --dir $DIR --max-workers 2 --chaos-die 0@9 &
+    SERVE_PID=$!
+    for _ in $(seq 100); do [ -s $DIR/serve.addr ] && break; sleep 0.1; done
+    $MS submit --addr-file $DIR/serve.addr --phases 12 --checkpoint-every 4 \
+        --grid "wall-amplitude=0.1,0.2,0.1,0.2" --dump $DIR/scenarios --wait \
+        | tee $DIR/submit.out
+    grep -q "4 jobs (2 scheduled, 2 served from cache)" $DIR/submit.out
+    KEY=$(awk '/^  key /{print $2; exit}' $DIR/submit.out)
+    $MS fetch --addr-file $DIR/serve.addr --key $KEY --out $DIR/fetched.artifact
+    $MS status --addr-file $DIR/serve.addr --shutdown
+    wait $SERVE_PID
+    test "$(grep -c '"stage":"cache-hit"' $DIR/serve.jsonl)" -eq 2
+    grep -q '"stage":"restarted"' $DIR/serve.jsonl
+    $MS run-job --scenario $DIR/scenarios/$KEY.scenario \
+        --out $DIR/direct.artifact --checkpoint-dir $DIR/direct-ckpt
+    cmp $DIR/fetched.artifact $DIR/direct.artifact
+    echo "serve-smoke: OK (2 cache hits, worker death recovered, fetch bitwise-equal to direct run)"
 
 # Full workspace test run (release mode; slower, covers the examples).
 test-all:

@@ -7,6 +7,9 @@
 //! $ microslip trace --mode cluster --out run     # traced run -> run.jsonl,
 //!                                                #   run.trace.json (Perfetto),
 //!                                                #   run.summary.json
+//! $ microslip serve --dir target/serve           # sweep daemon with result cache
+//! $ microslip submit --addr-file target/serve/serve.addr \
+//!     --grid "wall-amplitude=0.1,0.2" --wait     # submit a sweep, wait for it
 //! $ microslip info                               # model & calibration info
 //! ```
 
@@ -26,7 +29,8 @@ use microslip::obs::{
 };
 use microslip::mp::{FaultSite, MpFault, MpWorkerArgs};
 use microslip::runtime::{run_parallel, LoadModel, RuntimeConfig};
-use microslip::{run_multiprocess, MpConfig, RunBuilder};
+use microslip::serve::{self, RunJobArgs, ServeConfig, SweepRequest};
+use microslip::{run_multiprocess, MpConfig, Scenario};
 
 /// Parsed `--key value` flags (and bare `--key` booleans).
 struct Flags {
@@ -74,6 +78,11 @@ fn main() {
         "parallel" => cmd_parallel(rest),
         "mp" => cmd_mp(rest),
         "mp-worker" => cmd_mp_worker(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "fetch" => cmd_fetch(rest),
+        "run-job" => cmd_run_job(rest),
         "trace" => cmd_trace(rest),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -103,6 +112,18 @@ fn print_help() {
     println!("                                              respawns it and the mesh rolls back to the last common checkpoint)");
     println!("                                              --check  (compare against the threaded runtime)]");
     println!("  mp-worker one rank of an mp run (internal; spawned by 'mp')");
+    println!("  serve     sweep daemon with content-addressed result cache");
+    println!("            [--addr HOST:PORT --dir DIR --max-workers N --max-respawns N");
+    println!("             --cache-capacity N --chaos-die JOB@PHASE]  resolved address -> DIR/serve.addr");
+    println!("  submit    submit a parameter sweep to a serve daemon");
+    println!("            [--addr HOST:PORT | --addr-file FILE  --grid \"axis=v1,v2;axis2=...\"");
+    println!("             --nx --ny --nz --phases --workers --scheme --checkpoint-every N");
+    println!("             --dump DIR (write each unique scenario to DIR/KEY.scenario) --wait]");
+    println!("            axes: body-x, wall-amplitude, wall-decay, coupling, phases");
+    println!("  status    query a serve daemon             [--addr|--addr-file  --sweep N]");
+    println!("  fetch     download a sealed result artifact [--addr|--addr-file --key K --out FILE]");
+    println!("  run-job   one scenario, serial reference (internal; spawned by 'serve')");
+    println!("            [--scenario FILE --out FILE --checkpoint-dir DIR --checkpoint-every N --resume]");
     println!("  trace     traced run -> PREFIX.jsonl + PREFIX.trace.json + PREFIX.summary.json");
     println!("            [--mode cluster|parallel --out PREFIX --scheme --phases --check]");
     println!("  info      model parameters and calibration anchors");
@@ -434,6 +455,181 @@ fn cmd_mp_worker(args: &[String]) -> Result<(), String> {
     microslip::mp::run_worker(&a)
 }
 
+/// Resolves the daemon address: `--addr HOST:PORT` literally, or
+/// `--addr-file FILE` reading the `serve.addr` a daemon published (the
+/// way scripts find an ephemeral port).
+fn resolve_addr(f: &Flags) -> Result<String, String> {
+    if let Some(path) = f.values.get("addr-file") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading --addr-file {path}: {e}"))?;
+        let addr = text.trim();
+        if addr.is_empty() {
+            return Err(format!("--addr-file {path} is empty"));
+        }
+        return Ok(addr.to_string());
+    }
+    match f.values.get("addr") {
+        Some(addr) if addr != "true" => Ok(addr.clone()),
+        _ => Err("need --addr HOST:PORT or --addr-file FILE".to_string()),
+    }
+}
+
+/// `--grid "axis=v1,v2;axis2=v3,…"` → sweep axes.
+fn grid_spec(spec: &str) -> Result<Vec<(String, Vec<f64>)>, String> {
+    let mut axes = Vec::new();
+    for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+        let (name, list) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--grid wants axis=v1,v2;…, got '{part}'"))?;
+        let mut values = Vec::new();
+        for v in list.split(',') {
+            values.push(
+                v.trim().parse::<f64>().map_err(|_| format!("bad grid value '{v}' for axis '{name}'"))?,
+            );
+        }
+        if values.is_empty() {
+            return Err(format!("grid axis '{name}' has no values"));
+        }
+        axes.push((name.trim().to_string(), values));
+    }
+    Ok(axes)
+}
+
+/// The base scenario shared by `submit` flags (and smoke scripts): the
+/// same knobs `mp` exposes, on the unified [`Scenario`] type.
+fn scenario_from_flags(f: &Flags) -> Result<Scenario, String> {
+    let nx = f.get("nx", 16usize)?;
+    let ny = f.get("ny", 8usize)?;
+    let nz = f.get("nz", 4usize)?;
+    let mut s = Scenario::paper_scaled(nx, ny, nz)
+        .workers(f.get("workers", 2usize)?)
+        .phases(f.get("phases", 30u64)?)
+        .remap_every(f.get("remap-every", 10u64)?)
+        .predictor_window(f.get("predictor-window", 10usize)?)
+        .scheme(scheme_by_name(&f.get("scheme", "filtered".to_string())?)?);
+    if f.has("synthetic-load") {
+        s = s.load_model(LoadModel::Synthetic { per_point: f.get("synthetic-load", 1.0f64)? });
+    }
+    Ok(s)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let exe = std::env::current_exe().map_err(|e| format!("locating own executable: {e}"))?;
+    let mut cfg = ServeConfig::new(f.get("dir", "target/serve".to_string())?, exe);
+    cfg.addr = f.get("addr", "127.0.0.1:0".to_string())?;
+    cfg.max_workers = f.get("max-workers", 2usize)?;
+    cfg.max_respawns = f.get("max-respawns", 3usize)?;
+    cfg.cache_capacity = f.get("cache-capacity", 0usize)?;
+    if let Some(spec) = f.values.get("chaos-die") {
+        let err = || format!("--chaos-die wants JOB@PHASE, got '{spec}'");
+        let (job, phase) = spec.split_once('@').ok_or_else(err)?;
+        let job: usize = job.parse().map_err(|_| err())?;
+        let phase: u64 = phase.parse().map_err(|_| err())?;
+        cfg.chaos = Some((job, phase));
+    }
+    serve::run_serve(&cfg)
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let addr = resolve_addr(&f)?;
+    let base = scenario_from_flags(&f)?;
+    let axes = match f.values.get("grid") {
+        Some(spec) => grid_spec(spec)?,
+        None => Vec::new(),
+    };
+    let checkpoint_every = if f.has("checkpoint-every") {
+        Some(f.get("checkpoint-every", 0u64)?)
+    } else {
+        None
+    };
+    let req = SweepRequest { base, checkpoint_every, axes };
+    if let Some(dir) = f.values.get("dump") {
+        // Write each unique expanded scenario so a script can replay one
+        // directly with `run-job` and byte-compare against the fetch.
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating --dump {dir}: {e}"))?;
+        let mut seen = std::collections::HashSet::new();
+        for scenario in req.expand()? {
+            let key = scenario.key();
+            if seen.insert(key.clone()) {
+                let path = format!("{dir}/{key}.scenario");
+                std::fs::write(&path, scenario.canonical_bytes())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+        }
+    }
+    let ticket = serve::submit(&addr, &req)?;
+    println!(
+        "sweep {}: {} jobs ({} scheduled, {} served from cache)",
+        ticket.sweep, ticket.jobs, ticket.scheduled, ticket.cached
+    );
+    for key in &ticket.keys {
+        println!("  key {key}");
+    }
+    if f.has("wait") {
+        let secs = f.get("wait-secs", 300u64)?;
+        let report = serve::wait_idle(&addr, std::time::Duration::from_secs(secs))?;
+        print!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let addr = resolve_addr(&f)?;
+    if f.has("shutdown") {
+        serve::shutdown(&addr)?;
+        println!("daemon at {addr} is draining and will exit");
+        return Ok(());
+    }
+    print!("{}", serve::status(&addr, f.get("sweep", 0u64)?)?);
+    Ok(())
+}
+
+fn cmd_fetch(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let addr = resolve_addr(&f)?;
+    let key = f.values.get("key").cloned().ok_or("fetch requires --key")?;
+    let out = f.values.get("out").cloned().ok_or("fetch requires --out FILE")?;
+    let sealed = serve::fetch(&addr, &key)?;
+    // Stored verbatim: these are the sealed bytes exactly as the cache
+    // holds them, directly comparable against a local `run-job` output.
+    std::fs::write(&out, &sealed).map_err(|e| format!("writing {out}: {e}"))?;
+    let artifact = microslip::lbm::ResultArtifact::unseal(&sealed)?;
+    println!(
+        "{out}: key {} after {} phases, {} bytes sealed (flow rate {:.3e}, mass {:.3})",
+        artifact.key,
+        artifact.phases,
+        sealed.len(),
+        artifact.diagnostics.flow_rate,
+        artifact.diagnostics.total_mass
+    );
+    Ok(())
+}
+
+/// One scheduled job — spawned by `microslip serve`, also usable directly
+/// to reproduce a cached artifact bit for bit.
+fn cmd_run_job(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let need = |key: &str| -> Result<String, String> {
+        f.values.get(key).cloned().ok_or_else(|| format!("run-job requires --{key}"))
+    };
+    let a = RunJobArgs {
+        scenario_path: need("scenario")?.into(),
+        out_path: need("out")?.into(),
+        checkpoint_dir: f.get("checkpoint-dir", "target/run-job-ckpt".to_string())?.into(),
+        checkpoint_every: f.get("checkpoint-every", 0u64)?,
+        resume: f.has("resume"),
+        die_at_phase: f
+            .values
+            .get("die-at-phase")
+            .map(|v| v.parse().map_err(|_| format!("bad --die-at-phase '{v}'")))
+            .transpose()?,
+    };
+    serve::run_job(&a)
+}
+
 /// A traced run end to end: run, export, optionally re-parse and check.
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
@@ -463,7 +659,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             let workers = f.get("workers", 4usize)?;
             let phases = f.get("phases", 24u64)?;
             let throttled = f.get("throttle", 4.0f64)?;
-            let outcome = RunBuilder::paper_scaled(32, 8, 4)
+            let outcome = Scenario::paper_scaled(32, 8, 4)
                 .workers(workers)
                 .phases(phases)
                 .remap_every(4)
@@ -471,7 +667,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 .scheme(scheme)
                 .throttle(workers.min(2) - 1, throttled)
                 .trace(sink)
-                .build()?
+                .runtime()?
                 .run();
             println!(
                 "parallel {} on {workers} workers, {phases} phases: wall {:.2}s, migrated {}",
@@ -554,6 +750,28 @@ mod tests {
         assert_eq!(scheme_by_name("filtered").unwrap(), Scheme::Filtered);
         assert_eq!(scheme_by_name("global").unwrap(), Scheme::Global);
         assert!(scheme_by_name("magic").is_err());
+    }
+
+    #[test]
+    fn grid_spec_parses_axes() {
+        let axes = grid_spec("wall-amplitude=0.1,0.2;body-x=1e-4").unwrap();
+        assert_eq!(
+            axes,
+            vec![
+                ("wall-amplitude".to_string(), vec![0.1, 0.2]),
+                ("body-x".to_string(), vec![1e-4]),
+            ]
+        );
+        assert!(grid_spec("").unwrap().is_empty());
+        assert!(grid_spec("wall-amplitude").is_err(), "missing values");
+        assert!(grid_spec("wall-amplitude=a,b").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn addr_resolution_requires_a_source() {
+        assert!(resolve_addr(&flags(&[])).is_err());
+        assert_eq!(resolve_addr(&flags(&["--addr", "127.0.0.1:9"])).unwrap(), "127.0.0.1:9");
+        assert!(resolve_addr(&flags(&["--addr-file", "/nonexistent/serve.addr"])).is_err());
     }
 
     #[test]

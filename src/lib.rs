@@ -20,16 +20,22 @@
 //! * [`obs`] — the zero-dependency structured event-tracing layer (JSONL
 //!   and Chrome `trace_event` exporters, derived summaries).
 //!
-//! Three additions live in the facade itself:
+//! Four additions live in the facade itself:
 //!
-//! * [`RunBuilder`] — the builder-style front door that configures a run
-//!   once and finalizes it onto real threads ([`RunBuilder::build`]),
-//!   onto the virtual-time cluster ([`RunBuilder::build_cluster`]), or
-//!   onto separate OS processes over localhost TCP
-//!   ([`RunBuilder::build_multiprocess`]) with the same geometry;
+//! * [`Scenario`] — the canonical value type describing one run
+//!   (geometry + physics + boundary conditions + schedule), with a
+//!   canonical binary codec and a content-address [`Scenario::key`];
+//!   finalize it onto real threads ([`Scenario::runtime`]), the
+//!   virtual-time cluster ([`Scenario::cluster`]), or separate OS
+//!   processes over localhost TCP ([`Scenario::multiprocess`]) — or
+//!   uniformly via [`Scenario::build`] and a [`Substrate`] selector;
 //! * [`mp`] — the multi-process rank runtime: a driver that forks
 //!   `microslip mp-worker` children meshed by [`microslip_net`] and
 //!   stitches their snapshots, reports and JSONL traces back together;
+//! * [`serve`] — the sweep daemon behind `microslip serve`: expands
+//!   parameter grids into [`Scenario`] jobs, dedupes them through a
+//!   content-addressed result cache, and supervises worker subprocesses
+//!   with checkpoint-restart;
 //! * [`prelude`] — one `use microslip::prelude::*;` for the common types.
 //!
 //! ## Quickstart
@@ -55,24 +61,27 @@ pub use microslip_lbm as lbm;
 pub use microslip_obs as obs;
 pub use microslip_runtime as runtime;
 
-mod builder;
 pub mod mp;
-pub use builder::{ClusterExperiment, Multiprocess, RunBuilder, Runtime};
+pub mod scenario;
+pub mod serve;
 pub use mp::{
     run_multiprocess, FaultSite, MpConfig, MpFailure, MpFault, MpOutcome, MpReport,
 };
+pub use scenario::{ClusterExperiment, Execution, Multiprocess, Runtime, Scenario, Substrate};
 
 /// The types most runs need, in one import.
 ///
 /// ```
 /// use microslip::prelude::*;
 ///
-/// let r = RunBuilder::paper_scaled(8, 6, 4).workers(2).phases(2).build().unwrap().run();
+/// let r = Scenario::paper_scaled(8, 6, 4).workers(2).phases(2).runtime().unwrap().run();
 /// assert!(r.wall_seconds >= 0.0);
 /// ```
 pub mod prelude {
-    pub use crate::builder::{ClusterExperiment, Multiprocess, RunBuilder, Runtime};
     pub use crate::mp::{MpConfig, MpOutcome};
+    pub use crate::scenario::{
+        ClusterExperiment, Execution, Multiprocess, Runtime, Scenario, Substrate,
+    };
     pub use microslip_cluster::{
         ClusterConfig, Dedicated, Disturbance, DutyCycle, FixedSlowNodes, RunResult, Scheme,
         TransientSpikes,

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 
 use microslip::obs::{validate_jsonl, Event};
 use microslip::runtime::LoadModel;
-use microslip::{FaultSite, MpFault, RunBuilder};
+use microslip::{FaultSite, MpFault, Scenario};
 
 const WORKER_EXE: &str = env!("CARGO_BIN_EXE_microslip");
 
@@ -28,8 +28,8 @@ fn scratch_dir(label: &str) -> PathBuf {
     dir
 }
 
-fn builder(ranks: usize, phases: u64) -> RunBuilder {
-    RunBuilder::paper_scaled(20, 6, 4)
+fn builder(ranks: usize, phases: u64) -> Scenario {
+    Scenario::paper_scaled(20, 6, 4)
         .workers(ranks)
         .phases(phases)
         .remap_every(3)
@@ -46,14 +46,14 @@ fn recover_from(
     fault: MpFault,
 ) -> (microslip::MpOutcome, microslip::MpOutcome) {
     let ref_dir = scratch_dir(&format!("{label}-ref"));
-    let mut clean = builder(4, 12).build_multiprocess().unwrap();
+    let mut clean = builder(4, 12).multiprocess().unwrap();
     clean.config_mut().worker_exe = Some(WORKER_EXE.into());
     clean.config_mut().dir = Some(ref_dir.clone());
     clean.config_mut().checkpoint_every = checkpoint_every;
     let want = clean.run().expect("reference run failed");
 
     let dir = scratch_dir(label);
-    let mut mp = builder(4, 12).build_multiprocess().unwrap();
+    let mut mp = builder(4, 12).multiprocess().unwrap();
     mp.config_mut().worker_exe = Some(WORKER_EXE.into());
     mp.config_mut().dir = Some(dir.clone());
     mp.config_mut().checkpoint_every = checkpoint_every;
@@ -123,7 +123,7 @@ fn torn_checkpoint_surfaces_a_typed_corrupt_error_on_resume() {
     // fail with the typed corrupt-checkpoint error, attributed to the
     // right rank — never load a silently shorter state.
     let dir = scratch_dir("torn");
-    let mut full = builder(2, 10).build_multiprocess().unwrap();
+    let mut full = builder(2, 10).multiprocess().unwrap();
     full.config_mut().worker_exe = Some(WORKER_EXE.into());
     full.config_mut().dir = Some(dir.clone());
     full.config_mut().checkpoint_every = 5;
@@ -133,7 +133,7 @@ fn torn_checkpoint_surfaces_a_typed_corrupt_error_on_resume() {
     let bytes = fs::read(&victim).unwrap();
     fs::write(&victim, &bytes[..bytes.len() - 3]).unwrap();
 
-    let mut resumed = builder(2, 5).build_multiprocess().unwrap();
+    let mut resumed = builder(2, 5).multiprocess().unwrap();
     resumed.config_mut().worker_exe = Some(WORKER_EXE.into());
     resumed.config_mut().dir = Some(dir.clone());
     resumed.config_mut().resume_phase = Some(5);

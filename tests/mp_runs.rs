@@ -11,7 +11,7 @@ use microslip::lbm::config_codec::encode_config;
 use microslip::lbm::{ChannelConfig, Dims};
 use microslip::obs::{from_jsonl, remap_fingerprints, validate_jsonl, Event, TraceSink};
 use microslip::runtime::LoadModel;
-use microslip::{FaultSite, MpFault, RunBuilder};
+use microslip::{FaultSite, MpFault, Scenario};
 
 const WORKER_EXE: &str = env!("CARGO_BIN_EXE_microslip");
 
@@ -24,8 +24,8 @@ fn scratch_dir(label: &str) -> PathBuf {
 
 /// The common geometry: small enough to run in seconds, throttled enough
 /// that filtered remapping actually migrates planes.
-fn builder(ranks: usize, phases: u64) -> RunBuilder {
-    RunBuilder::paper_scaled(20, 6, 4)
+fn builder(ranks: usize, phases: u64) -> Scenario {
+    Scenario::paper_scaled(20, 6, 4)
         .workers(ranks)
         .phases(phases)
         .remap_every(3)
@@ -39,10 +39,10 @@ fn mp_run_matches_threaded_bitwise_with_identical_remap_decisions() {
     for ranks in [2usize, 4] {
         // Threaded reference, traced so its remap decisions are on record.
         let (sink, recorder) = TraceSink::recorder(1 << 16);
-        let threaded = builder(ranks, 12).trace(sink).build().unwrap().run();
+        let threaded = builder(ranks, 12).trace(sink).runtime().unwrap().run();
         let threaded_prints = remap_fingerprints(&recorder.events());
 
-        let mut mp = builder(ranks, 12).build_multiprocess().unwrap();
+        let mut mp = builder(ranks, 12).multiprocess().unwrap();
         mp.config_mut().worker_exe = Some(WORKER_EXE.into());
         mp.config_mut().dir = Some(scratch_dir(&format!("equiv-{ranks}")));
         let outcome = mp.run().unwrap_or_else(|e| panic!("{ranks}-rank mp run failed: {e}"));
@@ -83,7 +83,7 @@ fn mp_restart_from_periodic_checkpoints_is_bitwise() {
     let dir = scratch_dir("restart");
 
     // Full 10-phase run, checkpointing every 5 phases.
-    let mut full = builder(2, 10).build_multiprocess().unwrap();
+    let mut full = builder(2, 10).multiprocess().unwrap();
     full.config_mut().worker_exe = Some(WORKER_EXE.into());
     full.config_mut().dir = Some(dir.clone());
     full.config_mut().checkpoint_every = 5;
@@ -98,7 +98,7 @@ fn mp_restart_from_periodic_checkpoints_is_bitwise() {
     }
 
     // Resume from the phase-5 files and run the remaining 5 phases.
-    let mut resumed = builder(2, 5).build_multiprocess().unwrap();
+    let mut resumed = builder(2, 5).multiprocess().unwrap();
     resumed.config_mut().worker_exe = Some(WORKER_EXE.into());
     resumed.config_mut().dir = Some(dir.clone());
     resumed.config_mut().resume_phase = Some(5);
@@ -114,7 +114,7 @@ fn mp_restart_from_periodic_checkpoints_is_bitwise() {
 #[test]
 fn killed_rank_surfaces_typed_errors_and_partial_traces() {
     let dir = scratch_dir("fault");
-    let mut mp = builder(2, 8).build_multiprocess().unwrap();
+    let mut mp = builder(2, 8).multiprocess().unwrap();
     mp.config_mut().worker_exe = Some(WORKER_EXE.into());
     mp.config_mut().dir = Some(dir.clone());
     mp.config_mut().fault =
@@ -156,7 +156,7 @@ fn chaos_kill_and_rejoin_recovers_bitwise_with_full_recovery_arc() {
     // Undisturbed reference (same checkpoint cadence, so the only
     // difference between the runs is the injected death).
     let ref_dir = scratch_dir("chaos-ref");
-    let mut clean = builder(4, 12).build_multiprocess().unwrap();
+    let mut clean = builder(4, 12).multiprocess().unwrap();
     clean.config_mut().worker_exe = Some(WORKER_EXE.into());
     clean.config_mut().dir = Some(ref_dir.clone());
     clean.config_mut().checkpoint_every = 3;
@@ -167,7 +167,7 @@ fn chaos_kill_and_rejoin_recovers_bitwise_with_full_recovery_arc() {
     // phases 3 and 6 when the death lands, so the mesh must agree to roll
     // back to phase 6 and replay 7..=12.
     let dir = scratch_dir("chaos");
-    let mut mp = builder(4, 12).build_multiprocess().unwrap();
+    let mut mp = builder(4, 12).multiprocess().unwrap();
     mp.config_mut().worker_exe = Some(WORKER_EXE.into());
     mp.config_mut().dir = Some(dir.clone());
     mp.config_mut().checkpoint_every = 3;

@@ -20,7 +20,7 @@ use microslip::prelude::*;
 /// decisions and migrations actually fire.
 fn runtime_events(scheme: Scheme) -> Vec<Event> {
     let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
-    let outcome = RunBuilder::paper_scaled(15, 6, 4)
+    let outcome = Scenario::paper_scaled(15, 6, 4)
         .workers(3)
         .phases(9)
         .remap_every(3)
@@ -28,7 +28,7 @@ fn runtime_events(scheme: Scheme) -> Vec<Event> {
         .scheme(scheme)
         .throttle(1, 6.0)
         .trace(sink)
-        .build()
+        .runtime()
         .expect("valid run")
         .run();
     assert_eq!(outcome.final_counts().iter().sum::<usize>(), 15);
@@ -41,12 +41,12 @@ fn cluster_events(scheme: Scheme) -> Vec<Event> {
     let (sink, rec) = TraceSink::recorder(DEFAULT_CAPACITY);
     // 10 planes per node: enough headroom for the filtered policy's
     // one-plane migration threshold to pass on the slow nodes.
-    let ex = RunBuilder::paper_scaled(200, 20, 10)
+    let ex = Scenario::paper_scaled(200, 20, 10)
         .workers(20)
         .phases(80)
         .scheme(scheme)
         .trace(sink)
-        .build_cluster()
+        .cluster()
         .expect("valid cluster run");
     ex.run(&FixedSlowNodes::paper(20, 2));
     assert_eq!(rec.dropped(), 0);
