@@ -19,6 +19,48 @@ pub fn plane_poiseuille_max(h: f64, g: f64, nu: f64) -> f64 {
     g * h * h / (8.0 * nu)
 }
 
+/// Plane Poiseuille flow with symmetric Navier slip conditions
+/// `u_wall = b · ∂u/∂n` on both plates: at wall distance `d` for plate
+/// separation `h`, driving acceleration `g`, kinematic viscosity `nu` and
+/// slip length `b`,
+///
+/// ```text
+/// u(d) = g/(2ν) · (d (h − d) + b h).
+/// ```
+///
+/// `b = 0` recovers [`plane_poiseuille`]; `b → ∞` plug flow.
+pub fn slip_poiseuille(d: f64, h: f64, g: f64, nu: f64, b: f64) -> f64 {
+    g / (2.0 * nu) * (d * (h - d) + b * h)
+}
+
+/// Slip length of the tunable-slip boundary condition (Ahmed & Hecht,
+/// arXiv:0907.2877): a per-link convex mix of bounce-back (weight `r`) and
+/// specular reflection produces Navier slip with
+///
+/// ```text
+/// b(r) = 3ν (1 − r)/r = (2τ − 1)(1 − r)/(2 r)
+/// ```
+///
+/// in lattice units (`ν = (2τ − 1)/6` the BGK viscosity). `r = 1` is
+/// no-slip, `r → 0` diverges toward free slip. Continuum-limit form: the
+/// measured discrete slip carries an O(1/H) offset from the finite channel
+/// height, which validation removes by applying the *same* finite-sample
+/// estimator to this analytic profile and to the simulation.
+pub fn tunable_slip_length(r: f64, tau: f64) -> f64 {
+    assert!(r > 0.0 && r <= 1.0, "reflection fraction must be in (0, 1]");
+    assert!(tau > 0.5, "tau must exceed 1/2");
+    (2.0 * tau - 1.0) * (1.0 - r) / (2.0 * r)
+}
+
+/// Bracketing bounds on the effective slip length of a wall patterned
+/// with alternating stripes of local slip lengths `b_a` and `b_b`
+/// (arXiv:0910.2637): whatever the stripe period, the homogenized slip of
+/// the mixed wall lies strictly between the two uniform walls' values
+/// (equality only when `b_a = b_b`). Returns `(lower, upper)`.
+pub fn striped_slip_bounds(b_a: f64, b_b: f64) -> (f64, f64) {
+    (b_a.min(b_b), b_a.max(b_b))
+}
+
 /// Steady streamwise velocity in a rectangular duct `|y| ≤ a`, `|z| ≤ b`
 /// with no-slip walls, driving acceleration `g` and kinematic viscosity
 /// `nu` (series truncated at `terms` odd modes):
@@ -90,6 +132,50 @@ mod tests {
         assert!((umax - plane_poiseuille_max(h, g, nu)).abs() < 1e-18);
         // Symmetric.
         assert!((plane_poiseuille(2.0, h, g, nu) - plane_poiseuille(8.0, h, g, nu)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn slip_poiseuille_limits() {
+        let (h, g, nu) = (16.0, 1e-6, 1.0 / 6.0);
+        // b = 0 recovers the no-slip profile everywhere.
+        for &d in &[0.0, 3.0, 8.0, 16.0] {
+            assert_eq!(slip_poiseuille(d, h, g, nu, 0.0), plane_poiseuille(d, h, g, nu));
+        }
+        // Finite b: uniform offset g b h / (2ν) above no-slip, so the wall
+        // velocity is nonzero and the profile stays symmetric.
+        let b = 0.5;
+        let off = g * b * h / (2.0 * nu);
+        assert!((slip_poiseuille(0.0, h, g, nu, b) - off).abs() < 1e-18);
+        assert!(
+            (slip_poiseuille(4.0, h, g, nu, b) - slip_poiseuille(12.0, h, g, nu, b)).abs() < 1e-18
+        );
+    }
+
+    #[test]
+    fn tunable_slip_length_properties() {
+        let tau = 1.0;
+        // r = 1 is pure bounce-back: no slip.
+        assert_eq!(tunable_slip_length(1.0, tau), 0.0);
+        // Matches b = 3ν(1−r)/r with ν = (2τ−1)/6.
+        let nu = (2.0 * tau - 1.0) / 6.0;
+        for &r in &[0.3, 0.5, 0.8] {
+            let b = tunable_slip_length(r, tau);
+            assert!((b - 3.0 * nu * (1.0 - r) / r).abs() < 1e-15);
+        }
+        // Monotone: more specular reflection means more slip.
+        assert!(tunable_slip_length(0.3, tau) > tunable_slip_length(0.5, tau));
+        assert!(tunable_slip_length(0.5, tau) > tunable_slip_length(0.8, tau));
+        // Viscosity scaling through tau.
+        assert!(tunable_slip_length(0.5, 1.5) > tunable_slip_length(0.5, 1.0));
+    }
+
+    #[test]
+    fn striped_bounds_are_ordered() {
+        let (lo, hi) = striped_slip_bounds(tunable_slip_length(0.2, 1.0), 0.0);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0);
+        let (lo, hi) = striped_slip_bounds(0.25, 0.75);
+        assert_eq!((lo, hi), (0.25, 0.75));
     }
 
     #[test]

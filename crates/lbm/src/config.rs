@@ -1,5 +1,6 @@
 //! Channel simulation configuration.
 
+use crate::boundary::WallBc;
 use crate::component::{ComponentSpec, CouplingMatrix};
 use crate::force::WallForce;
 use crate::geometry::{Dims, SolidRegion};
@@ -52,6 +53,9 @@ pub struct ChannelConfig {
     /// Solid obstacles inside the channel (fluid bounces back at their
     /// surfaces, exactly like at the channel walls).
     pub obstacles: Vec<SolidRegion>,
+    /// Wall boundary condition at the channel walls (halfway bounce-back
+    /// unless a slip model from [`crate::boundary`] is selected).
+    pub wall_bc: WallBc,
     /// Intra-slab thread budget for the per-phase kernels. Serial by
     /// default; any value produces bitwise-identical physics.
     pub parallelism: Parallelism,
@@ -77,6 +81,7 @@ impl ChannelConfig {
             body: [1.0e-5, 0.0, 0.0],
             init: InitProfile::Uniform,
             obstacles: Vec::new(),
+            wall_bc: WallBc::BounceBack,
             parallelism: Parallelism::serial(),
         }
     }
@@ -101,6 +106,7 @@ impl ChannelConfig {
             body: [body_x, 0.0, 0.0],
             init: InitProfile::Uniform,
             obstacles: Vec::new(),
+            wall_bc: WallBc::BounceBack,
             parallelism: Parallelism::serial(),
         }
     }
@@ -130,6 +136,7 @@ impl ChannelConfig {
             body: [0.0; 3],
             init: InitProfile::Uniform,
             obstacles: Vec::new(),
+            wall_bc: WallBc::BounceBack,
             parallelism: Parallelism::serial(),
         }
     }
@@ -137,6 +144,16 @@ impl ChannelConfig {
     /// Number of fluid components.
     pub fn ncomp(&self) -> usize {
         self.components.len()
+    }
+
+    /// All solid regions the solver must mask: the explicit obstacles plus
+    /// any roughness geometry carried by the wall BC. The solver builds its
+    /// solid mask from this, so `RoughWall` inherits every obstacle code
+    /// path (masking, mass clearing, migration) unchanged.
+    pub fn effective_obstacles(&self) -> Vec<SolidRegion> {
+        let mut all = self.obstacles.clone();
+        all.extend_from_slice(self.wall_bc.rough_elements());
+        all
     }
 
     /// Validates parameter sanity; returns the first problem found.
@@ -167,14 +184,17 @@ impl ChannelConfig {
         if self.parallelism.threads() == 0 {
             return Err("parallelism must allow at least one thread".into());
         }
-        // Obstacles must leave at least one fluid cell in every y-z plane
-        // (a fully blocked plane would wall off the channel); checked
-        // cheaply by sampling each plane.
+        self.wall_bc.validate_for(self.dims)?;
+        // Obstacles — including wall-BC roughness elements — must leave at
+        // least one fluid cell in every y-z plane (a fully blocked plane
+        // would wall off the channel); checked cheaply by sampling each
+        // plane.
+        let solids = self.effective_obstacles();
         for x in 0..self.dims.nx {
             let mut any_fluid = false;
             'plane: for y in 0..self.dims.ny {
                 for z in 0..self.dims.nz {
-                    if !self.obstacles.iter().any(|o| o.contains(x, y, z)) {
+                    if !solids.iter().any(|o| o.contains(x, y, z)) {
                         any_fluid = true;
                         break 'plane;
                     }
@@ -275,6 +295,33 @@ mod tests {
     fn mismatched_coupling_size_rejected() {
         let mut cfg = ChannelConfig::paper();
         cfg.coupling = CouplingMatrix::none(3);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn wall_bc_parameters_validated() {
+        let mut cfg = ChannelConfig::single_component(Dims::new(8, 6, 4), 1.0, 1e-5);
+        cfg.wall_bc = WallBc::TunableSlip { r: 0.5 };
+        cfg.validate().unwrap();
+        cfg.wall_bc = WallBc::TunableSlip { r: 1.5 };
+        assert!(cfg.validate().is_err());
+        // Pattern must tile the periodic x-extent (8 % (2·3) ≠ 0).
+        cfg.wall_bc = WallBc::PatternedSlip { r_a: 1.0, r_b: 0.2, period: 3, phase: 0 };
+        assert!(cfg.validate().is_err());
+        cfg.wall_bc = WallBc::PatternedSlip { r_a: 1.0, r_b: 0.2, period: 2, phase: 0 };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rough_wall_feeds_effective_obstacles_and_blocked_plane_check() {
+        let mut cfg = ChannelConfig::single_component(Dims::new(8, 6, 4), 1.0, 1e-5);
+        cfg.wall_bc = WallBc::rough_stripes(1, 2, cfg.dims);
+        assert!(cfg.obstacles.is_empty(), "roughness is not an explicit obstacle");
+        assert!(!cfg.effective_obstacles().is_empty());
+        cfg.validate().unwrap();
+        // Roughness tall enough to close the channel is caught like any
+        // blocking obstacle.
+        cfg.wall_bc = WallBc::rough_stripes(3, 2, cfg.dims);
         assert!(cfg.validate().is_err());
     }
 }

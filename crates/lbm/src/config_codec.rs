@@ -12,6 +12,7 @@
 //! as `u64` length plus UTF-8 bytes, sequences as `u64` count plus
 //! elements.
 
+use crate::boundary::codec::{decode_wall_bc, encode_wall_bc};
 use crate::component::{CollisionOperator, ComponentSpec, CouplingMatrix};
 use crate::config::{ChannelConfig, InitProfile};
 use crate::force::{WallForce, WallForceMode};
@@ -20,8 +21,8 @@ use crate::mrt::MrtRates;
 use crate::par::Parallelism;
 use crate::potential::PsiFn;
 
-/// File-format magic ("MSLIPCF1").
-pub const MAGIC: [u8; 8] = *b"MSLIPCF1";
+/// File-format magic ("MSLIPCF2" — version 2 added the wall-BC field).
+pub const MAGIC: [u8; 8] = *b"MSLIPCF2";
 
 pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -94,6 +95,46 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Appends one solid-region record (shared with the wall-BC codec in
+/// [`crate::boundary::codec`], whose `RoughWall` variant carries regions).
+pub(crate) fn put_region(out: &mut Vec<u8>, region: &SolidRegion) {
+    match *region {
+        SolidRegion::Block { min, max } => {
+            put_u64(out, 0);
+            for v in min.iter().chain(max.iter()) {
+                put_u64(out, *v as u64);
+            }
+        }
+        SolidRegion::Sphere { center, radius } => {
+            put_u64(out, 1);
+            for v in center {
+                put_f64(out, v);
+            }
+            put_f64(out, radius);
+        }
+        SolidRegion::CylinderZ { center, radius } => {
+            put_u64(out, 2);
+            for v in center {
+                put_f64(out, v);
+            }
+            put_f64(out, radius);
+        }
+    }
+}
+
+/// Reads one solid-region record written by [`put_region`].
+pub(crate) fn read_region(r: &mut Reader<'_>) -> Result<SolidRegion, String> {
+    Ok(match r.u64()? {
+        0 => SolidRegion::Block {
+            min: [r.usize()?, r.usize()?, r.usize()?],
+            max: [r.usize()?, r.usize()?, r.usize()?],
+        },
+        1 => SolidRegion::Sphere { center: [r.f64()?, r.f64()?, r.f64()?], radius: r.f64()? },
+        2 => SolidRegion::CylinderZ { center: [r.f64()?, r.f64()?], radius: r.f64()? },
+        d => return Err(format!("unknown obstacle discriminant {d}")),
+    })
+}
+
 /// Serializes a complete channel configuration.
 pub fn encode_config(cfg: &ChannelConfig) -> Vec<u8> {
     let mut out = Vec::new();
@@ -155,29 +196,9 @@ pub fn encode_config(cfg: &ChannelConfig) -> Vec<u8> {
     }
     put_u64(&mut out, cfg.obstacles.len() as u64);
     for o in &cfg.obstacles {
-        match *o {
-            SolidRegion::Block { min, max } => {
-                put_u64(&mut out, 0);
-                for v in min.iter().chain(max.iter()) {
-                    put_u64(&mut out, *v as u64);
-                }
-            }
-            SolidRegion::Sphere { center, radius } => {
-                put_u64(&mut out, 1);
-                for v in center {
-                    put_f64(&mut out, v);
-                }
-                put_f64(&mut out, radius);
-            }
-            SolidRegion::CylinderZ { center, radius } => {
-                put_u64(&mut out, 2);
-                for v in center {
-                    put_f64(&mut out, v);
-                }
-                put_f64(&mut out, radius);
-            }
-        }
+        put_region(&mut out, o);
     }
+    encode_wall_bc(&mut out, &cfg.wall_bc);
     put_u64(&mut out, cfg.parallelism.threads() as u64);
     out
 }
@@ -254,29 +275,20 @@ pub fn decode_config(bytes: &[u8]) -> Result<ChannelConfig, String> {
     }
     let mut obstacles = Vec::with_capacity(nobs);
     for _ in 0..nobs {
-        obstacles.push(match r.u64()? {
-            0 => SolidRegion::Block {
-                min: [r.usize()?, r.usize()?, r.usize()?],
-                max: [r.usize()?, r.usize()?, r.usize()?],
-            },
-            1 => SolidRegion::Sphere {
-                center: [r.f64()?, r.f64()?, r.f64()?],
-                radius: r.f64()?,
-            },
-            2 => SolidRegion::CylinderZ { center: [r.f64()?, r.f64()?], radius: r.f64()? },
-            d => return Err(format!("unknown obstacle discriminant {d}")),
-        });
+        obstacles.push(read_region(&mut r)?);
     }
+    let wall_bc = decode_wall_bc(&mut r)?;
     let parallelism = Parallelism::new(r.usize()?.max(1));
     if r.pos != bytes.len() {
         return Err(format!("{} trailing bytes after config", bytes.len() - r.pos));
     }
-    Ok(ChannelConfig { dims, components, coupling, wall, body, init, obstacles, parallelism })
+    Ok(ChannelConfig { dims, components, coupling, wall, body, init, obstacles, wall_bc, parallelism })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::boundary::WallBc;
 
     fn exotic_config() -> ChannelConfig {
         let mut cfg = ChannelConfig::paper_scaled(Dims::new(24, 10, 6));
@@ -294,6 +306,7 @@ mod tests {
             SolidRegion::Sphere { center: [10.5, 5.0, 3.0], radius: 1.75 },
             SolidRegion::CylinderZ { center: [18.0, 4.5], radius: 2.25 },
         ];
+        cfg.wall_bc = WallBc::PatternedSlip { r_a: 1.0, r_b: 0.125, period: 2, phase: 1 };
         cfg.parallelism = Parallelism::new(3);
         cfg
     }
@@ -320,8 +333,45 @@ mod tests {
         assert_eq!(back.components[1].0.psi_fn, PsiFn::ShanChen { n0: 0.7 });
         assert_eq!(back.wall.mode, WallForceMode::ForceDensity);
         assert_eq!(back.obstacles.len(), 3);
+        assert_eq!(
+            back.wall_bc,
+            WallBc::PatternedSlip { r_a: 1.0, r_b: 0.125, period: 2, phase: 1 }
+        );
         assert_eq!(back.parallelism.threads(), 3);
         assert_eq!(back.body[2].to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn every_wall_bc_variant_roundtrips() {
+        for bc in [
+            WallBc::BounceBack,
+            WallBc::TunableSlip { r: 0.6 },
+            WallBc::PatternedSlip { r_a: 0.9, r_b: 0.1, period: 3, phase: 0 },
+            WallBc::rough_stripes(1, 2, Dims::new(8, 10, 4)),
+        ] {
+            let mut cfg = ChannelConfig::single_component(Dims::new(8, 10, 4), 1.0, 0.0);
+            cfg.wall_bc = bc.clone();
+            let bytes = encode_config(&cfg);
+            let back = decode_config(&bytes).expect("decode");
+            assert_eq!(back.wall_bc, bc);
+            assert_eq!(encode_config(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn out_of_range_slip_parameters_rejected() {
+        // Patch the encoded r of a TunableSlip config to 1.5: the decoder
+        // must reject it rather than build an unphysical wall BC.
+        let mut cfg = ChannelConfig::paper_scaled(Dims::new(8, 6, 4));
+        cfg.wall_bc = WallBc::TunableSlip { r: 0.5 };
+        let mut bytes = encode_config(&cfg);
+        let needle = 0.5f64.to_le_bytes();
+        let pos = (0..bytes.len() - 8)
+            .rev()
+            .find(|&i| bytes[i..i + 8] == needle)
+            .expect("encoded r present");
+        bytes[pos..pos + 8].copy_from_slice(&1.5f64.to_le_bytes());
+        assert!(decode_config(&bytes).unwrap_err().contains("outside [0, 1]"));
     }
 
     #[test]

@@ -103,6 +103,17 @@ impl D3Q19 {
     pub const POS_X: [usize; 5] = [1, 7, 9, 11, 13];
     /// Directions with a negative x-component — sent to the *left* neighbor.
     pub const NEG_X: [usize; 5] = [2, 8, 10, 12, 14];
+    /// Index of the y-mirrored velocity: `E[MIRROR_Y[i]] == (e_x, -e_y, e_z)`.
+    ///
+    /// Specular reflection at a y-wall maps an incoming population onto its
+    /// y-mirror — the tangential components survive, only the wall-normal
+    /// one reverses (the free-slip half of the tunable-slip boundary
+    /// condition, Ahmed & Hecht arXiv:0907.2877).
+    pub const MIRROR_Y: [usize; 19] =
+        [0, 1, 2, 4, 3, 5, 6, 9, 10, 7, 8, 11, 12, 13, 14, 18, 17, 16, 15];
+    /// Index of the z-mirrored velocity: `E[MIRROR_Z[i]] == (e_x, e_y, -e_z)`.
+    pub const MIRROR_Z: [usize; 19] =
+        [0, 1, 2, 3, 4, 6, 5, 7, 8, 9, 10, 13, 14, 11, 12, 17, 18, 15, 16];
 }
 
 /// The two-dimensional, nine-velocity lattice (rest + 4 axis + 4 diagonal).
@@ -239,6 +250,31 @@ mod tests {
         let all_nx: Vec<usize> =
             (0..19).filter(|&i| D3Q19::E[i][0] < 0).collect();
         assert_eq!(all_nx, D3Q19::NEG_X.to_vec());
+    }
+
+    #[test]
+    fn mirror_tables_negate_one_axis() {
+        // MIRROR_Y (MIRROR_Z) must map each velocity onto the one with the
+        // y (z) component negated and the other two unchanged, and be a
+        // self-inverse permutation. Both commute into OPP: mirroring both
+        // wall-tangent axes and the wall normal reverses the velocity, so
+        // mirror_y ∘ mirror_z ∘ mirror_x = opp; with e_x untouched here,
+        // mirror_y ∘ mirror_z = opp exactly for the e_x = 0 channels.
+        for i in 0..D3Q19::Q {
+            let my = D3Q19::MIRROR_Y[i];
+            assert_eq!(D3Q19::E[my][0], D3Q19::E[i][0]);
+            assert_eq!(D3Q19::E[my][1], -D3Q19::E[i][1]);
+            assert_eq!(D3Q19::E[my][2], D3Q19::E[i][2]);
+            assert_eq!(D3Q19::MIRROR_Y[my], i, "MIRROR_Y not an involution at {i}");
+            let mz = D3Q19::MIRROR_Z[i];
+            assert_eq!(D3Q19::E[mz][0], D3Q19::E[i][0]);
+            assert_eq!(D3Q19::E[mz][1], D3Q19::E[i][1]);
+            assert_eq!(D3Q19::E[mz][2], -D3Q19::E[i][2]);
+            assert_eq!(D3Q19::MIRROR_Z[mz], i, "MIRROR_Z not an involution at {i}");
+            if D3Q19::E[i][0] == 0 {
+                assert_eq!(D3Q19::MIRROR_Y[D3Q19::MIRROR_Z[i]], D3Q19::OPP[i]);
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod analytic;
 pub mod artifact;
+pub mod boundary;
 pub mod checkpoint;
 pub mod collision;
 pub mod component;
@@ -54,6 +55,7 @@ pub mod streaming;
 pub mod twodim;
 pub mod units;
 
+pub use boundary::WallBc;
 pub use component::{CollisionOperator, ComponentSpec, CouplingMatrix};
 pub use config::{ChannelConfig, InitProfile};
 pub use force::{WallForce, WallForceMode};

@@ -125,6 +125,47 @@ pub fn apparent_slip_fraction(velocity_profile: &YProfile) -> f64 {
     velocity_profile.wall_extrapolation() / u0
 }
 
+/// Navier slip length of a velocity profile, in lattice units: the depth
+/// behind the wall plane at which the linear extrapolation of the
+/// near-wall velocity reaches `u = 0` (`b = u_wall / (∂u/∂n)|_wall`).
+///
+/// Each wall is estimated from its two nearest samples — the same
+/// two-point construction the tunable-slip literature uses — and the two
+/// wall estimates are averaged. Apply the estimator to analytic samples
+/// at the *same* distances for a like-for-like comparison (this cancels
+/// the curvature bias a two-point fit has on a parabolic profile).
+/// Returns `f64::INFINITY` for a plug-like profile whose near-wall slope
+/// is not positive (free slip: the extrapolation never reaches zero).
+pub fn slip_length(profile: &YProfile) -> f64 {
+    assert!(profile.len() >= 4, "need two samples per wall");
+    // b from two samples at wall distances d0 < d1: u(d) extrapolates to
+    // zero at d = d0 − u0/slope, i.e. b = u0/slope − d0.
+    let two_point = |d0: f64, d1: f64, u0: f64, u1: f64| -> f64 {
+        let slope = (u1 - u0) / (d1 - d0);
+        if slope <= 0.0 {
+            return f64::INFINITY;
+        }
+        u0 / slope - d0
+    };
+    let n = profile.len();
+    // Channel height in the halfway-wall convention: first and last
+    // samples sit symmetrically, so their distances sum to the height.
+    let h = profile.distance[0] + profile.distance[n - 1];
+    let low = two_point(
+        profile.distance[0],
+        profile.distance[1],
+        profile.value[0],
+        profile.value[1],
+    );
+    let high = two_point(
+        h - profile.distance[n - 1],
+        h - profile.distance[n - 2],
+        profile.value[n - 1],
+        profile.value[n - 2],
+    );
+    0.5 * (low + high)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +264,47 @@ mod tests {
         for y in 0..ny {
             assert!((mean.value[y] - cut.value[y]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn slip_length_exact_on_piecewise_linear_wedge() {
+        // u(d) = c (d + b) near the low wall, mirrored near the high wall:
+        // the two-point extrapolation recovers b exactly on both sides.
+        let ny = 8;
+        let h = ny as f64;
+        let b = 0.75;
+        let snap = snap_1d(ny, |y| {
+            let d = y as f64 + 0.5;
+            let d = d.min(h - d);
+            0.2 * (d + b)
+        });
+        let p = velocity_y_profile(&snap, 0, 0);
+        assert!((slip_length(&p) - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slip_length_tracks_analytic_slip_poiseuille() {
+        // Like-for-like: sampling the analytic slip profile at cell
+        // centers and applying the same estimator returns b up to the
+        // (small, b-independent) curvature bias of the two-point fit.
+        use crate::analytic::slip_poiseuille;
+        let ny = 32;
+        let (h, g, nu) = (ny as f64, 1e-6, 1.0 / 6.0);
+        for &b in &[0.0, 0.5, 2.0] {
+            let snap = snap_1d(ny, |y| slip_poiseuille(y as f64 + 0.5, h, g, nu, b));
+            let est = slip_length(&velocity_y_profile(&snap, 0, 0));
+            // Two-point fit on this parabola gives (0.75 + b h)/(h − 2):
+            // a bias of (0.75 + 2b)/(h − 2), under 0.2 lattice units here.
+            assert!((est - b).abs() < 0.2, "b={b}: estimated {est}");
+            assert!((est - (0.75 + b * h) / (h - 2.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slip_length_infinite_for_plug_flow() {
+        let snap = snap_1d(6, |_| 1.0);
+        let p = velocity_y_profile(&snap, 0, 0);
+        assert_eq!(slip_length(&p), f64::INFINITY);
     }
 
     #[test]

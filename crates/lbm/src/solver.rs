@@ -22,6 +22,7 @@
 //! drivers, a decomposed run is **bitwise identical** to a sequential run —
 //! the invariant the integration tests pin down.
 
+use crate::boundary::{SlipMap, WallBc};
 use crate::component::{ComponentState, CouplingMatrix};
 use crate::config::ChannelConfig;
 use crate::field::{LocalGrid, SlabArray};
@@ -58,7 +59,17 @@ pub struct SlabSolver {
     coupling: CouplingMatrix,
     wall: WallForce,
     body: [f64; 3],
+    /// All solid regions this slab masks — the config's explicit obstacles
+    /// merged with any wall-BC roughness geometry
+    /// ([`ChannelConfig::effective_obstacles`]).
     obstacles: Vec<SolidRegion>,
+    /// The active wall boundary condition (bounce-back, slip, …).
+    wall_bc: WallBc,
+    /// Per-local-plane y-wall bounce weights for the slip BCs (empty for
+    /// the pure bounce-back variants); rebuilt with the solid mask
+    /// whenever the slab changes, keyed by periodic global x so it is
+    /// invariant under decomposition and migration.
+    slip_ry: Vec<f64>,
     /// Solid mask over the local grid (ghost planes included); rebuilt
     /// from `obstacles` whenever the slab changes.
     solid: Vec<bool>,
@@ -93,7 +104,9 @@ impl SlabSolver {
             coupling: config.coupling.clone(),
             wall: config.wall,
             body: config.body,
-            obstacles: config.obstacles.clone(),
+            obstacles: config.effective_obstacles(),
+            wall_bc: config.wall_bc.clone(),
+            slip_ry: Vec::new(),
             solid: Vec::new(),
             par: config.parallelism,
         };
@@ -121,6 +134,7 @@ impl SlabSolver {
             }
         }
         self.solid = solid;
+        self.slip_ry = self.wall_bc.slip_ry(self.x0, self.global_nx, grid.lx);
     }
 
     /// Zeros all per-cell state at solid cells (used after initialization
@@ -234,13 +248,17 @@ impl SlabSolver {
         }
     }
 
-    /// Phase step 2 (after population exchange): streaming + bounce-back
-    /// (channel walls and obstacles).
+    /// Phase step 2 (after population exchange): streaming + the active
+    /// wall BC (bounce-back or a slip rule) at channel walls and
+    /// obstacles. The BC is resolved to a per-plane weight map here, once;
+    /// the sweep kernels never dispatch per cell.
     pub fn stream(&mut self) {
         let par = self.par;
         let has_solid = !self.obstacles.is_empty();
+        let slip = (!self.slip_ry.is_empty())
+            .then(|| SlipMap { ry: &self.slip_ry, rz: self.wall_bc.slip_rz() });
         for c in self.comps.iter_mut() {
-            crate::streaming::stream_with(c, &self.solid, has_solid, par);
+            crate::streaming::stream_with(c, &self.solid, has_solid, slip, par);
         }
     }
 
@@ -296,8 +314,10 @@ impl SlabSolver {
     pub fn stream_collide_fused(&mut self) {
         let par = self.par;
         let has_solid = !self.obstacles.is_empty();
+        let slip = (!self.slip_ry.is_empty())
+            .then(|| SlipMap { ry: &self.slip_ry, rz: self.wall_bc.slip_rz() });
         for c in self.comps.iter_mut() {
-            crate::streaming::stream_collide_fused(c, &self.solid, has_solid, par);
+            crate::streaming::stream_collide_fused(c, &self.solid, has_solid, slip, par);
         }
     }
 
@@ -834,6 +854,107 @@ mod tests {
         s.set_parallelism(Parallelism::new(3));
         let got = run_phases(&mut s, 5, true);
         assert_eq!(got, want, "fused TRT/MRT diverged from classic");
+    }
+
+    /// The three non-default wall BCs on the test channel.
+    fn slip_bcs() -> Vec<WallBc> {
+        vec![
+            WallBc::TunableSlip { r: 0.3 },
+            WallBc::PatternedSlip { r_a: 1.0, r_b: 0.2, period: 2, phase: 1 },
+            WallBc::rough_stripes(1, 3, Dims::new(12, 6, 4)),
+        ]
+    }
+
+    #[test]
+    fn decomposed_slip_run_is_bitwise_identical_to_sequential() {
+        for bc in slip_bcs() {
+            let mut cfg = small_config();
+            cfg.wall_bc = bc.clone();
+            let mut seq = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: cfg.dims.nx });
+            seq.prime_periodic();
+            for _ in 0..6 {
+                seq.phase_periodic();
+            }
+            let want = seq.snapshot();
+
+            for parts in [2, 3] {
+                let mut solvers: Vec<SlabSolver> = even_slabs(cfg.dims.nx, parts)
+                    .into_iter()
+                    .map(|slab| SlabSolver::new(&cfg, slab))
+                    .collect();
+                prime_decomposed(&mut solvers);
+                for _ in 0..6 {
+                    phase_decomposed(&mut solvers);
+                }
+                let got = Snapshot::stitch(solvers.iter().map(|s| s.snapshot()).collect());
+                assert_eq!(got, want, "{bc:?} changed under decomposition into {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_preserves_slip_physics_bitwise() {
+        // Plane migration re-keys the per-plane slip weights by global x;
+        // a patterned wall is the hardest case (weights differ per plane).
+        let mut cfg = small_config();
+        cfg.wall_bc = WallBc::PatternedSlip { r_a: 0.9, r_b: 0.1, period: 2, phase: 0 };
+        let mut seq = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: cfg.dims.nx });
+        seq.prime_periodic();
+        let phases = 9;
+        for _ in 0..phases {
+            seq.phase_periodic();
+        }
+        let want = seq.snapshot();
+
+        let mut solvers: Vec<SlabSolver> = even_slabs(cfg.dims.nx, 3)
+            .into_iter()
+            .map(|slab| SlabSolver::new(&cfg, slab))
+            .collect();
+        prime_decomposed(&mut solvers);
+        for phase in 0..phases {
+            phase_decomposed(&mut solvers);
+            match phase {
+                2 => {
+                    let data = solvers[0].take_planes(Side::Right, 2);
+                    solvers[1].give_planes(Side::Left, 2, &data);
+                }
+                5 => {
+                    let data = solvers[1].take_planes(Side::Left, 3);
+                    solvers[0].give_planes(Side::Right, 3, &data);
+                }
+                _ => {}
+            }
+        }
+        let got = Snapshot::stitch(solvers.iter().map(|s| s.snapshot()).collect());
+        assert_eq!(got, want, "migration must not change patterned-slip physics");
+    }
+
+    #[test]
+    fn fused_slip_phase_is_bitwise_identical_to_classic() {
+        for bc in slip_bcs() {
+            let mut cfg = small_config();
+            cfg.wall_bc = bc.clone();
+            let slab = Slab { x0: 0, nx_local: cfg.dims.nx };
+            let want = run_phases(&mut SlabSolver::new(&cfg, slab), 6, false);
+            for threads in [1, 4] {
+                let mut s = SlabSolver::new(&cfg, slab);
+                s.set_parallelism(Parallelism::new(threads));
+                let got = run_phases(&mut s, 6, true);
+                assert_eq!(got, want, "fused {bc:?} at {threads} threads changed the physics");
+            }
+        }
+    }
+
+    #[test]
+    fn rough_wall_masks_cells_like_obstacles() {
+        let mut cfg = small_config();
+        cfg.wall_bc = WallBc::rough_stripes(1, 3, Dims::new(12, 6, 4));
+        let s = SlabSolver::new(&cfg, Slab { x0: 0, nx_local: cfg.dims.nx });
+        assert!(s.solid_fraction() > 0.0, "roughness must reach the solid mask");
+        assert!(s.is_solid(1, 0, 0), "ridge cell at the low wall (gx 0)");
+        assert!(s.is_solid(1, 5, 0), "ridge cell at the high wall");
+        assert!(!s.is_solid(1, 2, 0), "channel middle stays fluid");
+        assert!(!s.is_solid(4, 0, 0), "inter-ridge plane (gx 3) stays fluid");
     }
 
     #[test]

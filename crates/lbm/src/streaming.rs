@@ -43,6 +43,35 @@
 //! cut before the sweep starts, so no chunk ever pulls a neighbor chunk's
 //! already-overwritten plane.
 
+//! # Slip boundary conditions
+//!
+//! When the active [`crate::boundary::WallBc`] is a slip model, wall links
+//! mix bounce-back with *specular reflection* (tangential components
+//! survive, the wall-normal one reverses — [`D3Q19::MIRROR_Y`]). In pull
+//! form at a y-wall row, destination `(x, y_wall, z)` channel `i` reads
+//!
+//! ```text
+//! f_i = r(x) · f*_opp(i)(x, y_wall, z)                      [bounce]
+//!     + (1 − r(x − e_x)) · f*_mir_y(i)(x − e_x, y_wall, z − e_z) [specular]
+//! ```
+//!
+//! The bounce weight is keyed by the *destination* plane and the specular
+//! weight by the *source* plane — the plane where the population left the
+//! fluid. With that keying every outgoing wall population is consumed with
+//! total weight exactly `r + (1 − r) = 1`, so the rule conserves mass even
+//! when `r` varies along x (patterned walls). Where the specular source
+//! would itself lie outside the fluid (the four wall–wall corner lines,
+//! reached only by the `e_x = 0` double-diagonal channels), the rule
+//! degrades to full bounce-back, which keeps that accounting exact. The
+//! slip variants use pure specular z-walls (`rz = 0`), making the flow
+//! z-independent — the pseudo-2-D setup of the slip papers.
+//!
+//! The kernel is selected per plane *outside* the channel/row loops
+//! ([`stream_plane_slip`] vs [`stream_plane_fast`]), so the default
+//! bounce-back path is untouched — same machine code, bitwise-identical
+//! results.
+
+use crate::boundary::SlipMap;
 use crate::component::ComponentState;
 use crate::field::LocalGrid;
 use crate::lattice::{Lattice, D3Q19};
@@ -62,7 +91,7 @@ const Q: usize = D3Q19::Q;
 /// planes of `f` are stale.
 pub fn stream(comp: &mut ComponentState, solid: &[bool]) {
     let has_solid = solid.iter().any(|&s| s);
-    stream_with(comp, solid, has_solid, Parallelism::serial());
+    stream_with(comp, solid, has_solid, None, Parallelism::serial());
 }
 
 /// [`stream`] with a caller-supplied obstacle flag (the solver knows it
@@ -75,9 +104,10 @@ pub(crate) fn stream_with(
     comp: &mut ComponentState,
     solid: &[bool],
     has_solid: bool,
+    slip: Option<SlipMap<'_>>,
     par: Parallelism,
 ) {
-    sweep(comp, solid, has_solid, par, false);
+    sweep(comp, solid, has_solid, slip, par, false);
 }
 
 /// Fused collide→stream sweep over the slab interior.
@@ -102,9 +132,10 @@ pub(crate) fn stream_collide_fused(
     comp: &mut ComponentState,
     solid: &[bool],
     has_solid: bool,
+    slip: Option<SlipMap<'_>>,
     par: Parallelism,
 ) {
-    sweep(comp, solid, has_solid, par, true);
+    sweep(comp, solid, has_solid, slip, par, true);
 }
 
 /// One post-collision x-plane as a streaming source: either a live plane
@@ -131,11 +162,21 @@ impl PlaneSrc {
 /// false`, every plane already collided) and [`stream_collide_fused`]
 /// (`fuse = true`, edge planes collided, the rest collided inside the
 /// sweep).
-fn sweep(comp: &mut ComponentState, solid: &[bool], has_solid: bool, par: Parallelism, fuse: bool) {
+fn sweep(
+    comp: &mut ComponentState,
+    solid: &[bool],
+    has_solid: bool,
+    slip: Option<SlipMap<'_>>,
+    par: Parallelism,
+    fuse: bool,
+) {
     let grid = comp.grid();
     let cells = grid.cells();
     let p = grid.plane_cells();
     assert_eq!(solid.len(), cells);
+    if let Some(s) = slip {
+        assert_eq!(s.ry.len(), grid.lx, "slip map must cover every local plane incl. ghosts");
+    }
     let first = LocalGrid::FIRST;
     let last = grid.last();
     // Decompose by the *effective* budget: chunk cuts cost boundary-plane
@@ -255,11 +296,20 @@ fn sweep(comp: &mut ComponentState, solid: &[bool], has_solid: bool, par: Parall
                 // a source — `cur`/saved copies live outside `f`, `prev`
                 // live is the left ghost, `next` live is plane xl+1 — and
                 // concurrent tasks write only their own disjoint planes.
+                // The wall-BC dispatch is resolved here, per plane, so the
+                // channel/row loops inside each kernel stay branch-free.
                 unsafe {
-                    if has_solid {
-                        stream_plane_generic(fp, grid, xl, prev, cur, next, solid);
-                    } else {
-                        stream_plane_fast(fp, grid, xl, prev, cur, next);
+                    match (slip, has_solid) {
+                        (None, false) => stream_plane_fast(fp, grid, xl, prev, cur, next),
+                        (None, true) => {
+                            stream_plane_generic(fp, grid, xl, prev, cur, next, solid)
+                        }
+                        (Some(s), false) => {
+                            stream_plane_slip(fp, grid, xl, prev, cur, next, s.ry, s.rz)
+                        }
+                        (Some(s), true) => stream_plane_slip_generic(
+                            fp, grid, xl, prev, cur, next, solid, s.ry, s.rz,
+                        ),
                     }
                 }
                 prev = cur;
@@ -392,6 +442,177 @@ unsafe fn stream_plane_generic(
                     let sq = (ys * nz + zs) as usize;
                     if solid[xs * p + sq] {
                         // Upstream cell is an obstacle: bounce back.
+                        *bounce.add(q)
+                    } else {
+                        *src.add(sq)
+                    }
+                };
+                *dst.add(q) = v;
+            }
+        }
+    }
+}
+
+/// Obstacle-free streaming of one plane under a slip wall BC (see the
+/// module docs): y-wall rows mix bounce-back (weight `ry[xl]`) with the
+/// same-row specular source (weight `1 − ry[xl − e_x]`), z-walls mix with
+/// the constant `rz`; the four corner lines bounce back fully. Interior
+/// cells stream exactly as in [`stream_plane_fast`] — same contiguous row
+/// copies, so the slip path costs extra work only on wall rows.
+///
+/// # Safety
+///
+/// As [`stream_plane_fast`]; additionally `ry` must have one entry per
+/// local plane (ghosts included).
+#[allow(clippy::too_many_arguments)]
+unsafe fn stream_plane_slip(
+    f: *mut f64,
+    grid: LocalGrid,
+    xl: usize,
+    prev: PlaneSrc,
+    cur: PlaneSrc,
+    next: PlaneSrc,
+    ry: &[f64],
+    rz: f64,
+) {
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let (ny, nz) = (grid.ny, grid.nz);
+    for i in 0..Q {
+        let e = D3Q19::E[i];
+        let opp = D3Q19::OPP[i];
+        let src = upstream(i, prev, cur, next);
+        let dst = f.add(i * cells + xl * p);
+        if e[1] == 0 && e[2] == 0 {
+            // Rest and x-only channels never touch a wall: whole-plane copy.
+            std::ptr::copy_nonoverlapping(src, dst, p);
+            continue;
+        }
+        let bounce = cur.ch(opp);
+        let spec_y = upstream(D3Q19::MIRROR_Y[i], prev, cur, next);
+        let spec_z = upstream(D3Q19::MIRROR_Z[i], prev, cur, next);
+        // Bounce weight of the destination plane; specular weight of the
+        // source plane (e_x(mirror_y(i)) = e_x(i), so both specular sources
+        // live on plane xl − e_x). Mixed weights at stripe boundaries are
+        // what keeps the patterned rule exactly mass-conserving.
+        let rb = ry[xl];
+        let rs = 1.0 - ry[(xl as isize - e[0] as isize) as usize];
+        for y in 0..ny {
+            let row = y * nz;
+            let ys = y as isize - e[1] as isize;
+            if ys < 0 || ys >= ny as isize {
+                // y-wall row: specular source shares the row (the
+                // population left it, reflected off the wall half a
+                // spacing out, and came back), shifted by −e_z.
+                match e[2] {
+                    0 => {
+                        for z in 0..nz {
+                            *dst.add(row + z) =
+                                rb * *bounce.add(row + z) + rs * *spec_y.add(row + z);
+                        }
+                    }
+                    1 => {
+                        // z = 0: the specular image exits the z-low wall —
+                        // corner line, full bounce-back.
+                        *dst.add(row) = *bounce.add(row);
+                        for z in 1..nz {
+                            *dst.add(row + z) =
+                                rb * *bounce.add(row + z) + rs * *spec_y.add(row + z - 1);
+                        }
+                    }
+                    _ => {
+                        for z in 0..nz - 1 {
+                            *dst.add(row + z) =
+                                rb * *bounce.add(row + z) + rs * *spec_y.add(row + z + 1);
+                        }
+                        *dst.add(row + nz - 1) = *bounce.add(row + nz - 1);
+                    }
+                }
+                continue;
+            }
+            let srow = ys as usize * nz;
+            match e[2] {
+                0 => std::ptr::copy_nonoverlapping(src.add(srow), dst.add(row), nz),
+                1 => {
+                    // z = 0 pulls from behind the z-low wall: bounce/specular
+                    // mix with the constant z-wall weight.
+                    *dst.add(row) = rz * *bounce.add(row) + (1.0 - rz) * *spec_z.add(srow);
+                    std::ptr::copy_nonoverlapping(src.add(srow), dst.add(row + 1), nz - 1);
+                }
+                _ => {
+                    std::ptr::copy_nonoverlapping(src.add(srow + 1), dst.add(row), nz - 1);
+                    *dst.add(row + nz - 1) = rz * *bounce.add(row + nz - 1)
+                        + (1.0 - rz) * *spec_z.add(srow + nz - 1);
+                }
+            }
+        }
+    }
+}
+
+/// Per-cell slip streaming with obstacle bounce-back — the slip analogue
+/// of [`stream_plane_generic`], bitwise identical to [`stream_plane_slip`]
+/// on an empty mask. A wall link whose specular source cell is solid falls
+/// back to full bounce-back (the roughness element interrupts the smooth
+/// wall, so there is nothing to reflect off specularly).
+/// Safety: see [`stream_plane_slip`] and [`stream_plane_generic`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn stream_plane_slip_generic(
+    f: *mut f64,
+    grid: LocalGrid,
+    xl: usize,
+    prev: PlaneSrc,
+    cur: PlaneSrc,
+    next: PlaneSrc,
+    solid: &[bool],
+    ry: &[f64],
+    rz: f64,
+) {
+    let cells = grid.cells();
+    let p = grid.plane_cells();
+    let ny = grid.ny as isize;
+    let nz = grid.nz as isize;
+    for i in 0..Q {
+        let e = D3Q19::E[i];
+        let opp = D3Q19::OPP[i];
+        let src = upstream(i, prev, cur, next);
+        let bounce = cur.ch(opp);
+        let spec_y = upstream(D3Q19::MIRROR_Y[i], prev, cur, next);
+        let spec_z = upstream(D3Q19::MIRROR_Z[i], prev, cur, next);
+        let dst = f.add(i * cells + xl * p);
+        let xs = (xl as isize - e[0] as isize) as usize;
+        let rb = ry[xl];
+        let rs = 1.0 - ry[xs];
+        for y in 0..ny {
+            let ys = y - e[1] as isize;
+            for z in 0..nz {
+                let zs = z - e[2] as isize;
+                let q = (y * nz + z) as usize;
+                if solid[xl * p + q] {
+                    *dst.add(q) = 0.0;
+                    continue;
+                }
+                let y_oob = ys < 0 || ys >= ny;
+                let z_oob = zs < 0 || zs >= nz;
+                let v = if y_oob && z_oob {
+                    // Corner line: full bounce-back.
+                    *bounce.add(q)
+                } else if y_oob {
+                    let sq = (y * nz + zs) as usize;
+                    if solid[xs * p + sq] {
+                        *bounce.add(q)
+                    } else {
+                        rb * *bounce.add(q) + rs * *spec_y.add(sq)
+                    }
+                } else if z_oob {
+                    let sq = (ys * nz + z) as usize;
+                    if solid[xs * p + sq] {
+                        *bounce.add(q)
+                    } else {
+                        rz * *bounce.add(q) + (1.0 - rz) * *spec_z.add(sq)
+                    }
+                } else {
+                    let sq = (ys * nz + zs) as usize;
+                    if solid[xs * p + sq] {
                         *bounce.add(q)
                     } else {
                         *src.add(sq)
@@ -676,7 +897,7 @@ mod tests {
 
                 fill_ghosts_periodic(&mut a);
                 fill_ghosts_periodic(&mut b);
-                stream_with(&mut a, &solid, false, Parallelism::new(threads));
+                stream_with(&mut a, &solid, false, None, Parallelism::new(threads));
                 stream_reference(&mut b, &solid);
                 assert_eq!(
                     a.f.data(),
@@ -711,10 +932,153 @@ mod tests {
             let mut b = a.clone();
             fill_ghosts_periodic(&mut a);
             fill_ghosts_periodic(&mut b);
-            stream_with(&mut a, &solid, true, Parallelism::new(threads));
+            stream_with(&mut a, &solid, true, None, Parallelism::new(threads));
             stream_reference(&mut b, &solid);
             assert_eq!(a.f.data(), b.f.data(), "obstacle sweep diverged ({threads} threads)");
         }
+    }
+
+    /// Two-lattice per-cell slip streaming: the specification
+    /// `stream_plane_slip` / `stream_plane_slip_generic` must reproduce
+    /// bit for bit (same mix arithmetic, same operand order).
+    fn stream_reference_slip(c: &mut ComponentState, ry: &[f64], rz: f64) {
+        let grid = c.grid();
+        let cells = grid.cells();
+        let ny = grid.ny as isize;
+        let nz = grid.nz as isize;
+        let src = c.f.data().to_vec();
+        for i in 0..Q {
+            let e = D3Q19::E[i];
+            let opp = D3Q19::OPP[i];
+            let my = D3Q19::MIRROR_Y[i];
+            let mz = D3Q19::MIRROR_Z[i];
+            for xl in LocalGrid::FIRST..=grid.last() {
+                let xs = (xl as isize - e[0] as isize) as usize;
+                let rb = ry[xl];
+                let rs = 1.0 - ry[xs];
+                for y in 0..ny {
+                    let ys = y - e[1] as isize;
+                    for z in 0..nz {
+                        let zs = z - e[2] as isize;
+                        let cell = (xl * grid.ny + y as usize) * grid.nz + z as usize;
+                        let y_oob = ys < 0 || ys >= ny;
+                        let z_oob = zs < 0 || zs >= nz;
+                        let v = if y_oob && z_oob {
+                            src[opp * cells + cell]
+                        } else if y_oob {
+                            let s = (xs * grid.ny + y as usize) * grid.nz + zs as usize;
+                            rb * src[opp * cells + cell] + rs * src[my * cells + s]
+                        } else if z_oob {
+                            let s = (xs * grid.ny + ys as usize) * grid.nz + z as usize;
+                            rz * src[opp * cells + cell] + (1.0 - rz) * src[mz * cells + s]
+                        } else {
+                            let s = (xs * grid.ny + ys as usize) * grid.nz + zs as usize;
+                            src[i * cells + s]
+                        };
+                        c.f.set(i, cell, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A deterministic non-uniform per-plane slip map (every plane gets a
+    /// different weight, exercising the stripe-boundary mixed weights).
+    /// Ghost entries wrap periodically, matching how the solver keys
+    /// `slip_ry` by global x — mass conservation relies on the ghost
+    /// weight agreeing with the weight of the plane it mirrors.
+    fn varied_ry(lx: usize) -> Vec<f64> {
+        let nx = lx - 2;
+        (0..lx)
+            .map(|xl| {
+                let gx = (xl + nx - 1) % nx;
+                ((gx * 37 + 11) % 10) as f64 / 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slip_sweep_matches_two_lattice_reference() {
+        for (nx, ny, nz) in [(1, 3, 4), (2, 4, 3), (5, 3, 5), (9, 4, 2)] {
+            for threads in [1usize, 2, 3, 8] {
+                for rz in [0.0, 0.4] {
+                    let mut a = make(nx, ny, nz);
+                    fill_pseudorandom(&mut a, nx + threads);
+                    let mut b = a.clone();
+                    let solid = no_solid(&a);
+                    let ry = varied_ry(a.grid().lx);
+
+                    fill_ghosts_periodic(&mut a);
+                    fill_ghosts_periodic(&mut b);
+                    let slip = SlipMap { ry: &ry, rz };
+                    stream_with(&mut a, &solid, false, Some(slip), Parallelism::new(threads));
+                    stream_reference_slip(&mut b, &ry, rz);
+                    assert_eq!(
+                        a.f.data(),
+                        b.f.data(),
+                        "slip sweep diverged ({nx}x{ny}x{nz}, {threads} threads, rz={rz})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slip_generic_matches_slip_fast_on_empty_mask() {
+        for threads in [1usize, 3] {
+            let mut a = make(6, 4, 3);
+            fill_pseudorandom(&mut a, 5);
+            let mut b = a.clone();
+            let solid = no_solid(&a);
+            let ry = varied_ry(a.grid().lx);
+            fill_ghosts_periodic(&mut a);
+            fill_ghosts_periodic(&mut b);
+            let slip = SlipMap { ry: &ry, rz: 0.0 };
+            // `has_solid` selects the kernel; the mask itself is empty.
+            stream_with(&mut a, &solid, false, Some(slip), Parallelism::new(threads));
+            stream_with(&mut b, &solid, true, Some(slip), Parallelism::new(threads));
+            assert_eq!(a.f.data(), b.f.data(), "slip fast/generic kernels disagree");
+        }
+    }
+
+    #[test]
+    fn slip_streaming_conserves_mass() {
+        // The mixed bounce/specular rule consumes every outgoing wall
+        // population with total weight r + (1 − r) = 1 even when r varies
+        // along x — mass must not drift beyond accumulation noise.
+        let mut c = make(6, 4, 3);
+        fill_pseudorandom(&mut c, 3);
+        let ry = varied_ry(c.grid().lx);
+        let m0 = interior_mass(&c);
+        for _ in 0..8 {
+            fill_ghosts_periodic(&mut c);
+            let solid = no_solid(&c);
+            let slip = SlipMap { ry: &ry, rz: 0.0 };
+            stream_with(&mut c, &solid, false, Some(slip), Parallelism::serial());
+        }
+        assert!(
+            (interior_mass(&c) - m0).abs() < 1e-10,
+            "slip streaming must conserve mass"
+        );
+    }
+
+    #[test]
+    fn specular_wall_preserves_tangential_motion() {
+        // r = 0 (pure specular): a population moving (+x, +y) at the top
+        // wall row reflects to (+x, −y) one x-plane downstream — the
+        // tangential (x) motion survives, unlike bounce-back.
+        let mut c = make(4, 3, 3);
+        let grid = c.grid();
+        c.f.set(7, grid.idx(2, grid.ny - 1, 1), 0.8);
+        fill_ghosts_periodic(&mut c);
+        let ry = vec![0.0; grid.lx];
+        let solid = no_solid(&c);
+        let slip = SlipMap { ry: &ry, rz: 0.0 };
+        stream_with(&mut c, &solid, false, Some(slip), Parallelism::serial());
+        // MIRROR_Y[7] = 9 = (+1, −1, 0).
+        assert_eq!(c.f.at(9, grid.idx(3, grid.ny - 1, 1)), 0.8);
+        // Nothing bounced straight back into the source cell.
+        assert_eq!(c.f.at(D3Q19::OPP[7], grid.idx(2, grid.ny - 1, 1)), 0.0);
     }
 
     mod permutation_props {
@@ -782,7 +1146,7 @@ mod tests {
 
                 let mut before: Vec<u64> =
                     a.f.data().iter().map(|v| v.to_bits()).collect();
-                stream_with(&mut a, &solid, false, Parallelism::new(threads));
+                stream_with(&mut a, &solid, false, None, Parallelism::new(threads));
                 let mut after: Vec<u64> =
                     a.f.data().iter().map(|v| v.to_bits()).collect();
                 // Ghost planes are stale after streaming; compare the

@@ -129,6 +129,10 @@ pub fn default_config() -> LintConfig {
             "crates/net/src/serve.rs".into(),
             "crates/obs/src/json.rs".into(),
             "crates/lbm/src/config_codec.rs".into(),
+            // Wall-BC codec: decoded as part of every channel config that
+            // crosses the wire, so out-of-range slip parameters must come
+            // back as typed errors.
+            "crates/lbm/src/boundary/codec.rs".into(),
             // The serve daemon's request path: scenario and sweep-request
             // codecs, sealed artifacts, the cache store, and the server
             // loop itself all parse bytes a client controls.
@@ -221,6 +225,17 @@ mod tests {
         assert!(cfg.in_determinism_paths("crates/runtime/src/worker.rs"));
         assert!(!cfg.in_determinism_paths("crates/runtime/src/throttle.rs"));
         assert!(!cfg.in_determinism_paths("crates/net/src/tcp.rs"));
+        // The boundary-condition module is kernel code: the bitwise
+        // equivalence of slip runs across substrates rests on it.
+        assert!(cfg.in_determinism_paths("crates/lbm/src/boundary.rs"));
+        assert!(cfg.in_determinism_paths("crates/lbm/src/boundary/codec.rs"));
+    }
+
+    #[test]
+    fn wall_bc_codec_is_on_the_panic_freedom_boundary() {
+        let cfg = default_config();
+        assert!(cfg.in_boundary_paths("crates/lbm/src/boundary/codec.rs"));
+        assert!(cfg.in_boundary_paths("crates/lbm/src/config_codec.rs"));
     }
 
     #[test]

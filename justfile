@@ -9,10 +9,19 @@ tier1:
     cargo test -q --offline
     cargo clippy --workspace --offline -- -D warnings
     just lint
+    just physics
     just trace-smoke
     just mp-smoke
     just chaos
     just serve-smoke
+
+# Analytic physics gate: duct flow vs the double-cosh series, measured
+# slip length vs the tunable-slip b(r) law, patterned-wall effective slip
+# bracketed by its uniform bounds, exact mass conservation under every
+# wall BC. (`slip_report -- --ignored --nocapture` regenerates the
+# EXPERIMENTS.md slip table.)
+physics:
+    cargo test -q --offline --test physics_validation
 
 # Project-invariant static analysis (microslip-lint): determinism of the
 # decision/kernel crates, panic-freedom of the untrusted-input parsers,

@@ -22,7 +22,7 @@ use microslip::cluster::{
 };
 use microslip::lbm::diagnostics::FlowDiagnostics;
 use microslip::lbm::observables::{apparent_slip_fraction, mean_velocity_y_profile};
-use microslip::lbm::{ChannelConfig, Dims, Simulation, WallForce};
+use microslip::lbm::{ChannelConfig, Dims, Simulation, WallBc, WallForce};
 use microslip::obs::{
     remap_fingerprints, to_chrome_trace, to_jsonl, validate_chrome_trace, validate_jsonl,
     Event, Recorder, TraceSink, TraceSummary, DEFAULT_CAPACITY,
@@ -118,8 +118,10 @@ fn print_help() {
     println!("  submit    submit a parameter sweep to a serve daemon");
     println!("            [--addr HOST:PORT | --addr-file FILE  --grid \"axis=v1,v2;axis2=...\"");
     println!("             --nx --ny --nz --phases --workers --scheme --checkpoint-every N");
+    println!("             --slip-r R --patch-period N --patch-phase N (tunable/patterned wall slip)");
+    println!("             --rough-height H --rough-period P (geometric wall roughness)");
     println!("             --dump DIR (write each unique scenario to DIR/KEY.scenario) --wait]");
-    println!("            axes: body-x, wall-amplitude, wall-decay, coupling, phases");
+    println!("            --list-axes prints the grid-axis catalog and exits");
     println!("  status    query a serve daemon             [--addr|--addr-file  --sweep N]");
     println!("  fetch     download a sealed result artifact [--addr|--addr-file --key K --out FILE]");
     println!("  run-job   one scenario, serial reference (internal; spawned by 'serve')");
@@ -510,6 +512,20 @@ fn scenario_from_flags(f: &Flags) -> Result<Scenario, String> {
     if f.has("synthetic-load") {
         s = s.load_model(LoadModel::Synthetic { per_point: f.get("synthetic-load", 1.0f64)? });
     }
+    // Wall boundary condition. The slip flags reuse the sweep-axis
+    // setters (same names, same validation): --slip-r alone is a uniform
+    // tunable-slip wall, adding --patch-period/--patch-phase stripes it.
+    for axis in ["slip-r", "patch-period", "patch-phase"] {
+        if f.has(axis) {
+            serve::apply_axis(&mut s, axis, f.get(axis, 0.0f64)?)?;
+        }
+    }
+    if f.has("rough-height") {
+        let height = f.get("rough-height", 1usize)?;
+        let period = f.get("rough-period", 2usize)?;
+        let dims = s.channel.dims;
+        s = s.wall_bc(WallBc::rough_stripes(height, period, dims));
+    }
     Ok(s)
 }
 
@@ -533,6 +549,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let f = Flags::parse(args)?;
+    if f.has("list-axes") {
+        print!("{}", serve::list_axes_text());
+        return Ok(());
+    }
     let addr = resolve_addr(&f)?;
     let base = scenario_from_flags(&f)?;
     let axes = match f.values.get("grid") {
@@ -765,6 +785,25 @@ mod tests {
         assert!(grid_spec("").unwrap().is_empty());
         assert!(grid_spec("wall-amplitude").is_err(), "missing values");
         assert!(grid_spec("wall-amplitude=a,b").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn scenario_flags_build_wall_bcs() {
+        let s = scenario_from_flags(&flags(&[])).unwrap();
+        assert_eq!(s.channel.wall_bc, WallBc::BounceBack);
+        let s = scenario_from_flags(&flags(&["--slip-r", "0.4"])).unwrap();
+        assert_eq!(s.channel.wall_bc, WallBc::TunableSlip { r: 0.4 });
+        let s =
+            scenario_from_flags(&flags(&["--slip-r", "0.4", "--patch-period", "2"])).unwrap();
+        assert_eq!(
+            s.channel.wall_bc,
+            WallBc::PatternedSlip { r_a: 1.0, r_b: 0.4, period: 2, phase: 0 }
+        );
+        let s =
+            scenario_from_flags(&flags(&["--rough-height", "1", "--rough-period", "2"])).unwrap();
+        assert!(matches!(s.channel.wall_bc, WallBc::RoughWall { .. }));
+        assert!(scenario_from_flags(&flags(&["--slip-r", "1.5"])).is_err());
+        assert!(scenario_from_flags(&flags(&["--patch-period", "0"])).is_err());
     }
 
     #[test]

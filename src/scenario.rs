@@ -54,7 +54,7 @@ use microslip_cluster::{
     run_scheme_traced, ClusterConfig, CostModel, Dedicated, Disturbance, RunResult, Scheme,
 };
 use microslip_lbm::config_codec::{decode_config, encode_config};
-use microslip_lbm::{ChannelConfig, Dims, Parallelism};
+use microslip_lbm::{ChannelConfig, Dims, Parallelism, WallBc};
 use microslip_obs::TraceSink;
 use microslip_runtime::{run_parallel, LoadModel, RunOutcome, RuntimeConfig};
 
@@ -196,6 +196,15 @@ impl Scenario {
     pub fn threads_per_worker(mut self, threads: usize) -> Self {
         self.threads_per_worker = threads.max(1);
         self.channel.parallelism = Parallelism::new(threads.max(1));
+        self
+    }
+
+    /// Wall boundary condition at the channel's y/z walls (default:
+    /// halfway bounce-back, i.e. no-slip). Part of the scenario's
+    /// identity through the channel codec, so sweeping slip parameters
+    /// produces distinct cache keys.
+    pub fn wall_bc(mut self, bc: WallBc) -> Self {
+        self.channel.wall_bc = bc;
         self
     }
 

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use microslip_lbm::checkpoint::{self};
 use microslip_lbm::store::validate_key;
-use microslip_lbm::{CacheStore, FlowDiagnostics, ResultArtifact, Simulation};
+use microslip_lbm::{CacheStore, FlowDiagnostics, ResultArtifact, Simulation, WallBc};
 use microslip_net::serve::{request, Reply, Served, ServeLoop};
 use microslip_net::wire::{Frame, FrameKind};
 use microslip_obs::{to_jsonl, Event, JobStage, TraceSummary};
@@ -79,10 +79,46 @@ pub struct SweepRequest {
     pub axes: Vec<(String, Vec<f64>)>,
 }
 
-/// Sets one grid parameter on a scenario. Accepted axes: `body-x`
-/// (streamwise body force), `wall-amplitude`, `wall-decay` (hydrophobic
-/// wall force shape), `coupling` (symmetric cross-component coupling),
-/// and `phases` (run length; values must be positive integers).
+/// The accepted grid axes, as `(name, one-line description)` — the single
+/// source of truth shared by [`apply_axis`]'s unknown-axis error and the
+/// CLI's `submit --list-axes` output, so the two can never drift apart.
+pub const GRID_AXES: &[(&str, &str)] = &[
+    ("body-x", "streamwise body force"),
+    ("wall-amplitude", "hydrophobic wall force amplitude"),
+    ("wall-decay", "hydrophobic wall force decay length"),
+    ("coupling", "symmetric cross-component coupling"),
+    ("phases", "run length in LBM phases (positive integer)"),
+    ("slip-r", "tunable-slip reflection fraction in [0, 1] (1 = no-slip)"),
+    ("patch-period", "patterned-slip stripe period in planes (positive integer)"),
+    ("patch-phase", "patterned-slip stripe offset in planes (non-negative integer)"),
+];
+
+/// Renders the axis catalog for `submit --list-axes`.
+pub fn list_axes_text() -> String {
+    let mut out = String::from("grid axes (--grid NAME=v1,v2,...):\n");
+    for (name, desc) in GRID_AXES {
+        out.push_str(&format!("  {name:<16} {desc}\n"));
+    }
+    out
+}
+
+/// Carries existing slip parameters forward when a `patch-*` axis
+/// upgrades the wall to a patterned-slip BC: an existing pattern keeps
+/// its fields, a tunable wall becomes the slipping stripe material `r_b`
+/// against no-slip `r_a` stripes, and bounce-back starts fully no-slip.
+fn patterned_parts(bc: &WallBc) -> (f64, f64, usize, usize) {
+    match *bc {
+        WallBc::PatternedSlip { r_a, r_b, period, phase } => (r_a, r_b, period, phase),
+        WallBc::TunableSlip { r } => (1.0, r, 1, 0),
+        _ => (1.0, 0.0, 1, 0),
+    }
+}
+
+/// Sets one grid parameter on a scenario; see [`GRID_AXES`] for the
+/// accepted names. The slip axes compose: `slip-r` alone sweeps a uniform
+/// tunable-slip wall (or the stripe material of an existing pattern),
+/// while `patch-period`/`patch-phase` promote the wall to striped
+/// patterned slip, keeping any previously-set `r` as the stripe material.
 pub fn apply_axis(s: &mut Scenario, axis: &str, value: f64) -> Result<(), String> {
     match axis {
         // lint:allow(boundary-index, constant index 0 into a fixed [f64; 3] body-force array)
@@ -103,10 +139,36 @@ pub fn apply_axis(s: &mut Scenario, axis: &str, value: f64) -> Result<(), String
             }
             s.phases = value as u64;
         }
+        "slip-r" => {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("slip-r axis value {value} is outside [0, 1]"));
+            }
+            s.channel.wall_bc = match s.channel.wall_bc {
+                WallBc::PatternedSlip { r_a, period, phase, .. } => {
+                    WallBc::PatternedSlip { r_a, r_b: value, period, phase }
+                }
+                _ => WallBc::TunableSlip { r: value },
+            };
+        }
+        "patch-period" => {
+            if value.fract() != 0.0 || !(1.0..=1e6).contains(&value) {
+                return Err(format!("patch-period axis value {value} is not a positive integer"));
+            }
+            let (r_a, r_b, _, phase) = patterned_parts(&s.channel.wall_bc);
+            s.channel.wall_bc = WallBc::PatternedSlip { r_a, r_b, period: value as usize, phase };
+        }
+        "patch-phase" => {
+            if value.fract() != 0.0 || !(0.0..=1e6).contains(&value) {
+                return Err(format!(
+                    "patch-phase axis value {value} is not a non-negative integer"
+                ));
+            }
+            let (r_a, r_b, period, _) = patterned_parts(&s.channel.wall_bc);
+            s.channel.wall_bc = WallBc::PatternedSlip { r_a, r_b, period, phase: value as usize };
+        }
         other => {
-            return Err(format!(
-                "unknown grid axis '{other}' (body-x, wall-amplitude, wall-decay, coupling, phases)"
-            ))
+            let names: Vec<&str> = GRID_AXES.iter().map(|(n, _)| *n).collect();
+            return Err(format!("unknown grid axis '{other}' (valid: {})", names.join(", ")));
         }
     }
     Ok(())
@@ -1014,17 +1076,82 @@ mod tests {
     }
 
     #[test]
-    fn unknown_axis_is_a_typed_error() {
+    fn unknown_axis_is_a_typed_error_listing_every_axis() {
         let req = SweepRequest {
             base: base(),
             checkpoint_every: None,
             axes: vec![("viscosity-of-dreams".into(), vec![1.0])],
         };
-        assert!(req.expand().unwrap_err().contains("unknown grid axis"));
+        let err = req.expand().unwrap_err();
+        assert!(err.contains("unknown grid axis"));
+        for (name, _) in GRID_AXES {
+            assert!(err.contains(name), "error does not mention axis {name}: {err}");
+            assert!(list_axes_text().contains(name));
+        }
         let mut s = base();
         assert!(apply_axis(&mut s, "phases", 2.5).is_err());
         assert!(apply_axis(&mut s, "phases", 12.0).is_ok());
         assert_eq!(s.phases, 12);
+    }
+
+    #[test]
+    fn slip_axes_build_wall_bcs_with_distinct_keys() {
+        // slip-r alone: a uniform tunable-slip wall per grid point.
+        let req = SweepRequest {
+            base: base(),
+            checkpoint_every: None,
+            axes: vec![("slip-r".into(), vec![0.3, 0.5, 0.8, 1.0])],
+        };
+        let jobs = req.expand().expect("expand");
+        assert_eq!(jobs[0].channel.wall_bc, WallBc::TunableSlip { r: 0.3 });
+        assert_eq!(jobs[3].channel.wall_bc, WallBc::TunableSlip { r: 1.0 });
+        let mut keys: Vec<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_ne!(keys[0], base().key(), "slip-r must change the cache key");
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+
+        // slip-r composed with the patch axes: striped patterned slip,
+        // the swept r as the stripe material.
+        let req = SweepRequest {
+            base: base(),
+            checkpoint_every: None,
+            axes: vec![
+                ("slip-r".into(), vec![0.2]),
+                ("patch-period".into(), vec![2.0, 3.0]),
+                ("patch-phase".into(), vec![0.0, 1.0]),
+            ],
+        };
+        let jobs = req.expand().expect("expand");
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            jobs[0].channel.wall_bc,
+            WallBc::PatternedSlip { r_a: 1.0, r_b: 0.2, period: 2, phase: 0 }
+        );
+        assert_eq!(
+            jobs[3].channel.wall_bc,
+            WallBc::PatternedSlip { r_a: 1.0, r_b: 0.2, period: 3, phase: 1 }
+        );
+        let mut keys: Vec<String> = jobs.iter().map(|j| j.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "every patch point must dedupe separately");
+    }
+
+    #[test]
+    fn slip_axes_validate_their_ranges() {
+        let mut s = base();
+        assert!(apply_axis(&mut s, "slip-r", 1.5).unwrap_err().contains("outside [0, 1]"));
+        assert!(apply_axis(&mut s, "slip-r", -0.1).is_err());
+        assert!(apply_axis(&mut s, "patch-period", 0.0).is_err());
+        assert!(apply_axis(&mut s, "patch-period", 2.5).is_err());
+        assert!(apply_axis(&mut s, "patch-phase", -1.0).is_err());
+        assert!(apply_axis(&mut s, "patch-phase", 0.5).is_err());
+        // A patterned wall built by the axes still passes channel
+        // validation when the period tiles the extent (nx = 12).
+        assert!(apply_axis(&mut s, "slip-r", 0.4).is_ok());
+        assert!(apply_axis(&mut s, "patch-period", 2.0).is_ok());
+        assert!(s.channel.validate().is_ok());
     }
 
     #[test]

@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use microslip::balance::policy::NeighborPolicy;
 use microslip::balance::{Conservative, FilterParams, Filtered, NoRemap};
-use microslip::lbm::{ChannelConfig, CollisionOperator, Dims, Simulation, Snapshot, SolidRegion};
+use microslip::lbm::{
+    ChannelConfig, CollisionOperator, Dims, Simulation, Snapshot, SolidRegion, WallBc,
+};
 use microslip::runtime::{run_parallel, RuntimeConfig};
 
 fn channel(nx: usize) -> ChannelConfig {
@@ -164,6 +166,47 @@ fn trt_and_mrt_operators_stay_bitwise() {
         let got = run_parallel(&cfg, Arc::new(NoRemap));
         assert_eq!(got.snapshot, want, "{name}: threaded run diverged");
     }
+}
+
+#[test]
+fn slip_walls_survive_decomposition_and_threads() {
+    // The slip streaming kernels must be bitwise transparent to the
+    // decomposition, including when remapping migrates planes across the
+    // stripes of a patterned wall (slip weights are keyed by global x).
+    for (name, bc) in [
+        ("tunable", WallBc::TunableSlip { r: 0.3 }),
+        ("patterned", WallBc::PatternedSlip { r_a: 1.0, r_b: 0.2, period: 2, phase: 1 }),
+    ] {
+        let mut ch = channel(20);
+        ch.wall_bc = bc;
+        let phases = 10;
+        let want = sequential(&ch, phases);
+        for workers in [2usize, 4] {
+            let cfg = RuntimeConfig::new(ch.clone(), workers, phases);
+            let got = run_parallel(&cfg, Arc::new(NoRemap));
+            assert_eq!(got.snapshot, want, "{name}: {workers} workers diverged");
+        }
+        let mut cfg = RuntimeConfig::new(ch.clone(), 3, phases);
+        cfg.remap_interval = 3;
+        cfg.predictor_window = 2;
+        cfg.throttle = vec![1.0, 5.0, 1.0];
+        cfg.threads_per_worker = 4;
+        let got = run_parallel(&cfg, Arc::new(Filtered::default()));
+        assert_eq!(got.snapshot, want, "{name}: threaded remapping run diverged");
+    }
+}
+
+#[test]
+fn slip_checkpoint_roundtrip_continues_bitwise() {
+    let mut ch = channel(16);
+    ch.wall_bc = WallBc::PatternedSlip { r_a: 0.9, r_b: 0.1, period: 2, phase: 0 };
+    let want = sequential(&ch, 10);
+    let mut sim = Simulation::new(ch.clone());
+    sim.run(4);
+    let bytes = sim.save();
+    let mut restored = Simulation::restore(ch, &bytes).expect("restore");
+    restored.run(6);
+    assert_eq!(restored.snapshot(), want, "restored slip run diverged");
 }
 
 #[test]

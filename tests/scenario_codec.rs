@@ -4,6 +4,7 @@
 //! scenarios always share a key, and perturbing *any* field changes it.
 
 use microslip::cluster::Scheme;
+use microslip::lbm::{Dims, WallBc};
 use microslip::runtime::LoadModel;
 use microslip::Scenario;
 use proptest::prelude::*;
@@ -26,6 +27,19 @@ struct Knobs {
     synthetic: Option<f64>,
     body_x: f64,
     wall_amplitude: f64,
+    wall_bc_idx: usize,
+    slip_r: f64,
+}
+
+/// The wall BC a knob set selects — every enum variant reachable (the
+/// codec validates only parameter ranges, not geometry, so any dims go).
+fn wall_bc(k: &Knobs) -> WallBc {
+    match k.wall_bc_idx {
+        0 => WallBc::BounceBack,
+        1 => WallBc::TunableSlip { r: k.slip_r },
+        2 => WallBc::PatternedSlip { r_a: 1.0, r_b: k.slip_r, period: 2, phase: 1 },
+        _ => WallBc::rough_stripes(1, 2, Dims::new(k.nx, k.ny, k.nz)),
+    }
 }
 
 fn knobs() -> impl Strategy<Value = Knobs> {
@@ -35,7 +49,11 @@ fn knobs() -> impl Strategy<Value = Knobs> {
         0usize..4,
         proptest::collection::vec((0usize..6, 1.0f64..8.0), 0..3),
         proptest::collection::vec((0usize..6, 0u64..50, 50u64..100, 1.0f64..4.0), 0..3),
-        ((1usize..4, any::<bool>(), 0.1f64..10.0), (1e-6f64..1e-3, 0.0f64..0.5)),
+        (
+            (1usize..4, any::<bool>(), 0.1f64..10.0),
+            (1e-6f64..1e-3, 0.0f64..0.5),
+            (0usize..4, 0.1f64..0.9),
+        ),
     )
         .prop_map(
             |(
@@ -44,7 +62,11 @@ fn knobs() -> impl Strategy<Value = Knobs> {
                 scheme_idx,
                 throttle,
                 spikes,
-                ((threads_per_worker, measured, per_point), (body_x, wall_amplitude)),
+                (
+                    (threads_per_worker, measured, per_point),
+                    (body_x, wall_amplitude),
+                    (wall_bc_idx, slip_r),
+                ),
             )| {
                 let synthetic = if measured { None } else { Some(per_point) };
                 Knobs {
@@ -62,6 +84,8 @@ fn knobs() -> impl Strategy<Value = Knobs> {
                 synthetic,
                 body_x,
                 wall_amplitude,
+                wall_bc_idx,
+                slip_r,
             }
             },
         )
@@ -86,6 +110,7 @@ fn scenario(k: &Knobs) -> Scenario {
     }
     s.channel.body[0] = k.body_x;
     s.channel.wall.amplitude = k.wall_amplitude;
+    s.channel.wall_bc = wall_bc(k);
     s
 }
 
@@ -138,10 +163,34 @@ proptest! {
         let mut wall = base.clone();
         wall.channel.wall.amplitude = k.wall_amplitude + 0.01;
         variants.push(("wall amplitude", wall));
+        let mut bc_kind = base.clone();
+        bc_kind.channel.wall_bc = match base.channel.wall_bc {
+            WallBc::BounceBack => WallBc::TunableSlip { r: 0.5 },
+            _ => WallBc::BounceBack,
+        };
+        variants.push(("wall-bc kind", bc_kind));
         for (field, variant) in variants {
             prop_assert!(
                 variant.key() != key,
                 "perturbing {} did not change the key {}", field, key
+            );
+        }
+        // Every field of the patterned wall moves the key on its own.
+        let mut patterned = base.clone();
+        patterned.channel.wall_bc =
+            WallBc::PatternedSlip { r_a: 1.0, r_b: 0.25, period: 2, phase: 1 };
+        let pkey = patterned.key();
+        for (field, bc) in [
+            ("r_a", WallBc::PatternedSlip { r_a: 0.75, r_b: 0.25, period: 2, phase: 1 }),
+            ("r_b", WallBc::PatternedSlip { r_a: 1.0, r_b: 0.125, period: 2, phase: 1 }),
+            ("period", WallBc::PatternedSlip { r_a: 1.0, r_b: 0.25, period: 4, phase: 1 }),
+            ("phase", WallBc::PatternedSlip { r_a: 1.0, r_b: 0.25, period: 2, phase: 0 }),
+        ] {
+            let mut v = patterned.clone();
+            v.channel.wall_bc = bc;
+            prop_assert!(
+                v.key() != pkey,
+                "perturbing patterned {} did not change the key {}", field, pkey
             );
         }
     }
@@ -175,4 +224,19 @@ proptest! {
             prop_assert_ne!(back.canonical_bytes(), bytes);
         }
     }
+}
+
+#[test]
+fn decode_rejects_out_of_range_slip_parameters() {
+    // The builder side never validates eagerly, so out-of-range values can
+    // be encoded — but the decode path (which fronts the serve daemon's
+    // untrusted wire bytes) must refuse them with a typed error.
+    let mut s = Scenario::paper_scaled(8, 6, 4);
+    s.channel.wall_bc = WallBc::TunableSlip { r: 1.5 };
+    let err = Scenario::decode(&s.canonical_bytes()).unwrap_err();
+    assert!(err.contains("outside [0, 1]"), "unexpected error: {err}");
+    let mut s = Scenario::paper_scaled(8, 6, 4);
+    s.channel.wall_bc = WallBc::PatternedSlip { r_a: 1.0, r_b: 0.5, period: 0, phase: 0 };
+    let err = Scenario::decode(&s.canonical_bytes()).unwrap_err();
+    assert!(err.contains("period"), "unexpected error: {err}");
 }
