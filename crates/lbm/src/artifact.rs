@@ -105,7 +105,8 @@ impl ResultArtifact {
         if cells64 > MAX_CELLS {
             return Err(format!("implausible cell count {cells64}"));
         }
-        let cells = cells64 as usize;
+        let cells = usize::try_from(cells64)
+            .map_err(|_| format!("cell count {cells64} overflows usize"))?;
         let ncomp = r.usize()?;
         if ncomp == 0 || ncomp > 64 {
             return Err(format!("implausible component count {ncomp}"));
@@ -124,9 +125,9 @@ impl ResultArtifact {
         }
         let snapshot = Snapshot {
             x0,
-            nx: nx as usize,
-            ny: ny as usize,
-            nz: nz as usize,
+            nx: usize::try_from(nx).map_err(|_| format!("nx {nx} overflows usize"))?,
+            ny: usize::try_from(ny).map_err(|_| format!("ny {ny} overflows usize"))?,
+            nz: usize::try_from(nz).map_err(|_| format!("nz {nz} overflows usize"))?,
             rho,
             velocity,
         };

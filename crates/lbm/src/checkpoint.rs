@@ -65,6 +65,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     }
     let mut crc = !0u32;
     for &b in bytes {
+        // lint:allow(panic-reachability, index is masked to 0xff over a fixed 256-entry table)
         crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
     }
     !crc
@@ -87,6 +88,7 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
         });
     }
     let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    // lint:allow(panic-reachability, split_at leaves trailer exactly 4 bytes after the length check above)
     let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
     let computed = crc32(payload);
     if stored != computed {
@@ -139,6 +141,7 @@ impl<'a> Reader<'a> {
             .get(self.pos..end)
             .ok_or(CheckpointError::BadLength { expected: end, got: self.bytes.len() })?;
         self.pos = end;
+        // lint:allow(panic-reachability, chunk is exactly 8 bytes by the get(pos..end) range above)
         Ok(u64::from_le_bytes(chunk.try_into().unwrap()))
     }
 

@@ -120,6 +120,7 @@ impl SlabArray {
     pub fn set(&mut self, ch: usize, cell: usize, v: f64) {
         debug_assert!(ch < self.channels);
         let n = self.grid.cells();
+        // lint:allow(panic-reachability, kernel hot path; ch and cell are bounded by grid construction)
         self.data[ch * n + cell] = v;
     }
 

@@ -139,18 +139,18 @@ impl SolidRegion {
     /// Whether the cell at integer coordinates `(x, y, z)` is solid.
     pub fn contains(&self, x: usize, y: usize, z: usize) -> bool {
         match *self {
-            SolidRegion::Block { min, max } => {
-                x >= min[0] && x < max[0] && y >= min[1] && y < max[1] && z >= min[2] && z < max[2]
+            SolidRegion::Block { min: [x0, y0, z0], max: [x1, y1, z1] } => {
+                x >= x0 && x < x1 && y >= y0 && y < y1 && z >= z0 && z < z1
             }
-            SolidRegion::Sphere { center, radius } => {
-                let dx = x as f64 - center[0];
-                let dy = y as f64 - center[1];
-                let dz = z as f64 - center[2];
+            SolidRegion::Sphere { center: [cx, cy, cz], radius } => {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                let dz = z as f64 - cz;
                 dx * dx + dy * dy + dz * dz <= radius * radius
             }
-            SolidRegion::CylinderZ { center, radius } => {
-                let dx = x as f64 - center[0];
-                let dy = y as f64 - center[1];
+            SolidRegion::CylinderZ { center: [cx, cy], radius } => {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
                 dx * dx + dy * dy <= radius * radius
             }
         }

@@ -16,13 +16,13 @@ pub struct LintConfig {
     /// they measure, they never decide.
     pub timing_allowlist: Vec<(String, String)>,
     /// Untrusted-input parser files: `unwrap`/`expect`/`panic!`-family
-    /// macros and direct slice indexing are banned; failures must surface
-    /// as typed `Result` errors.
+    /// macros, direct slice indexing, and narrowing `as` casts are
+    /// banned; failures must surface as typed `Result` errors.
     pub boundary_paths: Vec<String>,
     /// The only files permitted to contain `unsafe`, with a one-line
     /// justification each. Everything else walked by the scanner must be
     /// unsafe-free (most crates additionally `#![forbid(unsafe_code)]`).
-    pub unsafe_registry: Vec<(String, String)>,
+    pub unsafe_registry: Vec<UnsafeEntry>,
     /// Directories walked for the workspace-wide scans (unsafe
     /// containment and suppression-syntax checking).
     pub scan_roots: Vec<String>,
@@ -31,6 +31,25 @@ pub struct LintConfig {
     pub exclude: Vec<String>,
     /// The trace-schema cross-check, if enabled.
     pub schema: Option<SchemaCheck>,
+    /// The call-graph panic-reachability pass, if enabled.
+    pub reachability: Option<ReachabilityCheck>,
+    /// The wire-protocol frame-kind conformance pass, if enabled.
+    pub protocol: Option<ProtocolCheck>,
+    /// Encoder/decoder field-order drift checks.
+    pub codecs: Vec<CodecCheck>,
+}
+
+/// One unsafe-registry entry: the file, why its unsafe is sound, and the
+/// fns the justification talks about — the scan verifies each named fn
+/// still exists and still uses `unsafe`, so the rationale cannot drift
+/// from the file silently.
+#[derive(Clone, Debug)]
+pub struct UnsafeEntry {
+    pub path: String,
+    pub why: String,
+    /// Unsafe fns the justification is written against (empty = only the
+    /// file-level presence check applies).
+    pub expect_fns: Vec<String>,
 }
 
 /// Files and function names for the trace-schema exhaustiveness rule:
@@ -55,6 +74,86 @@ pub struct SchemaCheck {
     pub contract_fn: String,
 }
 
+/// Entry points for transitive panic-reachability: the fns through which
+/// untrusted bytes enter the workspace. Reachable panic sites *outside*
+/// the boundary-path files (which the token rules already cover) are
+/// findings.
+#[derive(Clone, Debug, Default)]
+pub struct ReachabilityCheck {
+    /// `(file, fn name)` pairs; every same-named fn in the file counts.
+    pub entries: Vec<(String, String)>,
+}
+
+/// The wire-protocol conformance pass: the frame-kind enum, its paired
+/// to-code/from-code fns, and where each kind-code range must be
+/// handled.
+#[derive(Clone, Debug)]
+pub struct ProtocolCheck {
+    /// File holding the kind enum and both code fns.
+    pub wire_file: String,
+    /// Name of the kind enum.
+    pub kind_enum: String,
+    /// Fn mapping variants to wire codes (`FrameKind::code`).
+    pub to_code_fn: String,
+    /// Fn mapping wire codes back to variants (`FrameKind::from_code`).
+    pub from_code_fn: String,
+    /// Dispatch coverage per kind-code range.
+    pub coverage: Vec<KindCoverage>,
+}
+
+/// One kind-code range and the files where those kinds must be handled:
+/// every enum variant whose code falls in `min_code..=max_code` must be
+/// named in at least one of `files`.
+#[derive(Clone, Debug)]
+pub struct KindCoverage {
+    /// Human label for messages ("mesh peers", "serve loop").
+    pub what: String,
+    pub min_code: u32,
+    pub max_code: u32,
+    pub files: Vec<String>,
+}
+
+/// The key-perturbation test paired with a codec: every encoded field
+/// must have a variant in this test, so a field the key ignores cannot
+/// slip in.
+#[derive(Clone, Debug)]
+pub struct PerturbTest {
+    pub file: String,
+    pub test_fn: String,
+}
+
+/// What shape of codec a [`CodecCheck`] pairs up.
+#[derive(Clone, Debug)]
+pub enum CodecKind {
+    /// Struct codec: the encoder writes `<root>.<field>` in order; the
+    /// decoder must `let`-bind the same fields in the same order.
+    Struct {
+        /// Receiver the encoder reads fields from (`self`, `cfg`).
+        root: String,
+    },
+    /// Enum codec: each encoder match arm writes a discriminant and its
+    /// pattern fields; the decoder must match the same discriminants
+    /// into the same variants with the same field order.
+    Enum {
+        /// Name of the encoded enum.
+        name: String,
+    },
+}
+
+/// One encoder/decoder pair whose field order is the codec contract.
+#[derive(Clone, Debug)]
+pub struct CodecCheck {
+    /// File holding both fns.
+    pub file: String,
+    /// `impl` type both fns live in (`None` for free fns).
+    pub in_impl: Option<String>,
+    pub encode_fn: String,
+    pub decode_fn: String,
+    pub kind: CodecKind,
+    /// Key-perturbation test that must cover every encoded field.
+    pub perturb: Option<PerturbTest>,
+}
+
 /// True when `path` equals `prefix` or lives under it.
 pub fn path_matches(path: &str, prefix: &str) -> bool {
     path == prefix || path.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
@@ -73,13 +172,18 @@ impl LintConfig {
     pub fn unsafe_justification(&self, path: &str) -> Option<&str> {
         self.unsafe_registry
             .iter()
-            .find(|(p, _)| path_matches(path, p))
-            .map(|(_, why)| why.as_str())
+            .find(|e| path_matches(path, &e.path))
+            .map(|e| e.why.as_str())
     }
 
     pub fn is_excluded(&self, path: &str) -> bool {
         self.exclude.iter().any(|p| path_matches(path, p))
     }
+}
+
+/// A registry entry with no named fns — the common case.
+fn unsafe_file(path: &str, why: &str) -> UnsafeEntry {
+    UnsafeEntry { path: path.into(), why: why.into(), expect_fns: Vec::new() }
 }
 
 /// The microslip workspace's invariant map.
@@ -128,6 +232,10 @@ pub fn default_config() -> LintConfig {
             "crates/net/src/tcp.rs".into(),
             "crates/net/src/serve.rs".into(),
             "crates/obs/src/json.rs".into(),
+            // The JSONL exporter/parser: event_from_json and the trace
+            // re-readers consume rank-merged files a crashed or hostile
+            // rank may have truncated mid-record.
+            "crates/obs/src/export.rs".into(),
             "crates/lbm/src/config_codec.rs".into(),
             // Wall-BC codec: decoded as part of every channel config that
             // crosses the wire, so out-of-range slip parameters must come
@@ -142,43 +250,54 @@ pub fn default_config() -> LintConfig {
             "src/serve.rs".into(),
         ],
         unsafe_registry: vec![
-            (
-                "crates/lbm/src/streaming.rs".into(),
-                "raw-pointer plane streaming over disjoint x-planes (src/dst never alias)"
+            unsafe_file(
+                "crates/lbm/src/streaming.rs",
+                "raw-pointer plane streaming over disjoint x-planes (src/dst never alias)",
+            ),
+            unsafe_file(
+                "crates/lbm/src/collision.rs",
+                "BGK/TRT collision kernels via raw pointers over disjoint cell ranges",
+            ),
+            UnsafeEntry {
+                path: "crates/lbm/src/simd.rs".into(),
+                why: "runtime-dispatched core::arch AVX2 kernels (BGK collide, psi \
+                      reduction, ueq update, interaction gradient, force assembly) plus \
+                      their raw-pointer scalar references; every pair is held bitwise \
+                      identical by the in-file proptests"
                     .into(),
+                expect_fns: vec![
+                    "collide_bgk_avx2".into(),
+                    "sum_channels_avx2".into(),
+                    "update_ueq_avx2".into(),
+                    "gvec_plane".into(),
+                    "gvec_plane_avx2".into(),
+                    "force_assemble_scalar".into(),
+                    "force_assemble_avx2".into(),
+                ],
+            },
+            unsafe_file(
+                "crates/lbm/src/mrt.rs",
+                "MRT collision kernel via raw pointers over disjoint cell ranges",
             ),
-            (
-                "crates/lbm/src/collision.rs".into(),
-                "BGK/TRT collision kernels via raw pointers over disjoint cell ranges".into(),
+            unsafe_file(
+                "crates/lbm/src/macroscopic.rs",
+                "psi/momentum reductions through raw pointers over disjoint cell ranges",
             ),
-            (
-                "crates/lbm/src/simd.rs".into(),
-                "runtime-dispatched core::arch AVX2 kernels, bitwise-identical to their scalar references".into(),
+            unsafe_file(
+                "crates/lbm/src/force.rs",
+                "force accumulation writes through raw pointers, one disjoint range per thread",
             ),
-            (
-                "crates/lbm/src/mrt.rs".into(),
-                "MRT collision kernel via raw pointers over disjoint cell ranges".into(),
+            unsafe_file(
+                "crates/lbm/src/multicomponent.rs",
+                "per-component raw field pointers inside the fused parallel sweep",
             ),
-            (
-                "crates/lbm/src/macroscopic.rs".into(),
-                "psi/momentum reductions through raw pointers over disjoint cell ranges".into(),
+            unsafe_file(
+                "crates/lbm/src/solver.rs",
+                "fused collide-stream writes through disjoint plane pointers",
             ),
-            (
-                "crates/lbm/src/force.rs".into(),
-                "force accumulation writes through raw pointers, one disjoint range per thread"
-                    .into(),
-            ),
-            (
-                "crates/lbm/src/multicomponent.rs".into(),
-                "per-component raw field pointers inside the fused parallel sweep".into(),
-            ),
-            (
-                "crates/lbm/src/solver.rs".into(),
-                "fused collide-stream writes through disjoint plane pointers".into(),
-            ),
-            (
-                "crates/lbm/src/par.rs".into(),
-                "Send/Sync pointer wrappers underpinning the disjoint-chunk parallelism".into(),
+            unsafe_file(
+                "crates/lbm/src/par.rs",
+                "Send/Sync pointer wrappers underpinning the disjoint-chunk parallelism",
             ),
         ],
         scan_roots: vec![
@@ -203,6 +322,95 @@ pub fn default_config() -> LintConfig {
             name_fn: "type_name".into(),
             contract_fn: "required_fields".into(),
         }),
+        // The decode fns through which client/peer bytes enter. The serve
+        // loop and mp driver are *not* entries: everything they feed into
+        // decoders is covered via these, and the run itself operates on
+        // validated configs.
+        reachability: Some(ReachabilityCheck {
+            entries: vec![
+                ("crates/net/src/wire.rs".into(), "read_frame".into()),
+                ("crates/net/src/wire.rs".into(), "bytes_payload".into()),
+                ("src/scenario.rs".into(), "decode".into()),
+                ("src/serve.rs".into(), "decode".into()),
+                ("crates/lbm/src/config_codec.rs".into(), "decode_config".into()),
+                ("crates/lbm/src/boundary/codec.rs".into(), "decode_wall_bc".into()),
+                ("crates/lbm/src/artifact.rs".into(), "decode".into()),
+                ("crates/lbm/src/artifact.rs".into(), "unseal".into()),
+                ("crates/obs/src/export.rs".into(), "event_from_json".into()),
+                ("crates/obs/src/export.rs".into(), "from_jsonl".into()),
+                ("crates/obs/src/json.rs".into(), "parse".into()),
+            ],
+        }),
+        protocol: Some(ProtocolCheck {
+            wire_file: "crates/net/src/wire.rs".into(),
+            kind_enum: "FrameKind".into(),
+            to_code_fn: "code".into(),
+            from_code_fn: "from_code".into(),
+            coverage: vec![
+                KindCoverage {
+                    what: "mesh peers (halo exchange + rendezvous)".into(),
+                    min_code: 0,
+                    max_code: 15,
+                    files: vec![
+                        "crates/net/src/tcp.rs".into(),
+                        "crates/net/src/rendezvous.rs".into(),
+                    ],
+                },
+                KindCoverage {
+                    what: "the serve daemon request loop".into(),
+                    min_code: 16,
+                    max_code: 255,
+                    files: vec!["src/serve.rs".into()],
+                },
+            ],
+        }),
+        codecs: vec![
+            CodecCheck {
+                file: "src/scenario.rs".into(),
+                in_impl: Some("Scenario".into()),
+                encode_fn: "canonical_bytes".into(),
+                decode_fn: "decode".into(),
+                kind: CodecKind::Struct { root: "self".into() },
+                perturb: Some(PerturbTest {
+                    file: "tests/scenario_codec.rs".into(),
+                    test_fn: "every_field_perturbation_changes_the_key".into(),
+                }),
+            },
+            CodecCheck {
+                file: "crates/lbm/src/config_codec.rs".into(),
+                in_impl: None,
+                encode_fn: "encode_config".into(),
+                decode_fn: "decode_config".into(),
+                kind: CodecKind::Struct { root: "cfg".into() },
+                // The channel config is part of the scenario key: every
+                // field it encodes must also perturb the sweep key.
+                perturb: Some(PerturbTest {
+                    file: "tests/scenario_codec.rs".into(),
+                    test_fn: "every_field_perturbation_changes_the_key".into(),
+                }),
+            },
+            CodecCheck {
+                file: "crates/lbm/src/boundary/codec.rs".into(),
+                in_impl: None,
+                encode_fn: "encode_wall_bc".into(),
+                decode_fn: "decode_wall_bc".into(),
+                kind: CodecKind::Enum { name: "WallBc".into() },
+                perturb: Some(PerturbTest {
+                    file: "tests/scenario_codec.rs".into(),
+                    test_fn: "every_field_perturbation_changes_the_key".into(),
+                }),
+            },
+            CodecCheck {
+                file: "src/serve.rs".into(),
+                in_impl: Some("SweepRequest".into()),
+                encode_fn: "encode".into(),
+                decode_fn: "decode".into(),
+                kind: CodecKind::Struct { root: "self".into() },
+                // Sweep requests are transport, not cache keys: no
+                // perturbation list to pair with.
+                perturb: None,
+            },
+        ],
     }
 }
 
@@ -236,18 +444,38 @@ mod tests {
         let cfg = default_config();
         assert!(cfg.in_boundary_paths("crates/lbm/src/boundary/codec.rs"));
         assert!(cfg.in_boundary_paths("crates/lbm/src/config_codec.rs"));
+        assert!(cfg.in_boundary_paths("crates/obs/src/export.rs"));
     }
 
     #[test]
     fn default_config_is_internally_consistent() {
         let cfg = default_config();
-        for (path, why) in cfg.timing_allowlist.iter().chain(cfg.unsafe_registry.iter()) {
+        for (path, why) in cfg
+            .timing_allowlist
+            .iter()
+            .map(|(p, w)| (p, w))
+            .chain(cfg.unsafe_registry.iter().map(|e| (&e.path, &e.why)))
+        {
             assert!(!why.trim().is_empty(), "{path} needs a justification");
         }
         for (path, _) in &cfg.timing_allowlist {
             assert!(
                 cfg.determinism_paths.iter().any(|p| path_matches(path, p)),
                 "{path} is allowlisted but not inside any determinism path"
+            );
+        }
+        // Reachability entries must name boundary files: the pass skips
+        // sites inside boundary paths, so a non-boundary entry would
+        // leave its own body uncovered by any rule.
+        for (file, f) in &cfg.reachability.as_ref().unwrap().entries {
+            assert!(cfg.in_boundary_paths(file), "reachability entry {file}::{f} must be a boundary path");
+        }
+        // Codec and protocol files must be scanned (inside scan roots).
+        for c in &cfg.codecs {
+            assert!(
+                cfg.scan_roots.iter().any(|r| path_matches(&c.file, r)),
+                "codec file {} is outside the scan roots",
+                c.file
             );
         }
     }

@@ -1,7 +1,10 @@
-//! Diagnostics: the finding type and its two output formats —
-//! rustc-style `file:line: rule: message` text and a machine-readable
-//! JSON array (`--json`).
+//! Diagnostics: the finding type, its two output formats — rustc-style
+//! `file:line: rule: message` text and a machine-readable JSON array
+//! (`--json`) — and the findings baseline (`--baseline`): a committed
+//! JSON snapshot diffed against the current scan, so CI fails on *new*
+//! findings only.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One rule violation at one source location.
@@ -62,6 +65,199 @@ pub fn to_json(findings: &[Finding]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// One accepted finding from a committed baseline file. The line number
+/// is kept for human readers but ignored when matching, so unrelated
+/// edits that shift code do not resurrect baselined findings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+/// Parses a baseline file — the exact format `--json` emits (so
+/// regenerating the baseline is just redirecting the scan output).
+/// Hand-rolled like the rest of the crate: zero dependencies.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = BaselineParser { bytes: text.as_bytes(), pos: 0 };
+    let entries = p.array()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(entries)
+}
+
+struct BaselineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl BaselineParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn array(&mut self) -> Result<Vec<BaselineEntry>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.object()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<BaselineEntry, String> {
+        self.expect(b'{')?;
+        let mut entry = BaselineEntry {
+            file: String::new(),
+            line: 0,
+            rule: String::new(),
+            message: String::new(),
+        };
+        let mut seen: Vec<String> = Vec::new();
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "line" => entry.line = self.number()?,
+                "file" => entry.file = self.string()?,
+                "rule" => entry.rule = self.string()?,
+                "message" => entry.message = self.string()?,
+                other => return Err(format!("unknown baseline key '{other}'")),
+            }
+            seen.push(key);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        for required in ["file", "line", "rule", "message"] {
+            if !seen.iter().any(|k| k == required) {
+                return Err(format!("baseline entry is missing '{required}'"));
+            }
+        }
+        Ok(entry)
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Diffs the current findings against a baseline. Matching is a multiset
+/// on `(file, rule, message)` — line numbers shift with unrelated edits
+/// and are ignored. Returns the findings not covered by the baseline
+/// (new — these fail CI) and the count of baseline entries no finding
+/// matched (resolved — the baseline wants regenerating).
+pub fn diff_baseline(
+    findings: &[Finding],
+    baseline: &[BaselineEntry],
+) -> (Vec<Finding>, usize) {
+    let mut budget: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    for b in baseline {
+        *budget.entry((b.file.as_str(), b.rule.as_str(), b.message.as_str())).or_default() += 1;
+    }
+    let mut new = Vec::new();
+    for f in findings {
+        match budget.get_mut(&(f.file.as_str(), f.rule, f.message.as_str())) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(f.clone()),
+        }
+    }
+    let resolved = budget.values().sum();
+    (new, resolved)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +305,52 @@ mod tests {
             v.iter().map(|f| (f.file.clone(), f.line)).collect::<Vec<_>>(),
             vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
         );
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_json_format() {
+        let findings = vec![
+            Finding {
+                file: "a.rs".into(),
+                line: 3,
+                rule: "boundary-panic",
+                message: "escapes: \" \\ \n tab\t".into(),
+            },
+            Finding { file: "b.rs".into(), line: 9, rule: "codec-drift", message: "m".into() },
+        ];
+        let parsed = parse_baseline(&to_json(&findings)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].file, "a.rs");
+        assert_eq!(parsed[0].line, 3);
+        assert_eq!(parsed[0].rule, "boundary-panic");
+        assert_eq!(parsed[0].message, "escapes: \" \\ \n tab\t");
+        assert_eq!(parse_baseline("[]").unwrap(), vec![]);
+        assert!(parse_baseline("[{\"file\":\"a\"}]").is_err());
+        assert!(parse_baseline("[] trailing").is_err());
+    }
+
+    #[test]
+    fn baseline_diff_ignores_lines_and_counts_multiplicity() {
+        let mk = |file: &str, line, msg: &str| Finding {
+            file: file.into(),
+            line,
+            rule: "boundary-panic",
+            message: msg.into(),
+        };
+        let bk = |file: &str, line, msg: &str| BaselineEntry {
+            file: file.into(),
+            line,
+            rule: "boundary-panic".into(),
+            message: msg.into(),
+        };
+        // Same finding moved lines: still baselined. A second copy of a
+        // baselined message is new (multiset, not set). One baseline
+        // entry no longer found: resolved.
+        let findings = vec![mk("a.rs", 10, "x"), mk("a.rs", 20, "x"), mk("b.rs", 1, "y")];
+        let baseline = vec![bk("a.rs", 3, "x"), bk("b.rs", 1, "y"), bk("c.rs", 7, "gone")];
+        let (new, resolved) = diff_baseline(&findings, &baseline);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 20);
+        assert_eq!(resolved, 1);
     }
 }

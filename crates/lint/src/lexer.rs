@@ -25,8 +25,9 @@ pub enum Tok {
     Str(String),
     /// Char or byte-char literal.
     Char,
-    /// Numeric literal.
-    Num,
+    /// Numeric literal; payload is the literal text as written (the
+    /// protocol pass pairs `code()`/`from_code()` arms by value).
+    Num(String),
     /// Lifetime or loop label (`'a`, `'static`, `'outer`).
     Lifetime,
     /// `// …` comment; payload is the text after the slashes.
@@ -164,8 +165,8 @@ pub fn lex(src: &str) -> Vec<Token> {
                 out.push(Token { tok: read_char_or_lifetime(&mut cur), line });
             }
             _ if c.is_ascii_digit() => {
-                read_number(&mut cur);
-                out.push(Token { tok: Tok::Num, line });
+                let text = read_number(&mut cur);
+                out.push(Token { tok: Tok::Num(text), line });
             }
             _ if is_ident_start(c) => {
                 // Raw/byte string and byte-char prefixes bind tighter than
@@ -268,8 +269,10 @@ fn read_char_or_lifetime(cur: &mut Cursor) -> Tok {
     }
 }
 
-/// Consumes a numeric literal (ints, floats, hex, exponents, suffixes).
-fn read_number(cur: &mut Cursor) {
+/// Consumes a numeric literal (ints, floats, hex, exponents, suffixes),
+/// returning its text.
+fn read_number(cur: &mut Cursor) -> String {
+    let start = cur.pos;
     cur.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
     // A `.` continues the number only when followed by a digit (so range
     // expressions like `0..n` stay two tokens).
@@ -285,6 +288,7 @@ fn read_number(cur: &mut Cursor) {
         cur.bump();
         cur.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
     }
+    String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned()
 }
 
 /// Handles `r`/`b`/`br`-prefixed literals. Returns `None` when the
@@ -411,7 +415,14 @@ mod tests {
             .collect();
         // `0..n` must produce two dots, and `1.5e-3` must be one number.
         assert_eq!(puncts.iter().filter(|&&c| c == '.').count(), 2);
-        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Num).count(), 2);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e-3"]);
     }
 
     #[test]

@@ -10,86 +10,156 @@
 //!   wall clock, iterating a hash-ordered collection, or branching on
 //!   thread identity. Timing modules are allowlisted by name.
 //! * **panic-freedom at the trust boundary** (`boundary-panic` /
-//!   `boundary-index`) — files that parse untrusted bytes (TCP frames,
-//!   JSONL traces, config blobs) must return typed errors, never panic.
+//!   `boundary-index` / `cast-truncation`) — files that parse untrusted
+//!   bytes (TCP frames, JSONL traces, config blobs) must return typed
+//!   errors, never panic, and never narrow integers with `as`.
+//! * **transitive panic-reachability** (`panic-reachability`) — a
+//!   name-resolved call graph over every `fn` in the workspace; panic
+//!   sites reachable from the decode entry points are findings even when
+//!   they live outside the boundary files ([`callgraph`]).
+//! * **protocol conformance** (`protocol-drift`) — the frame-kind enum,
+//!   its `code`/`from_code` pair, the wire doc table, and the dispatch
+//!   sites must agree ([`passes::protocol`]).
+//! * **codec field-order** (`codec-drift`) — every field an encoder
+//!   writes must be decoded in the same order and covered by the
+//!   key-perturbation test ([`passes::codec`]).
 //! * **trace-schema exhaustiveness** (`schema-drift`) — every `Event`
 //!   variant must appear in the JSONL emitter, the parser, the name
-//!   mapping and the required-fields contract, so the exporter and the
-//!   validator cannot drift apart silently.
+//!   mapping and the required-fields contract.
 //! * **unsafe containment** (`unsafe-containment`) — `unsafe` only in
-//!   explicitly registered kernel files, each with a justification.
+//!   explicitly registered kernel files, each with a justification whose
+//!   named fns are re-verified against the file.
 //!
 //! Findings can be suppressed inline with `// lint:allow(<rule>,
-//! <reason>)`; a missing reason is itself a violation (`allow-syntax`).
-//! The binary prints rustc-style `file:line: rule: message` diagnostics
-//! (or JSON with `--json`) and exits nonzero on any finding.
+//! <reason>)`; a missing reason is itself a violation (`allow-syntax`),
+//! and an allow that no longer suppresses anything is one too
+//! (`allow-stale`). The binary prints rustc-style `file:line: rule:
+//! message` diagnostics (or JSON with `--json`), diffs against a
+//! committed baseline with `--baseline`, and exits nonzero on any new
+//! finding.
 
 pub mod allow;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod items;
 pub mod lexer;
+pub mod passes;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 pub use allow::{format_allow, parse_allow, Allow, AllowParse};
-pub use config::{default_config, LintConfig, SchemaCheck};
-pub use diag::{sort_findings, to_json, Finding};
+pub use config::{
+    default_config, CodecCheck, CodecKind, KindCoverage, LintConfig, PerturbTest, ProtocolCheck,
+    ReachabilityCheck, SchemaCheck, UnsafeEntry,
+};
+pub use diag::{diff_baseline, parse_baseline, sort_findings, to_json, BaselineEntry, Finding};
 
-/// Lints one file's source against every per-file rule the config scopes
-/// it into, applying `lint:allow` suppressions. Returns the surviving
-/// findings and whether the file contains `unsafe` at all (the caller
-/// cross-checks the registry for staleness).
-pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>, bool) {
+use items::FnItem;
+use lexer::Token;
+use passes::Suppressions;
+
+/// One scanned file: its tokens, item table, per-file findings (already
+/// filtered through suppressions), and the suppressions themselves so
+/// the workspace passes can consult them before the staleness audit.
+struct FileScan {
+    rel: String,
+    tokens: Vec<Token>,
+    items: Vec<FnItem>,
+    suppressions: Suppressions,
+    findings: Vec<Finding>,
+    has_unsafe: bool,
+}
+
+/// Runs every per-file rule the config scopes `rel_path` into.
+fn scan_file(rel_path: &str, src: &str, cfg: &LintConfig) -> FileScan {
     let tokens = lexer::lex(src);
-    let (suppressions, mut findings) = rules::collect_suppressions(rel_path, &tokens);
+    let (suppressions, mut findings) = passes::collect_suppressions(rel_path, &tokens);
     let mut raw = Vec::new();
     if cfg.in_determinism_paths(rel_path) {
-        raw.extend(rules::check_determinism(rel_path, &tokens));
+        raw.extend(passes::determinism::check_determinism(rel_path, &tokens));
     }
     if cfg.in_boundary_paths(rel_path) {
-        raw.extend(rules::check_boundary(rel_path, &tokens));
+        raw.extend(passes::boundary::check_boundary(rel_path, &tokens));
+        raw.extend(passes::casts::check_casts(rel_path, &tokens));
     }
     let registered = cfg.unsafe_justification(rel_path).is_some();
-    raw.extend(rules::check_unsafe_containment(rel_path, &tokens, registered));
+    raw.extend(passes::unsafe_check::check_unsafe_containment(rel_path, &tokens, registered));
     findings.extend(raw.into_iter().filter(|f| !suppressions.covers(f.rule, f.line)));
-    (findings, !rules::unsafe_lines(&tokens).is_empty())
+    let has_unsafe = !passes::unsafe_check::unsafe_lines(&tokens).is_empty();
+    let items = items::parse_fn_items(rel_path, &tokens);
+    FileScan { rel: rel_path.to_string(), tokens, items, suppressions, findings, has_unsafe }
+}
+
+/// Lints one file's source in isolation (per-file rules only — the
+/// cross-file passes need the whole workspace). Returns the surviving
+/// findings (including `allow-stale` for suppressions nothing used) and
+/// whether the file contains `unsafe` at all.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>, bool) {
+    let scan = scan_file(rel_path, src, cfg);
+    let mut findings = scan.findings;
+    findings.extend(scan.suppressions.stale(rel_path));
+    (findings, scan.has_unsafe)
 }
 
 /// Lints the whole workspace under `root`: walks the configured scan
-/// roots, runs the per-file rules, the unsafe-registry staleness check,
-/// and the trace-schema cross-check. Findings come back sorted.
+/// roots, runs the per-file rules, then the cross-file passes (unsafe
+/// registry staleness, trace schema, protocol conformance, codec drift,
+/// panic reachability), filters everything through the inline
+/// suppressions, and finally audits the suppressions themselves for
+/// staleness. Findings come back sorted.
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
     let mut files = Vec::new();
     for scan_root in &cfg.scan_roots {
         collect_rs_files(root, Path::new(scan_root), cfg, &mut files)?;
     }
     files.sort();
 
-    let mut unsafe_seen: Vec<&str> = Vec::new();
+    let mut scans = Vec::with_capacity(files.len());
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))?;
-        let (file_findings, has_unsafe) = lint_source(rel, &src, cfg);
-        findings.extend(file_findings);
-        if has_unsafe {
-            if let Some((reg, _)) = cfg.unsafe_registry.iter().find(|(p, _)| p == rel) {
-                unsafe_seen.push(reg);
-            }
-        }
+        scans.push(scan_file(rel, &src, cfg));
     }
-    // Registry staleness: an entry whose file no longer uses unsafe (or no
-    // longer exists) is a hole waiting to hide a future violation.
-    for (reg, _) in &cfg.unsafe_registry {
-        if !unsafe_seen.contains(&reg.as_str()) {
-            findings.push(Finding {
-                file: reg.clone(),
+    let mut findings: Vec<Finding> = scans.iter().flat_map(|s| s.findings.clone()).collect();
+
+    // Workspace passes collect raw findings here, then go through the
+    // owning file's suppressions in one place at the end.
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // Unsafe registry: an entry whose file no longer uses unsafe is a
+    // hole waiting to hide a future violation; a justification naming a
+    // fn that no longer exists (or no longer touches unsafe) has drifted
+    // from the code it vouches for.
+    for entry in &cfg.unsafe_registry {
+        let scan = scans.iter().find(|s| s.rel == entry.path);
+        if !scan.is_some_and(|s| s.has_unsafe) {
+            raw.push(Finding {
+                file: entry.path.clone(),
                 line: 1,
                 rule: "unsafe-containment",
                 message: "registered in the unsafe registry but contains no `unsafe` \
                           (or was not scanned); remove the stale registry entry"
                     .to_string(),
             });
+            continue;
+        }
+        let scan = scan.expect("checked above");
+        let names = passes::unsafe_check::unsafe_fn_names(&scan.items);
+        for expected in &entry.expect_fns {
+            if !names.iter().any(|n| n == expected) {
+                raw.push(Finding {
+                    file: entry.path.clone(),
+                    line: 1,
+                    rule: "unsafe-containment",
+                    message: format!(
+                        "the registry justification names `fn {expected}` but no such \
+                         unsafe-using fn exists here; the rationale has drifted from the \
+                         code"
+                    ),
+                });
+            }
         }
     }
 
@@ -97,12 +167,12 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
         let read = |rel: &str| std::fs::read_to_string(root.join(rel));
         match (read(&sc.event_file), read(&sc.exporter_file)) {
             (Ok(event_src), Ok(export_src)) => {
-                findings.extend(rules::check_schema(sc, &event_src, &export_src));
+                raw.extend(passes::schema::check_schema(sc, &event_src, &export_src));
             }
             (event, export) => {
                 for (rel, result) in [(&sc.event_file, event), (&sc.exporter_file, export)] {
                     if let Err(e) = result {
-                        findings.push(Finding {
+                        raw.push(Finding {
                             file: rel.clone(),
                             line: 1,
                             rule: "schema-drift",
@@ -112,6 +182,52 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Find
                 }
             }
         }
+    }
+
+    let token_map: BTreeMap<String, Vec<Token>> =
+        scans.iter().map(|s| (s.rel.clone(), s.tokens.clone())).collect();
+
+    if let Some(pc) = &cfg.protocol {
+        match token_map.get(&pc.wire_file) {
+            Some(wire_tokens) => {
+                raw.extend(passes::protocol::check_protocol(pc, wire_tokens, &token_map));
+            }
+            None => raw.push(Finding {
+                file: pc.wire_file.clone(),
+                line: 1,
+                rule: "protocol-drift",
+                message: "wire file was not scanned; fix the lint config".to_string(),
+            }),
+        }
+    }
+
+    for check in &cfg.codecs {
+        let file_items: &[FnItem] = scans
+            .iter()
+            .find(|s| s.rel == check.file)
+            .map(|s| s.items.as_slice())
+            .unwrap_or(&[]);
+        raw.extend(passes::codec::check_codec(check, file_items, &token_map));
+    }
+
+    if let Some(rc) = &cfg.reachability {
+        let all_items: Vec<FnItem> = scans.iter().flat_map(|s| s.items.clone()).collect();
+        raw.extend(callgraph::check_reachability(&all_items, &rc.entries, |file| {
+            !cfg.in_boundary_paths(file)
+        }));
+    }
+
+    findings.extend(raw.into_iter().filter(|f| {
+        !scans
+            .iter()
+            .find(|s| s.rel == f.file)
+            .is_some_and(|s| s.suppressions.covers(f.rule, f.line))
+    }));
+
+    // Last, once every pass has had its chance to use each allow: the
+    // staleness audit.
+    for scan in &scans {
+        findings.extend(scan.suppressions.stale(&scan.rel));
     }
 
     sort_findings(&mut findings);
@@ -184,5 +300,13 @@ mod tests {
         assert!(has_unsafe);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "unsafe-containment");
+    }
+
+    #[test]
+    fn unused_allow_is_stale_in_lint_source() {
+        let cfg = LintConfig::default();
+        let src = "// lint:allow(boundary-panic, nothing here panics anymore)\nfn f() {}\n";
+        let (findings, _) = lint_source("a.rs", src, &cfg);
+        assert_eq!(findings.iter().map(|f| f.rule).collect::<Vec<_>>(), ["allow-stale"]);
     }
 }

@@ -1,0 +1,108 @@
+//! Rule family: panic-freedom at the trust boundary.
+
+use crate::diag::Finding;
+use crate::items::{line_is_exempt, sig_tokens, test_exempt_ranges};
+use crate::lexer::{Tok, Token};
+
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Rust keywords that may directly precede `[` without it being an index
+/// expression (`return [..]`, `in [..]`, `let [a, b] = …`, `&mut [..]`).
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "loop",
+    "while", "for", "move", "as", "const", "static", "fn", "impl", "trait", "type", "struct",
+    "enum", "union", "mod", "use", "pub", "crate", "super", "where", "unsafe", "dyn", "async",
+    "await", "yield", "box", "extern", "true", "false",
+];
+
+/// Bans `unwrap()`/`expect()`, panic-family macros, and direct slice
+/// indexing in untrusted-input parser files (outside `#[cfg(test)]`).
+pub fn check_boundary(file: &str, tokens: &[Token]) -> Vec<Finding> {
+    let exempt = test_exempt_ranges(tokens);
+    let sig: Vec<&Token> = sig_tokens(tokens);
+    let mut findings = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if line_is_exempt(&exempt, t.line) {
+            continue;
+        }
+        match &t.tok {
+            // `.unwrap(` / `.expect(`
+            Tok::Ident(name) if (name == "unwrap" || name == "expect") => {
+                let method_call = i > 0
+                    && sig[i - 1].is_punct('.')
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if method_call {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: "boundary-panic",
+                        message: format!(
+                            "`.{name}()` in an untrusted-input parser; return a typed error \
+                             (CommError::Protocol / Err(String)) instead"
+                        ),
+                    });
+                }
+            }
+            // `panic!(` and friends.
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "boundary-panic",
+                    message: format!(
+                        "`{name}!` in an untrusted-input parser; malformed input must \
+                         surface as a typed error, not a crash"
+                    ),
+                });
+            }
+            // `expr[…]` — a slice/array index that panics out of range.
+            Tok::Punct('[') if i > 0 => {
+                let indexes = match &sig[i - 1].tok {
+                    Tok::Ident(name) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+                    _ => false,
+                };
+                if indexes {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: "boundary-index",
+                        message: "direct slice indexing in an untrusted-input parser; use \
+                                  `.get(..)` and return a typed error on None"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn boundary_distinguishes_call_from_name() {
+        // `unwrap_or` and a field named expect must not fire.
+        let src = "let a = x.unwrap_or(0);\nlet b = s.expect_field;\nlet c = y.unwrap();\n";
+        let f = check_boundary("f.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].rule, "boundary-panic");
+    }
+
+    #[test]
+    fn indexing_heuristic_spares_types_patterns_attrs() {
+        let clean = "#[derive(Debug)]\nfn f(x: &[u8], y: [f64; 3]) -> Vec<[u8; 2]> {\n\
+                     let [a, b] = y_pair;\n let v = vec![1, 2];\n ret\n}\n";
+        assert!(check_boundary("f.rs", &lex(clean)).is_empty());
+        let dirty = "fn f() { let x = buf[0]; let y = get()[1]; }";
+        assert_eq!(check_boundary("f.rs", &lex(dirty)).len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Rule family: lossy `as` casts in untrusted-input parsers.
+//!
+//! A declared length cast with `as u32`/`as usize` silently truncates on
+//! overflow; on the trust boundary that turns a malformed frame into a
+//! wrong-but-plausible value instead of a typed error. Narrowing integer
+//! casts are banned there; widening targets (`u64`, `i64`, `f64`) stay
+//! legal, and a by-construction-safe cast can carry a
+//! `lint:allow(cast-truncation, why)`.
+
+use crate::diag::Finding;
+use crate::items::{line_is_exempt, sig_tokens, test_exempt_ranges};
+use crate::lexer::Token;
+
+/// Cast targets that can lose bits from a wider integer (or from the
+/// platform-width `usize`/`u64` a length arrives as).
+const NARROWING_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Bans `expr as <narrow-int>` in untrusted-input parser files (outside
+/// `#[cfg(test)]`).
+pub fn check_casts(file: &str, tokens: &[Token]) -> Vec<Finding> {
+    let exempt = test_exempt_ranges(tokens);
+    let sig: Vec<&Token> = sig_tokens(tokens);
+    let mut findings = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if t.ident() != Some("as") || line_is_exempt(&exempt, t.line) {
+            continue;
+        }
+        // `use x as y` is a rename, not a cast.
+        let renames = (0..i)
+            .rev()
+            .take_while(|&j| !sig[j].is_punct(';') && !sig[j].is_punct('{') && !sig[j].is_punct('}'))
+            .any(|j| sig[j].ident() == Some("use"));
+        if renames {
+            continue;
+        }
+        let Some(ty) = sig.get(i + 1).and_then(|t| t.ident()) else { continue };
+        if NARROWING_TARGETS.contains(&ty) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "cast-truncation",
+                message: format!(
+                    "`as {ty}` on the trust boundary can silently truncate; use \
+                     `{ty}::try_from(..)` and surface a typed error, or justify with \
+                     lint:allow(cast-truncation, ..)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn narrowing_casts_fire_widening_do_not() {
+        let src = "fn f(n: u64) { let a = n as usize; let b = n as u32; let c = 3usize as u64; \
+                   let d = x as f64; }";
+        let f = check_casts("f.rs", &lex(src));
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "cast-truncation"));
+    }
+
+    #[test]
+    fn use_renames_and_test_code_are_spared() {
+        let src = "use std::io::Result as usize_like;\n#[cfg(test)]\nmod t { fn g(n: u64) \
+                   { let a = n as u16; } }\n";
+        assert!(check_casts("f.rs", &lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,597 @@
+//! Rule family: encoder/decoder field-order drift.
+//!
+//! The canonical codecs (scenario key bytes, channel-config blob,
+//! wall-BC payload, sweep requests) define their wire contract by the
+//! *order* the encoder writes fields. This pass extracts that order from
+//! the encoder body (`<root>.<field>` reads, or per-variant pattern
+//! fields for enum codecs), requires the paired decoder to bind the same
+//! fields in the same order, and — for codecs that feed the cache key —
+//! requires every encoded field to have a variant in the
+//! key-perturbation test, so a field the key silently ignores cannot
+//! land.
+
+use std::collections::BTreeMap;
+
+use crate::config::{CodecCheck, CodecKind};
+use crate::diag::Finding;
+use crate::items::{find_fn, fn_body, sig_tokens, FnItem};
+use crate::lexer::{Tok, Token};
+
+/// Ordered, deduplicated `<root>.<field>` reads in an encoder body.
+/// `<root>.method(..)` calls are not fields.
+fn encoded_fields(body: &[Token], root: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for i in 0..body.len() {
+        if body[i].ident() != Some(root) {
+            continue;
+        }
+        if !body.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+            continue;
+        }
+        let Some(field) = body.get(i + 2).and_then(|t| t.ident()) else { continue };
+        if body.get(i + 3).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if !out.iter().any(|f| f == field) {
+            out.push(field.to_string());
+        }
+    }
+    out
+}
+
+/// Identifiers bound by `let` in a decoder body, in order (pattern and
+/// type idents ride along; the subsequence check skips what it does not
+/// look for).
+fn decode_binds(body: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].ident() != Some("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < body.len() && !body[j].is_punct('=') && !body[j].is_punct(';') {
+            if let Some(s) = body[j].ident() {
+                if s != "mut" && s != "ref" {
+                    out.push(s.to_string());
+                }
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whole-word occurrence of `name` inside a string literal, so the field
+/// `b` is not satisfied by the word "bump" in a test label.
+fn str_mentions(s: &str, name: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = s[start..].find(name) {
+        let a = start + pos;
+        let b = a + name.len();
+        let before_ok = a == 0 || !is_ident_byte(bytes[a - 1]);
+        let after_ok = b == s.len() || !is_ident_byte(bytes[b]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = a + 1;
+    }
+    false
+}
+
+/// True when `name` appears in the tokens as an identifier, or as a
+/// whole word inside a string literal (the perturbation test labels its
+/// variants).
+fn mentions(tokens: &[Token], name: &str) -> bool {
+    tokens.iter().any(|t| match &t.tok {
+        Tok::Ident(s) => s == name,
+        Tok::Str(s) => str_mentions(s, name),
+        _ => false,
+    })
+}
+
+/// One match arm of an enum codec, from either side.
+#[derive(Debug, Default)]
+struct EnumArm {
+    variant: String,
+    line: u32,
+    discriminant: Option<u32>,
+    /// Pattern fields (encoder) or struct-literal keys (decoder), in
+    /// source order.
+    fields: Vec<String>,
+}
+
+fn parse_num(text: &str) -> Option<u32> {
+    let t = text.replace('_', "");
+    let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Collects idents at brace/paren depth 1 that open a field position
+/// (start of group or right after a `,`), skipping values — works for
+/// both destructuring patterns and struct literals.
+fn group_fields(body: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut expecting = true;
+    let mut k = open;
+    while k < body.len() {
+        match &body[k].tok {
+            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (fields, k);
+                }
+            }
+            Tok::Punct(',') if depth == 1 => expecting = true,
+            Tok::Ident(s) if depth == 1 && expecting && s != "ref" && s != "mut" => {
+                fields.push(s.clone());
+                expecting = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (fields, k)
+}
+
+/// The token range of a match arm body starting right after its `=>`:
+/// a braced block, or everything up to the `,` at relative depth 0.
+fn arm_extent(body: &[Token], start: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut k = start;
+    while k < body.len() {
+        match &body[k].tok {
+            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                if depth == 0 {
+                    return (start, k);
+                }
+                depth -= 1;
+                if depth == 0 && body[start].is_punct('{') {
+                    return (start, k);
+                }
+            }
+            Tok::Punct(',') if depth == 0 => return (start, k),
+            _ => {}
+        }
+        k += 1;
+    }
+    (start, body.len())
+}
+
+/// Encoder arms: `Enum::Variant { fields.. } => { .. put(N) .. }`.
+/// The discriminant is the first numeric literal in the arm body; the
+/// field order is their occurrence order in the arm body.
+fn encode_arms(body: &[Token], enum_name: &str) -> Vec<EnumArm> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < body.len() {
+        let is_path = body[i].ident() == Some(enum_name)
+            && body[i + 1].is_punct(':')
+            && body[i + 2].is_punct(':')
+            && body[i + 3].ident().is_some();
+        if !is_path {
+            i += 1;
+            continue;
+        }
+        let variant = body[i + 3].ident().unwrap_or_default().to_string();
+        let line = body[i + 3].line;
+        let mut j = i + 4;
+        let mut pattern_fields = Vec::new();
+        if body.get(j).is_some_and(|t| t.is_punct('{') || t.is_punct('(')) {
+            let (fields, close) = group_fields(body, j);
+            pattern_fields = fields;
+            j = close + 1;
+        }
+        // Expect `=>` next; otherwise this path is not a match arm.
+        if !(body.get(j).is_some_and(|t| t.is_punct('='))
+            && body.get(j + 1).is_some_and(|t| t.is_punct('>')))
+        {
+            i += 4;
+            continue;
+        }
+        let (astart, aend) = arm_extent(body, j + 2);
+        let arm_body = &body[astart..aend.min(body.len())];
+        let discriminant = arm_body.iter().find_map(|t| match &t.tok {
+            Tok::Num(text) => parse_num(text),
+            _ => None,
+        });
+        let mut ordered = Vec::new();
+        for t in arm_body {
+            if let Some(s) = t.ident() {
+                if pattern_fields.iter().any(|f| f == s) && !ordered.iter().any(|o| o == s) {
+                    ordered.push(s.to_string());
+                }
+            }
+        }
+        arms.push(EnumArm { variant, line, discriminant, fields: ordered });
+        i = aend;
+    }
+    arms
+}
+
+/// Decoder arms: `N => .. Enum::Variant { keys.. } ..`.
+fn decode_arms(body: &[Token], enum_name: &str) -> Vec<EnumArm> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let Tok::Num(text) = &body[i].tok else {
+            i += 1;
+            continue;
+        };
+        if !(body.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && body.get(i + 2).is_some_and(|t| t.is_punct('>')))
+        {
+            i += 1;
+            continue;
+        }
+        let Some(n) = parse_num(text) else {
+            i += 1;
+            continue;
+        };
+        let (astart, aend) = arm_extent(body, i + 3);
+        let arm_body = &body[astart..aend.min(body.len())];
+        let mut k = 0usize;
+        while k + 3 < arm_body.len() {
+            let is_path = (arm_body[k].ident() == Some(enum_name)
+                || arm_body[k].ident() == Some("Self"))
+                && arm_body[k + 1].is_punct(':')
+                && arm_body[k + 2].is_punct(':')
+                && arm_body[k + 3].ident().is_some();
+            if !is_path {
+                k += 1;
+                continue;
+            }
+            let variant = arm_body[k + 3].ident().unwrap_or_default().to_string();
+            let line = arm_body[k + 3].line;
+            let mut fields = Vec::new();
+            if arm_body.get(k + 4).is_some_and(|t| t.is_punct('{')) {
+                fields = group_fields(arm_body, k + 4).0;
+            }
+            arms.push(EnumArm { variant, line, discriminant: Some(n), fields });
+            break;
+        }
+        i = aend.max(i + 1);
+    }
+    arms
+}
+
+/// Requires `fields` to be an in-order subsequence of `binds`, reporting
+/// each miss through `fail`.
+fn check_subsequence(
+    fields: &[String],
+    binds: &[String],
+    mut fail: impl FnMut(&str, bool),
+) {
+    let mut pos = 0usize;
+    for field in fields {
+        match binds[pos..].iter().position(|b| b == field) {
+            Some(k) => pos += k + 1,
+            None => fail(field, binds.iter().any(|b| b == field)),
+        }
+    }
+}
+
+/// Runs one codec check. `file_items` are the fn items of `check.file`;
+/// `all_tokens` maps every scanned file to its token stream (used to
+/// resolve the perturbation test).
+pub fn check_codec(
+    check: &CodecCheck,
+    file_items: &[FnItem],
+    all_tokens: &BTreeMap<String, Vec<Token>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_impl = check.in_impl.as_deref();
+    let (enc, dec) = (
+        find_fn(file_items, &check.encode_fn, in_impl),
+        find_fn(file_items, &check.decode_fn, in_impl),
+    );
+    let (Some(enc), Some(dec)) = (enc, dec) else {
+        for (found, name) in [(enc, &check.encode_fn), (dec, &check.decode_fn)] {
+            if found.is_none() {
+                findings.push(Finding {
+                    file: check.file.clone(),
+                    line: 1,
+                    rule: "codec-drift",
+                    message: format!(
+                        "could not find `fn {name}`{} to cross-check the codec; fix the \
+                         lint config",
+                        in_impl.map(|t| format!(" in `impl {t}`")).unwrap_or_default()
+                    ),
+                });
+            }
+        }
+        return findings;
+    };
+
+    // All fields the codec writes — also what the perturbation test must
+    // cover.
+    let mut all_fields: Vec<String> = Vec::new();
+    match &check.kind {
+        CodecKind::Struct { root } => {
+            let fields = encoded_fields(&enc.body, root);
+            let binds = decode_binds(&dec.body);
+            check_subsequence(&fields, &binds, |field, present_out_of_order| {
+                findings.push(Finding {
+                    file: check.file.clone(),
+                    line: dec.line,
+                    rule: "codec-drift",
+                    message: if present_out_of_order {
+                        format!(
+                            "`{root}.{field}` is decoded out of order relative to \
+                             `{}` — the write order is the wire contract",
+                            check.encode_fn
+                        )
+                    } else {
+                        format!(
+                            "`{root}.{field}` is written by `{}` but never bound in \
+                             `{}` — encoder/decoder drift",
+                            check.encode_fn, check.decode_fn
+                        )
+                    },
+                });
+            });
+            all_fields = fields;
+        }
+        CodecKind::Enum { name } => {
+            let enc_arms = encode_arms(&enc.body, name);
+            let dec_arms = decode_arms(&dec.body, name);
+            if enc_arms.is_empty() {
+                findings.push(Finding {
+                    file: check.file.clone(),
+                    line: enc.line,
+                    rule: "codec-drift",
+                    message: format!(
+                        "`{}` has no `{name}::..` match arms to cross-check; fix the lint \
+                         config",
+                        check.encode_fn
+                    ),
+                });
+            }
+            for ea in &enc_arms {
+                let Some(code) = ea.discriminant else {
+                    findings.push(Finding {
+                        file: check.file.clone(),
+                        line: ea.line,
+                        rule: "codec-drift",
+                        message: format!(
+                            "`{name}::{}`'s encode arm writes no literal discriminant",
+                            ea.variant
+                        ),
+                    });
+                    continue;
+                };
+                let Some(da) = dec_arms.iter().find(|d| d.discriminant == Some(code)) else {
+                    findings.push(Finding {
+                        file: check.file.clone(),
+                        line: ea.line,
+                        rule: "codec-drift",
+                        message: format!(
+                            "`{name}::{}` encodes as discriminant {code} but `{}` has no \
+                             arm for it",
+                            ea.variant, check.decode_fn
+                        ),
+                    });
+                    continue;
+                };
+                if da.variant != ea.variant {
+                    findings.push(Finding {
+                        file: check.file.clone(),
+                        line: da.line,
+                        rule: "codec-drift",
+                        message: format!(
+                            "discriminant {code} encodes `{name}::{}` but decodes into \
+                             `{name}::{}`",
+                            ea.variant, da.variant
+                        ),
+                    });
+                    continue;
+                }
+                check_subsequence(&ea.fields, &da.fields, |field, out_of_order| {
+                    findings.push(Finding {
+                        file: check.file.clone(),
+                        line: da.line,
+                        rule: "codec-drift",
+                        message: if out_of_order {
+                            format!(
+                                "`{name}::{}` field `{field}` is decoded out of order — \
+                                 the write order is the wire contract",
+                                ea.variant
+                            )
+                        } else {
+                            format!(
+                                "`{name}::{}` field `{field}` is encoded but missing from \
+                                 the decode arm",
+                                ea.variant
+                            )
+                        },
+                    });
+                });
+                all_fields.extend(ea.fields.iter().cloned());
+            }
+            // Dead decode arms: a discriminant no encoder writes.
+            for da in &dec_arms {
+                if !enc_arms.iter().any(|e| e.discriminant == da.discriminant) {
+                    findings.push(Finding {
+                        file: check.file.clone(),
+                        line: da.line,
+                        rule: "codec-drift",
+                        message: format!(
+                            "`{}` decodes discriminant {} into `{name}::{}` but `{}` never \
+                             writes it",
+                            check.decode_fn,
+                            da.discriminant.unwrap_or_default(),
+                            da.variant,
+                            check.encode_fn
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Perturbation coverage: every encoded field must have a variant in
+    // the paired key-perturbation test.
+    if let Some(p) = &check.perturb {
+        match all_tokens.get(&p.file) {
+            None => findings.push(Finding {
+                file: p.file.clone(),
+                line: 1,
+                rule: "codec-drift",
+                message: format!(
+                    "perturbation test file not scanned (paired with the {} codec); fix \
+                     the lint config",
+                    check.file
+                ),
+            }),
+            Some(tokens) => {
+                let sig = sig_tokens(tokens);
+                match fn_body(&sig, &p.test_fn) {
+                    None => findings.push(Finding {
+                        file: p.file.clone(),
+                        line: 1,
+                        rule: "codec-drift",
+                        message: format!(
+                            "could not find `fn {}` (the key-perturbation test paired \
+                             with the {} codec)",
+                            p.test_fn, check.file
+                        ),
+                    }),
+                    Some((body, line)) => {
+                        let owned: Vec<Token> = body.iter().map(|t| (*t).clone()).collect();
+                        for field in &all_fields {
+                            if !mentions(&owned, field) {
+                                findings.push(Finding {
+                                    file: p.file.clone(),
+                                    line,
+                                    rule: "codec-drift",
+                                    message: format!(
+                                        "field `{field}` of the {} codec has no variant in \
+                                         `{}` — every encoded field must be shown to \
+                                         perturb the key",
+                                        check.file, p.test_fn
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PerturbTest;
+    use crate::items::parse_fn_items;
+    use crate::lexer::lex;
+
+    fn struct_check(perturb: Option<PerturbTest>) -> CodecCheck {
+        CodecCheck {
+            file: "codec.rs".into(),
+            in_impl: Some("Rec".into()),
+            encode_fn: "enc".into(),
+            decode_fn: "dec".into(),
+            kind: CodecKind::Struct { root: "self".into() },
+            perturb,
+        }
+    }
+
+    #[test]
+    fn struct_codec_in_order_is_clean() {
+        let src = "\
+impl Rec {
+    fn enc(&self, out: &mut Vec<u8>) { put(out, self.a); put(out, self.b.len()); }
+    fn dec(b: &[u8]) -> Rec { let a = get(b); let b = get_vec(b); Rec { a, b } }
+}
+";
+        let items = parse_fn_items("codec.rs", &lex(src));
+        assert!(check_codec(&struct_check(None), &items, &BTreeMap::new()).is_empty());
+    }
+
+    #[test]
+    fn struct_codec_missing_and_reordered_fields_fire() {
+        let src = "\
+impl Rec {
+    fn enc(&self, out: &mut Vec<u8>) { put(out, self.a); put(out, self.b); put(out, self.c); }
+    fn dec(b: &[u8]) -> Rec { let c = get(b); let a = get(b); Rec { a, b: 0, c } }
+}
+";
+        let items = parse_fn_items("codec.rs", &lex(src));
+        let f = check_codec(&struct_check(None), &items, &BTreeMap::new());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("`self.b`") && f[0].message.contains("never bound"));
+        assert!(f[1].message.contains("`self.c`") && f[1].message.contains("out of order"));
+    }
+
+    #[test]
+    fn perturbation_gap_fires() {
+        let src = "\
+impl Rec {
+    fn enc(&self, out: &mut Vec<u8>) { put(out, self.a); put(out, self.b); }
+    fn dec(b: &[u8]) -> Rec { let a = get(b); let b = get(b); Rec { a, b } }
+}
+";
+        let items = parse_fn_items("codec.rs", &lex(src));
+        let perturb = Some(PerturbTest { file: "t.rs".into(), test_fn: "perturb".into() });
+        let mut all = BTreeMap::new();
+        all.insert(
+            "t.rs".to_string(),
+            lex("fn perturb() { vary(\"a\", |v| v.a += 1); }"),
+        );
+        let f = check_codec(&struct_check(perturb), &items, &all);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`b`"), "{}", f[0].message);
+        assert_eq!(f[0].file, "t.rs");
+    }
+
+    #[test]
+    fn enum_codec_pairs_discriminants_and_fields() {
+        let src = "\
+fn enc(bc: &Wb, out: &mut Vec<u8>) {
+    match bc {
+        Wb::Plain => put(out, 0),
+        Wb::Slip { r } => { put(out, 1); putf(out, *r); }
+        Wb::Pat { a, b } => { put(out, 2); putf(out, *a); putf(out, *b); }
+    }
+}
+fn dec(r: &mut R) -> Result<Wb, String> {
+    Ok(match r.u64()? {
+        0 => Wb::Plain,
+        1 => Wb::Slip { r: r.f64()? },
+        2 => { let a = r.f64()?; Wb::Pat { a, b: r.f64()? } }
+        k => return Err(format!(\"bad kind {k}\")),
+    })
+}
+";
+        let items = parse_fn_items("codec.rs", &lex(src));
+        let check = CodecCheck {
+            file: "codec.rs".into(),
+            in_impl: None,
+            encode_fn: "enc".into(),
+            decode_fn: "dec".into(),
+            kind: CodecKind::Enum { name: "Wb".into() },
+            perturb: None,
+        };
+        assert!(check_codec(&check, &items, &BTreeMap::new()).is_empty());
+
+        // Drop the decoder's `b` field: one missing-field finding.
+        let drifted = src.replace(", b: r.f64()?", "");
+        let items = parse_fn_items("codec.rs", &lex(&drifted));
+        let f = check_codec(&check, &items, &BTreeMap::new());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`b`"), "{}", f[0].message);
+    }
+}

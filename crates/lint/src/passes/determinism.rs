@@ -1,0 +1,98 @@
+//! Rule family: determinism of decision/kernel code.
+
+use crate::diag::Finding;
+use crate::items::{line_is_exempt, sig_tokens, test_exempt_ranges};
+use crate::lexer::Token;
+
+/// (identifier, rule, what to use instead).
+const BANNED_IDENTS: &[(&str, &str, &str)] = &[
+    (
+        "Instant",
+        "determinism-clock",
+        "decision/kernel code must not read the wall clock; take timestamps from the \
+         tracer or pass durations in",
+    ),
+    (
+        "SystemTime",
+        "determinism-clock",
+        "decision/kernel code must not read the wall clock; take timestamps from the \
+         tracer or pass durations in",
+    ),
+    (
+        "HashMap",
+        "determinism-hash",
+        "iteration order is unspecified and can differ across runs; use BTreeMap or a Vec",
+    ),
+    (
+        "HashSet",
+        "determinism-hash",
+        "iteration order is unspecified and can differ across runs; use BTreeSet or a Vec",
+    ),
+    (
+        "ThreadId",
+        "determinism-thread",
+        "decisions must not depend on which thread runs them",
+    ),
+    (
+        "thread_rng",
+        "determinism-thread",
+        "use a seeded RNG threaded through the config so runs replay",
+    ),
+];
+
+/// Bans wall clocks, hash-ordered collections, and thread identity in
+/// decision/kernel code (outside `#[cfg(test)]` and the timing modules).
+pub fn check_determinism(file: &str, tokens: &[Token]) -> Vec<Finding> {
+    let exempt = test_exempt_ranges(tokens);
+    let sig: Vec<&Token> = sig_tokens(tokens);
+    let mut findings = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if line_is_exempt(&exempt, t.line) {
+            continue;
+        }
+        for &(banned, rule, hint) in BANNED_IDENTS {
+            if name == banned {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule,
+                    message: format!("`{banned}` in a determinism-critical path: {hint}"),
+                });
+            }
+        }
+        // `thread::current()` — thread identity via the module path.
+        if name == "thread"
+            && sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && sig.get(i + 3).and_then(|t| t.ident()) == Some("current")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "determinism-thread",
+                message: "`thread::current()` in a determinism-critical path: decisions \
+                          must not depend on which thread runs them"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn determinism_flags_each_family() {
+        let src = "use std::time::Instant;\nlet m = HashMap::new();\nlet id = thread::current();\n";
+        let rules: Vec<&str> =
+            check_determinism("f.rs", &lex(src)).iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["determinism-clock", "determinism-hash", "determinism-thread"]
+        );
+    }
+}

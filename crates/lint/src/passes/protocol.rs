@@ -1,0 +1,307 @@
+//! Rule family: wire-protocol frame-kind conformance.
+//!
+//! The MSN1 protocol's kind table lives in three places that must agree:
+//! the `FrameKind` enum with its paired `code()`/`from_code()` fns, the
+//! module doc comment's kind table, and the dispatch sites (the mesh
+//! recv path and the serve loop). A kind added to the enum but missing
+//! from `from_code` is unparseable; missing from a dispatch file it is
+//! parseable but unhandled; missing from the doc table it is
+//! undocumented protocol surface. All three are `protocol-drift`.
+
+use std::collections::BTreeMap;
+
+use crate::config::ProtocolCheck;
+use crate::diag::Finding;
+use crate::items::{enum_variants, fn_body, sig_tokens};
+use crate::lexer::{Tok, Token};
+
+/// Parses a numeric literal's text (`23`, `0x17`, `1_000`, `23u8`).
+fn parse_code(text: &str) -> Option<u32> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x") {
+        let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        u32::from_str_radix(&digits, 16).ok()
+    } else {
+        let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse().ok()
+    }
+}
+
+/// `Enum::Variant => N` arms (also matching `Self::`).
+fn to_code_arms(body: &[&Token], enum_name: &str) -> BTreeMap<String, u32> {
+    let mut map = BTreeMap::new();
+    for i in 0..body.len() {
+        let Some(q) = body[i].ident() else { continue };
+        if q != enum_name && q != "Self" {
+            continue;
+        }
+        if !(body.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && body.get(i + 2).is_some_and(|t| t.is_punct(':')))
+        {
+            continue;
+        }
+        let Some(v) = body.get(i + 3).and_then(|t| t.ident()) else { continue };
+        if !(body.get(i + 4).is_some_and(|t| t.is_punct('='))
+            && body.get(i + 5).is_some_and(|t| t.is_punct('>')))
+        {
+            continue;
+        }
+        if let Some(Tok::Num(text)) = body.get(i + 6).map(|t| &t.tok) {
+            if let Some(n) = parse_code(text) {
+                map.insert(v.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+/// `N => … Enum::Variant …` arms (also matching `Self::`).
+fn from_code_arms(body: &[&Token], enum_name: &str) -> BTreeMap<String, u32> {
+    let mut map = BTreeMap::new();
+    for i in 0..body.len() {
+        let Tok::Num(text) = &body[i].tok else { continue };
+        if !(body.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && body.get(i + 2).is_some_and(|t| t.is_punct('>')))
+        {
+            continue;
+        }
+        let Some(n) = parse_code(text) else { continue };
+        // Scan the arm body (to the `,` closing it) for the variant path.
+        let mut depth = 0i32;
+        let mut j = i + 3;
+        while let Some(t) = body.get(j) {
+            match &t.tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                Tok::Punct(',') if depth == 0 => break,
+                Tok::Ident(q)
+                    if (q == enum_name || q == "Self")
+                        && body.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && body.get(j + 2).is_some_and(|t| t.is_punct(':')) =>
+                {
+                    if let Some(v) = body.get(j + 3).and_then(|t| t.ident()) {
+                        map.insert(v.to_string(), n);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    map
+}
+
+/// Runs the protocol conformance pass. `coverage_tokens` maps each
+/// configured dispatch file to its token stream (missing files are
+/// findings).
+pub fn check_protocol(
+    pc: &ProtocolCheck,
+    wire_tokens: &[Token],
+    coverage_tokens: &BTreeMap<String, Vec<Token>>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut fail = |line: u32, message: String| {
+        findings.push(Finding {
+            file: pc.wire_file.clone(),
+            line,
+            rule: "protocol-drift",
+            message,
+        });
+    };
+    let sig = sig_tokens(wire_tokens);
+    let Some(variants) = enum_variants(&sig, &pc.kind_enum) else {
+        fail(1, format!("could not find `enum {}` in the wire file", pc.kind_enum));
+        return findings;
+    };
+    let Some((to_body, _)) = fn_body(&sig, &pc.to_code_fn) else {
+        fail(1, format!("could not find `fn {}` in the wire file", pc.to_code_fn));
+        return findings;
+    };
+    let Some((from_body, from_line)) = fn_body(&sig, &pc.from_code_fn) else {
+        fail(1, format!("could not find `fn {}` in the wire file", pc.from_code_fn));
+        return findings;
+    };
+    let to_codes = to_code_arms(&to_body, &pc.kind_enum);
+    let from_codes = from_code_arms(&from_body, &pc.kind_enum);
+
+    // Comment text of the wire file, for the doc-table check.
+    let doc_text: String = wire_tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::LineComment(s) | Tok::BlockComment(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    for (variant, line) in &variants {
+        let code = match to_codes.get(variant) {
+            Some(&code) => code,
+            None => {
+                fail(
+                    *line,
+                    format!(
+                        "`{}::{variant}` has no `{}()` arm — the kind cannot be encoded",
+                        pc.kind_enum, pc.to_code_fn
+                    ),
+                );
+                continue;
+            }
+        };
+        match from_codes.get(variant) {
+            None => fail(
+                *line,
+                format!(
+                    "`{}::{variant}` (kind {code}) has no `{}()` arm — peers cannot parse \
+                     frames of this kind",
+                    pc.kind_enum, pc.from_code_fn
+                ),
+            ),
+            Some(&back) if back != code => fail(
+                *line,
+                format!(
+                    "`{}::{variant}` encodes as kind {code} but `{}()` maps {back} to it — \
+                     the round trip is broken",
+                    pc.kind_enum, pc.from_code_fn
+                ),
+            ),
+            Some(_) => {}
+        }
+        if !doc_text.contains(variant.as_str()) {
+            fail(
+                *line,
+                format!(
+                    "`{}::{variant}` is missing from the wire file's doc comments — keep \
+                     the kind table complete",
+                    pc.kind_enum
+                ),
+            );
+        }
+        // Dispatch coverage: the variant's code range names the files
+        // that must handle (or explicitly reject) the kind.
+        let mut in_any_range = false;
+        for cov in &pc.coverage {
+            if !(cov.min_code..=cov.max_code).contains(&code) {
+                continue;
+            }
+            in_any_range = true;
+            let mut handled = false;
+            for file in &cov.files {
+                match coverage_tokens.get(file) {
+                    Some(tokens) => {
+                        if tokens.iter().any(|t| t.ident() == Some(variant.as_str())) {
+                            handled = true;
+                        }
+                    }
+                    None => fail(
+                        1,
+                        format!(
+                            "protocol coverage file `{file}` was not scanned; fix the lint \
+                             config"
+                        ),
+                    ),
+                }
+            }
+            if !handled {
+                fail(
+                    *line,
+                    format!(
+                        "`{}::{variant}` (kind {code}) is never named in {} — {} must \
+                         dispatch or explicitly reject it",
+                        pc.kind_enum,
+                        cov.files.join(", "),
+                        cov.what
+                    ),
+                );
+            }
+        }
+        if !in_any_range {
+            fail(
+                *line,
+                format!(
+                    "`{}::{variant}` (kind {code}) falls outside every configured kind-code \
+                     range — extend the protocol coverage map",
+                    pc.kind_enum
+                ),
+            );
+        }
+    }
+
+    // The reverse direction: a from_code arm for a variant that no longer
+    // encodes (or never did) is dead protocol surface.
+    for (variant, &code) in &from_codes {
+        if !to_codes.contains_key(variant) {
+            fail(
+                from_line,
+                format!(
+                    "`{}()` maps kind {code} to `{}::{variant}` but `{}()` never emits it",
+                    pc.from_code_fn, pc.kind_enum, pc.to_code_fn
+                ),
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const WIRE: &str = "\
+//! Kinds: Data (0), Quit (1).
+pub enum Kind { Data, Quit }
+impl Kind {
+    pub fn code(self) -> u32 { match self { Kind::Data => 0, Kind::Quit => 1 } }
+    pub fn from_code(c: u32) -> Option<Kind> {
+        match c { 0 => Some(Kind::Data), 1 => Some(Kind::Quit), _ => None }
+    }
+}
+";
+
+    fn pc() -> ProtocolCheck {
+        ProtocolCheck {
+            wire_file: "wire.rs".into(),
+            kind_enum: "Kind".into(),
+            to_code_fn: "code".into(),
+            from_code_fn: "from_code".into(),
+            coverage: vec![crate::config::KindCoverage {
+                what: "the loop".into(),
+                min_code: 0,
+                max_code: 255,
+                files: vec!["loop.rs".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn conformant_wire_is_clean() {
+        let mut cov = BTreeMap::new();
+        cov.insert("loop.rs".to_string(), lex("fn f(k: Kind) { match k { Kind::Data => {} Kind::Quit => {} } }"));
+        assert!(check_protocol(&pc(), &lex(WIRE), &cov).is_empty());
+    }
+
+    #[test]
+    fn unhandled_kind_is_a_finding() {
+        let mut cov = BTreeMap::new();
+        cov.insert("loop.rs".to_string(), lex("fn f(k: Kind) { match k { Kind::Data => {} _ => {} } }"));
+        let f = check_protocol(&pc(), &lex(WIRE), &cov);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Quit"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn missing_from_code_arm_is_a_finding() {
+        let wire = WIRE.replace("1 => Some(Kind::Quit), ", "");
+        let mut cov = BTreeMap::new();
+        cov.insert("loop.rs".to_string(), lex("fn f() { Kind::Data; Kind::Quit; }"));
+        let f = check_protocol(&pc(), &lex(&wire), &cov);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("from_code"), "{}", f[0].message);
+    }
+}

@@ -1,0 +1,118 @@
+//! Rule family: trace-schema exhaustiveness.
+
+use std::collections::BTreeMap;
+
+use crate::config::SchemaCheck;
+use crate::diag::Finding;
+use crate::items::{enum_variants, fn_body, has_path, sig_tokens, variant_name_map};
+use crate::lexer::{Tok, Token};
+
+/// Cross-checks the event enum against the JSONL emitter, parser, name
+/// mapping and schema contract. `event_src` holds the enum (and usually
+/// the name mapping); `export_src` holds the emitter/parser/contract.
+pub fn check_schema(
+    sc: &SchemaCheck,
+    event_src: &str,
+    export_src: &str,
+) -> Vec<Finding> {
+    let event_toks = crate::lexer::lex(event_src);
+    let export_toks = crate::lexer::lex(export_src);
+    let mut findings = Vec::new();
+    let mut fail = |file: &str, line: u32, message: String| {
+        findings.push(Finding { file: file.to_string(), line, rule: "schema-drift", message });
+    };
+
+    let event_sig: Vec<&Token> = sig_tokens(&event_toks);
+    let export_sig: Vec<&Token> = sig_tokens(&export_toks);
+
+    let Some(variants) = enum_variants(&event_sig, &sc.event_enum) else {
+        fail(
+            &sc.event_file,
+            1,
+            format!("could not find `enum {}` to cross-check the trace schema", sc.event_enum),
+        );
+        return findings;
+    };
+
+    // Locate the four functions; each may live in either file.
+    let locate = |name: &str| -> Option<(&str, Vec<&Token>, u32)> {
+        fn_body(&event_sig, name)
+            .map(|(body, line)| (sc.event_file.as_str(), body, line))
+            .or_else(|| fn_body(&export_sig, name).map(|(b, l)| (sc.exporter_file.as_str(), b, l)))
+    };
+    let mut resolved = BTreeMap::new();
+    for name in [&sc.emitter_fn, &sc.parser_fn, &sc.name_fn, &sc.contract_fn] {
+        match locate(name) {
+            Some(found) => {
+                resolved.insert(name.clone(), found);
+            }
+            None => fail(
+                &sc.exporter_file,
+                1,
+                format!("could not find `fn {name}` to cross-check the trace schema"),
+            ),
+        }
+    }
+    if resolved.len() < 4 {
+        return findings;
+    }
+    let get = |name: &String| &resolved[name];
+
+    // 1–2. Every variant must be constructed/serialized in both the
+    // emitter and the parser.
+    for role in [&sc.emitter_fn, &sc.parser_fn] {
+        let (file, body, line) = get(role);
+        for (variant, _) in &variants {
+            if !has_path(body, &sc.event_enum, variant) {
+                fail(
+                    file,
+                    *line,
+                    format!(
+                        "`fn {role}` does not mention `{}::{variant}` — emitter and parser \
+                         must cover every event variant",
+                        sc.event_enum
+                    ),
+                );
+            }
+        }
+    }
+
+    // 3. Every variant needs a stable schema name in the name mapping.
+    let (name_file, name_body, name_line) = get(&sc.name_fn);
+    let name_map = variant_name_map(name_body, &sc.event_enum);
+    for (variant, _) in &variants {
+        if !name_map.contains_key(variant) {
+            fail(
+                name_file,
+                *name_line,
+                format!(
+                    "`fn {}` has no `{}::{variant} => \"…\"` arm — every variant needs a \
+                     stable schema name",
+                    sc.name_fn, sc.event_enum
+                ),
+            );
+        }
+    }
+
+    // 4. Each schema name must appear in the required-fields contract and
+    // in the parser's match on the type string.
+    for role in [&sc.contract_fn, &sc.parser_fn] {
+        let (file, body, line) = get(role);
+        for (variant, _) in &variants {
+            let Some(schema_name) = name_map.get(variant) else { continue };
+            let present = body.iter().any(|t| matches!(&t.tok, Tok::Str(s) if s == schema_name));
+            if !present {
+                fail(
+                    file,
+                    *line,
+                    format!(
+                        "`fn {role}` never mentions \"{schema_name}\" (the schema name of \
+                         `{}::{variant}`)",
+                        sc.event_enum
+                    ),
+                );
+            }
+        }
+    }
+    findings
+}

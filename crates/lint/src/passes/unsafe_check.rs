@@ -1,0 +1,63 @@
+//! Rule family: unsafe containment and registry accuracy.
+
+use crate::diag::Finding;
+use crate::items::FnItem;
+use crate::lexer::Token;
+
+/// Lines on which the `unsafe` keyword occurs (all of them — test code is
+/// not exempt; unsafe is unsafe wherever it runs).
+pub fn unsafe_lines(tokens: &[Token]) -> Vec<u32> {
+    tokens.iter().filter(|t| t.ident() == Some("unsafe")).map(|t| t.line).collect()
+}
+
+/// Flags `unsafe` in a file absent from the registry.
+pub fn check_unsafe_containment(file: &str, tokens: &[Token], registered: bool) -> Vec<Finding> {
+    if registered {
+        return Vec::new();
+    }
+    unsafe_lines(tokens)
+        .into_iter()
+        .map(|line| Finding {
+            file: file.to_string(),
+            line,
+            rule: "unsafe-containment",
+            message: "`unsafe` outside the registered kernel files; add the file to the \
+                      lint's unsafe registry with a justification, or write it safe"
+                .to_string(),
+        })
+        .collect()
+}
+
+/// Names of fns in `items` that are `unsafe fn` or contain an `unsafe`
+/// block — the ground truth the registry's `expect_fns` is checked
+/// against, so a justification cannot silently outlive the kernels it
+/// describes.
+pub fn unsafe_fn_names(items: &[FnItem]) -> Vec<String> {
+    items
+        .iter()
+        .filter(|it| it.is_unsafe || it.body.iter().any(|t| t.ident() == Some("unsafe")))
+        .map(|it| it.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_fn_items;
+    use crate::lexer::lex;
+
+    #[test]
+    fn unsafe_containment_respects_registry_flag() {
+        let toks = lex("unsafe { ptr.read() }\n// a comment saying unsafe\n");
+        assert_eq!(unsafe_lines(&toks), vec![1]);
+        assert!(check_unsafe_containment("f.rs", &toks, true).is_empty());
+        assert_eq!(check_unsafe_containment("f.rs", &toks, false).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_names_cover_both_forms() {
+        let src = "unsafe fn a() {}\nfn b() { unsafe { work() } }\nfn c() {}\n";
+        let items = parse_fn_items("f.rs", &lex(src));
+        assert_eq!(unsafe_fn_names(&items), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,688 +1,17 @@
-//! The rule implementations.
+//! Compatibility facade over the split-out pass modules.
 //!
-//! Every rule works on the flat token stream from [`crate::lexer`]; none
-//! needs type information, which is exactly why these invariants live
-//! here and not in clippy: they are *project* rules ("no wall clock in
-//! remap decisions", "this file parses untrusted bytes") that only make
-//! sense with the workspace's invariant map ([`crate::config`]).
+//! The original single-file rule engine grew into [`crate::items`] (the
+//! token-stream item model), [`crate::callgraph`] (panic reachability)
+//! and [`crate::passes`] (one module per rule family). External callers
+//! and the fixture self-tests keep importing through `rules::*`.
 
-use std::collections::BTreeMap;
-
-use crate::allow::{parse_allow, AllowParse};
-use crate::config::SchemaCheck;
-use crate::diag::Finding;
-use crate::lexer::{Tok, Token};
-
-/// Every rule identifier `lint:allow` may name.
-pub const KNOWN_RULES: &[&str] = &[
-    "determinism-clock",
-    "determinism-hash",
-    "determinism-thread",
-    "boundary-panic",
-    "boundary-index",
-    "schema-drift",
-    "unsafe-containment",
-];
-
-// ---------------------------------------------------------------------------
-// Shared machinery: test exemption and suppressions.
-// ---------------------------------------------------------------------------
-
-/// Inclusive line ranges covered by `#[cfg(test)]` items (test modules,
-/// test-only functions and imports). The determinism and boundary rules
-/// skip these — test code may unwrap and may measure time.
-pub fn test_exempt_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
-    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
-    let mut ranges = Vec::new();
-    let mut i = 0usize;
-    while i < sig.len() {
-        if let Some((attr_is_test, after_attr)) = parse_attribute(&sig, i) {
-            if attr_is_test {
-                let start_line = sig[i].line;
-                // Skip any further attributes on the same item.
-                let mut j = after_attr;
-                while let Some((_, next)) = parse_attribute(&sig, j) {
-                    j = next;
-                }
-                let end_line = item_end_line(&sig, j);
-                ranges.push((start_line, end_line));
-            }
-            i = after_attr;
-        } else {
-            i += 1;
-        }
-    }
-    ranges
-}
-
-/// If `sig[i]` opens an attribute (`#[…]` or `#![…]`), returns whether it
-/// is a `cfg(test)`-style attribute and the index just past its `]`.
-fn parse_attribute(sig: &[&Token], i: usize) -> Option<(bool, usize)> {
-    if !sig.get(i)?.is_punct('#') {
-        return None;
-    }
-    let mut j = i + 1;
-    if sig.get(j)?.is_punct('!') {
-        j += 1;
-    }
-    if !sig.get(j)?.is_punct('[') {
-        return None;
-    }
-    let mut depth = 0usize;
-    let mut saw_cfg = false;
-    let mut saw_test = false;
-    for (k, t) in sig.iter().enumerate().skip(j) {
-        match &t.tok {
-            Tok::Punct('[') | Tok::Punct('(') | Tok::Punct('{') => depth += 1,
-            Tok::Punct(']') | Tok::Punct(')') | Tok::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    return Some((saw_cfg && saw_test, k + 1));
-                }
-            }
-            Tok::Ident(s) if s == "cfg" => saw_cfg = true,
-            Tok::Ident(s) if s == "test" => saw_test = true,
-            _ => {}
-        }
-    }
-    Some((false, sig.len()))
-}
-
-/// Line where the item starting at `sig[i]` ends: the matching `}` of its
-/// first brace, or the first `;` before any brace opens.
-fn item_end_line(sig: &[&Token], i: usize) -> u32 {
-    let mut depth = 0usize;
-    let mut last_line = sig.get(i).map_or(1, |t| t.line);
-    for t in sig.iter().skip(i) {
-        last_line = t.line;
-        match &t.tok {
-            Tok::Punct(';') if depth == 0 => return t.line,
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    return t.line;
-                }
-            }
-            _ => {}
-        }
-    }
-    last_line
-}
-
-fn line_is_exempt(ranges: &[(u32, u32)], line: u32) -> bool {
-    ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
-}
-
-/// Lines suppressed per rule, built from `// lint:allow(rule, reason)`
-/// comments. A suppression covers its own line and the next one.
-pub struct Suppressions {
-    covered: BTreeMap<String, Vec<u32>>,
-}
-
-impl Suppressions {
-    pub fn covers(&self, rule: &str, line: u32) -> bool {
-        self.covered.get(rule).is_some_and(|lines| lines.contains(&line))
-    }
-}
-
-/// Extracts suppressions from comment tokens; malformed or unknown-rule
-/// allows become `allow-syntax` findings (never themselves suppressible).
-pub fn collect_suppressions(file: &str, tokens: &[Token]) -> (Suppressions, Vec<Finding>) {
-    let mut covered: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-    let mut findings = Vec::new();
-    for t in tokens {
-        let Tok::LineComment(text) = &t.tok else { continue };
-        match parse_allow(text) {
-            AllowParse::NotAllow => {}
-            AllowParse::Valid(a) => {
-                if KNOWN_RULES.contains(&a.rule.as_str()) {
-                    covered.entry(a.rule).or_default().extend([t.line, t.line + 1]);
-                } else {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: t.line,
-                        rule: "allow-syntax",
-                        message: format!(
-                            "lint:allow names unknown rule '{}'; known rules: {}",
-                            a.rule,
-                            KNOWN_RULES.join(", ")
-                        ),
-                    });
-                }
-            }
-            AllowParse::Malformed(why) => findings.push(Finding {
-                file: file.to_string(),
-                line: t.line,
-                rule: "allow-syntax",
-                message: why,
-            }),
-        }
-    }
-    (Suppressions { covered }, findings)
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 1: determinism.
-// ---------------------------------------------------------------------------
-
-/// (identifier, rule, what to use instead).
-const BANNED_IDENTS: &[(&str, &str, &str)] = &[
-    (
-        "Instant",
-        "determinism-clock",
-        "decision/kernel code must not read the wall clock; take timestamps from the \
-         tracer or pass durations in",
-    ),
-    (
-        "SystemTime",
-        "determinism-clock",
-        "decision/kernel code must not read the wall clock; take timestamps from the \
-         tracer or pass durations in",
-    ),
-    (
-        "HashMap",
-        "determinism-hash",
-        "iteration order is unspecified and can differ across runs; use BTreeMap or a Vec",
-    ),
-    (
-        "HashSet",
-        "determinism-hash",
-        "iteration order is unspecified and can differ across runs; use BTreeSet or a Vec",
-    ),
-    (
-        "ThreadId",
-        "determinism-thread",
-        "decisions must not depend on which thread runs them",
-    ),
-    (
-        "thread_rng",
-        "determinism-thread",
-        "use a seeded RNG threaded through the config so runs replay",
-    ),
-];
-
-/// Bans wall clocks, hash-ordered collections, and thread identity in
-/// decision/kernel code (outside `#[cfg(test)]` and the timing modules).
-pub fn check_determinism(file: &str, tokens: &[Token]) -> Vec<Finding> {
-    let exempt = test_exempt_ranges(tokens);
-    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
-    let mut findings = Vec::new();
-    for (i, t) in sig.iter().enumerate() {
-        let Some(name) = t.ident() else { continue };
-        if line_is_exempt(&exempt, t.line) {
-            continue;
-        }
-        for &(banned, rule, hint) in BANNED_IDENTS {
-            if name == banned {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: t.line,
-                    rule,
-                    message: format!("`{banned}` in a determinism-critical path: {hint}"),
-                });
-            }
-        }
-        // `thread::current()` — thread identity via the module path.
-        if name == "thread"
-            && sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
-            && sig.get(i + 3).and_then(|t| t.ident()) == Some("current")
-        {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: t.line,
-                rule: "determinism-thread",
-                message: "`thread::current()` in a determinism-critical path: decisions \
-                          must not depend on which thread runs them"
-                    .to_string(),
-            });
-        }
-    }
-    findings
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 2: panic-freedom at the trust boundary.
-// ---------------------------------------------------------------------------
-
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-
-/// Rust keywords that may directly precede `[` without it being an index
-/// expression (`return [..]`, `in [..]`, `let [a, b] = …`, `&mut [..]`).
-const NON_INDEX_KEYWORDS: &[&str] = &[
-    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "loop",
-    "while", "for", "move", "as", "const", "static", "fn", "impl", "trait", "type", "struct",
-    "enum", "union", "mod", "use", "pub", "crate", "super", "where", "unsafe", "dyn", "async",
-    "await", "yield", "box", "extern", "true", "false",
-];
-
-/// Bans `unwrap()`/`expect()`, panic-family macros, and direct slice
-/// indexing in untrusted-input parser files (outside `#[cfg(test)]`).
-pub fn check_boundary(file: &str, tokens: &[Token]) -> Vec<Finding> {
-    let exempt = test_exempt_ranges(tokens);
-    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
-    let mut findings = Vec::new();
-    for (i, t) in sig.iter().enumerate() {
-        if line_is_exempt(&exempt, t.line) {
-            continue;
-        }
-        match &t.tok {
-            // `.unwrap(` / `.expect(`
-            Tok::Ident(name) if (name == "unwrap" || name == "expect") => {
-                let method_call = i > 0
-                    && sig[i - 1].is_punct('.')
-                    && sig.get(i + 1).is_some_and(|t| t.is_punct('('));
-                if method_call {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: t.line,
-                        rule: "boundary-panic",
-                        message: format!(
-                            "`.{name}()` in an untrusted-input parser; return a typed error \
-                             (CommError::Protocol / Err(String)) instead"
-                        ),
-                    });
-                }
-            }
-            // `panic!(` and friends.
-            Tok::Ident(name)
-                if PANIC_MACROS.contains(&name.as_str())
-                    && sig.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
-            {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: t.line,
-                    rule: "boundary-panic",
-                    message: format!(
-                        "`{name}!` in an untrusted-input parser; malformed input must \
-                         surface as a typed error, not a crash"
-                    ),
-                });
-            }
-            // `expr[…]` — a slice/array index that panics out of range.
-            Tok::Punct('[') if i > 0 => {
-                let indexes = match &sig[i - 1].tok {
-                    Tok::Ident(name) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
-                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
-                    _ => false,
-                };
-                if indexes {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: t.line,
-                        rule: "boundary-index",
-                        message: "direct slice indexing in an untrusted-input parser; use \
-                                  `.get(..)` and return a typed error on None"
-                            .to_string(),
-                    });
-                }
-            }
-            _ => {}
-        }
-    }
-    findings
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 3: unsafe containment.
-// ---------------------------------------------------------------------------
-
-/// Lines on which the `unsafe` keyword occurs (all of them — test code is
-/// not exempt; unsafe is unsafe wherever it runs).
-pub fn unsafe_lines(tokens: &[Token]) -> Vec<u32> {
-    tokens.iter().filter(|t| t.ident() == Some("unsafe")).map(|t| t.line).collect()
-}
-
-/// Flags `unsafe` in a file absent from the registry.
-pub fn check_unsafe_containment(file: &str, tokens: &[Token], registered: bool) -> Vec<Finding> {
-    if registered {
-        return Vec::new();
-    }
-    unsafe_lines(tokens)
-        .into_iter()
-        .map(|line| Finding {
-            file: file.to_string(),
-            line,
-            rule: "unsafe-containment",
-            message: "`unsafe` outside the registered kernel files; add the file to the \
-                      lint's unsafe registry with a justification, or write it safe"
-                .to_string(),
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Rule family 4: trace-schema exhaustiveness.
-// ---------------------------------------------------------------------------
-
-/// Cross-checks the event enum against the JSONL emitter, parser, name
-/// mapping and schema contract. `event_src` holds the enum (and usually
-/// the name mapping); `export_src` holds the emitter/parser/contract.
-pub fn check_schema(
-    sc: &SchemaCheck,
-    event_src: &str,
-    export_src: &str,
-) -> Vec<Finding> {
-    let event_toks = crate::lexer::lex(event_src);
-    let export_toks = crate::lexer::lex(export_src);
-    let mut findings = Vec::new();
-    let mut fail = |file: &str, line: u32, message: String| {
-        findings.push(Finding { file: file.to_string(), line, rule: "schema-drift", message });
-    };
-
-    let event_sig: Vec<&Token> = event_toks.iter().filter(|t| !t.is_comment()).collect();
-    let export_sig: Vec<&Token> = export_toks.iter().filter(|t| !t.is_comment()).collect();
-
-    let Some(variants) = enum_variants(&event_sig, &sc.event_enum) else {
-        fail(
-            &sc.event_file,
-            1,
-            format!("could not find `enum {}` to cross-check the trace schema", sc.event_enum),
-        );
-        return findings;
-    };
-
-    // Locate the four functions; each may live in either file.
-    let locate = |name: &str| -> Option<(&str, Vec<&Token>, u32)> {
-        fn_body(&event_sig, name)
-            .map(|(body, line)| (sc.event_file.as_str(), body, line))
-            .or_else(|| fn_body(&export_sig, name).map(|(b, l)| (sc.exporter_file.as_str(), b, l)))
-    };
-    let mut resolved = BTreeMap::new();
-    for name in [&sc.emitter_fn, &sc.parser_fn, &sc.name_fn, &sc.contract_fn] {
-        match locate(name) {
-            Some(found) => {
-                resolved.insert(name.clone(), found);
-            }
-            None => fail(
-                &sc.exporter_file,
-                1,
-                format!("could not find `fn {name}` to cross-check the trace schema"),
-            ),
-        }
-    }
-    if resolved.len() < 4 {
-        return findings;
-    }
-    let get = |name: &String| &resolved[name];
-
-    // 1–2. Every variant must be constructed/serialized in both the
-    // emitter and the parser.
-    for role in [&sc.emitter_fn, &sc.parser_fn] {
-        let (file, body, line) = get(role);
-        for (variant, _) in &variants {
-            if !has_path(body, &sc.event_enum, variant) {
-                fail(
-                    file,
-                    *line,
-                    format!(
-                        "`fn {role}` does not mention `{}::{variant}` — emitter and parser \
-                         must cover every event variant",
-                        sc.event_enum
-                    ),
-                );
-            }
-        }
-    }
-
-    // 3. Every variant needs a stable schema name in the name mapping.
-    let (name_file, name_body, name_line) = get(&sc.name_fn);
-    let name_map = variant_name_map(name_body, &sc.event_enum);
-    for (variant, _) in &variants {
-        if !name_map.contains_key(variant) {
-            fail(
-                name_file,
-                *name_line,
-                format!(
-                    "`fn {}` has no `{}::{variant} => \"…\"` arm — every variant needs a \
-                     stable schema name",
-                    sc.name_fn, sc.event_enum
-                ),
-            );
-        }
-    }
-
-    // 4. Each schema name must appear in the required-fields contract and
-    // in the parser's match on the type string.
-    for role in [&sc.contract_fn, &sc.parser_fn] {
-        let (file, body, line) = get(role);
-        for (variant, _) in &variants {
-            let Some(schema_name) = name_map.get(variant) else { continue };
-            let present = body.iter().any(|t| matches!(&t.tok, Tok::Str(s) if s == schema_name));
-            if !present {
-                fail(
-                    file,
-                    *line,
-                    format!(
-                        "`fn {role}` never mentions \"{schema_name}\" (the schema name of \
-                         `{}::{variant}`)",
-                        sc.event_enum
-                    ),
-                );
-            }
-        }
-    }
-    findings
-}
-
-/// Variant names (with lines) of `enum <name> { … }`.
-fn enum_variants(sig: &[&Token], name: &str) -> Option<Vec<(String, u32)>> {
-    let mut i = 0usize;
-    loop {
-        let t = sig.get(i)?;
-        if t.ident() == Some("enum") && sig.get(i + 1).and_then(|t| t.ident()) == Some(name) {
-            break;
-        }
-        i += 1;
-    }
-    // Skip to the opening brace (past any generics).
-    while !sig.get(i)?.is_punct('{') {
-        i += 1;
-    }
-    i += 1;
-    let mut depth = 1usize;
-    let mut variants = Vec::new();
-    let mut expecting_name = true;
-    while depth > 0 {
-        let t = sig.get(i)?;
-        match &t.tok {
-            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
-            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
-            Tok::Punct('#') if depth == 1 => {
-                // Attribute on a variant: skip the bracketed group.
-                i += 1;
-                if sig.get(i).is_some_and(|t| t.is_punct('[')) {
-                    let mut d = 0usize;
-                    while let Some(t) = sig.get(i) {
-                        match &t.tok {
-                            Tok::Punct('[') => d += 1,
-                            Tok::Punct(']') => {
-                                d -= 1;
-                                if d == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            Tok::Punct(',') if depth == 1 => expecting_name = true,
-            Tok::Ident(v) if depth == 1 && expecting_name => {
-                variants.push((v.clone(), t.line));
-                expecting_name = false;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    Some(variants)
-}
-
-/// Body tokens and declaration line of `fn <name>`.
-fn fn_body<'t>(sig: &[&'t Token], name: &str) -> Option<(Vec<&'t Token>, u32)> {
-    let mut i = 0usize;
-    loop {
-        let t = sig.get(i)?;
-        if t.ident() == Some("fn") && sig.get(i + 1).and_then(|t| t.ident()) == Some(name) {
-            break;
-        }
-        i += 1;
-    }
-    let fn_line = sig.get(i)?.line;
-    while !sig.get(i)?.is_punct('{') {
-        i += 1;
-    }
-    let start = i;
-    let mut depth = 0usize;
-    while let Some(t) = sig.get(i) {
-        match &t.tok {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((sig[start..=i].to_vec(), fn_line));
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    Some((sig[start..].to_vec(), fn_line))
-}
-
-/// True when `Enum::Variant` occurs in `body`.
-fn has_path(body: &[&Token], enum_name: &str, variant: &str) -> bool {
-    body.windows(4).any(|w| {
-        w[0].ident() == Some(enum_name)
-            && w[1].is_punct(':')
-            && w[2].is_punct(':')
-            && w[3].ident() == Some(variant)
-    })
-}
-
-/// Extracts `Enum::Variant … => "name"` arms from the name-mapping body.
-fn variant_name_map(body: &[&Token], enum_name: &str) -> BTreeMap<String, String> {
-    let mut map = BTreeMap::new();
-    let mut i = 0usize;
-    while i + 3 < body.len() {
-        if body[i].ident() == Some(enum_name)
-            && body[i + 1].is_punct(':')
-            && body[i + 2].is_punct(':')
-        {
-            if let Some(variant) = body[i + 3].ident() {
-                // Scan forward to the `=>`, then take the first string.
-                let mut j = i + 4;
-                while j + 1 < body.len()
-                    && !(body[j].is_punct('=') && body[j + 1].is_punct('>'))
-                {
-                    j += 1;
-                }
-                let mut k = j + 2;
-                while let Some(t) = body.get(k) {
-                    match &t.tok {
-                        Tok::Str(s) => {
-                            map.insert(variant.to_string(), s.clone());
-                            break;
-                        }
-                        // Stop at the arm's end; no literal means no name.
-                        Tok::Punct(',') => break,
-                        _ => k += 1,
-                    }
-                }
-                i = j;
-            }
-        }
-        i += 1;
-    }
-    map
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::lexer::lex;
-
-    #[test]
-    fn cfg_test_module_lines_are_exempt() {
-        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
-        let ranges = test_exempt_ranges(&lex(src));
-        assert_eq!(ranges, vec![(2, 5)]);
-        assert!(line_is_exempt(&ranges, 4));
-        assert!(!line_is_exempt(&ranges, 1));
-        assert!(!line_is_exempt(&ranges, 6));
-    }
-
-    #[test]
-    fn cfg_test_semicolon_item_is_exempt() {
-        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
-        let ranges = test_exempt_ranges(&lex(src));
-        assert_eq!(ranges, vec![(1, 2)]);
-    }
-
-    #[test]
-    fn non_test_cfg_is_not_exempt() {
-        let src = "#[cfg(feature = \"x\")]\nmod m {}\n";
-        assert!(test_exempt_ranges(&lex(src)).is_empty());
-    }
-
-    #[test]
-    fn determinism_flags_each_family() {
-        let src = "use std::time::Instant;\nlet m = HashMap::new();\nlet id = thread::current();\n";
-        let rules: Vec<&str> =
-            check_determinism("f.rs", &lex(src)).iter().map(|f| f.rule).collect();
-        assert_eq!(
-            rules,
-            vec!["determinism-clock", "determinism-hash", "determinism-thread"]
-        );
-    }
-
-    #[test]
-    fn boundary_distinguishes_call_from_name() {
-        // `unwrap_or` and a field named expect must not fire.
-        let src = "let a = x.unwrap_or(0);\nlet b = s.expect_field;\nlet c = y.unwrap();\n";
-        let f = check_boundary("f.rs", &lex(src));
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].line, 3);
-        assert_eq!(f[0].rule, "boundary-panic");
-    }
-
-    #[test]
-    fn indexing_heuristic_spares_types_patterns_attrs() {
-        let clean = "#[derive(Debug)]\nfn f(x: &[u8], y: [f64; 3]) -> Vec<[u8; 2]> {\n\
-                     let [a, b] = y_pair;\n let v = vec![1, 2];\n ret\n}\n";
-        assert!(check_boundary("f.rs", &lex(clean)).is_empty());
-        let dirty = "fn f() { let x = buf[0]; let y = get()[1]; }";
-        assert_eq!(check_boundary("f.rs", &lex(dirty)).len(), 2);
-    }
-
-    #[test]
-    fn unsafe_containment_respects_registry_flag() {
-        let toks = lex("unsafe { ptr.read() }\n// a comment saying unsafe\n");
-        assert_eq!(unsafe_lines(&toks), vec![1]);
-        assert!(check_unsafe_containment("f.rs", &toks, true).is_empty());
-        assert_eq!(check_unsafe_containment("f.rs", &toks, false).len(), 1);
-    }
-
-    #[test]
-    fn suppression_covers_same_and_next_line() {
-        let src = "// lint:allow(boundary-panic, helper panics by contract)\nx.unwrap();\n\ny.unwrap();\n";
-        let toks = lex(src);
-        let (sup, bad) = collect_suppressions("f.rs", &toks);
-        assert!(bad.is_empty());
-        assert!(sup.covers("boundary-panic", 1));
-        assert!(sup.covers("boundary-panic", 2));
-        assert!(!sup.covers("boundary-panic", 4));
-        assert!(!sup.covers("boundary-index", 2));
-    }
-
-    #[test]
-    fn malformed_and_unknown_allows_are_findings() {
-        let src = "// lint:allow(boundary-panic)\n// lint:allow(no-such-rule, because)\n";
-        let (_, bad) = collect_suppressions("f.rs", &lex(src));
-        assert_eq!(bad.len(), 2);
-        assert!(bad.iter().all(|f| f.rule == "allow-syntax"));
-    }
-}
+pub use crate::callgraph::check_reachability;
+pub use crate::items::{line_is_exempt, test_exempt_ranges};
+pub use crate::passes::boundary::check_boundary;
+pub use crate::passes::casts::check_casts;
+pub use crate::passes::codec::check_codec;
+pub use crate::passes::determinism::check_determinism;
+pub use crate::passes::protocol::check_protocol;
+pub use crate::passes::schema::check_schema;
+pub use crate::passes::unsafe_check::{check_unsafe_containment, unsafe_fn_names, unsafe_lines};
+pub use crate::passes::{collect_suppressions, Suppressions, KNOWN_RULES};

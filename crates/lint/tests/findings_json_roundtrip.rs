@@ -1,0 +1,86 @@
+//! Property test: the findings JSON format (`--json`, also the baseline
+//! file format) round-trips through the hand-rolled emitter and parser
+//! for arbitrary paths and messages — including every escape the emitter
+//! produces (quotes, backslashes, control characters) and non-ASCII.
+//!
+//! The vendored proptest shim has no string-regex strategies, so strings
+//! are built from index vectors over an explicit alphabet.
+
+use microslip_lint::rules::KNOWN_RULES;
+use microslip_lint::{diff_baseline, parse_baseline, to_json, Finding};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Alphabet chosen to hit every escape path in `to_json`: quote,
+/// backslash, newline, tab, carriage return, a raw control character,
+/// and a multi-byte UTF-8 character.
+const TEXT_CHARS: &[char] = &[
+    'a', 'z', '0', '/', '.', '-', '_', ' ', '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{b5}',
+    '(', ')', ',', ':', '{', '}', '[', ']',
+];
+
+fn text_from(ixs: &[usize]) -> String {
+    ixs.iter().map(|&i| TEXT_CHARS[i % TEXT_CHARS.len()]).collect()
+}
+
+/// Every rule the scanner can emit, including the two non-suppressible
+/// ones that never appear in KNOWN_RULES.
+fn rule_of(ix: usize) -> &'static str {
+    let extra = ["allow-syntax", "allow-stale"];
+    let n = KNOWN_RULES.len() + extra.len();
+    let ix = ix % n;
+    if ix < KNOWN_RULES.len() {
+        KNOWN_RULES[ix]
+    } else {
+        extra[ix - KNOWN_RULES.len()]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn findings_round_trip_through_json(
+        file_ixs in vec(0usize..1000, 1..24),
+        msg_ixs in vec(0usize..1000, 0..64),
+        line in 1u32..1_000_000,
+        rule_ix in 0usize..1000,
+    ) {
+        let f = Finding {
+            file: text_from(&file_ixs),
+            line,
+            rule: rule_of(rule_ix),
+            message: text_from(&msg_ixs),
+        };
+        let parsed = parse_baseline(&to_json(std::slice::from_ref(&f)))
+            .expect("emitter output must parse");
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0].file, &f.file);
+        prop_assert_eq!(parsed[0].line, f.line);
+        prop_assert_eq!(&parsed[0].rule, f.rule);
+        prop_assert_eq!(&parsed[0].message, &f.message);
+    }
+
+    #[test]
+    fn arrays_round_trip_and_self_diff_clean(
+        seeds in vec((0usize..1000, 1u32..10_000), 0..8),
+    ) {
+        let findings: Vec<Finding> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(rule_ix, line))| Finding {
+                file: format!("crates/x/src/f{i}.rs"),
+                line,
+                rule: rule_of(rule_ix),
+                message: format!("message {i} with \"quotes\" and \\slashes\\"),
+            })
+            .collect();
+        let parsed = parse_baseline(&to_json(&findings)).expect("array must parse");
+        prop_assert_eq!(parsed.len(), findings.len());
+        // A scan diffed against its own snapshot reports nothing new and
+        // nothing resolved — the CI-gate invariant.
+        let (new, resolved) = diff_baseline(&findings, &parsed);
+        prop_assert!(new.is_empty());
+        prop_assert_eq!(resolved, 0);
+    }
+}

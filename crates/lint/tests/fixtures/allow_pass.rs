@@ -1,6 +1,8 @@
-//! Fixture: a well-formed suppression silencing exactly one finding.
+//! Fixture: well-formed suppressions — a single allow silencing one
+//! finding, and a stacked pair covering one line that violates two rules.
 
 pub fn lookup(table: &[u32; 256], byte: u8) -> u32 {
     // lint:allow(boundary-index, index is a u8 and the table has 256 entries)
+    // lint:allow(cast-truncation, u8 into usize is widening)
     table[byte as usize]
 }

@@ -1,0 +1,7 @@
+//! Fixture: an allow left behind after the code it excused was fixed —
+//! it suppresses nothing, so it must surface as `allow-stale`.
+
+pub fn parse_byte(bytes: &[u8]) -> Result<u8, String> {
+    // lint:allow(boundary-index, historic direct index — since fixed)
+    bytes.first().copied().ok_or_else(|| "empty input".to_string())
+}

@@ -1,0 +1,10 @@
+//! Fixture: lossy `as` casts on the boundary — both silently truncate
+//! on a hostile 64-bit length.
+
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn index(x: u64, xs: &[f64]) -> Option<f64> {
+    xs.get(x as usize).copied()
+}

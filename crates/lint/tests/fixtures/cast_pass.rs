@@ -1,0 +1,12 @@
+//! Fixture: lossless conversions on the boundary — `try_from` to
+//! narrow, `as` only to widen, and a rename that is not a cast at all.
+
+use std::io::Read as IoRead;
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn narrow(x: u64) -> Result<u32, String> {
+    u32::try_from(x).map_err(|_| "length out of range".to_string())
+}

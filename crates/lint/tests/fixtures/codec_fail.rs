@@ -1,0 +1,22 @@
+//! Fixture: a drifted codec — the encoder writes `a`, `b`, `c` but the
+//! decoder never binds `b` and reads `c` before `a`.
+
+pub struct Rec {
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+}
+
+impl Rec {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+        out.extend_from_slice(&self.c.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Rec, String> {
+        let c = read_u64(bytes, 0)?;
+        let a = read_u64(bytes, 8)?;
+        Ok(Rec { a, b: 0, c })
+    }
+}

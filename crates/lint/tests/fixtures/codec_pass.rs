@@ -1,0 +1,19 @@
+//! Fixture: encoder and decoder agree on field order.
+
+pub struct Rec {
+    pub a: u64,
+    pub b: f64,
+}
+
+impl Rec {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_bits().to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Rec, String> {
+        let a = read_u64(bytes, 0)?;
+        let b = f64::from_bits(read_u64(bytes, 8)?);
+        Ok(Rec { a, b })
+    }
+}

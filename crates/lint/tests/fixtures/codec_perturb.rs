@@ -1,0 +1,7 @@
+//! Fixture: the key-perturbation test paired with the codec — it covers
+//! `a` but forgot `b`, so a key that silently ignores `b` would pass.
+
+#[test]
+fn every_field_perturbation_changes_the_key() {
+    assert_key_changes("bump a", |r| r.a += 1);
+}

@@ -1,0 +1,9 @@
+//! Fixture: the dispatch loop naming every kind it handles.
+
+pub fn dispatch(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Data => "data",
+        Kind::Quit => "quit",
+        _ => "unknown",
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: a drifted frame-kind table.
+//!
+//! Kinds: Data (0) carries a payload; Quit (1) closes the stream.
+//! A third kind was added to the enum and the encoder, but nobody
+//! taught `from_code`, the doc table, or the dispatch loop about it.
+
+pub enum Kind {
+    Data,
+    Quit,
+    Probe,
+}
+
+impl Kind {
+    pub fn code(self) -> u8 {
+        match self {
+            Kind::Data => 0,
+            Kind::Quit => 1,
+            Kind::Probe => 2,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Option<Kind> {
+        match code {
+            0 => Some(Kind::Data),
+            1 => Some(Kind::Quit),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: a conformant frame-kind table.
+//!
+//! Kinds: Data (0) carries a payload; Quit (1) closes the stream.
+
+pub enum Kind {
+    Data,
+    Quit,
+}
+
+impl Kind {
+    pub fn code(self) -> u8 {
+        match self {
+            Kind::Data => 0,
+            Kind::Quit => 1,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Option<Kind> {
+        match code {
+            0 => Some(Kind::Data),
+            1 => Some(Kind::Quit),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a helper on the decode path that panics on short input —
+//! outside the boundary files, so only the call-graph pass can see that
+//! untrusted bytes reach it.
+
+pub fn header_word(bytes: &[u8]) -> Result<u64, String> {
+    let first = bytes[0];
+    Ok(u64::from(first))
+}

@@ -1,0 +1,6 @@
+//! Fixture: a helper on the decode path that returns typed errors.
+
+pub fn header_word(bytes: &[u8]) -> Result<u64, String> {
+    let first = *bytes.first().ok_or("truncated header")?;
+    Ok(u64::from(first))
+}

@@ -7,8 +7,15 @@
 //! entry points with small synthetic configs, so each rule is exercised
 //! exactly as the binary would.
 
-use microslip_lint::rules::check_schema;
-use microslip_lint::{lint_source, LintConfig, SchemaCheck};
+use std::collections::BTreeMap;
+
+use microslip_lint::items::parse_fn_items;
+use microslip_lint::lexer::{lex, Token};
+use microslip_lint::rules::{check_codec, check_protocol, check_reachability, check_schema};
+use microslip_lint::{
+    diff_baseline, lint_source, parse_baseline, CodecCheck, CodecKind, Finding, KindCoverage,
+    LintConfig, PerturbTest, ProtocolCheck, SchemaCheck, UnsafeEntry,
+};
 
 /// Lints a fixture as if it were at `path` under the given config.
 fn lint(path: &str, src: &str, cfg: &LintConfig) -> Vec<(u32, &'static str)> {
@@ -88,7 +95,11 @@ fn unsafe_fixture_pair() {
 
     // The same file is clean once registered.
     let registered = LintConfig {
-        unsafe_registry: vec![("any/fail.rs".into(), "fixture kernel".into())],
+        unsafe_registry: vec![UnsafeEntry {
+            path: "any/fail.rs".into(),
+            why: "fixture kernel".into(),
+            expect_fns: Vec::new(),
+        }],
         ..LintConfig::default()
     };
     let ok = lint("any/fail.rs", include_str!("fixtures/unsafe_fail.rs"), &registered);
@@ -107,6 +118,164 @@ fn allow_fixture_pair() {
     // indexing below them.
     assert_eq!(count("allow-syntax"), 2, "{dirty:?}");
     assert_eq!(count("boundary-index"), 1, "{dirty:?}");
+}
+
+#[test]
+fn cast_fixture_pair() {
+    let cfg = boundary_cfg();
+    let clean = lint("parser/pass.rs", include_str!("fixtures/cast_pass.rs"), &cfg);
+    assert_eq!(clean, [], "widening casts and try_from must not fire");
+
+    let dirty = lint("parser/fail.rs", include_str!("fixtures/cast_fail.rs"), &cfg);
+    assert_eq!(
+        dirty.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+        ["cast-truncation", "cast-truncation"],
+        "{dirty:?}"
+    );
+}
+
+#[test]
+fn stale_allow_fixture_fires() {
+    let cfg = boundary_cfg();
+    let findings = lint("parser/stale.rs", include_str!("fixtures/allow_stale.rs"), &cfg);
+    assert_eq!(findings, [(5, "allow-stale")], "{findings:?}");
+}
+
+#[test]
+fn reachability_fixture_pair() {
+    let entries = vec![("parser/entry.rs".to_string(), "decode".to_string())];
+    // The entry file is a boundary file: the token rules own its sites.
+    let report_in = |file: &str| file != "parser/entry.rs";
+    let items_with = |helper_src: &str| {
+        let mut items = parse_fn_items(
+            "parser/entry.rs",
+            &lex(include_str!("fixtures/reachability_entry.rs")),
+        );
+        items.extend(parse_fn_items("helpers/helper.rs", &lex(helper_src)));
+        items
+    };
+
+    let clean = check_reachability(
+        &items_with(include_str!("fixtures/reachability_pass.rs")),
+        &entries,
+        report_in,
+    );
+    assert!(clean.is_empty(), "typed-error helper must be clean: {clean:?}");
+
+    let dirty = check_reachability(
+        &items_with(include_str!("fixtures/reachability_fail.rs")),
+        &entries,
+        report_in,
+    );
+    assert_eq!(dirty.len(), 1, "{dirty:?}");
+    assert_eq!(dirty[0].rule, "panic-reachability");
+    assert_eq!(dirty[0].file, "helpers/helper.rs");
+    assert!(dirty[0].message.contains("decode -> header_word"), "{}", dirty[0].message);
+}
+
+fn fixture_protocol() -> ProtocolCheck {
+    ProtocolCheck {
+        wire_file: "wire.rs".into(),
+        kind_enum: "Kind".into(),
+        to_code_fn: "code".into(),
+        from_code_fn: "from_code".into(),
+        coverage: vec![KindCoverage {
+            what: "the dispatch loop".into(),
+            min_code: 0,
+            max_code: 255,
+            files: vec!["dispatch.rs".into()],
+        }],
+    }
+}
+
+#[test]
+fn protocol_fixture_pair() {
+    let pc = fixture_protocol();
+    let mut coverage: BTreeMap<String, Vec<Token>> = BTreeMap::new();
+    coverage.insert("dispatch.rs".into(), lex(include_str!("fixtures/protocol_dispatch.rs")));
+
+    let clean = check_protocol(&pc, &lex(include_str!("fixtures/protocol_pass_wire.rs")), &coverage);
+    assert!(clean.is_empty(), "conformant wire fixture must be clean: {clean:?}");
+
+    let dirty = check_protocol(&pc, &lex(include_str!("fixtures/protocol_fail_wire.rs")), &coverage);
+    assert!(dirty.iter().all(|f| f.rule == "protocol-drift"));
+    // `Probe` is missing from from_code, the doc table, and the dispatch
+    // loop — three distinct drift findings.
+    assert_eq!(dirty.len(), 3, "{dirty:?}");
+    assert!(dirty.iter().all(|f| f.message.contains("Probe")), "{dirty:?}");
+}
+
+fn fixture_codec(perturb: Option<PerturbTest>) -> CodecCheck {
+    CodecCheck {
+        file: "codec.rs".into(),
+        in_impl: Some("Rec".into()),
+        encode_fn: "encode".into(),
+        decode_fn: "decode".into(),
+        kind: CodecKind::Struct { root: "self".into() },
+        perturb,
+    }
+}
+
+#[test]
+fn codec_fixture_pair() {
+    let check = fixture_codec(None);
+    let no_tokens = BTreeMap::new();
+
+    let items = parse_fn_items("codec.rs", &lex(include_str!("fixtures/codec_pass.rs")));
+    let clean = check_codec(&check, &items, &no_tokens);
+    assert!(clean.is_empty(), "in-order codec fixture must be clean: {clean:?}");
+
+    let items = parse_fn_items("codec.rs", &lex(include_str!("fixtures/codec_fail.rs")));
+    let dirty = check_codec(&check, &items, &no_tokens);
+    assert!(dirty.iter().all(|f| f.rule == "codec-drift"));
+    // `b` is never bound; `c` is decoded out of order.
+    assert_eq!(dirty.len(), 2, "{dirty:?}");
+    assert!(dirty[0].message.contains("`self.b`") && dirty[0].message.contains("never bound"));
+    assert!(dirty[1].message.contains("`self.c`") && dirty[1].message.contains("out of order"));
+}
+
+#[test]
+fn codec_perturbation_gap_fixture_fires() {
+    let check = fixture_codec(Some(PerturbTest {
+        file: "perturb.rs".into(),
+        test_fn: "every_field_perturbation_changes_the_key".into(),
+    }));
+    let mut tokens: BTreeMap<String, Vec<Token>> = BTreeMap::new();
+    tokens.insert("perturb.rs".into(), lex(include_str!("fixtures/codec_perturb.rs")));
+    let items = parse_fn_items("codec.rs", &lex(include_str!("fixtures/codec_pass.rs")));
+    let findings = check_codec(&check, &items, &tokens);
+    // The perturbation test covers `a` but not `b`.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].file, "perturb.rs");
+    assert!(findings[0].message.contains("`b`"), "{}", findings[0].message);
+}
+
+#[test]
+fn baseline_fixture_diffs_by_content_not_line() {
+    let baseline = parse_baseline(include_str!("fixtures/baseline.json"))
+        .expect("fixture baseline must parse");
+    assert_eq!(baseline.len(), 2);
+    let findings = vec![
+        // Same finding as the baseline's first entry, moved 30 lines.
+        Finding {
+            file: "crates/net/src/wire.rs".into(),
+            line: 40,
+            rule: "boundary-panic",
+            message: "`unwrap()` on the frame length".into(),
+        },
+        // Brand new.
+        Finding {
+            file: "crates/net/src/tcp.rs".into(),
+            line: 7,
+            rule: "boundary-index",
+            message: "direct slice index".into(),
+        },
+    ];
+    let (new, resolved) = diff_baseline(&findings, &baseline);
+    assert_eq!(new.len(), 1, "{new:?}");
+    assert_eq!(new[0].file, "crates/net/src/tcp.rs");
+    // The serve.rs entry no longer occurs: stale baseline entry.
+    assert_eq!(resolved, 1);
 }
 
 fn fixture_schema() -> SchemaCheck {

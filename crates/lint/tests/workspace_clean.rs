@@ -1,18 +1,33 @@
-//! The workspace must lint clean under its own invariant map — this is
-//! the same scan `just lint` (and therefore `just tier1`) runs, embedded
-//! in the test suite so plain `cargo test` enforces it too.
+//! The workspace must produce no findings beyond the committed baseline
+//! — this is the same gate `just lint` (and therefore `just tier1`)
+//! runs, embedded in the test suite so plain `cargo test` enforces it
+//! too. The baseline is also required to be tight: entries no scan
+//! reproduces must be pruned (`just lint-baseline`), so the accepted
+//! backlog can only shrink.
 
 use std::path::Path;
 
 #[test]
-fn workspace_is_lint_clean() {
+fn workspace_has_no_findings_beyond_the_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let cfg = microslip_lint::default_config();
     let findings = microslip_lint::lint_workspace(&root, &cfg)
         .expect("workspace scan must be able to read every source file");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json must exist at the workspace root");
+    let baseline = microslip_lint::parse_baseline(&baseline_text)
+        .expect("lint-baseline.json must be valid findings JSON");
+    let (new, resolved) = microslip_lint::diff_baseline(&findings, &baseline);
     assert!(
-        findings.is_empty(),
-        "the workspace has lint findings:\n{}",
-        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+        new.is_empty(),
+        "the workspace has NEW lint findings (fix them or, deliberately, regenerate the \
+         baseline with `just lint-baseline`):\n{}",
+        new.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+    assert_eq!(
+        resolved, 0,
+        "the baseline contains {resolved} entr{} no finding matches; prune with `just \
+         lint-baseline`",
+        if resolved == 1 { "y" } else { "ies" }
     );
 }

@@ -267,14 +267,12 @@ fn coordinate(
     }
     let roster_payload: Vec<f64> = ports.iter().map(|&p| p as f64).collect();
     for (mut stream, rank) in resolved {
+        let Ok(from) = u32::try_from(rank) else {
+            return handshake(format!("rank {rank} overflows the wire's u32 rank field"));
+        };
         send_handshake_frame(
             &mut stream,
-            &Frame {
-                kind: FrameKind::Roster,
-                from: rank as u32,
-                tag: 0,
-                payload: roster_payload.clone(),
-            },
+            &Frame { kind: FrameKind::Roster, from, tag: 0, payload: roster_payload.clone() },
         )?;
         // The rendezvous connection has served its purpose; dropping it
         // sends our FIN and the joiner reads the roster from its buffer.
@@ -294,7 +292,12 @@ fn join(
 ) -> Result<(NodeId, Vec<u16>), CommError> {
     let mut stream = connect_with_retry(rendezvous, cfg, deadline)?;
     let from = match claimed {
-        Some(rank) => rank as u32,
+        Some(rank) => match u32::try_from(rank) {
+            Ok(r) => r,
+            Err(_) => {
+                return handshake(format!("claimed rank {rank} overflows the wire's u32 rank field"))
+            }
+        },
         None => ASSIGN_ME,
     };
     let announce = if epoch <= 1 {
@@ -332,6 +335,7 @@ fn join(
         if p.fract() != 0.0 || !(1.0..=u16::MAX as f64).contains(&p) {
             return handshake(format!("roster contains invalid port {p}"));
         }
+        // lint:allow(cast-truncation, p is validated as an integer in 1..=u16::MAX just above)
         ports.push(p as u16);
     }
     Ok((rank, ports))
@@ -350,12 +354,15 @@ fn establish_mesh(
     let size = ports.len();
     let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
     // Lower ranks: we dial and identify ourselves.
+    let Ok(wire_rank) = u32::try_from(rank) else {
+        return handshake(format!("rank {rank} overflows the wire's u32 rank field"));
+    };
     for (j, &port) in ports.iter().enumerate().take(rank) {
         let mut stream =
             connect_with_retry(SocketAddr::from(([127, 0, 0, 1], port)), cfg, deadline)?;
         send_handshake_frame(
             &mut stream,
-            &Frame { kind: FrameKind::Ident, from: rank as u32, tag: epoch, payload: vec![] },
+            &Frame { kind: FrameKind::Ident, from: wire_rank, tag: epoch, payload: vec![] },
         )?;
         match streams.get_mut(j) {
             Some(slot) => *slot = Some(stream),

@@ -117,7 +117,9 @@ impl TcpTransport {
             return;
         }
         self.closed = true;
-        let goodbye = wire::encode(&Frame::goodbye(self.rank as u32));
+        // Best-effort farewell: `close` has no error path (it runs from
+        // `Drop`), so an absurd rank just becomes a sentinel the peer drops.
+        let goodbye = wire::encode(&Frame::goodbye(u32::try_from(self.rank).unwrap_or(u32::MAX)));
         for (peer, slot) in self.streams.iter_mut().enumerate() {
             let Some(stream) = slot else { continue };
             if !self.hung_up.get(peer).copied().unwrap_or(true) {
@@ -188,7 +190,11 @@ impl Transport for TcpTransport {
         if self.is_hung(to) {
             return Err(CommError::Disconnected { peer: to });
         }
-        let bytes = wire::encode(&Frame::data(self.rank as u32, tag.0, payload));
+        let from = u32::try_from(self.rank).map_err(|_| CommError::Protocol {
+            peer: to,
+            detail: format!("local rank {} overflows the wire's u32 rank field", self.rank),
+        })?;
+        let bytes = wire::encode(&Frame::data(from, tag.0, payload));
         let result = {
             use std::io::Write;
             let Some(stream) = self.streams.get_mut(to).and_then(Option::as_mut) else {
@@ -233,7 +239,7 @@ impl Transport for TcpTransport {
                     return Err(CommError::Disconnected { peer: from });
                 }
                 FrameKind::Data => {
-                    if frame.from != from as u32 {
+                    if usize::try_from(frame.from) != Ok(from) {
                         self.mark_hung(from);
                         return Err(CommError::Protocol {
                             peer: from,

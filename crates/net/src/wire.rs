@@ -205,7 +205,10 @@ impl Frame {
         for x in &self.payload {
             out.extend_from_slice(&x.to_le_bytes());
         }
-        out.truncate(declared as usize);
+        let declared_len = usize::try_from(declared).map_err(|_| {
+            FrameError::Protocol(format!("byte payload length {declared} overflows usize"))
+        })?;
+        out.truncate(declared_len);
         Ok(out)
     }
 }
@@ -231,6 +234,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let table = TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
         for (i, slot) in table.iter_mut().enumerate() {
+            // lint:allow(cast-truncation, i < 256 over a fixed 256-entry table)
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
@@ -242,6 +246,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
         // lint:allow(boundary-index, index is masked to 0xFF and the table has 256 entries)
+        // lint:allow(cast-truncation, u8 widens into u32 and the table index is masked to 0xFF)
         crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
@@ -250,6 +255,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// Serializes `frame` into a single buffer (one `write_all`, so a frame is
 /// never interleaved mid-stream by a panicking sender).
 pub fn encode(frame: &Frame) -> Vec<u8> {
+    // lint:allow(cast-truncation, frames are locally constructed and the decoder's MAX_PAYLOAD_LEN check rejects anything a truncated length could describe)
     let len = frame.payload.len() as u32;
     // Build the CRC-covered region (everything after the magic) first, so
     // the checksum never needs to slice back into a partially built buffer.
@@ -328,7 +334,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
             "payload length {len} exceeds cap {MAX_PAYLOAD_LEN}"
         )));
     }
-    let mut body = vec![0u8; len as usize * 8];
+    let body_len = usize::try_from(len)
+        .map_err(|_| FrameError::Protocol(format!("payload length {len} overflows usize")))?;
+    let mut body = vec![0u8; body_len * 8];
     read_exact(r, &mut body)?;
     let mut crc_bytes = [0u8; 4];
     read_exact(r, &mut crc_bytes)?;

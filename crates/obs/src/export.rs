@@ -213,13 +213,14 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
 fn check_non_overlap(spans_per_node: &BTreeMap<usize, Vec<(f64, f64)>>) -> Result<(), String> {
     for (node, spans) in spans_per_node {
         let mut sorted = spans.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         for w in sorted.windows(2) {
+            let [prev, next] = w else { continue };
             // Shared boundaries are fine; actual overlap is not.
-            if w[1].0 < w[0].1 - 1e-9 {
+            if next.0 < prev.1 - 1e-9 {
                 return Err(format!(
                     "node {node}: spans overlap: [{}, {}) and [{}, {})",
-                    w[0].0, w[0].1, w[1].0, w[1].1
+                    prev.0, prev.1, next.0, next.1
                 ));
             }
         }
@@ -304,7 +305,7 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
             let node = match v.get("node") {
                 Some(Value::Null) => None,
                 Some(n) => Some(n.as_usize().ok_or_else(|| bad("node", "an integer or null"))?),
-                None => unreachable!("presence checked above"),
+                None => return Err(bad("node", "present")),
             };
             Ok(Event::Remap(RemapDecision {
                 time: f64_of("time")?,
@@ -362,7 +363,7 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
                 detail: str_of("detail")?,
             })
         }
-        _ => unreachable!("required_fields filtered unknown types"),
+        other => Err(format!("unknown event type '{other}'")),
     }
 }
 
@@ -458,16 +459,15 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
 
     let us = |t: f64| json::num(t * 1e6);
 
-    let mut spans: Vec<&Event> =
-        events.iter().filter(|e| matches!(e, Event::Span(_))).collect();
-    spans.sort_by(|a, b| {
-        let (Event::Span(x), Event::Span(y)) = (a, b) else { unreachable!() };
-        (x.node, x.start)
-            .partial_cmp(&(y.node, y.start))
-            .expect("finite timestamps")
-    });
-    for e in spans {
-        let Event::Span(s) = e else { unreachable!() };
+    let mut spans: Vec<&Span> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    spans.sort_by(|x, y| x.node.cmp(&y.node).then(x.start.total_cmp(&y.start)));
+    for s in spans {
         lines.push(format!(
             r#"{{"name":"{}","cat":"{}","ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"args":{{"phase":{}}}}}"#,
             s.kind.name(),

@@ -51,7 +51,10 @@ impl Value {
 
     pub fn as_usize(&self) -> Option<usize> {
         self.as_f64().and_then(|x| {
-            if x.fract() == 0.0 && x >= 0.0 {
+            // Bound by 2^53 so the value is an exactly-representable
+            // integer; beyond that the float cast would silently saturate.
+            if x.fract() == 0.0 && (0.0..9_007_199_254_740_992.0).contains(&x) {
+                // lint:allow(cast-truncation, x is a non-negative integer below 2^53, in range for usize)
                 Some(x as usize)
             } else {
                 None
@@ -264,8 +267,8 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }

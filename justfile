@@ -24,12 +24,22 @@ physics:
     cargo test -q --offline --test physics_validation
 
 # Project-invariant static analysis (microslip-lint): determinism of the
-# decision/kernel crates, panic-freedom of the untrusted-input parsers,
-# trace-schema exhaustiveness, and unsafe containment. The self-tests
-# prove each rule fires; the binary run proves the workspace is clean.
+# decision/kernel crates, panic-freedom of the untrusted-input parsers
+# (direct tokens *and* call-graph reachability), cast truncation on trust
+# boundaries, protocol/codec drift, trace-schema exhaustiveness, and
+# unsafe containment. The self-tests prove each rule fires; the binary
+# run diffs the workspace against the committed findings baseline, so CI
+# fails only on NEW findings (fix them or regenerate with
+# `just lint-baseline` and justify the diff in review).
 lint:
     cargo test -q --offline -p microslip-lint
-    cargo run -q --offline -p microslip-lint
+    cargo run -q --offline -p microslip-lint -- --baseline lint-baseline.json
+
+# Regenerates the findings baseline after deliberate changes. The diff of
+# lint-baseline.json is part of the PR — new entries need a reviewer's
+# eyes, resolved entries are free.
+lint-baseline:
+    cargo run -q --offline -p microslip-lint -- --json > lint-baseline.json
 
 # End-to-end observability smoke: a traced virtual-cluster run and a
 # traced threaded run, artifacts re-parsed and schema-checked (--check),

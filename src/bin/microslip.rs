@@ -45,9 +45,9 @@ impl Flags {
             let key = arg
                 .strip_prefix("--")
                 .ok_or_else(|| format!("unexpected argument '{arg}' (flags are --key value)"))?;
-            let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
-                _ => "true".to_string(),
+            let value = match it.next_if(|v| !v.starts_with("--")) {
+                Some(v) => v.clone(),
+                None => "true".to_string(),
             };
             values.insert(key.to_string(), value);
         }

@@ -155,6 +155,7 @@ pub fn apply_axis(s: &mut Scenario, axis: &str, value: f64) -> Result<(), String
                 return Err(format!("patch-period axis value {value} is not a positive integer"));
             }
             let (r_a, r_b, _, phase) = patterned_parts(&s.channel.wall_bc);
+            // lint:allow(cast-truncation, value is validated as an integer in 1..=1e6 just above)
             s.channel.wall_bc = WallBc::PatternedSlip { r_a, r_b, period: value as usize, phase };
         }
         "patch-phase" => {
@@ -164,6 +165,7 @@ pub fn apply_axis(s: &mut Scenario, axis: &str, value: f64) -> Result<(), String
                 ));
             }
             let (r_a, r_b, period, _) = patterned_parts(&s.channel.wall_bc);
+            // lint:allow(cast-truncation, value is validated as an integer in 0..=1e6 just above)
             s.channel.wall_bc = WallBc::PatternedSlip { r_a, r_b, period, phase: value as usize };
         }
         other => {

@@ -4,7 +4,7 @@
 //! scenarios always share a key, and perturbing *any* field changes it.
 
 use microslip::cluster::Scheme;
-use microslip::lbm::{Dims, WallBc};
+use microslip::lbm::{Dims, InitProfile, Parallelism, SolidRegion, WallBc};
 use microslip::runtime::LoadModel;
 use microslip::Scenario;
 use proptest::prelude::*;
@@ -169,6 +169,27 @@ proptest! {
             _ => WallBc::BounceBack,
         };
         variants.push(("wall-bc kind", bc_kind));
+        let mut dims = base.clone();
+        dims.channel.dims = Dims::new(k.nx + 1, k.ny, k.nz);
+        variants.push(("dims", dims));
+        let mut components = base.clone();
+        components.channel.components[0].1 += 0.125;
+        variants.push(("components", components));
+        let mut coupling = base.clone();
+        coupling.channel.coupling.set(0, 0, base.channel.coupling.get(0, 0) + 0.25);
+        variants.push(("coupling", coupling));
+        let mut init = base.clone();
+        init.channel.init = match base.channel.init {
+            InitProfile::Uniform => InitProfile::CosineX { amplitude: 0.1 },
+            InitProfile::CosineX { .. } => InitProfile::Uniform,
+        };
+        variants.push(("init", init));
+        let mut obstacles = base.clone();
+        obstacles.channel.obstacles.push(SolidRegion::Block { min: [1, 1, 1], max: [2, 2, 2] });
+        variants.push(("obstacles", obstacles));
+        let mut parallelism = base.clone();
+        parallelism.channel.parallelism = Parallelism::new(k.threads_per_worker + 7);
+        variants.push(("parallelism", parallelism));
         for (field, variant) in variants {
             prop_assert!(
                 variant.key() != key,
@@ -193,6 +214,23 @@ proptest! {
                 "perturbing patterned {} did not change the key {}", field, pkey
             );
         }
+        // The rough wall's elements list moves the key on its own.
+        let mut rough = base.clone();
+        rough.channel.wall_bc = WallBc::RoughWall {
+            elements: vec![SolidRegion::Block { min: [0, 0, 0], max: [2, 1, 4] }],
+        };
+        let rkey = rough.key();
+        let mut v = rough.clone();
+        v.channel.wall_bc = WallBc::RoughWall {
+            elements: vec![
+                SolidRegion::Block { min: [0, 0, 0], max: [2, 1, 4] },
+                SolidRegion::Block { min: [3, 0, 0], max: [4, 1, 4] },
+            ],
+        };
+        prop_assert!(
+            v.key() != rkey,
+            "perturbing rough-wall elements did not change the key {}", rkey
+        );
     }
 
     #[test]
